@@ -1,0 +1,77 @@
+// Extension bench: the paper's §V-D scalability claim — VBM extends to
+// larger networks via mini-batch training "without much effort". Measures
+// full-batch vs mini-batch (with GraphSAGE-style neighbor sampling)
+// training time per epoch and detection quality as the graph grows.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datasets/synthetic.h"
+#include "detectors/vbm.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+struct Variant {
+  const char* label;
+  int batch_size;
+  int max_neighbors;
+};
+
+void Run() {
+  bench::PrintBanner("Extension: mini-batch VBM",
+                     "full-batch vs neighbor-sampled mini-batch training");
+
+  const Variant variants[] = {
+      {"full-batch", 0, 0},
+      {"batch=256", 256, 0},
+      {"batch=256,nbr<=10", 256, 10},
+  };
+  eval::Table table({"nodes", "variant", "s/epoch", "AUC(structural)"});
+
+  for (int n : {2000, 8000, 32000}) {
+    datasets::SyntheticGraphSpec spec;
+    spec.num_nodes = n;
+    spec.num_communities = 10;
+    spec.avg_degree = 8.0;
+    spec.attribute_dim = 64;
+    Rng rng(bench::EnvSeed() ^ n);
+    AttributedGraph graph = datasets::GeneratePlantedPartition(spec, &rng);
+    Result<injection::InjectionResult> injected =
+        injection::InjectStructuralOutliers(graph, std::max(2, n / 750), 15,
+                                            &rng);
+    VGOD_CHECK(injected.ok());
+
+    for (const Variant& variant : variants) {
+      detectors::VbmConfig config;
+      config.seed = bench::EnvSeed();
+      config.epochs = 3;
+      config.batch_size = variant.batch_size;
+      config.max_neighbors_per_node = variant.max_neighbors;
+      detectors::Vbm vbm(config);
+      VGOD_CHECK(vbm.Fit(injected.value().graph).ok());
+      const double auc = eval::Auc(vbm.Score(injected.value().graph).score,
+                                   injected.value().structural);
+      table.AddRow()
+          .AddCell(std::to_string(n))
+          .AddCell(variant.label)
+          .AddCell(vbm.train_stats().SecondsPerEpoch(), 4)
+          .AddCell(auc, 4);
+      std::fprintf(stderr, "  [done] n=%d %s\n", n, variant.label);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: detection quality is preserved under mini-batch\n"
+      "training while the per-step working set shrinks from O(|V|) to\n"
+      "O(batch x neighborhood) — the property that lets VBM scale out.\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension bench: the paper's §VI-B2 protocol runs every algorithm 5
+// times and reports the average. This bench quantifies the run-to-run
+// variance of VGOD and DegNorm across 5 seeds (fresh dataset + injection +
+// model initialization per seed) — evidence that the single-seed tables
+// elsewhere in bench/ are stable.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+constexpr int kRuns = 5;
+
+void Run() {
+  bench::PrintBanner("Extension: seed variance",
+                     "mean +/- std AUC over 5 seeded runs (paper §VI-B2)");
+
+  eval::Table table({"Model", "dataset", "mean AUC", "std", "min", "max"});
+  for (const std::string& model : {std::string("DegNorm"),
+                                   std::string("VGOD")}) {
+    for (const std::string& name : datasets::BenchmarkDatasetNames()) {
+      std::vector<double> aucs;
+      for (int run = 0; run < kRuns; ++run) {
+        const uint64_t seed = bench::EnvSeed() + 1000 * (run + 1);
+        bench::UnodCase unod = bench::MakeUnodCase(name, seed);
+        Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+            detectors::MakeDetector(model, bench::OptionsFor(unod, seed));
+        VGOD_CHECK(detector.ok());
+        VGOD_CHECK(detector.value()->Fit(unod.graph).ok());
+        aucs.push_back(eval::Auc(detector.value()->Score(unod.graph).score,
+                                 unod.combined));
+      }
+      double mean = 0.0;
+      for (double a : aucs) mean += a / kRuns;
+      double variance = 0.0;
+      for (double a : aucs) variance += (a - mean) * (a - mean) / kRuns;
+      table.AddRow()
+          .AddCell(model)
+          .AddCell(name)
+          .AddCell(mean, 4)
+          .AddCell(std::sqrt(variance), 4)
+          .AddCell(*std::min_element(aucs.begin(), aucs.end()), 4)
+          .AddCell(*std::max_element(aucs.begin(), aucs.end()), 4);
+      std::fprintf(stderr, "  [done] %s on %s\n", model.c_str(),
+                   name.c_str());
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: VGOD's mean exceeds DegNorm's on every dataset\n"
+      "and both are stable (std well under 0.05) — single-seed tables are\n"
+      "representative.\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates paper Fig 2: after the standard outlier injection, node
+// degree detects structural outliers and attribute L2-norm detects
+// contextual outliers far above the random baseline — the data leakage the
+// paper identifies.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "detectors/simple.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+void Run() {
+  bench::PrintBanner("Fig 2",
+                     "degree / L2-norm leakage probes vs random detector");
+  eval::Table table({"dataset", "Deg->structural", "L2Norm->contextual",
+                     "Random->structural", "Random->contextual"});
+  for (const std::string& name : datasets::InjectionDatasetNames()) {
+    bench::UnodCase unod = bench::MakeUnodCase(name, bench::EnvSeed());
+    detectors::Deg deg;
+    detectors::L2Norm l2;
+    detectors::RandomDetector random(bench::EnvSeed());
+    VGOD_CHECK(deg.Fit(unod.graph).ok());
+    VGOD_CHECK(l2.Fit(unod.graph).ok());
+    VGOD_CHECK(random.Fit(unod.graph).ok());
+    const std::vector<double> deg_scores = deg.Score(unod.graph).score;
+    const std::vector<double> l2_scores = l2.Score(unod.graph).score;
+    const std::vector<double> random_scores = random.Score(unod.graph).score;
+    table.AddRow()
+        .AddCell(name)
+        .AddCell(eval::AucSubset(deg_scores, unod.combined, unod.structural))
+        .AddCell(eval::AucSubset(l2_scores, unod.combined, unod.contextual))
+        .AddCell(
+            eval::AucSubset(random_scores, unod.combined, unod.structural))
+        .AddCell(
+            eval::AucSubset(random_scores, unod.combined, unod.contextual));
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference: both probes reach ~0.95-0.99 AUC on all four\n"
+      "datasets (L2-norm ~0.98 at k=50); random sits at ~0.5.\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Regenerates paper Fig 3: AUC of the L2-norm probe on contextual outliers
+// as the candidate-set size k varies, under Euclidean vs cosine distance.
+// Large k + Euclidean is the leakage driver (Theorem 1); cosine mitigates.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "detectors/simple.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+double ProbeAuc(const AttributedGraph& graph, int count, int k,
+                injection::DistanceKind distance, uint64_t seed) {
+  Rng rng(seed);
+  Result<injection::InjectionResult> injected =
+      injection::InjectContextualOutliers(graph, count, k, distance, &rng);
+  VGOD_CHECK(injected.ok()) << injected.status().ToString();
+  detectors::L2Norm probe;
+  VGOD_CHECK(probe.Fit(injected.value().graph).ok());
+  return eval::Auc(probe.Score(injected.value().graph).score,
+                   injected.value().contextual);
+}
+
+void Run() {
+  bench::PrintBanner("Fig 3",
+                     "L2-norm AUC vs candidate-set size k, by distance");
+  const std::vector<int> ks = {1, 2, 5, 10, 20, 50};
+  for (auto [distance, label] :
+       {std::pair{injection::DistanceKind::kEuclidean, "Euclidean"},
+        std::pair{injection::DistanceKind::kCosine, "cosine"}}) {
+    std::printf("\ndistance = %s\n", label);
+    std::vector<std::string> header = {"dataset"};
+    for (int k : ks) header.push_back("k=" + std::to_string(k));
+    eval::Table table(header);
+    for (const std::string& name : datasets::InjectionDatasetNames()) {
+      Result<datasets::Dataset> dataset =
+          datasets::MakeDataset(name, bench::EnvScale(), bench::EnvSeed());
+      VGOD_CHECK(dataset.ok());
+      const AttributedGraph& graph = dataset.value().graph;
+      const int count = std::max(10, graph.num_nodes() / 20);
+      table.AddRow().AddCell(name);
+      for (size_t i = 0; i < ks.size(); ++i) {
+        // Average over 3 seeds; single draws are noisy at small k.
+        double auc = 0.0;
+        for (uint64_t s = 0; s < 3; ++s) {
+          auc += ProbeAuc(graph, count, ks[i], distance,
+                          bench::EnvSeed() + 31 * i + s) /
+                 3.0;
+        }
+        table.AddCell(auc, 3);
+      }
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nPaper reference: Euclidean AUC climbs toward ~0.98 as k grows on\n"
+      "all datasets; under cosine distance the curve stays flat/low for at\n"
+      "least some datasets — both the k and the distance matter.\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

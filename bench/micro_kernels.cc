@@ -1,0 +1,123 @@
+// google-benchmark microbenchmarks for the kernels every experiment sits
+// on: dense matmul, SpMM, the neighbor-variance fused op, GAT aggregation,
+// negative-edge sampling, and AUC computation. These track the raw
+// performance behind Fig 7 / Table VII.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "datasets/synthetic.h"
+#include "eval/metrics.h"
+#include "gnn/graph_autograd.h"
+#include "graph/graph_ops.h"
+#include "graph/sampling.h"
+#include "tensor/kernels.h"
+
+namespace vgod {
+namespace {
+
+AttributedGraph BenchGraph(int n) {
+  datasets::SyntheticGraphSpec spec;
+  spec.num_nodes = n;
+  spec.num_communities = 8;
+  spec.avg_degree = 8.0;
+  spec.attribute_dim = 64;
+  Rng rng(1);
+  return datasets::GeneratePlantedPartition(spec, &rng);
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Tensor a = Tensor::RandomNormal(n, 128, 0, 1, &rng);
+  Tensor b = Tensor::RandomNormal(128, 64, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * 128 * 64);
+}
+BENCHMARK(BM_MatMul)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MatMulNT_ZZt(benchmark::State& state) {
+  // The sigma(Z Z^T) structure-decoder hot spot.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Tensor z = Tensor::RandomNormal(n, 64, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::MatMulNT(z, z));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * 64);
+}
+BENCHMARK(BM_MatMulNT_ZZt)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_Spmm(benchmark::State& state) {
+  AttributedGraph g = BenchGraph(static_cast<int>(state.range(0)));
+  Rng rng(4);
+  Tensor h = Tensor::RandomNormal(g.num_nodes(), 64, 0, 1, &rng);
+  const std::vector<float> weights = graph_ops::GcnNormWeights(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph_ops::Spmm(g, weights, h));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_directed_edges() * 64);
+}
+BENCHMARK(BM_Spmm)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_NeighborVarianceScore(benchmark::State& state) {
+  AttributedGraph g = BenchGraph(static_cast<int>(state.range(0)));
+  Rng rng(5);
+  Tensor h = Tensor::RandomNormal(g.num_nodes(), 128, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph_ops::NeighborVarianceScore(g, h));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_directed_edges() * 128);
+}
+BENCHMARK(BM_NeighborVarianceScore)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_GatAggregate(benchmark::State& state) {
+  auto g = std::make_shared<const AttributedGraph>(
+      BenchGraph(static_cast<int>(state.range(0))).WithSelfLoops());
+  Rng rng(6);
+  Variable s =
+      Variable::Constant(Tensor::RandomNormal(g->num_nodes(), 64, 0, 1, &rng));
+  Variable p =
+      Variable::Constant(Tensor::RandomNormal(g->num_nodes(), 1, 0, 1, &rng));
+  Variable q =
+      Variable::Constant(Tensor::RandomNormal(g->num_nodes(), 1, 0, 1, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::GatAggregate(g, s, p, q));
+  }
+  state.SetItemsProcessed(state.iterations() * g->num_directed_edges() * 64);
+}
+BENCHMARK(BM_GatAggregate)->Arg(1000)->Arg(4000);
+
+void BM_NegativeEdgeSampling(benchmark::State& state) {
+  AttributedGraph g = BenchGraph(static_cast<int>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildNegativeGraph(g, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_directed_edges());
+}
+BENCHMARK(BM_NegativeEdgeSampling)->Arg(1000)->Arg(4000);
+
+void BM_Auc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  std::vector<double> scores(n);
+  std::vector<uint8_t> labels(n);
+  for (int i = 0; i < n; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.05);
+  }
+  labels[0] = 1;
+  labels[1] = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::Auc(scores, labels));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Auc)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace vgod
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Regenerates paper Table X and Fig 9: the labeled-outlier study on the
+// Weibo-like dataset. Table X compares VGOD against AnomalyDAE on total /
+// structural / contextual AUC; Fig 9's statistics (degree distribution of
+// outliers vs inliers, attribute variance, homophily) are re-measured on
+// the simulated graph.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datasets/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "graph/graph_ops.h"
+
+namespace vgod {
+namespace {
+
+void Run() {
+  bench::PrintBanner("Table X + Fig 9", "labeled outlier study on weibo-sim");
+  bench::UnodCase unod = bench::MakeUnodCase("weibo", bench::EnvSeed());
+
+  eval::Table table({"Model", "AUC", "AUC(V-, O_str)", "AUC(V-, O_attr)"});
+  for (const std::string& model : {std::string("VGOD"),
+                                   std::string("AnomalyDAE")}) {
+    Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+        detectors::MakeDetector(model,
+                                bench::OptionsFor(unod, bench::EnvSeed()));
+    VGOD_CHECK(detector.ok());
+    VGOD_CHECK(detector.value()->Fit(unod.graph).ok());
+    detectors::DetectorOutput out = detector.value()->Score(unod.graph);
+    table.AddRow()
+        .AddCell(model)
+        .AddCell(eval::Auc(out.score, unod.combined), 3)
+        .AddCell(eval::Auc(out.structural_score, unod.combined), 3)
+        .AddCell(eval::Auc(out.contextual_score, unod.combined), 3);
+    std::fprintf(stderr, "  [done] %s\n", model.c_str());
+  }
+  std::printf("\nTable X — component AUCs on weibo-sim\n");
+  table.Print();
+  std::printf(
+      "\nPaper reference: VGOD 0.977/0.922/0.926 vs AnomalyDAE\n"
+      "0.925/0.796/0.925 — the win comes from the structural component.\n");
+
+  // Fig 9 statistics.
+  const AttributedGraph& g = unod.graph;
+  const auto& labels = g.outlier_labels();
+  double outlier_deg = 0.0, inlier_deg = 0.0;
+  int n_out = 0, n_in = 0;
+  int64_t outlier_edges = 0, outlier_to_outlier = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (labels[i]) {
+      outlier_deg += g.Degree(i);
+      ++n_out;
+      for (int32_t j : g.Neighbors(i)) {
+        ++outlier_edges;
+        outlier_to_outlier += labels[j];
+      }
+    } else {
+      inlier_deg += g.Degree(i);
+      ++n_in;
+    }
+  }
+  std::printf("\nFig 9 statistics (measured | paper)\n");
+  std::printf("  homophily:                   %.3f | 0.75\n",
+              graph_ops::EdgeHomophily(g));
+  std::printf("  outlier attribute variance:  %.2f | 425.0\n",
+              datasets::AttributeVariance(g.attributes(), labels, 1));
+  std::printf("  inlier attribute variance:   %.2f | 11.95\n",
+              datasets::AttributeVariance(g.attributes(), labels, 0));
+  std::printf("  mean degree outlier/inlier:  %.2f / %.2f (no elevation)\n",
+              outlier_deg / n_out, inlier_deg / n_in);
+  std::printf("  outlier->outlier edge share: %.2f (cohesive clusters)\n\n",
+              static_cast<double>(outlier_to_outlier) / outlier_edges);
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

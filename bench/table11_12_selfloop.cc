@@ -1,0 +1,107 @@
+// Regenerates paper Tables XI and XII: the self-loop edge ablation.
+// Table XI: VBM with/without self loops on *contextual-only* injections —
+// plain neighbor variance is blind to contextual outliers, the self-loop
+// technique makes them visible. Table XII: the same ablation inside full
+// VGOD on the standard UNOD experiment.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "detectors/vbm.h"
+#include "detectors/vgod.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+void Run() {
+  bench::PrintBanner("Tables XI + XII", "self-loop edge ablation");
+
+  // Table XI: contextual-only injection, VBM only.
+  std::vector<std::string> header = {"Model"};
+  for (const std::string& name : datasets::InjectionDatasetNames()) {
+    header.push_back(name);
+  }
+  eval::Table vbm_table(header);
+  vbm_table.AddRow().AddCell("VBM");
+  eval::Table vbm_sl_table(header);  // Filled in the same loop.
+  std::vector<double> with_sl;
+  for (const std::string& name : datasets::InjectionDatasetNames()) {
+    Result<datasets::Dataset> dataset =
+        datasets::MakeDataset(name, bench::EnvScale(), bench::EnvSeed());
+    VGOD_CHECK(dataset.ok());
+    const bench::InjectionParams params =
+        bench::StandardParams(name, dataset.value().graph.num_nodes());
+    Rng rng(bench::EnvSeed() ^ 0x11);
+    Result<injection::InjectionResult> injected =
+        injection::InjectContextualOutliers(
+            dataset.value().graph, params.num_cliques * params.clique_size,
+            params.candidate_set, injection::DistanceKind::kEuclidean, &rng);
+    VGOD_CHECK(injected.ok());
+    for (bool self_loop : {false, true}) {
+      detectors::VbmConfig config;
+      config.seed = bench::EnvSeed();
+      config.self_loop = self_loop;
+      config.epochs = std::max(
+          1, static_cast<int>(config.epochs * bench::EnvEpochScale()));
+      detectors::Vbm vbm(config);
+      VGOD_CHECK(vbm.Fit(injected.value().graph).ok());
+      const double auc = eval::Auc(vbm.Score(injected.value().graph).score,
+                                   injected.value().contextual);
+      if (self_loop) {
+        with_sl.push_back(auc);
+      } else {
+        vbm_table.AddCell(auc, 4);
+      }
+    }
+    std::fprintf(stderr, "  [done] Table XI %s\n", name.c_str());
+  }
+  vbm_sl_table.AddRow().AddCell("VBM w/ SL");
+  for (double auc : with_sl) vbm_sl_table.AddCell(auc, 4);
+
+  std::printf("\nTable XI — AUC of VBM on contextual-only outliers\n");
+  vbm_table.Print();
+  vbm_sl_table.Print();
+  std::printf(
+      "Paper reference: VBM ~0.47-0.51 (blind); w/ SL jumps to 0.65-0.86,\n"
+      "largest on the low-degree citation datasets.\n");
+
+  // Table XII: standard UNOD, VGOD with and without the self loop.
+  std::vector<std::string> header12 = {"Model"};
+  std::vector<bench::UnodCase> cases;
+  for (const std::string& name : datasets::BenchmarkDatasetNames()) {
+    cases.push_back(bench::MakeUnodCase(name, bench::EnvSeed()));
+    header12.push_back(name);
+  }
+  eval::Table vgod_table(header12);
+  for (bool self_loop : {false, true}) {
+    vgod_table.AddRow().AddCell(self_loop ? "VGOD w/ SL" : "VGOD");
+    for (const bench::UnodCase& unod : cases) {
+      detectors::DetectorOptions options =
+          bench::OptionsFor(unod, bench::EnvSeed());
+      options.self_loop = self_loop;
+      Result<std::unique_ptr<detectors::OutlierDetector>> vgod =
+          detectors::MakeDetector("VGOD", options);
+      VGOD_CHECK(vgod.ok());
+      VGOD_CHECK(vgod.value()->Fit(unod.graph).ok());
+      vgod_table.AddCell(
+          eval::Auc(vgod.value()->Score(unod.graph).score, unod.combined),
+          4);
+      std::fprintf(stderr, "  [done] Table XII sl=%d %s\n", self_loop,
+                   unod.name.c_str());
+    }
+  }
+  std::printf("\nTable XII — AUC of VGOD with/without the self loop\n");
+  vgod_table.Print();
+  std::printf(
+      "Paper reference (shape): the self loop improves every dataset\n"
+      "except flickr (high average degree), where it slightly hurts.\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

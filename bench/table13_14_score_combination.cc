@@ -1,0 +1,85 @@
+// Regenerates paper Tables XIII and XIV (Appendix A): VGOD's AUC and
+// AucGap under the three score-combination strategies — mean-std (Eq. 19),
+// raw weighted sum, and sum-to-unit (Eq. 23).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "detectors/vgod.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+void Run() {
+  bench::PrintBanner("Tables XIII + XIV", "score combination ablation");
+
+  std::vector<bench::UnodCase> cases;
+  std::vector<std::string> auc_header = {"Model"};
+  for (const std::string& name : datasets::BenchmarkDatasetNames()) {
+    cases.push_back(bench::MakeUnodCase(name, bench::EnvSeed()));
+    auc_header.push_back(name);
+  }
+  eval::Table auc_table(auc_header);
+
+  std::vector<std::string> gap_header = {"Model"};
+  for (const std::string& name : datasets::InjectionDatasetNames()) {
+    gap_header.push_back(name);
+  }
+  eval::Table gap_table(gap_header);
+
+  // kRank is this repo's extension beyond the paper's three combiners.
+  for (auto combination : {detectors::ScoreCombination::kMeanStd,
+                           detectors::ScoreCombination::kWeighted,
+                           detectors::ScoreCombination::kSumToUnit,
+                           detectors::ScoreCombination::kRank}) {
+    const std::string label =
+        std::string("VGOD (") + detectors::ScoreCombinationName(combination) +
+        ")";
+    auc_table.AddRow().AddCell(label);
+    gap_table.AddRow().AddCell(label);
+    for (const bench::UnodCase& unod : cases) {
+      detectors::VgodConfig config;
+      config.vbm.seed = bench::EnvSeed();
+      config.arm.seed = bench::EnvSeed() + 1;
+      config.vbm.self_loop = unod.self_loop;
+      config.vbm.row_normalize_attributes = unod.row_normalize;
+      config.arm.row_normalize_attributes = unod.row_normalize;
+      config.combination = combination;
+      config.vbm.epochs = std::max(
+          1, static_cast<int>(config.vbm.epochs * bench::EnvEpochScale()));
+      config.arm.epochs = std::max(
+          1, static_cast<int>(config.arm.epochs * bench::EnvEpochScale()));
+      detectors::Vgod vgod(config);
+      VGOD_CHECK(vgod.Fit(unod.graph).ok());
+      detectors::DetectorOutput out = vgod.Score(unod.graph);
+      auc_table.AddCell(eval::Auc(out.score, unod.combined), 3);
+      if (unod.has_type_labels()) {
+        gap_table.AddCell(
+            eval::AucGap(
+                eval::AucSubset(out.score, unod.combined, unod.structural),
+                eval::AucSubset(out.score, unod.combined, unod.contextual)),
+            4);
+      }
+      std::fprintf(stderr, "  [done] %s on %s\n", label.c_str(),
+                   unod.name.c_str());
+    }
+  }
+
+  std::printf("\nTable XIII — AUC by combination strategy\n");
+  auc_table.Print();
+  std::printf("\nTable XIV — AucGap by combination strategy\n");
+  gap_table.Print();
+  std::printf(
+      "\nPaper reference (shape): mean-std wins or ties on AUC everywhere\n"
+      "and has by far the most balanced AucGap; the raw weighted sum is\n"
+      "the most unbalanced (scale mismatch between the two scores).\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

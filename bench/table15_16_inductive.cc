@@ -1,0 +1,106 @@
+// Regenerates paper Tables XV and XVI (Appendix B): the inductive setting.
+// Every model trains on the standard injected graph, then scores a graph
+// re-injected with a different seed (AnomalyDAE is excluded — it cannot
+// perform inductive inference, paper Table II).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+const std::vector<std::string> kModels = {"Dominant", "DONE", "CoLA",
+                                          "CONAD", "DegNorm", "VGOD"};
+
+struct InductiveCase {
+  std::string name;
+  AttributedGraph train_graph;
+  injection::InjectionResult test;
+  bool self_loop;
+};
+
+void Run() {
+  bench::PrintBanner("Tables XV + XVI",
+                     "UNOD in the inductive setting (fresh injection)");
+
+  std::vector<InductiveCase> cases;
+  for (const std::string& name : datasets::InjectionDatasetNames()) {
+    Result<datasets::Dataset> dataset =
+        datasets::MakeDataset(name, bench::EnvScale(), bench::EnvSeed());
+    VGOD_CHECK(dataset.ok());
+    const bench::InjectionParams params =
+        bench::StandardParams(name, dataset.value().graph.num_nodes());
+    Rng train_rng(bench::EnvSeed() ^ 0x15);
+    Rng test_rng(bench::EnvSeed() ^ 0x16);
+    Result<injection::InjectionResult> train = injection::InjectStandard(
+        dataset.value().graph, params.num_cliques, params.clique_size,
+        params.candidate_set, &train_rng);
+    Result<injection::InjectionResult> test = injection::InjectStandard(
+        dataset.value().graph, params.num_cliques, params.clique_size,
+        params.candidate_set, &test_rng);
+    VGOD_CHECK(train.ok() && test.ok());
+    cases.push_back(InductiveCase{name, std::move(train.value().graph),
+                                  std::move(test).value(),
+                                  name != "flickr"});
+  }
+
+  std::vector<std::string> header = {"Model"};
+  for (const auto& unod : cases) header.push_back(unod.name);
+  eval::Table auc_table(header);
+
+  std::vector<std::string> gap_header = {"Model"};
+  for (const auto& unod : cases) {
+    gap_header.push_back(unod.name + ":gap");
+    gap_header.push_back(unod.name + ":str");
+    gap_header.push_back(unod.name + ":ctx");
+  }
+  eval::Table gap_table(gap_header);
+
+  for (const std::string& model : kModels) {
+    auc_table.AddRow().AddCell(model);
+    gap_table.AddRow().AddCell(model);
+    for (const InductiveCase& unod : cases) {
+      detectors::DetectorOptions options;
+      options.seed = bench::EnvSeed();
+      options.self_loop = unod.self_loop;
+      options.epoch_scale = bench::EnvEpochScale();
+      Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+          detectors::MakeDetector(model, options);
+      VGOD_CHECK(detector.ok());
+      VGOD_CHECK(detector.value()->supports_inductive()) << model;
+      VGOD_CHECK(detector.value()->Fit(unod.train_graph).ok());
+      detectors::DetectorOutput out =
+          detector.value()->Score(unod.test.graph);
+      auc_table.AddCell(eval::Auc(out.score, unod.test.combined), 4);
+      const double str =
+          eval::AucSubset(out.score, unod.test.combined, unod.test.structural);
+      const double ctx =
+          eval::AucSubset(out.score, unod.test.combined, unod.test.contextual);
+      gap_table.AddCell(eval::AucGap(str, ctx), 3);
+      gap_table.AddCell(str, 3);
+      gap_table.AddCell(ctx, 3);
+      std::fprintf(stderr, "  [done] %s on %s\n", model.c_str(),
+                   unod.name.c_str());
+    }
+  }
+
+  std::printf("\nTable XV — inductive AUC\n");
+  auc_table.Print();
+  std::printf("\nTable XVI — inductive AucGap with per-type AUCs\n");
+  gap_table.Print();
+  std::printf(
+      "\nPaper reference (shape): the ordering mirrors the transductive\n"
+      "setting — VGOD clearly best and most balanced, DegNorm competitive\n"
+      "with the deep baselines; VGOD can even improve inductively since\n"
+      "overfitting to the training graph is removed.\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Regenerates paper Table IV (UNOD AUC for all models on all five
+// datasets) and Table III (AucGap with per-type AUCs on the injected
+// datasets) from one training run per (model, dataset) pair.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+struct CellResult {
+  double auc = 0.0;
+  double str_auc = 0.0;   // AUC(V_str, O)
+  double ctx_auc = 0.0;   // AUC(V_attr, O)
+  bool has_types = false;
+};
+
+// Paper-reported values for the side-by-side comparison (Table IV).
+const std::map<std::string, std::map<std::string, double>> kPaperAuc = {
+    {"Dominant", {{"cora", 0.8134}, {"citeseer", 0.8250}, {"pubmed", 0.7999},
+                  {"flickr", 0.7440}, {"weibo", 0.925}}},
+    {"AnomalyDAE", {{"cora", 0.8433}, {"citeseer", 0.8441},
+                    {"pubmed", 0.8898}, {"flickr", 0.7524},
+                    {"weibo", 0.928}}},
+    {"DONE", {{"cora", 0.8498}, {"citeseer", 0.8800}, {"pubmed", 0.7664},
+              {"flickr", 0.7482}, {"weibo", 0.887}}},
+    {"CoLA", {{"cora", 0.8790}, {"citeseer", 0.8861}, {"pubmed", 0.9214},
+              {"flickr", 0.7530}, {"weibo", 0.748}}},
+    {"CONAD", {{"cora", 0.7456}, {"citeseer", 0.7078}, {"pubmed", 0.6930},
+               {"flickr", 0.7395}, {"weibo", 0.927}}},
+    {"DegNorm", {{"cora", 0.8928}, {"citeseer", 0.9385}, {"pubmed", 0.9074},
+                 {"flickr", 0.7515}, {"weibo", 0.893}}},
+    {"VGOD", {{"cora", 0.9503}, {"citeseer", 0.9845}, {"pubmed", 0.9813},
+              {"flickr", 0.8773}, {"weibo", 0.9765}}},
+};
+
+void Run() {
+  bench::PrintBanner("Table IV + Table III",
+                     "UNOD experiment: AUC, per-type AUC and AucGap");
+
+  std::map<std::string, std::map<std::string, CellResult>> results;
+  std::vector<bench::UnodCase> cases;
+  for (const std::string& name : datasets::BenchmarkDatasetNames()) {
+    cases.push_back(bench::MakeUnodCase(name, bench::EnvSeed()));
+  }
+
+  for (const std::string& model : detectors::ComparisonDetectorNames()) {
+    for (const bench::UnodCase& unod : cases) {
+      Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+          detectors::MakeDetector(model,
+                                  bench::OptionsFor(unod, bench::EnvSeed()));
+      VGOD_CHECK(detector.ok());
+      const Status fit = detector.value()->Fit(unod.graph);
+      VGOD_CHECK(fit.ok()) << model << "/" << unod.name << ": "
+                           << fit.ToString();
+      const detectors::DetectorOutput out =
+          detector.value()->Score(unod.graph);
+      CellResult cell;
+      cell.auc = eval::Auc(out.score, unod.combined);
+      if (unod.has_type_labels()) {
+        cell.has_types = true;
+        cell.str_auc =
+            eval::AucSubset(out.score, unod.combined, unod.structural);
+        cell.ctx_auc =
+            eval::AucSubset(out.score, unod.combined, unod.contextual);
+      }
+      results[model][unod.name] = cell;
+      std::fprintf(stderr, "  [done] %s on %s\n", model.c_str(),
+                   unod.name.c_str());
+    }
+  }
+
+  std::printf("\nTable IV — AUC (measured | paper)\n");
+  std::vector<std::string> header = {"Model"};
+  for (const std::string& name : datasets::BenchmarkDatasetNames()) {
+    header.push_back(name);
+  }
+  eval::Table auc_table(header);
+  for (const std::string& model : detectors::ComparisonDetectorNames()) {
+    auc_table.AddRow().AddCell(model);
+    for (const std::string& name : datasets::BenchmarkDatasetNames()) {
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.4f | %.3f",
+                    results[model][name].auc, kPaperAuc.at(model).at(name));
+      auc_table.AddCell(cell);
+    }
+  }
+  auc_table.Print();
+
+  std::printf(
+      "\nTable III — AucGap with per-type AUCs (injected datasets only)\n");
+  std::vector<std::string> gap_header = {"Model"};
+  for (const std::string& name : datasets::InjectionDatasetNames()) {
+    gap_header.push_back(name + ":gap");
+    gap_header.push_back(name + ":str");
+    gap_header.push_back(name + ":ctx");
+  }
+  eval::Table gap_table(gap_header);
+  for (const std::string& model : detectors::ComparisonDetectorNames()) {
+    gap_table.AddRow().AddCell(model);
+    for (const std::string& name : datasets::InjectionDatasetNames()) {
+      const CellResult& cell = results[model][name];
+      gap_table.AddCell(eval::AucGap(cell.str_auc, cell.ctx_auc), 3);
+      gap_table.AddCell(cell.str_auc, 3);
+      gap_table.AddCell(cell.ctx_auc, 3);
+    }
+  }
+  gap_table.Print();
+
+  std::printf(
+      "\nPaper reference (shape): VGOD has the best AUC on every dataset\n"
+      "and the lowest overall AucGap; CONAD and Dominant are strongly\n"
+      "contextual-biased (str << ctx); DegNorm is competitive with the\n"
+      "deep baselines purely through leakage.\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Regenerates paper Table V and Fig 6: structural outlier detection with
+// clique sizes q in {3, 5, 10, 15}. Table V reports AUC on the union of
+// all groups; Fig 6 reports each group's AUC separately (the polylines).
+// VBM's robustness as q shrinks — while degree-based signals fade — is the
+// headline result.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+const std::vector<int> kCliqueSizes = {3, 5, 10, 15};
+// CONAD is omitted as in the paper ("we fail to get a reasonable result").
+// GUIDE (paper ref [21], higher-order structure reconstruction) is added
+// as an extension row: clique injection is its home turf.
+const std::vector<std::string> kModels = {"Dominant", "AnomalyDAE", "DONE",
+                                          "CoLA", "GUIDE", "Deg", "VBM"};
+
+struct SweepCase {
+  std::string name;
+  injection::GroupedInjectionResult injected;
+  bool self_loop;
+};
+
+std::vector<double> StructuralScores(const std::string& model,
+                                     const SweepCase& sweep) {
+  // Paper §VI-C2 protocol, reproduced faithfully: baselines are trained
+  // "until their AUC score reaches the peak" (a sweep over epoch budgets
+  // here, since our detectors re-initialize per Fit), and "if their model
+  // outputs multiple scores, we adopt the score with the highest AUC as
+  // its structural score".
+  const bool sweep_epochs = model != "Deg" && model != "VBM";
+  std::vector<double> budgets = sweep_epochs
+                                    ? std::vector<double>{0.12, 0.25, 0.5, 1.0}
+                                    : std::vector<double>{1.0};
+  std::vector<double> best;
+  double best_auc = -1.0;
+  for (double budget : budgets) {
+    detectors::DetectorOptions options;
+    options.seed = bench::EnvSeed();
+    options.self_loop = sweep.self_loop;
+    options.epoch_scale = budget * bench::EnvEpochScale();
+    Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+        detectors::MakeDetector(model, options);
+    VGOD_CHECK(detector.ok());
+    VGOD_CHECK(detector.value()->Fit(sweep.injected.graph).ok());
+    detectors::DetectorOutput out =
+        detector.value()->Score(sweep.injected.graph);
+    for (const std::vector<double>* candidate :
+         {&out.score, &out.structural_score, &out.contextual_score}) {
+      if (candidate->empty()) continue;
+      const double auc = eval::Auc(*candidate, sweep.injected.combined);
+      if (auc > best_auc) {
+        best_auc = auc;
+        best = *candidate;
+      }
+    }
+  }
+  return best;
+}
+
+void Run() {
+  bench::PrintBanner("Table V + Fig 6",
+                     "structural detection under clique sizes q={3,5,10,15}");
+
+  std::vector<SweepCase> cases;
+  for (const std::string& name : datasets::InjectionDatasetNames()) {
+    Result<datasets::Dataset> dataset =
+        datasets::MakeDataset(name, bench::EnvScale(), bench::EnvSeed());
+    VGOD_CHECK(dataset.ok());
+    // Paper: each group holds 2% of |V| structural outliers.
+    const int group_size =
+        std::max(4, dataset.value().graph.num_nodes() / 50);
+    Rng rng(bench::EnvSeed() ^ 0x56);
+    Result<injection::GroupedInjectionResult> injected =
+        injection::InjectCliqueSizeGroups(dataset.value().graph, kCliqueSizes,
+                                          group_size, &rng);
+    VGOD_CHECK(injected.ok()) << injected.status().ToString();
+    cases.push_back(SweepCase{name, std::move(injected).value(),
+                              name != "flickr"});
+  }
+
+  std::vector<std::string> header = {"Model"};
+  for (const auto& sweep : cases) header.push_back(sweep.name);
+  eval::Table union_table(header);
+
+  // Fig 6 series: model -> dataset -> per-q AUC.
+  std::vector<std::string> fig_header = {"Model", "dataset"};
+  for (int q : kCliqueSizes) fig_header.push_back("q=" + std::to_string(q));
+  eval::Table fig_table(fig_header);
+
+  for (const std::string& model : kModels) {
+    union_table.AddRow().AddCell(model);
+    for (const SweepCase& sweep : cases) {
+      const std::vector<double> scores = StructuralScores(model, sweep);
+      union_table.AddCell(
+          eval::Auc(scores, sweep.injected.combined), 4);
+      fig_table.AddRow().AddCell(model).AddCell(sweep.name);
+      for (size_t g = 0; g < kCliqueSizes.size(); ++g) {
+        std::vector<uint8_t> mask(sweep.injected.graph.num_nodes(), 0);
+        for (int node : sweep.injected.groups[g]) mask[node] = 1;
+        fig_table.AddCell(
+            eval::AucSubset(scores, sweep.injected.combined, mask), 3);
+      }
+      std::fprintf(stderr, "  [done] %s on %s\n", model.c_str(),
+                   sweep.name.c_str());
+    }
+  }
+
+  std::printf("\nTable V — AUC on the union of all clique-size groups\n");
+  union_table.Print();
+  std::printf("\nFig 6 — per-group AUC (one polyline per model)\n");
+  fig_table.Print();
+  std::printf(
+      "\nPaper reference (shape): VBM best on all datasets (0.98+ on the\n"
+      "citation sets, largest gain on Flickr); Deg beats the deep\n"
+      "baselines on the low-degree citation datasets; every model's AUC\n"
+      "drops as q shrinks but VBM declines the least.\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Regenerates paper Table VI: structural outlier detection under the
+// paper's new leakage-free injection — victims keep their degree but their
+// neighbors are replaced with uniform samples from other communities.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+// GUIDE (paper ref [21]) added as an extension row.
+const std::vector<std::string> kModels = {"Dominant", "AnomalyDAE", "DONE",
+                                          "CoLA", "CONAD", "GUIDE", "Deg",
+                                          "VBM"};
+
+void Run() {
+  bench::PrintBanner("Table VI",
+                     "structural detection under edge-replacement injection");
+
+  std::vector<std::string> header = {"Model"};
+  for (const std::string& name : datasets::InjectionDatasetNames()) {
+    header.push_back(name);
+  }
+  eval::Table table(header);
+
+  struct Case {
+    std::string name;
+    injection::InjectionResult injected;
+    bool self_loop;
+  };
+  std::vector<Case> cases;
+  for (const std::string& name : datasets::InjectionDatasetNames()) {
+    Result<datasets::Dataset> dataset =
+        datasets::MakeDataset(name, bench::EnvScale(), bench::EnvSeed());
+    VGOD_CHECK(dataset.ok());
+    // Paper: 10% of nodes become structural outliers.
+    Rng rng(bench::EnvSeed() ^ 0x66);
+    Result<injection::InjectionResult> injected =
+        injection::InjectStructuralByEdgeReplacement(
+            dataset.value().graph, dataset.value().graph.num_nodes() / 10,
+            &rng);
+    VGOD_CHECK(injected.ok()) << injected.status().ToString();
+    cases.push_back(
+        Case{name, std::move(injected).value(), name != "flickr"});
+  }
+
+  for (const std::string& model : kModels) {
+    table.AddRow().AddCell(model);
+    for (const Case& unod : cases) {
+      // Same protocol as the clique sweep (paper §VI-C2/§VI-D2): baselines
+      // are trained to their AUC peak over epoch budgets and their
+      // best-AUC score head is taken as the structural score.
+      const bool sweep_epochs = model != "Deg" && model != "VBM";
+      std::vector<double> budgets =
+          sweep_epochs ? std::vector<double>{0.12, 0.25, 0.5, 1.0}
+                       : std::vector<double>{1.0};
+      double best_auc = -1.0;
+      for (double budget : budgets) {
+        detectors::DetectorOptions options;
+        options.seed = bench::EnvSeed();
+        options.self_loop = unod.self_loop;
+        options.epoch_scale = budget * bench::EnvEpochScale();
+        Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+            detectors::MakeDetector(model, options);
+        VGOD_CHECK(detector.ok());
+        VGOD_CHECK(detector.value()->Fit(unod.injected.graph).ok());
+        detectors::DetectorOutput out =
+            detector.value()->Score(unod.injected.graph);
+        for (const std::vector<double>* candidate :
+             {&out.score, &out.structural_score, &out.contextual_score}) {
+          if (candidate->empty()) continue;
+          best_auc = std::max(
+              best_auc, eval::Auc(*candidate, unod.injected.structural));
+        }
+      }
+      table.AddCell(best_auc, 3);
+      std::fprintf(stderr, "  [done] %s on %s\n", model.c_str(),
+                   unod.name.c_str());
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference (shape): VBM clearly best everywhere (0.86-0.96);\n"
+      "degree is uninformative by construction; reconstruction baselines\n"
+      "land in the 0.5-0.85 band. (Deg is added here as a control; the\n"
+      "paper omits it since its AUC is ~0.5 under this injection.)\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

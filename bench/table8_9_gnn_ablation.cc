@@ -1,0 +1,81 @@
+// Regenerates paper Tables VIII and IX: VGOD's AUC and AucGap when the
+// GNN backbone of ARM is swapped between GIN, GCN and GAT.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "detectors/vgod.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+void Run() {
+  bench::PrintBanner("Tables VIII + IX", "ARM GNN backbone ablation");
+
+  std::vector<bench::UnodCase> cases;
+  for (const std::string& name : datasets::BenchmarkDatasetNames()) {
+    cases.push_back(bench::MakeUnodCase(name, bench::EnvSeed()));
+  }
+
+  std::vector<std::string> auc_header = {"Model"};
+  for (const auto& unod : cases) auc_header.push_back(unod.name);
+  eval::Table auc_table(auc_header);
+
+  std::vector<std::string> gap_header = {"Model"};
+  for (const std::string& name : datasets::InjectionDatasetNames()) {
+    gap_header.push_back(name);
+  }
+  eval::Table gap_table(gap_header);
+
+  for (auto kind :
+       {gnn::GnnKind::kGin, gnn::GnnKind::kGcn, gnn::GnnKind::kGat}) {
+    const std::string label =
+        std::string("VGOD (") + gnn::GnnKindName(kind) + ")";
+    auc_table.AddRow().AddCell(label);
+    gap_table.AddRow().AddCell(label);
+    for (const bench::UnodCase& unod : cases) {
+      detectors::VgodConfig config;
+      config.vbm.seed = bench::EnvSeed();
+      config.arm.seed = bench::EnvSeed() + 1;
+      config.vbm.self_loop = unod.self_loop;
+      config.vbm.row_normalize_attributes = unod.row_normalize;
+      config.arm.row_normalize_attributes = unod.row_normalize;
+      config.arm.gnn = kind;
+      config.vbm.epochs = std::max(
+          1, static_cast<int>(config.vbm.epochs * bench::EnvEpochScale()));
+      config.arm.epochs = std::max(
+          1, static_cast<int>(config.arm.epochs * bench::EnvEpochScale()));
+      detectors::Vgod vgod(config);
+      VGOD_CHECK(vgod.Fit(unod.graph).ok());
+      detectors::DetectorOutput out = vgod.Score(unod.graph);
+      auc_table.AddCell(eval::Auc(out.score, unod.combined), 4);
+      if (unod.has_type_labels()) {
+        gap_table.AddCell(
+            eval::AucGap(
+                eval::AucSubset(out.score, unod.combined, unod.structural),
+                eval::AucSubset(out.score, unod.combined, unod.contextual)),
+            4);
+      }
+      std::fprintf(stderr, "  [done] %s on %s\n", label.c_str(),
+                   unod.name.c_str());
+    }
+  }
+
+  std::printf("\nTable VIII — AUC by backbone\n");
+  auc_table.Print();
+  std::printf("\nTable IX — AucGap by backbone (injected datasets)\n");
+  gap_table.Print();
+  std::printf(
+      "\nPaper reference (shape): the three backbones are within a small\n"
+      "band of each other on the injected datasets; GAT wins clearly on\n"
+      "weibo.\n\n");
+}
+
+}  // namespace
+}  // namespace vgod
+
+int main() {
+  vgod::Run();
+  return 0;
+}

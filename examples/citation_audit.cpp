@@ -1,0 +1,88 @@
+// Scenario: auditing an outlier-detection benchmark for data leakage —
+// the paper's §IV analysis as a tool. Given a citation-style network, this
+// example (1) injects outliers with the standard protocol, (2) measures
+// how much of the "detection" signal is explainable by the two leakage
+// probes, and (3) re-evaluates under the leakage-free edge-replacement
+// injection.
+//
+//   ./build/examples/citation_audit
+#include <cstdio>
+
+#include "core/rng.h"
+#include "datasets/registry.h"
+#include "detectors/simple.h"
+#include "detectors/vbm.h"
+#include "eval/metrics.h"
+#include "injection/injection.h"
+
+int main() {
+  using namespace vgod;
+
+  Result<datasets::Dataset> dataset = datasets::MakeDataset("cora", 1.0, 3);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  AttributedGraph graph = std::move(dataset.value().graph);
+  std::printf("citation network: %d nodes, avg degree %.2f\n\n",
+              graph.num_nodes(), graph.AverageDegree());
+
+  // --- Part 1: the standard injection leaks labels into trivial features.
+  Rng rng(11);
+  injection::InjectionResult standard =
+      std::move(injection::InjectStandard(graph, 3, 15, 50, &rng)).value();
+
+  detectors::Deg deg;
+  detectors::L2Norm l2;
+  (void)deg.Fit(standard.graph);
+  (void)l2.Fit(standard.graph);
+  std::printf("standard injection (q=15, k=50, Euclidean):\n");
+  std::printf("  degree probe  -> structural outliers: AUC %.3f\n",
+              eval::AucSubset(deg.Score(standard.graph).score,
+                              standard.combined, standard.structural));
+  std::printf("  L2-norm probe -> contextual outliers: AUC %.3f\n",
+              eval::AucSubset(l2.Score(standard.graph).score,
+                              standard.combined, standard.contextual));
+  std::printf("  => training-free features nearly solve the benchmark;\n"
+              "     any model evaluated on it may just be reading leakage.\n\n");
+
+  // --- Part 2: smaller k mitigates the contextual leakage (paper Fig 3).
+  for (int k : {50, 5, 1}) {
+    Rng k_rng(100 + k);
+    injection::InjectionResult ctx =
+        std::move(injection::InjectContextualOutliers(
+                      graph, 60, k, injection::DistanceKind::kEuclidean,
+                      &k_rng))
+            .value();
+    detectors::L2Norm probe;
+    (void)probe.Fit(ctx.graph);
+    std::printf("  k=%-2d  L2-norm AUC %.3f\n", k,
+                eval::Auc(probe.Score(ctx.graph).score, ctx.contextual));
+  }
+
+  // --- Part 3: the leakage-free injection — degree carries nothing, the
+  // variance-based model still detects.
+  Rng er_rng(13);
+  injection::InjectionResult replaced =
+      std::move(injection::InjectStructuralByEdgeReplacement(
+                    graph, graph.num_nodes() / 10, &er_rng))
+          .value();
+  detectors::Deg deg2;
+  (void)deg2.Fit(replaced.graph);
+  detectors::VbmConfig config;
+  config.self_loop = true;
+  detectors::Vbm vbm(config);
+  const Status fit = vbm.Fit(replaced.graph);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "%s\n", fit.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nedge-replacement injection (degree-preserving):\n");
+  std::printf("  degree probe AUC: %.3f  (leakage gone)\n",
+              eval::Auc(deg2.Score(replaced.graph).score,
+                        replaced.structural));
+  std::printf("  VBM AUC:          %.3f  (neighbor variance still detects)\n",
+              eval::Auc(vbm.Score(replaced.graph).score,
+                        replaced.structural));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scenario: train once, deploy on new graphs — the inductive setting of
+// the paper's Appendix B. A VGOD model is fitted on one snapshot of a
+// network, persisted test graphs are written/read via the datasets::io
+// format, and the fitted model scores fresh snapshots it never saw.
+//
+//   ./build/examples/inductive_deploy
+#include <cstdio>
+
+#include "core/rng.h"
+#include "datasets/io.h"
+#include "datasets/registry.h"
+#include "detectors/vgod.h"
+#include "eval/metrics.h"
+#include "injection/injection.h"
+
+int main() {
+  using namespace vgod;
+
+  Result<datasets::Dataset> dataset =
+      datasets::MakeDataset("citeseer", 1.0, 5);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const AttributedGraph& base = dataset.value().graph;
+
+  // Training snapshot: one injected instance of the network.
+  Rng train_rng(21);
+  injection::InjectionResult train =
+      std::move(injection::InjectStandard(base, 3, 15, 50, &train_rng))
+          .value();
+
+  detectors::VgodConfig config;
+  config.vbm.self_loop = true;
+  detectors::Vgod vgod(config);
+  const Status fit = vgod.Fit(train.graph);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", fit.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained VGOD on snapshot 0 (%d nodes) in %.2fs\n",
+              train.graph.num_nodes(), vgod.train_stats().train_seconds);
+  std::printf("transductive AUC (same graph): %.3f\n\n",
+              eval::Auc(vgod.Score(train.graph).score, train.combined));
+
+  // Deployment: three fresh snapshots, each injected with a new seed. They
+  // round-trip through the on-disk graph format as a deployment would.
+  for (uint64_t snapshot = 1; snapshot <= 3; ++snapshot) {
+    Rng rng(21 + snapshot);
+    injection::InjectionResult fresh =
+        std::move(injection::InjectStandard(base, 3, 15, 50, &rng)).value();
+
+    const std::string path =
+        "/tmp/vgod_snapshot_" + std::to_string(snapshot) + ".graph";
+    Status saved = datasets::SaveGraph(fresh.graph, path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    Result<AttributedGraph> loaded = datasets::LoadGraph(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::remove(path.c_str());
+
+    // The fitted model scores the unseen snapshot directly — no retraining.
+    detectors::DetectorOutput out = vgod.Score(loaded.value());
+    std::printf("snapshot %llu: inductive AUC %.3f (str %.3f, ctx %.3f)\n",
+                static_cast<unsigned long long>(snapshot),
+                eval::Auc(out.score, fresh.combined),
+                eval::AucSubset(out.score, fresh.combined, fresh.structural),
+                eval::AucSubset(out.score, fresh.combined, fresh.contextual));
+  }
+  return 0;
+}

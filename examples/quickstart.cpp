@@ -1,0 +1,81 @@
+// Quickstart: build a small attributed network, inject the two standard
+// outlier types, train VGOD, and rank the most anomalous nodes.
+//
+//   ./build/examples/quickstart
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/rng.h"
+#include "datasets/synthetic.h"
+#include "detectors/vgod.h"
+#include "eval/metrics.h"
+#include "injection/injection.h"
+
+int main() {
+  using namespace vgod;
+
+  // 1. An attributed network with planted community structure: 500 nodes in
+  //    5 communities, sparse bag-of-words-like attributes.
+  datasets::SyntheticGraphSpec spec;
+  spec.num_nodes = 500;
+  spec.num_communities = 5;
+  spec.avg_degree = 4.0;
+  spec.attribute_dim = 64;
+  Rng rng(42);
+  AttributedGraph graph = datasets::GeneratePlantedPartition(spec, &rng);
+  std::printf("graph: %d nodes, %lld directed edges, %d attributes\n",
+              graph.num_nodes(),
+              static_cast<long long>(graph.num_directed_edges()),
+              graph.attribute_dim());
+
+  // 2. Inject outliers with the standard protocol: 2 cliques of 10
+  //    structural outliers plus 20 contextual outliers (candidate set 50).
+  Result<injection::InjectionResult> injected =
+      injection::InjectStandard(graph, /*num_cliques=*/2, /*clique_size=*/10,
+                                /*candidate_set_size=*/50, &rng);
+  if (!injected.ok()) {
+    std::fprintf(stderr, "injection failed: %s\n",
+                 injected.status().ToString().c_str());
+    return 1;
+  }
+  const injection::InjectionResult& data = injected.value();
+
+  // 3. Train VGOD: the variance-based model (VBM) handles structural
+  //    outliers, the attribute reconstruction model (ARM) handles
+  //    contextual ones; scores are combined by mean-std normalization.
+  detectors::VgodConfig config;
+  config.vbm.self_loop = true;  // Low average degree -> enable Eq. 13.
+  detectors::Vgod vgod(config);
+  const Status fit = vgod.Fit(data.graph);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", fit.ToString().c_str());
+    return 1;
+  }
+
+  // 4. Score and evaluate.
+  detectors::DetectorOutput out = vgod.Score(data.graph);
+  std::printf("AUC (all outliers):      %.3f\n",
+              eval::Auc(out.score, data.combined));
+  std::printf("AUC (structural only):   %.3f\n",
+              eval::AucSubset(out.score, data.combined, data.structural));
+  std::printf("AUC (contextual only):   %.3f\n",
+              eval::AucSubset(out.score, data.combined, data.contextual));
+
+  // 5. Show the top-10 ranked nodes with their ground truth.
+  std::vector<int> order(out.score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return out.score[a] > out.score[b];
+  });
+  std::printf("\ntop-10 most anomalous nodes:\n");
+  for (int rank = 0; rank < 10; ++rank) {
+    const int node = order[rank];
+    const char* truth = data.structural[node]   ? "structural outlier"
+                        : data.contextual[node] ? "contextual outlier"
+                                                : "normal";
+    std::printf("  #%2d node %4d  score %+6.3f  (%s)\n", rank + 1, node,
+                out.score[node], truth);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Scenario: fraud-ring detection in a social network — the Weibo-style
+// setting that motivates the paper. Fraud accounts form cohesive clusters
+// (they follow each other), have ordinary degrees, but wildly diverse
+// profiles. Degree-based heuristics fail here; neighbor variance does not.
+//
+//   ./build/examples/social_fraud
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/rng.h"
+#include "datasets/synthetic.h"
+#include "detectors/simple.h"
+#include "detectors/vgod.h"
+#include "eval/metrics.h"
+#include "graph/graph_ops.h"
+
+int main() {
+  using namespace vgod;
+
+  // A 1500-user social network; ~10% of the accounts are fraud rings.
+  datasets::WeiboSimSpec spec;
+  spec.base.num_nodes = 1500;
+  spec.base.num_communities = 10;
+  spec.base.avg_degree = 12.0;
+  spec.base.attribute_dim = 64;
+  spec.base.attribute_model = datasets::AttributeModel::kDenseGaussian;
+  spec.base.intra_community_fraction = 0.8;
+  Rng rng(2024);
+  AttributedGraph network = datasets::GenerateWeiboSim(spec, &rng);
+
+  int fraud_count = 0;
+  for (uint8_t label : network.outlier_labels()) fraud_count += label;
+  std::printf("network: %d users, %.1f avg connections, %d fraud accounts\n",
+              network.num_nodes(), network.AverageDegree() , fraud_count);
+  std::printf("edge homophily: %.2f (fraud rings are cohesive too)\n\n",
+              graph_ops::EdgeHomophily(network));
+
+  // Degree is useless by construction — show it.
+  detectors::Deg degree_probe;
+  (void)degree_probe.Fit(network);
+  std::printf("degree heuristic AUC:  %.3f  (fraud accounts look ordinary)\n",
+              eval::Auc(degree_probe.Score(network).score,
+                        network.outlier_labels()));
+
+  // VGOD: variance-based + reconstruction detection, row-normalized dense
+  // profiles as in the paper's Weibo setup.
+  detectors::VgodConfig config;
+  config.vbm.self_loop = true;
+  config.vbm.row_normalize_attributes = true;
+  config.arm.row_normalize_attributes = true;
+  detectors::Vgod vgod(config);
+  const Status fit = vgod.Fit(network);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", fit.ToString().c_str());
+    return 1;
+  }
+  detectors::DetectorOutput out = vgod.Score(network);
+  std::printf("VGOD AUC:              %.3f\n",
+              eval::Auc(out.score, network.outlier_labels()));
+  std::printf("  structural component: %.3f (neighbor variance finds rings)\n",
+              eval::Auc(out.structural_score, network.outlier_labels()));
+  std::printf("  contextual component: %.3f\n\n",
+              eval::Auc(out.contextual_score, network.outlier_labels()));
+
+  // Precision of an investigation queue: if analysts review the top-k
+  // flagged accounts, how many are actual fraud?
+  std::vector<int> order(out.score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return out.score[a] > out.score[b]; });
+  for (int k : {25, 50, 100, fraud_count}) {
+    int hits = 0;
+    for (int i = 0; i < k; ++i) hits += network.outlier_labels()[order[i]];
+    std::printf("precision@%-4d = %.2f (%d/%d real fraud)\n", k,
+                static_cast<double>(hits) / k, hits, k);
+  }
+  return 0;
+}

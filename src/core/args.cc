@@ -1,0 +1,61 @@
+#include "core/args.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace vgod {
+
+Result<ArgParser> ArgParser::Parse(int argc, const char* const* argv) {
+  ArgParser parser;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      parser.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    const std::string key = eq == std::string::npos ? body : body.substr(0, eq);
+    if (key.empty()) {
+      return Status::InvalidArgument("malformed option: " + arg);
+    }
+    parser.options_[key] =
+        eq == std::string::npos ? "" : body.substr(eq + 1);
+  }
+  return parser;
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double ArgParser::GetDouble(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::atof(it->second.c_str());
+}
+
+int64_t ArgParser::GetInt(const std::string& key, int64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool ArgParser::GetBool(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return false;
+  return it->second.empty() || it->second == "true" || it->second == "1";
+}
+
+Status ArgParser::Validate(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : options_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      return Status::InvalidArgument("unknown option: --" + key);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace vgod

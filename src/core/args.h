@@ -1,0 +1,48 @@
+#ifndef VGOD_CORE_ARGS_H_
+#define VGOD_CORE_ARGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vgod {
+
+/// Minimal command-line parser for the repository's tools:
+/// positional arguments plus "--key=value" and boolean "--flag" options.
+/// Unknown options are rejected at Validate() time so typos fail loudly.
+class ArgParser {
+ public:
+  /// Parses argv (argv[0] is skipped). Malformed options ("--=x") fail.
+  static Result<ArgParser> Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool HasOption(const std::string& key) const {
+    return options_.count(key) > 0;
+  }
+
+  /// String option or `fallback` when absent.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// Numeric options; malformed numbers fall back (tools validate ranges
+  /// themselves where it matters).
+  double GetDouble(const std::string& key, double fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+
+  /// True if "--key" or "--key=true" was passed.
+  bool GetBool(const std::string& key) const;
+
+  /// Errors unless every provided option is in `known`.
+  Status Validate(const std::vector<std::string>& known) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;  // flag -> "" for bare flags.
+};
+
+}  // namespace vgod
+
+#endif  // VGOD_CORE_ARGS_H_

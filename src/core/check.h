@@ -1,0 +1,53 @@
+#ifndef VGOD_CORE_CHECK_H_
+#define VGOD_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vgod::internal {
+
+/// Collects a failure message via `operator<<` and aborts on destruction.
+/// Used only by the VGOD_CHECK* macros below; never instantiate directly.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << file << ":" << line << " check failed: " << condition << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace vgod::internal
+
+/// Aborts with a message when `condition` is false. For programmer errors
+/// (contract violations) only — recoverable failures use Status/Result.
+/// Enabled in all build types: detection code paths are not hot enough for
+/// these branches to matter, and silent corruption is worse than an abort.
+#define VGOD_CHECK(condition)                                            \
+  if (condition) {                                                       \
+  } else                                                                 \
+    ::vgod::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+#define VGOD_CHECK_EQ(a, b) VGOD_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VGOD_CHECK_NE(a, b) VGOD_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VGOD_CHECK_LT(a, b) VGOD_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VGOD_CHECK_LE(a, b) VGOD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VGOD_CHECK_GT(a, b) VGOD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VGOD_CHECK_GE(a, b) VGOD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // VGOD_CORE_CHECK_H_

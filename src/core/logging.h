@@ -1,0 +1,43 @@
+#ifndef VGOD_CORE_LOGGING_H_
+#define VGOD_CORE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vgod {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that reaches stderr. Default is kInfo; bench and
+/// test binaries raise it to kWarning to keep output tables clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement; formats "<LEVEL> <message>" to stderr on destruction
+/// if `level` passes the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define VGOD_LOG(level)                                            \
+  ::vgod::internal::LogMessage(::vgod::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace vgod
+
+#endif  // VGOD_CORE_LOGGING_H_

@@ -1,0 +1,104 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace vgod {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t n) {
+  VGOD_CHECK_GT(n, 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t bound = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t value = Next();
+  while (value >= limit) value = Next();
+  return static_cast<int64_t>(value % bound);
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  VGOD_CHECK_GE(k, 0);
+  VGOD_CHECK_LE(k, n);
+  if (k == 0) return {};
+  // Dense path: partial Fisher-Yates over [0, n).
+  if (static_cast<int64_t>(k) * 3 >= n) {
+    std::vector<int> pool(n);
+    std::iota(pool.begin(), pool.end(), 0);
+    for (int i = 0; i < k; ++i) {
+      const int64_t j = i + UniformInt(n - i);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+  // Sparse path: rejection into a hash set, then shuffle for random order.
+  std::unordered_set<int> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  std::vector<int> out;
+  out.reserve(k);
+  while (static_cast<int>(out.size()) < k) {
+    const int candidate = static_cast<int>(UniformInt(n));
+    if (chosen.insert(candidate).second) out.push_back(candidate);
+  }
+  Shuffle(&out);
+  return out;
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+}  // namespace vgod

@@ -1,0 +1,118 @@
+#ifndef VGOD_CORE_STATUS_H_
+#define VGOD_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vgod {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no message
+/// allocation). Fallible public APIs in this library return `Status` or
+/// `Result<T>` instead of throwing exceptions.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Accessing `value()` on an
+/// error result aborts, so callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a non-OK status keeps call sites
+  /// (`return graph;` / `return Status::InvalidArgument(...)`) readable.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+/// Prints the status and aborts. Out-of-line so Result<T> stays light.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!status_.ok()) internal::DieOnBadResultAccess(status_);
+}
+
+/// Propagates an error status from an expression returning `Status`.
+#define VGOD_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::vgod::Status vgod_status_ = (expr);            \
+    if (!vgod_status_.ok()) return vgod_status_;     \
+  } while (false)
+
+}  // namespace vgod
+
+#endif  // VGOD_CORE_STATUS_H_

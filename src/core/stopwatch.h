@@ -1,0 +1,29 @@
+#ifndef VGOD_CORE_STOPWATCH_H_
+#define VGOD_CORE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vgod {
+
+/// Wall-clock stopwatch used by the efficiency experiments (paper Fig 7 /
+/// Table VII) and by detectors to report per-epoch training time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vgod
+
+#endif  // VGOD_CORE_STOPWATCH_H_

@@ -1,0 +1,78 @@
+#include "datasets/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace vgod::datasets {
+
+Status SaveGraph(const AttributedGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+
+  const int n = graph.num_nodes();
+  const int d = graph.attribute_dim();
+  const bool has_comm = graph.has_communities();
+  const bool has_labels = graph.has_outlier_labels();
+  out << "vgod-graph " << n << " " << d << " " << (has_comm ? 1 : 0) << " "
+      << (has_labels ? 1 : 0) << "\n";
+  for (int i = 0; i < n; ++i) {
+    if (has_comm) out << graph.communities()[i] << "\t";
+    if (has_labels) out << static_cast<int>(graph.outlier_labels()[i]) << "\t";
+    for (int j = 0; j < d; ++j) {
+      if (j > 0) out << "\t";
+      out << graph.attributes().At(i, j);
+    }
+    out << "\n";
+  }
+  out << "edges\n";
+  for (const auto& [u, v] : graph.UndirectedEdgeList()) {
+    out << u << "\t" << v << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<AttributedGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  std::string magic;
+  int n = 0, d = 0, has_comm = 0, has_labels = 0;
+  in >> magic >> n >> d >> has_comm >> has_labels;
+  if (magic != "vgod-graph" || n < 0 || d < 0) {
+    return Status::InvalidArgument("not a vgod-graph file: " + path);
+  }
+
+  Tensor attrs(n, d);
+  std::vector<int> communities;
+  std::vector<uint8_t> labels;
+  if (has_comm) communities.resize(n);
+  if (has_labels) labels.resize(n);
+  for (int i = 0; i < n; ++i) {
+    if (has_comm) in >> communities[i];
+    if (has_labels) {
+      int label = 0;
+      in >> label;
+      labels[i] = static_cast<uint8_t>(label);
+    }
+    for (int j = 0; j < d; ++j) {
+      float value = 0.0f;
+      in >> value;
+      attrs.SetAt(i, j, value);
+    }
+  }
+  std::string sentinel;
+  in >> sentinel;
+  if (sentinel != "edges") {
+    return Status::InvalidArgument("missing edges sentinel in " + path);
+  }
+  GraphBuilder builder(n);
+  int u = 0, v = 0;
+  while (in >> u >> v) builder.AddEdge(u, v);
+  builder.SetAttributes(std::move(attrs));
+  if (has_comm) builder.SetCommunities(std::move(communities));
+  if (has_labels) builder.SetOutlierLabels(std::move(labels));
+  return builder.Build();
+}
+
+}  // namespace vgod::datasets

@@ -1,0 +1,23 @@
+#ifndef VGOD_DATASETS_IO_H_
+#define VGOD_DATASETS_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "graph/graph.h"
+
+namespace vgod::datasets {
+
+/// Saves `graph` as a single self-describing TSV file:
+///   header line:  vgod-graph <num_nodes> <attr_dim> <has_comm> <has_labels>
+///   one line per node: [community] [outlier_label] attr_0 ... attr_{d-1}
+///   "edges" sentinel line, then one "u v" line per undirected edge.
+/// The format favors being diffable/inspectable over compactness.
+Status SaveGraph(const AttributedGraph& graph, const std::string& path);
+
+/// Loads a graph previously written by SaveGraph.
+Result<AttributedGraph> LoadGraph(const std::string& path);
+
+}  // namespace vgod::datasets
+
+#endif  // VGOD_DATASETS_IO_H_

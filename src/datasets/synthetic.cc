@@ -1,0 +1,297 @@
+#include "datasets/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/check.h"
+
+namespace vgod::datasets {
+namespace {
+
+/// Weighted sampler over a fixed set of node ids (cumulative sums + binary
+/// search). Small graphs; O(log n) per draw is plenty.
+class WeightedPicker {
+ public:
+  WeightedPicker(std::vector<int> ids, const std::vector<double>& weights)
+      : ids_(std::move(ids)) {
+    cumulative_.reserve(ids_.size());
+    double acc = 0.0;
+    for (int id : ids_) {
+      acc += weights[id];
+      cumulative_.push_back(acc);
+    }
+  }
+
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+
+  int Pick(Rng* rng) const {
+    VGOD_CHECK(!ids_.empty());
+    const double target = rng->Uniform() * cumulative_.back();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+    return ids_[std::min<size_t>(it - cumulative_.begin(), ids_.size() - 1)];
+  }
+
+ private:
+  std::vector<int> ids_;
+  std::vector<double> cumulative_;
+};
+
+std::vector<double> NodePropensities(int n, double degree_power, Rng* rng) {
+  std::vector<double> weights(n);
+  for (int i = 0; i < n; ++i) {
+    const double u = std::max(rng->Uniform(), 1e-6);
+    weights[i] = degree_power > 0.0 ? std::pow(u, -degree_power) : 1.0;
+  }
+  return weights;
+}
+
+/// Wires `num_edges` undirected edges given community membership; a
+/// `intra_fraction` share lands within a community, the rest across two
+/// distinct communities, endpoints weighted by `propensity`.
+std::vector<std::pair<int, int>> WireCommunityEdges(
+    const std::vector<int>& communities, int num_communities,
+    const std::vector<double>& propensity, int64_t num_edges,
+    double intra_fraction, Rng* rng) {
+  std::vector<std::vector<int>> members(num_communities);
+  for (size_t i = 0; i < communities.size(); ++i) {
+    members[communities[i]].push_back(static_cast<int>(i));
+  }
+  std::vector<WeightedPicker> pickers;
+  pickers.reserve(num_communities);
+  std::vector<int> usable_communities;
+  std::vector<double> usable_mass;  // Cumulative member mass.
+  double mass_acc = 0.0;
+  for (int c = 0; c < num_communities; ++c) {
+    pickers.emplace_back(members[c], propensity);
+    if (members[c].size() >= 2) {
+      usable_communities.push_back(c);
+      // Weight community choice by total member propensity so per-node edge
+      // rates do not depend on community size (small planted clusters must
+      // not end up denser per node than large ones).
+      double mass = 0.0;
+      for (int id : members[c]) mass += propensity[id];
+      mass_acc += mass;
+      usable_mass.push_back(mass_acc);
+    }
+  }
+  std::vector<int> all_ids(communities.size());
+  std::iota(all_ids.begin(), all_ids.end(), 0);
+  WeightedPicker global(all_ids, propensity);
+
+  std::set<std::pair<int, int>> seen;
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(num_edges);
+  int64_t attempts = 0;
+  const int64_t max_attempts = num_edges * 50;
+  while (static_cast<int64_t>(edges.size()) < num_edges &&
+         attempts++ < max_attempts) {
+    int u, v;
+    if (!usable_communities.empty() && rng->Uniform() < intra_fraction) {
+      const double target = rng->Uniform() * usable_mass.back();
+      const auto it =
+          std::lower_bound(usable_mass.begin(), usable_mass.end(), target);
+      const int c = usable_communities[std::min<size_t>(
+          it - usable_mass.begin(), usable_communities.size() - 1)];
+      u = pickers[c].Pick(rng);
+      v = pickers[c].Pick(rng);
+    } else {
+      u = global.Pick(rng);
+      v = global.Pick(rng);
+      if (communities[u] == communities[v]) continue;
+    }
+    if (u == v) continue;
+    const auto key = std::minmax(u, v);
+    if (!seen.insert({key.first, key.second}).second) continue;
+    edges.emplace_back(u, v);
+  }
+  return edges;
+}
+
+Tensor SparseTopicAttributes(const std::vector<int>& communities,
+                             const SyntheticGraphSpec& spec, Rng* rng) {
+  const int n = static_cast<int>(communities.size());
+  const int d = spec.attribute_dim;
+  // Each community owns a random subset of dimensions as its topic.
+  std::vector<std::vector<int>> topics(spec.num_communities);
+  for (int c = 0; c < spec.num_communities; ++c) {
+    topics[c] = rng->SampleWithoutReplacement(
+        d, std::min(spec.topic_dims_per_community, d));
+  }
+  Tensor attrs = Tensor::Zeros(n, d);
+  for (int i = 0; i < n; ++i) {
+    float* row = attrs.data() + static_cast<size_t>(i) * d;
+    for (int j = 0; j < d; ++j) {
+      if (rng->Bernoulli(spec.background_active_prob)) row[j] = 1.0f;
+    }
+    for (int j : topics[communities[i]]) {
+      if (rng->Bernoulli(spec.topic_active_prob)) row[j] = 1.0f;
+    }
+  }
+  return attrs;
+}
+
+Tensor DenseGaussianAttributes(const std::vector<int>& communities,
+                               int num_communities, int attribute_dim,
+                               double mean_spread, double noise, Rng* rng) {
+  const int n = static_cast<int>(communities.size());
+  Tensor means(num_communities, attribute_dim);
+  for (int64_t i = 0; i < means.size(); ++i) {
+    means.data()[i] = static_cast<float>(rng->Normal(0.0, mean_spread));
+  }
+  Tensor attrs(n, attribute_dim);
+  for (int i = 0; i < n; ++i) {
+    const float* mean_row =
+        means.data() + static_cast<size_t>(communities[i]) * attribute_dim;
+    float* row = attrs.data() + static_cast<size_t>(i) * attribute_dim;
+    for (int j = 0; j < attribute_dim; ++j) {
+      row[j] = mean_row[j] + static_cast<float>(rng->Normal(0.0, noise));
+    }
+  }
+  return attrs;
+}
+
+}  // namespace
+
+AttributedGraph GeneratePlantedPartition(const SyntheticGraphSpec& spec,
+                                         Rng* rng) {
+  VGOD_CHECK_GT(spec.num_nodes, 0);
+  VGOD_CHECK_GT(spec.num_communities, 0);
+  const int n = spec.num_nodes;
+
+  std::vector<int> communities(n);
+  for (int i = 0; i < n; ++i) {
+    communities[i] = static_cast<int>(rng->UniformInt(spec.num_communities));
+  }
+  const std::vector<double> propensity =
+      NodePropensities(n, spec.degree_power, rng);
+  const int64_t num_edges =
+      static_cast<int64_t>(spec.avg_degree * n / 2.0 + 0.5);
+  std::vector<std::pair<int, int>> edges =
+      WireCommunityEdges(communities, spec.num_communities, propensity,
+                         num_edges, spec.intra_community_fraction, rng);
+
+  Tensor attrs;
+  if (spec.attribute_model == AttributeModel::kSparseTopics) {
+    attrs = SparseTopicAttributes(communities, spec, rng);
+  } else {
+    attrs = DenseGaussianAttributes(communities, spec.num_communities,
+                                    spec.attribute_dim,
+                                    spec.gaussian_mean_spread,
+                                    spec.gaussian_noise, rng);
+  }
+
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  builder.SetAttributes(std::move(attrs));
+  builder.SetCommunities(std::move(communities));
+  Result<AttributedGraph> result = builder.Build();
+  VGOD_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+AttributedGraph GenerateWeiboSim(const WeiboSimSpec& spec, Rng* rng) {
+  const SyntheticGraphSpec& base = spec.base;
+  const int n = base.num_nodes;
+  const int num_outliers =
+      std::max(1, static_cast<int>(n * spec.outlier_fraction + 0.5));
+
+  // Pick outliers and group them into cohesive clusters; each cluster acts
+  // as its own "community" in the wiring step, so outliers end up densely
+  // connected to each other without an elevated degree.
+  std::vector<int> outlier_ids = rng->SampleWithoutReplacement(n, num_outliers);
+  std::vector<uint8_t> is_outlier(n, 0);
+  for (int id : outlier_ids) is_outlier[id] = 1;
+
+  std::vector<int> communities(n, -1);
+  for (int i = 0; i < n; ++i) {
+    if (!is_outlier[i]) {
+      communities[i] = static_cast<int>(rng->UniformInt(base.num_communities));
+    }
+  }
+  int next_label = base.num_communities;
+  size_t cursor = 0;
+  while (cursor < outlier_ids.size()) {
+    const int span = spec.min_cluster_size +
+                     static_cast<int>(rng->UniformInt(
+                         spec.max_cluster_size - spec.min_cluster_size + 1));
+    for (int s = 0; s < span && cursor < outlier_ids.size(); ++s) {
+      communities[outlier_ids[cursor++]] = next_label;
+    }
+    ++next_label;
+  }
+
+  const std::vector<double> propensity =
+      NodePropensities(n, base.degree_power, rng);
+  const int64_t num_edges = static_cast<int64_t>(base.avg_degree * n / 2.0);
+  std::vector<std::pair<int, int>> edges = WireCommunityEdges(
+      communities, next_label, propensity, num_edges,
+      base.intra_community_fraction, rng);
+
+  // Inliers: shared community Gaussians (low diversity). Outliers: each
+  // node draws its own mean with a large spread (high diversity).
+  Tensor attrs(n, base.attribute_dim);
+  Tensor community_means(base.num_communities, base.attribute_dim);
+  for (int64_t i = 0; i < community_means.size(); ++i) {
+    community_means.data()[i] =
+        static_cast<float>(rng->Normal(0.0, base.gaussian_mean_spread));
+  }
+  for (int i = 0; i < n; ++i) {
+    float* row = attrs.data() + static_cast<size_t>(i) * base.attribute_dim;
+    if (is_outlier[i]) {
+      for (int j = 0; j < base.attribute_dim; ++j) {
+        row[j] = static_cast<float>(rng->Normal(0.0, spec.outlier_mean_spread) +
+                                    rng->Normal(0.0, base.gaussian_noise));
+      }
+    } else {
+      const float* mean_row =
+          community_means.data() +
+          static_cast<size_t>(communities[i]) * base.attribute_dim;
+      for (int j = 0; j < base.attribute_dim; ++j) {
+        row[j] = mean_row[j] +
+                 static_cast<float>(rng->Normal(0.0, base.gaussian_noise));
+      }
+    }
+  }
+
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  builder.SetAttributes(std::move(attrs));
+  builder.SetCommunities(std::move(communities));
+  builder.SetOutlierLabels(std::move(is_outlier));
+  Result<AttributedGraph> result = builder.Build();
+  VGOD_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+double AttributeVariance(const Tensor& attributes,
+                         const std::vector<uint8_t>& mask,
+                         uint8_t mask_value) {
+  VGOD_CHECK_EQ(static_cast<int>(mask.size()), attributes.rows());
+  const int d = attributes.cols();
+  int count = 0;
+  std::vector<double> mean(d, 0.0);
+  for (int i = 0; i < attributes.rows(); ++i) {
+    if (mask[i] != mask_value) continue;
+    ++count;
+    const float* row = attributes.data() + static_cast<size_t>(i) * d;
+    for (int j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  VGOD_CHECK_GT(count, 0);
+  for (double& m : mean) m /= count;
+  double total = 0.0;
+  for (int i = 0; i < attributes.rows(); ++i) {
+    if (mask[i] != mask_value) continue;
+    const float* row = attributes.data() + static_cast<size_t>(i) * d;
+    for (int j = 0; j < d; ++j) {
+      const double diff = row[j] - mean[j];
+      total += diff * diff;
+    }
+  }
+  return total / (static_cast<double>(count) * d);
+}
+
+}  // namespace vgod::datasets

@@ -1,0 +1,85 @@
+#ifndef VGOD_DATASETS_SYNTHETIC_H_
+#define VGOD_DATASETS_SYNTHETIC_H_
+
+#include "core/rng.h"
+#include "graph/graph.h"
+
+namespace vgod::datasets {
+
+/// How node attributes are generated.
+enum class AttributeModel {
+  /// Sparse binary bag-of-words-like vectors: each community owns a block
+  /// of "topic" dimensions activated with high probability; all other
+  /// dimensions fire at a low background rate. Stands in for the citation
+  /// networks (Cora/Citeseer/PubMed) and Flickr.
+  kSparseTopics,
+  /// Dense Gaussian vectors around a per-community mean. Stands in for
+  /// Weibo's dense 64-dim features.
+  kDenseGaussian,
+};
+
+/// Parameters of the planted-partition attributed-graph generator.
+/// Communities are planted both in the topology (a fraction of edges stays
+/// within a community) and in the attributes (per-community topic blocks or
+/// Gaussian means), which is exactly the structure the paper's injection
+/// protocols and the VBM detector rely on.
+struct SyntheticGraphSpec {
+  int num_nodes = 1000;
+  int num_communities = 5;
+  /// Expected average node degree (undirected).
+  double avg_degree = 4.0;
+  /// Probability that a sampled edge is intra-community; controls edge
+  /// homophily.
+  double intra_community_fraction = 0.85;
+  /// Degree heterogeneity: node propensity w = u^{-degree_power}, u~U(0,1).
+  /// 0 gives a near-regular graph; 0.5 a heavy-ish tail (social networks).
+  double degree_power = 0.25;
+
+  int attribute_dim = 128;
+  AttributeModel attribute_model = AttributeModel::kSparseTopics;
+  // kSparseTopics parameters.
+  int topic_dims_per_community = 24;
+  double topic_active_prob = 0.35;
+  double background_active_prob = 0.01;
+  // kDenseGaussian parameters.
+  double gaussian_mean_spread = 2.0;
+  double gaussian_noise = 0.5;
+};
+
+/// Generates an attributed network from `spec`. Community labels are set on
+/// the result. The graph is undirected, simple (no self loops, no
+/// multi-edges) and unlabeled (no outliers).
+AttributedGraph GeneratePlantedPartition(const SyntheticGraphSpec& spec,
+                                         Rng* rng);
+
+/// Parameters for the Weibo-like generator (labeled outliers planted).
+struct WeiboSimSpec {
+  /// Inlier community structure.
+  SyntheticGraphSpec base;
+  /// Fraction of nodes that are labeled outliers (paper: 10.3%).
+  double outlier_fraction = 0.103;
+  /// Outlier cluster size range; outliers form dense cohesive clusters
+  /// (paper Fig 9a) whose size keeps their degree ordinary (Fig 9b).
+  int min_cluster_size = 8;
+  int max_cluster_size = 20;
+  /// Spread of per-node outlier attribute means; large values reproduce the
+  /// paper's observation that outlier attributes are far more diverse than
+  /// inliers' (variance 425 vs 11.95).
+  double outlier_mean_spread = 8.0;
+};
+
+/// Generates a Weibo-like network: cohesive inlier communities plus planted
+/// outlier clusters that are (i) structurally cohesive, (ii) not degree-
+/// elevated, (iii) attribute-diverse. Outlier labels and community labels
+/// (outlier clusters get their own labels) are set on the result.
+AttributedGraph GenerateWeiboSim(const WeiboSimSpec& spec, Rng* rng);
+
+/// Mean of the per-dimension variance of the attribute rows selected by
+/// `mask_value` in `mask` — the statistic the paper reports as "variance of
+/// attribute vectors" for Weibo outliers (425.0) vs inliers (11.95).
+double AttributeVariance(const Tensor& attributes,
+                         const std::vector<uint8_t>& mask, uint8_t mask_value);
+
+}  // namespace vgod::datasets
+
+#endif  // VGOD_DATASETS_SYNTHETIC_H_

@@ -1,0 +1,57 @@
+#ifndef VGOD_DETECTORS_ANOMALYDAE_H_
+#define VGOD_DETECTORS_ANOMALYDAE_H_
+
+#include <memory>
+#include <optional>
+
+#include "detectors/detector.h"
+#include "gnn/layers.h"
+#include "tensor/nn.h"
+
+namespace vgod::detectors {
+
+/// Configuration of the AnomalyDAE baseline (Fan et al., ICASSP 2020).
+struct AnomalyDaeConfig {
+  int hidden_dim = 64;
+  int epochs = 40;
+  float lr = 0.005f;
+  /// Weight of the attribute term (eta in the original paper); the
+  /// structure term gets 1 - eta.
+  float eta = 0.5f;
+  uint64_t seed = 4;
+};
+
+/// AnomalyDAE: a dual autoencoder. The structure encoder (linear + GAT
+/// attention layer) produces node embeddings Z_v used to reconstruct the
+/// adjacency via sigmoid(Z_v Z_v^T); the attribute encoder is an MLP over
+/// X^T producing per-attribute embeddings Z_a, and the cross-modality
+/// decoder reconstructs X as Z_v Z_a^T. Because the attribute encoder's
+/// input width is |V|, a fitted model is tied to its training graph —
+/// paper Table II marks it non-inductive.
+class AnomalyDae : public OutlierDetector {
+ public:
+  explicit AnomalyDae(AnomalyDaeConfig config = {});
+
+  std::string name() const override { return "AnomalyDAE"; }
+  Status Fit(const AttributedGraph& graph) override;
+  DetectorOutput Score(const AttributedGraph& graph) const override;
+  bool supports_inductive() const override { return false; }
+
+ private:
+  struct Forward {
+    Variable attribute_reconstruction;  // n x d
+    Variable structure_reconstruction;  // n x n
+  };
+  Forward RunForward(std::shared_ptr<const AttributedGraph> graph,
+                     const Tensor& attributes) const;
+
+  AnomalyDaeConfig config_;
+  std::optional<nn::Linear> structure_in_;
+  std::unique_ptr<gnn::GnnLayer> structure_gat_;
+  std::optional<nn::Mlp> attribute_encoder_;
+  int fitted_num_nodes_ = -1;
+};
+
+}  // namespace vgod::detectors
+
+#endif  // VGOD_DETECTORS_ANOMALYDAE_H_

@@ -1,0 +1,133 @@
+#include "detectors/arm.h"
+
+#include "core/stopwatch.h"
+#include "detectors/serialize.h"
+#include "graph/graph_ops.h"
+#include "tensor/optimizer.h"
+
+namespace vgod::detectors {
+namespace {
+
+Tensor PrepareAttributes(const AttributedGraph& graph, bool row_normalize) {
+  VGOD_CHECK(graph.has_attributes()) << "ARM requires node attributes";
+  return row_normalize
+             ? graph_ops::RowNormalizeAttributes(graph.attributes())
+             : graph.attributes();
+}
+
+}  // namespace
+
+Arm::Arm(ArmConfig config) : config_(std::move(config)) {}
+
+Variable Arm::Reconstruct(std::shared_ptr<const AttributedGraph> graph,
+                          const Tensor& attributes) const {
+  VGOD_CHECK(in_transform_.has_value()) << "Fit() before Score()";
+  Variable x = Variable::Constant(attributes);
+  // Eq. 14: Z^(0) = row-normalized linear transform.
+  Variable z = ag::RowL2Normalize(in_transform_->Forward(x));
+  // Eq. 15: L GNN layers absorbing neighbor messages.
+  for (const auto& layer : layers_) {
+    z = ag::Relu(layer->Forward(graph, z));
+  }
+  // Eq. 16: retransform to attribute space.
+  return out_transform_->Forward(z);
+}
+
+std::vector<Variable> Arm::Parameters() const {
+  std::vector<Variable> params = in_transform_->Parameters();
+  for (const auto& layer : layers_) {
+    for (Variable& p : layer->Parameters()) params.push_back(std::move(p));
+  }
+  for (Variable& p : out_transform_->Parameters()) {
+    params.push_back(std::move(p));
+  }
+  return params;
+}
+
+void Arm::BuildModules(int input_dim, Rng* rng) {
+  in_transform_.emplace(input_dim, config_.hidden_dim, rng);
+  layers_.clear();
+  for (int l = 0; l < config_.num_layers; ++l) {
+    layers_.push_back(
+        gnn::MakeConv(config_.gnn, config_.hidden_dim, config_.hidden_dim,
+                      rng));
+  }
+  out_transform_.emplace(config_.hidden_dim, input_dim, rng);
+}
+
+Status Arm::Fit(const AttributedGraph& graph) {
+  if (!graph.has_attributes()) {
+    return Status::FailedPrecondition("ARM requires node attributes");
+  }
+  Stopwatch watch;
+  Rng rng(config_.seed);
+  const Tensor attributes =
+      PrepareAttributes(graph, config_.row_normalize_attributes);
+  BuildModules(attributes.cols(), &rng);
+
+  // GCN/GAT aggregate over the given neighbor lists; self loops keep each
+  // node's own signal in its reconstruction.
+  auto message_graph =
+      std::make_shared<const AttributedGraph>(graph.WithSelfLoops());
+  Variable target = Variable::Constant(attributes);
+
+  Adam optimizer(Parameters(), config_.lr);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Variable reconstructed = Reconstruct(message_graph, attributes);
+    // Eq. 17-18: minimize the mean per-node squared error.
+    Variable loss =
+        ag::MeanAll(ag::RowSquaredDistance(reconstructed, target));
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+  }
+  train_stats_.epochs = config_.epochs;
+  train_stats_.train_seconds = watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+DetectorOutput Arm::Score(const AttributedGraph& graph) const {
+  NoGradGuard no_grad;
+  const Tensor attributes =
+      PrepareAttributes(graph, config_.row_normalize_attributes);
+  auto message_graph =
+      std::make_shared<const AttributedGraph>(graph.WithSelfLoops());
+  Variable reconstructed = Reconstruct(message_graph, attributes);
+  Variable errors = ag::RowSquaredDistance(reconstructed,
+                                           Variable::Constant(attributes));
+  DetectorOutput out;
+  out.score.resize(graph.num_nodes());
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    out.score[i] = errors.value().At(i, 0);
+  }
+  out.contextual_score = out.score;
+  return out;
+}
+
+Status Arm::Save(const std::string& path) const {
+  if (!in_transform_.has_value()) {
+    return Status::FailedPrecondition("Fit() before Save()");
+  }
+  return SaveParameterList(Parameters(), path);
+}
+
+Status Arm::Load(const std::string& path) {
+  Result<std::vector<Tensor>> tensors = LoadParameterList(path);
+  if (!tensors.ok()) return tensors.status();
+  if (tensors.value().empty()) {
+    return Status::InvalidArgument("empty parameter file: " + path);
+  }
+  // The first tensor is the input transform's d x hidden weight.
+  const Tensor& weight = tensors.value()[0];
+  if (weight.cols() != config_.hidden_dim) {
+    return Status::InvalidArgument(
+        "stored hidden dim " + std::to_string(weight.cols()) +
+        " != configured " + std::to_string(config_.hidden_dim));
+  }
+  Rng rng(config_.seed);
+  BuildModules(weight.rows(), &rng);
+  std::vector<Variable> params = Parameters();
+  return AssignParameters(tensors.value(), &params);
+}
+
+}  // namespace vgod::detectors

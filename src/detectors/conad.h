@@ -1,0 +1,60 @@
+#ifndef VGOD_DETECTORS_CONAD_H_
+#define VGOD_DETECTORS_CONAD_H_
+
+#include <memory>
+
+#include "core/rng.h"
+#include "detectors/detector.h"
+#include "gnn/layers.h"
+
+namespace vgod::detectors {
+
+/// Configuration of the CONAD baseline (Xu et al., PAKDD 2022).
+struct ConadConfig {
+  int hidden_dim = 64;
+  int epochs = 30;
+  float lr = 0.005f;
+  /// Fraction of nodes turned into pseudo-anomalies per augmented view.
+  float augmentation_rate = 0.1f;
+  /// Weight of the contrastive term; (1 - eta) weighs reconstruction.
+  float eta = 0.5f;
+  /// Margin of the contrastive hinge for pseudo-anomalous nodes.
+  float margin = 0.5f;
+  uint64_t seed = 8;
+};
+
+/// CONAD: contrastive detection with human-knowledge-driven augmentation.
+/// Each epoch builds an augmented view where a random subset of nodes is
+/// perturbed by one of four strategies (high-degree clique, edge dropping,
+/// attribute deviation, disproportionate scaling). A Siamese GCN encoder
+/// pulls unperturbed nodes' embeddings together across views and pushes
+/// pseudo-anomalies apart (margin hinge), alongside a Dominant-style
+/// reconstruction objective on the original view, which also provides the
+/// outlier score.
+class Conad : public OutlierDetector {
+ public:
+  explicit Conad(ConadConfig config = {});
+
+  std::string name() const override { return "CONAD"; }
+  Status Fit(const AttributedGraph& graph) override;
+  DetectorOutput Score(const AttributedGraph& graph) const override;
+
+ private:
+  struct AugmentedView {
+    AttributedGraph graph;
+    std::vector<uint8_t> pseudo_anomaly;  // 1 for perturbed nodes.
+  };
+  AugmentedView Augment(const AttributedGraph& graph, Rng* rng) const;
+
+  Variable Encode(std::shared_ptr<const AttributedGraph> graph,
+                  const Tensor& attributes) const;
+
+  ConadConfig config_;
+  std::unique_ptr<gnn::GnnLayer> encoder1_;
+  std::unique_ptr<gnn::GnnLayer> encoder2_;
+  std::unique_ptr<gnn::GnnLayer> attribute_decoder_;
+};
+
+}  // namespace vgod::detectors
+
+#endif  // VGOD_DETECTORS_CONAD_H_

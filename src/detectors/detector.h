@@ -1,0 +1,67 @@
+#ifndef VGOD_DETECTORS_DETECTOR_H_
+#define VGOD_DETECTORS_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/graph.h"
+
+namespace vgod::detectors {
+
+/// Scores produced by a detector. Higher = more anomalous (paper
+/// Definition 2). Component scores are present only for detectors that
+/// separate structural and contextual signals (VGOD, DegNorm, AnomalyDAE,
+/// Dominant, DONE, CONAD); empty otherwise.
+struct DetectorOutput {
+  std::vector<double> score;
+  std::vector<double> structural_score;
+  std::vector<double> contextual_score;
+
+  bool has_components() const {
+    return !structural_score.empty() && !contextual_score.empty();
+  }
+};
+
+/// Wall-clock accounting for the efficiency experiment (paper Fig 7 /
+/// Table VII).
+struct TrainStats {
+  int epochs = 0;
+  double train_seconds = 0.0;
+
+  double SecondsPerEpoch() const {
+    return epochs > 0 ? train_seconds / epochs : 0.0;
+  }
+};
+
+/// Unsupervised node outlier detector. The transductive protocol of the
+/// paper is Fit(g) then Score(g) on the same graph; the inductive protocol
+/// (paper Appendix B) calls Score on a different graph with the same
+/// attribute schema. Detectors that cannot score unseen graphs
+/// (AnomalyDAE) document it via supports_inductive().
+class OutlierDetector {
+ public:
+  virtual ~OutlierDetector() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on `graph` without labels. Must be called before Score.
+  virtual Status Fit(const AttributedGraph& graph) = 0;
+
+  /// Scores every node of `graph`.
+  virtual DetectorOutput Score(const AttributedGraph& graph) const = 0;
+
+  /// Whether a fitted model can score a graph other than its training
+  /// graph (paper Table II, "Inductive Inference" column).
+  virtual bool supports_inductive() const { return true; }
+
+  const TrainStats& train_stats() const { return train_stats_; }
+
+ protected:
+  TrainStats train_stats_;
+};
+
+}  // namespace vgod::detectors
+
+#endif  // VGOD_DETECTORS_DETECTOR_H_

@@ -1,0 +1,62 @@
+#ifndef VGOD_DETECTORS_DONE_H_
+#define VGOD_DETECTORS_DONE_H_
+
+#include <optional>
+
+#include "detectors/detector.h"
+#include "tensor/nn.h"
+
+namespace vgod::detectors {
+
+/// Configuration of the DONE baseline (Bandyopadhyay et al., WSDM 2020).
+struct DoneConfig {
+  int hidden_dim = 64;
+  int epochs = 40;
+  float lr = 0.005f;
+  uint64_t seed = 5;
+};
+
+/// DONE: two MLP autoencoders — one over adjacency rows (structure AE) and
+/// one over attributes (attribute AE) — trained with five per-node error
+/// terms: structure reconstruction, attribute reconstruction, structure
+/// homophily, attribute homophily, and cross-embedding agreement. Each
+/// term's per-node errors define provisional outlier probabilities o_i
+/// (sum-to-unit), and each node's loss contribution is weighted by
+/// log(1/o_i) using the previous epoch's probabilities (alternating
+/// optimization, as in the original paper). The final score averages the
+/// five normalized error terms. Because the structure AE's input width is
+/// |V|, DONE here is used transductively-sized; the original samples
+/// neighborhoods (its O(|V|K) complexity in paper Table II).
+class Done : public OutlierDetector {
+ public:
+  explicit Done(DoneConfig config = {});
+
+  std::string name() const override { return "DONE"; }
+  Status Fit(const AttributedGraph& graph) override;
+  /// Inductive in the paper's sense (Table II): a fitted model scores any
+  /// graph with the same node count and attribute schema (the structure
+  /// AE's input is an adjacency row, so the node count is part of the
+  /// schema).
+  DetectorOutput Score(const AttributedGraph& graph) const override;
+
+ private:
+  static constexpr int kNumTerms = 5;
+
+  struct ErrorTerms {
+    Variable terms[kNumTerms];  // Each n x 1.
+  };
+  ErrorTerms ComputeErrors(const AttributedGraph& graph,
+                           const Tensor& attributes,
+                           const Tensor& adjacency) const;
+
+  DoneConfig config_;
+  std::optional<nn::Linear> structure_encoder_;
+  std::optional<nn::Linear> structure_decoder_;
+  std::optional<nn::Linear> attribute_encoder_;
+  std::optional<nn::Linear> attribute_decoder_;
+  int fitted_num_nodes_ = -1;
+};
+
+}  // namespace vgod::detectors
+
+#endif  // VGOD_DETECTORS_DONE_H_

@@ -1,0 +1,120 @@
+#include "detectors/registry.h"
+
+#include <algorithm>
+
+#include "detectors/anomalydae.h"
+#include "detectors/arm.h"
+#include "detectors/cola.h"
+#include "detectors/conad.h"
+#include "detectors/dominant.h"
+#include "detectors/guide.h"
+#include "detectors/done.h"
+#include "detectors/nondeep.h"
+#include "detectors/simple.h"
+#include "detectors/vbm.h"
+#include "detectors/vgod.h"
+
+namespace vgod::detectors {
+namespace {
+
+int ScaledEpochs(int base, double scale) {
+  return std::max(1, static_cast<int>(base * scale + 0.5));
+}
+
+}  // namespace
+
+const std::vector<std::string>& ComparisonDetectorNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "Dominant", "AnomalyDAE", "DONE", "CoLA", "CONAD", "DegNorm", "VGOD"};
+  return *names;
+}
+
+Result<std::unique_ptr<OutlierDetector>> MakeDetector(
+    const std::string& name, const DetectorOptions& options) {
+  if (name == "DegNorm") {
+    return std::unique_ptr<OutlierDetector>(new DegNorm());
+  }
+  if (name == "Deg") {
+    return std::unique_ptr<OutlierDetector>(new Deg());
+  }
+  if (name == "L2Norm") {
+    return std::unique_ptr<OutlierDetector>(new L2Norm());
+  }
+  if (name == "Random") {
+    return std::unique_ptr<OutlierDetector>(new RandomDetector(options.seed));
+  }
+  if (name == "VBM") {
+    VbmConfig config;
+    config.seed = options.seed;
+    config.self_loop = options.self_loop;
+    config.row_normalize_attributes = options.row_normalize_attributes;
+    config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
+    return std::unique_ptr<OutlierDetector>(new Vbm(config));
+  }
+  if (name == "ARM") {
+    ArmConfig config;
+    config.seed = options.seed;
+    config.row_normalize_attributes = options.row_normalize_attributes;
+    config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
+    return std::unique_ptr<OutlierDetector>(new Arm(config));
+  }
+  if (name == "VGOD") {
+    VgodConfig config;
+    config.vbm.seed = options.seed;
+    config.arm.seed = options.seed + 1;
+    config.vbm.self_loop = options.self_loop;
+    config.vbm.row_normalize_attributes = options.row_normalize_attributes;
+    config.arm.row_normalize_attributes = options.row_normalize_attributes;
+    config.vbm.epochs = ScaledEpochs(config.vbm.epochs, options.epoch_scale);
+    config.arm.epochs = ScaledEpochs(config.arm.epochs, options.epoch_scale);
+    return std::unique_ptr<OutlierDetector>(new Vgod(config));
+  }
+  if (name == "Dominant") {
+    DominantConfig config;
+    config.seed = options.seed;
+    config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
+    return std::unique_ptr<OutlierDetector>(new Dominant(config));
+  }
+  if (name == "AnomalyDAE") {
+    AnomalyDaeConfig config;
+    config.seed = options.seed;
+    config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
+    return std::unique_ptr<OutlierDetector>(new AnomalyDae(config));
+  }
+  if (name == "DONE") {
+    DoneConfig config;
+    config.seed = options.seed;
+    config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
+    return std::unique_ptr<OutlierDetector>(new Done(config));
+  }
+  if (name == "CoLA") {
+    ColaConfig config;
+    config.seed = options.seed;
+    config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
+    return std::unique_ptr<OutlierDetector>(new Cola(config));
+  }
+  if (name == "CONAD") {
+    ConadConfig config;
+    config.seed = options.seed;
+    config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
+    return std::unique_ptr<OutlierDetector>(new Conad(config));
+  }
+  if (name == "GUIDE") {
+    GuideConfig config;
+    config.seed = options.seed;
+    config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
+    return std::unique_ptr<OutlierDetector>(new Guide(config));
+  }
+  if (name == "Radar" || name == "ANOMALOUS") {
+    ResidualAnalysisConfig config;
+    config.seed = options.seed;
+    config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
+    if (name == "Radar") {
+      return std::unique_ptr<OutlierDetector>(new Radar(config));
+    }
+    return std::unique_ptr<OutlierDetector>(new Anomalous(config));
+  }
+  return Status::NotFound("unknown detector: " + name);
+}
+
+}  // namespace vgod::detectors

@@ -1,0 +1,37 @@
+#ifndef VGOD_DETECTORS_REGISTRY_H_
+#define VGOD_DETECTORS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "detectors/detector.h"
+
+namespace vgod::detectors {
+
+/// Knobs the bench binaries need to vary when building a detector by name.
+struct DetectorOptions {
+  uint64_t seed = 1;
+  /// Enable VGOD/VBM's self-loop technique (paper Eq. 13). The UNOD
+  /// experiment enables it on the low-degree datasets.
+  bool self_loop = false;
+  /// Row-normalize attributes (paper: applied to Weibo).
+  bool row_normalize_attributes = false;
+  /// Scales every detector's epoch budget (1.0 = paper-like defaults).
+  double epoch_scale = 1.0;
+};
+
+/// Detector names accepted by MakeDetector, in the order of the paper's
+/// comparison tables: Dominant, AnomalyDAE, DONE, CoLA, CONAD, DegNorm,
+/// VGOD (plus VBM, ARM, Deg, L2Norm, Random for component experiments).
+const std::vector<std::string>& ComparisonDetectorNames();
+
+/// Builds a detector by name with the paper-default configuration adjusted
+/// by `options`.
+Result<std::unique_ptr<OutlierDetector>> MakeDetector(
+    const std::string& name, const DetectorOptions& options = {});
+
+}  // namespace vgod::detectors
+
+#endif  // VGOD_DETECTORS_REGISTRY_H_

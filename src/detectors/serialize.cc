@@ -1,0 +1,71 @@
+#include "detectors/serialize.h"
+
+#include <fstream>
+
+namespace vgod::detectors {
+
+Status SaveParameterList(const std::vector<Variable>& params,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "vgod-params " << params.size() << "\n";
+  out.precision(9);
+  for (const Variable& param : params) {
+    const Tensor& value = param.value();
+    out << value.rows() << " " << value.cols();
+    for (int64_t i = 0; i < value.size(); ++i) out << " " << value.data()[i];
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<Tensor>> LoadParameterList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string magic;
+  size_t count = 0;
+  in >> magic >> count;
+  if (magic != "vgod-params") {
+    return Status::InvalidArgument("not a vgod-params file: " + path);
+  }
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (size_t p = 0; p < count; ++p) {
+    int rows = 0, cols = 0;
+    in >> rows >> cols;
+    if (!in || rows < 0 || cols < 0) {
+      return Status::InvalidArgument("corrupt tensor header in " + path);
+    }
+    Tensor tensor(rows, cols);
+    for (int64_t i = 0; i < tensor.size(); ++i) {
+      if (!(in >> tensor.data()[i])) {
+        return Status::InvalidArgument("truncated tensor data in " + path);
+      }
+    }
+    tensors.push_back(std::move(tensor));
+  }
+  return tensors;
+}
+
+Status AssignParameters(const std::vector<Tensor>& values,
+                        std::vector<Variable>* params) {
+  if (values.size() != params->size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " +
+        std::to_string(values.size()) + ", model expects " +
+        std::to_string(params->size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!values[i].SameShape((*params)[i].value())) {
+      return Status::InvalidArgument(
+          "parameter " + std::to_string(i) + " shape mismatch: file " +
+          values[i].ShapeString() + ", model " +
+          (*params)[i].value().ShapeString());
+    }
+    (*params)[i].SetValue(values[i]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace vgod::detectors

@@ -1,0 +1,34 @@
+#ifndef VGOD_DETECTORS_SERIALIZE_H_
+#define VGOD_DETECTORS_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "tensor/autograd.h"
+
+namespace vgod::detectors {
+
+// Plain-text parameter persistence for trained detectors. The format is a
+// header line ("vgod-params <count>") followed by one "rows cols v0 v1 ..."
+// line per tensor, in the module's Parameters() order. Detectors expose
+// Save/Load on top of these (Vbm, Arm, Vgod) so a model trained once can
+// score fresh graphs in a separate process — the inductive deployment the
+// paper's Table II column is about.
+
+/// Writes `params` (their current values) to `path`.
+Status SaveParameterList(const std::vector<Variable>& params,
+                         const std::string& path);
+
+/// Reads a parameter file written by SaveParameterList.
+Result<std::vector<Tensor>> LoadParameterList(const std::string& path);
+
+/// Copies `values` into `params` in order. Fails on count or shape
+/// mismatch (i.e. the file was written by a model with a different
+/// architecture/config).
+Status AssignParameters(const std::vector<Tensor>& values,
+                        std::vector<Variable>* params);
+
+}  // namespace vgod::detectors
+
+#endif  // VGOD_DETECTORS_SERIALIZE_H_

@@ -1,0 +1,54 @@
+#ifndef VGOD_DETECTORS_SIMPLE_H_
+#define VGOD_DETECTORS_SIMPLE_H_
+
+#include "core/rng.h"
+#include "detectors/detector.h"
+
+namespace vgod::detectors {
+
+// The paper's training-free probes. DegNorm (paper Eq. 20) exists to
+// demonstrate the injection data leakage: it reads only node degree and the
+// attribute L2 norm, yet matches deep baselines under the standard
+// injection.
+
+/// Structural score = node degree, contextual score = ||x_i||_2, final
+/// score = sum of the mean-std normalized components (paper §VI-A2).
+class DegNorm : public OutlierDetector {
+ public:
+  std::string name() const override { return "DegNorm"; }
+  Status Fit(const AttributedGraph& graph) override;
+  DetectorOutput Score(const AttributedGraph& graph) const override;
+};
+
+/// Degree only (the "Deg" row of paper Table V).
+class Deg : public OutlierDetector {
+ public:
+  std::string name() const override { return "Deg"; }
+  Status Fit(const AttributedGraph& graph) override;
+  DetectorOutput Score(const AttributedGraph& graph) const override;
+};
+
+/// Attribute L2 norm only (the probe of paper Fig 2 / Fig 3).
+class L2Norm : public OutlierDetector {
+ public:
+  std::string name() const override { return "L2Norm"; }
+  Status Fit(const AttributedGraph& graph) override;
+  DetectorOutput Score(const AttributedGraph& graph) const override;
+};
+
+/// Uniform random scores — the AUC 0.5 reference line of paper Fig 2.
+class RandomDetector : public OutlierDetector {
+ public:
+  explicit RandomDetector(uint64_t seed = 7) : seed_(seed) {}
+
+  std::string name() const override { return "Random"; }
+  Status Fit(const AttributedGraph& graph) override;
+  DetectorOutput Score(const AttributedGraph& graph) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace vgod::detectors
+
+#endif  // VGOD_DETECTORS_SIMPLE_H_

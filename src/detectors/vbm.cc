@@ -1,0 +1,217 @@
+#include "detectors/vbm.h"
+
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/stopwatch.h"
+#include "detectors/serialize.h"
+#include "gnn/graph_autograd.h"
+#include "graph/graph_ops.h"
+#include "graph/sampling.h"
+#include "tensor/functional.h"
+
+namespace vgod::detectors {
+namespace {
+
+Tensor PrepareAttributes(const AttributedGraph& graph, bool row_normalize) {
+  VGOD_CHECK(graph.has_attributes()) << "VBM requires node attributes";
+  return row_normalize
+             ? graph_ops::RowNormalizeAttributes(graph.attributes())
+             : graph.attributes();
+}
+
+}  // namespace
+
+Vbm::Vbm(VbmConfig config) : config_(std::move(config)) {}
+
+Variable Vbm::Embed(const Tensor& attributes) const {
+  VGOD_CHECK(transform_.has_value()) << "Fit() before Score()";
+  Variable x = Variable::Constant(attributes);
+  return ag::RowL2Normalize(transform_->Forward(x));
+}
+
+std::vector<double> Vbm::CurrentScores(const AttributedGraph& graph) const {
+  NoGradGuard no_grad;
+  auto scoring_graph = std::make_shared<const AttributedGraph>(
+      config_.self_loop ? graph.WithSelfLoops() : graph);
+  Variable h =
+      Embed(PrepareAttributes(graph, config_.row_normalize_attributes));
+  Variable variance = ag::NeighborVarianceScore(scoring_graph, h);
+  std::vector<double> scores(graph.num_nodes());
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    scores[i] = variance.value().At(i, 0);
+  }
+  return scores;
+}
+
+void Vbm::RunMiniBatchEpoch(const AttributedGraph& graph,
+                            const Tensor& attributes, Optimizer* optimizer,
+                            Rng* rng) const {
+  const int n = graph.num_nodes();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  for (int begin = 0; begin < n; begin += config_.batch_size) {
+    const int end = std::min(n, begin + config_.batch_size);
+
+    // Assemble the batch's support set: each seed node, its (sampled)
+    // neighbors including the optional self loop, and freshly sampled
+    // negative neighbors. Rows outside the support never enter the step.
+    std::unordered_map<int, int> local_id;
+    std::vector<int> support;
+    auto localize = [&](int global) {
+      auto [it, inserted] =
+          local_id.emplace(global, static_cast<int>(support.size()));
+      if (inserted) support.push_back(global);
+      return it->second;
+    };
+
+    // Per-seed positive and negative neighbor lists in local ids.
+    std::vector<std::vector<int>> positive_neighbors;
+    std::vector<std::vector<int>> negative_neighbors;
+    for (int b = begin; b < end; ++b) {
+      const int seed_node = order[b];
+      const int seed_local = localize(seed_node);
+      auto neighbors = graph.Neighbors(seed_node);
+      std::vector<int> pos;
+      if (config_.max_neighbors_per_node > 0 &&
+          static_cast<int>(neighbors.size()) >
+              config_.max_neighbors_per_node) {
+        // GraphSAGE-style neighbor sampling.
+        std::vector<int> picks = rng->SampleWithoutReplacement(
+            static_cast<int>(neighbors.size()),
+            config_.max_neighbors_per_node);
+        for (int pick : picks) pos.push_back(localize(neighbors[pick]));
+      } else {
+        for (int32_t v : neighbors) pos.push_back(localize(v));
+      }
+      if (config_.self_loop) pos.push_back(seed_local);
+      // Negative neighbors: uniform non-neighbors, same count (Def. 3).
+      std::unordered_set<int> forbidden(neighbors.begin(), neighbors.end());
+      forbidden.insert(seed_node);
+      std::vector<int> neg;
+      const int want = std::min<int>(pos.size(),
+                                     n - static_cast<int>(forbidden.size()));
+      std::unordered_set<int> chosen;
+      while (static_cast<int>(neg.size()) < want) {
+        const int candidate = static_cast<int>(rng->UniformInt(n));
+        if (forbidden.count(candidate) || !chosen.insert(candidate).second) {
+          continue;
+        }
+        neg.push_back(localize(candidate));
+      }
+      positive_neighbors.push_back(std::move(pos));
+      negative_neighbors.push_back(std::move(neg));
+    }
+
+    // Local graphs over the support rows (directed: seeds own neighbors).
+    const int batch_nodes = end - begin;
+    auto build_local = [&](const std::vector<std::vector<int>>& lists) {
+      GraphBuilder builder(static_cast<int>(support.size()));
+      builder.SetUndirected(false).SetKeepSelfLoops(true);
+      for (int b = 0; b < batch_nodes; ++b) {
+        // Seed b's local id is its first localize() call order; recompute:
+        const int seed_local = local_id.at(order[begin + b]);
+        for (int neighbor : lists[b]) builder.AddEdge(seed_local, neighbor);
+      }
+      Result<AttributedGraph> built = builder.Build();
+      VGOD_CHECK(built.ok()) << built.status().ToString();
+      return std::make_shared<const AttributedGraph>(
+          std::move(built).value());
+    };
+    auto positive_graph = build_local(positive_neighbors);
+    auto negative_graph = build_local(negative_neighbors);
+
+    // Embed only the support rows.
+    Variable x_sub = ag::GatherRows(Variable::Constant(attributes), support);
+    Variable h = ag::RowL2Normalize(transform_->Forward(x_sub));
+    Variable loss =
+        ag::Sub(ag::MeanAll(ag::NeighborVarianceScore(positive_graph, h)),
+                ag::MeanAll(ag::NeighborVarianceScore(negative_graph, h)));
+    optimizer->ZeroGrad();
+    loss.Backward();
+    optimizer->Step();
+  }
+}
+
+Status Vbm::Fit(const AttributedGraph& graph) {
+  if (!graph.has_attributes()) {
+    return Status::FailedPrecondition("VBM requires node attributes");
+  }
+  Stopwatch watch;
+  Rng rng(config_.seed);
+  const Tensor attributes =
+      PrepareAttributes(graph, config_.row_normalize_attributes);
+  transform_.emplace(attributes.cols(), config_.hidden_dim, &rng);
+
+  // Positive graph: the real topology (optionally with self loops, Eq. 13).
+  auto positive = std::make_shared<const AttributedGraph>(
+      config_.self_loop ? graph.WithSelfLoops() : graph);
+
+  Adam optimizer(transform_->Parameters(), config_.lr);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.batch_size > 0) {
+      RunMiniBatchEpoch(graph, attributes, &optimizer, &rng);
+    } else {
+      // Fresh negative network each epoch (paper Algorithm 1, line 3).
+      auto negative = std::make_shared<const AttributedGraph>(
+          BuildNegativeGraph(graph, &rng));
+
+      Variable h = Embed(attributes);
+      Variable positive_loss =
+          ag::MeanAll(ag::NeighborVarianceScore(positive, h));
+      Variable negative_loss =
+          ag::MeanAll(ag::NeighborVarianceScore(negative, h));
+      // Eq. 11: contrast real neighborhoods (minimize variance) against
+      // sampled ones (maximize variance).
+      Variable loss = ag::Sub(positive_loss, negative_loss);
+
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+
+    if (config_.epoch_callback) {
+      config_.epoch_callback(epoch + 1, CurrentScores(graph));
+    }
+  }
+  train_stats_.epochs = config_.epochs;
+  train_stats_.train_seconds = watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+DetectorOutput Vbm::Score(const AttributedGraph& graph) const {
+  DetectorOutput out;
+  out.score = CurrentScores(graph);
+  out.structural_score = out.score;
+  return out;
+}
+
+Status Vbm::Save(const std::string& path) const {
+  if (!transform_.has_value()) {
+    return Status::FailedPrecondition("Fit() before Save()");
+  }
+  return SaveParameterList(transform_->Parameters(), path);
+}
+
+Status Vbm::Load(const std::string& path) {
+  Result<std::vector<Tensor>> tensors = LoadParameterList(path);
+  if (!tensors.ok()) return tensors.status();
+  if (tensors.value().empty()) {
+    return Status::InvalidArgument("empty parameter file: " + path);
+  }
+  const Tensor& weight = tensors.value()[0];
+  if (weight.cols() != config_.hidden_dim) {
+    return Status::InvalidArgument(
+        "stored hidden dim " + std::to_string(weight.cols()) +
+        " != configured " + std::to_string(config_.hidden_dim));
+  }
+  Rng rng(config_.seed);
+  transform_.emplace(weight.rows(), config_.hidden_dim, &rng);
+  std::vector<Variable> params = transform_->Parameters();
+  return AssignParameters(tensors.value(), &params);
+}
+
+}  // namespace vgod::detectors

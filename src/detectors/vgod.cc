@@ -1,0 +1,75 @@
+#include "detectors/vgod.h"
+
+#include "core/stopwatch.h"
+#include "eval/metrics.h"
+
+namespace vgod::detectors {
+
+const char* ScoreCombinationName(ScoreCombination combination) {
+  switch (combination) {
+    case ScoreCombination::kMeanStd:
+      return "mean-std";
+    case ScoreCombination::kSumToUnit:
+      return "sum-to-unit";
+    case ScoreCombination::kWeighted:
+      return "weight";
+    case ScoreCombination::kRank:
+      return "rank";
+  }
+  return "?";
+}
+
+Vgod::Vgod(VgodConfig config)
+    : config_(config), vbm_(config.vbm), arm_(config.arm) {}
+
+Status Vgod::Fit(const AttributedGraph& graph) {
+  Stopwatch watch;
+  // Separate training with independent epoch budgets (paper Algorithm 1):
+  // joint training over-trains one component before the other converges.
+  VGOD_RETURN_IF_ERROR(vbm_.Fit(graph));
+  VGOD_RETURN_IF_ERROR(arm_.Fit(graph));
+  train_stats_.epochs = config_.vbm.epochs + config_.arm.epochs;
+  train_stats_.train_seconds = watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+DetectorOutput Vgod::Score(const AttributedGraph& graph) const {
+  DetectorOutput out;
+  out.structural_score = vbm_.Score(graph).score;
+  out.contextual_score = arm_.Score(graph).score;
+  switch (config_.combination) {
+    case ScoreCombination::kMeanStd:
+      out.score =
+          eval::CombineScores(eval::MeanStdNormalize(out.structural_score),
+                              eval::MeanStdNormalize(out.contextual_score));
+      break;
+    case ScoreCombination::kSumToUnit:
+      out.score =
+          eval::CombineScores(eval::SumToUnitNormalize(out.structural_score),
+                              eval::SumToUnitNormalize(out.contextual_score));
+      break;
+    case ScoreCombination::kWeighted:
+      out.score = eval::CombineScores(out.structural_score,
+                                      out.contextual_score,
+                                      config_.contextual_weight);
+      break;
+    case ScoreCombination::kRank:
+      out.score =
+          eval::CombineScores(eval::RankNormalize(out.structural_score),
+                              eval::RankNormalize(out.contextual_score));
+      break;
+  }
+  return out;
+}
+
+Status Vgod::Save(const std::string& path) const {
+  VGOD_RETURN_IF_ERROR(vbm_.Save(path + ".vbm"));
+  return arm_.Save(path + ".arm");
+}
+
+Status Vgod::Load(const std::string& path) {
+  VGOD_RETURN_IF_ERROR(vbm_.Load(path + ".vbm"));
+  return arm_.Load(path + ".arm");
+}
+
+}  // namespace vgod::detectors

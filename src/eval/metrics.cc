@@ -1,0 +1,129 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace vgod::eval {
+
+double Auc(const std::vector<double>& scores,
+           const std::vector<uint8_t>& labels) {
+  VGOD_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Sum of average ranks of positives (Mann-Whitney U).
+  double positive_rank_sum = 0.0;
+  int64_t num_positive = 0, num_negative = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double average_rank = (static_cast<double>(i + 1) + j) / 2.0;
+    for (size_t t = i; t < j; ++t) {
+      if (labels[order[t]]) {
+        positive_rank_sum += average_rank;
+        ++num_positive;
+      } else {
+        ++num_negative;
+      }
+    }
+    i = j;
+  }
+  VGOD_CHECK_GT(num_positive, 0) << "AUC needs at least one positive";
+  VGOD_CHECK_GT(num_negative, 0) << "AUC needs at least one negative";
+  const double u = positive_rank_sum -
+                   static_cast<double>(num_positive) * (num_positive + 1) / 2.0;
+  return u / (static_cast<double>(num_positive) * num_negative);
+}
+
+double AucSubset(const std::vector<double>& scores,
+                 const std::vector<uint8_t>& all_outliers,
+                 const std::vector<uint8_t>& subset) {
+  VGOD_CHECK_EQ(scores.size(), all_outliers.size());
+  VGOD_CHECK_EQ(scores.size(), subset.size());
+  std::vector<double> kept_scores;
+  std::vector<uint8_t> kept_labels;
+  kept_scores.reserve(scores.size());
+  kept_labels.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (subset[i]) {
+      kept_scores.push_back(scores[i]);
+      kept_labels.push_back(1);
+    } else if (!all_outliers[i]) {
+      kept_scores.push_back(scores[i]);
+      kept_labels.push_back(0);
+    }
+  }
+  return Auc(kept_scores, kept_labels);
+}
+
+double AucGap(double structural_auc, double contextual_auc) {
+  VGOD_CHECK_GT(structural_auc, 0.0);
+  VGOD_CHECK_GT(contextual_auc, 0.0);
+  return std::max(structural_auc / contextual_auc,
+                  contextual_auc / structural_auc);
+}
+
+std::vector<double> MeanStdNormalize(const std::vector<double>& scores) {
+  VGOD_CHECK(!scores.empty());
+  const double mean =
+      std::accumulate(scores.begin(), scores.end(), 0.0) / scores.size();
+  double variance = 0.0;
+  for (double s : scores) variance += (s - mean) * (s - mean);
+  const double stddev = std::sqrt(variance / scores.size());
+  std::vector<double> out(scores.size());
+  if (stddev <= 0.0) return out;  // Constant scores carry no signal.
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i] = (scores[i] - mean) / stddev;
+  }
+  return out;
+}
+
+std::vector<double> SumToUnitNormalize(const std::vector<double>& scores) {
+  VGOD_CHECK(!scores.empty());
+  double total = 0.0;
+  for (double s : scores) {
+    VGOD_CHECK_GE(s, 0.0) << "sum-to-unit requires non-negative scores";
+    total += s;
+  }
+  std::vector<double> out = scores;
+  if (total <= 0.0) return out;
+  for (double& s : out) s /= total;
+  return out;
+}
+
+std::vector<double> RankNormalize(const std::vector<double>& scores) {
+  VGOD_CHECK(!scores.empty());
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> out(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double average_rank = (static_cast<double>(i + 1) + j) / 2.0;
+    for (size_t t = i; t < j; ++t) out[order[t]] = average_rank / n;
+    i = j;
+  }
+  return out;
+}
+
+std::vector<double> CombineScores(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  double weight) {
+  VGOD_CHECK_EQ(a.size(), b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + weight * b[i];
+  return out;
+}
+
+}  // namespace vgod::eval

@@ -1,0 +1,49 @@
+#ifndef VGOD_EVAL_METRICS_H_
+#define VGOD_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vgod::eval {
+
+/// Area under the ROC curve (paper Eq. 21) computed by the rank statistic;
+/// tied scores contribute 0.5 per pair (average-rank handling). Requires at
+/// least one positive (label 1) and one negative (label 0).
+double Auc(const std::vector<double>& scores,
+           const std::vector<uint8_t>& labels);
+
+/// The paper's AUC(V_L, O) (§VI-A3): AUC with positives = nodes marked in
+/// `subset`, negatives = nodes that are normal under `all_outliers`
+/// (outliers outside the subset are excluded from both sides).
+double AucSubset(const std::vector<double>& scores,
+                 const std::vector<uint8_t>& all_outliers,
+                 const std::vector<uint8_t>& subset);
+
+/// AucGap (paper Eq. 22): max of the two ratios of the per-type AUCs.
+/// >= 1 by construction; 1 means perfectly balanced detection.
+double AucGap(double structural_auc, double contextual_auc);
+
+/// Mean-std (z-score) normalization (paper Eq. 19). Constant score vectors
+/// normalize to all-zeros.
+std::vector<double> MeanStdNormalize(const std::vector<double>& scores);
+
+/// Sum-to-unit normalization (paper Eq. 23). Scores must be >= 0; an
+/// all-zero vector is returned unchanged.
+std::vector<double> SumToUnitNormalize(const std::vector<double>& scores);
+
+/// Fractional-rank normalization (extension beyond the paper's Appendix A
+/// combiners): each score maps to its average rank divided by n, in
+/// (0, 1]. Fully scale-free — immune to heavy-tailed score distributions
+/// that stretch mean-std z-scores.
+std::vector<double> RankNormalize(const std::vector<double>& scores);
+
+/// Elementwise a + weight * b (the paper's score combinations: weight=1
+/// after normalization for mean-std and sum-to-unit, or a raw fixed weight
+/// for the "weighted" ablation of Table XIII).
+std::vector<double> CombineScores(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  double weight = 1.0);
+
+}  // namespace vgod::eval
+
+#endif  // VGOD_EVAL_METRICS_H_

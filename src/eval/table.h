@@ -1,0 +1,34 @@
+#ifndef VGOD_EVAL_TABLE_H_
+#define VGOD_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace vgod::eval {
+
+/// Minimal aligned-column table printer shared by the bench binaries, so
+/// every reproduced paper table renders the same way. Cells are strings;
+/// numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Returns *this for chaining AddCell calls.
+  Table& AddRow();
+  Table& AddCell(const std::string& text);
+  Table& AddCell(double value, int precision = 4);
+
+  /// Renders with a separator line under the header.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vgod::eval
+
+#endif  // VGOD_EVAL_TABLE_H_

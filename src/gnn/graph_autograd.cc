@@ -1,0 +1,218 @@
+#include "gnn/graph_autograd.h"
+
+#include <cmath>
+#include <utility>
+
+#include "graph/graph_ops.h"
+#include "tensor/kernels.h"
+
+namespace vgod::ag {
+
+using ::vgod::internal::AutogradNode;
+
+Variable Spmm(std::shared_ptr<const AttributedGraph> graph,
+              std::vector<float> edge_weights, const Variable& h) {
+  Tensor out = graph_ops::Spmm(*graph, edge_weights, h.value());
+  const int d = h.cols();
+  return Variable::FromOp(
+      std::move(out), {h},
+      [graph = std::move(graph), weights = std::move(edge_weights),
+       d](AutogradNode& self) {
+        // Backward of out[i] += w * h[j] is gh[j] += w * g[i].
+        const int n = graph->num_nodes();
+        Tensor gh = Tensor::Zeros(n, d);
+        const auto& row_ptr = graph->row_ptr();
+        const auto& col_idx = graph->col_idx();
+        const float* g = self.grad.data();
+        float* dst = gh.data();
+        for (int i = 0; i < n; ++i) {
+          const float* grow = g + static_cast<size_t>(i) * d;
+          for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+            const float w = weights.empty() ? 1.0f : weights[e];
+            float* hrow = dst + static_cast<size_t>(col_idx[e]) * d;
+            for (int c = 0; c < d; ++c) hrow[c] += w * grow[c];
+          }
+        }
+        self.inputs[0]->AccumulateGrad(gh);
+      },
+      "Spmm");
+}
+
+Variable NeighborMean(std::shared_ptr<const AttributedGraph> graph,
+                      const Variable& h) {
+  Tensor out = graph_ops::NeighborMean(*graph, h.value());
+  const int d = h.cols();
+  return Variable::FromOp(
+      std::move(out), {h},
+      [graph = std::move(graph), d](AutogradNode& self) {
+        const int n = graph->num_nodes();
+        Tensor gh = Tensor::Zeros(n, d);
+        const auto& row_ptr = graph->row_ptr();
+        const auto& col_idx = graph->col_idx();
+        const float* g = self.grad.data();
+        float* dst = gh.data();
+        for (int i = 0; i < n; ++i) {
+          const int deg = graph->Degree(i);
+          if (deg == 0) continue;
+          const float inv = 1.0f / static_cast<float>(deg);
+          const float* grow = g + static_cast<size_t>(i) * d;
+          for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+            float* hrow = dst + static_cast<size_t>(col_idx[e]) * d;
+            for (int c = 0; c < d; ++c) hrow[c] += inv * grow[c];
+          }
+        }
+        self.inputs[0]->AccumulateGrad(gh);
+      },
+      "NeighborMean");
+}
+
+Variable NeighborVarianceScore(std::shared_ptr<const AttributedGraph> graph,
+                               const Variable& h) {
+  Tensor hv = h.value();
+  Tensor mean = graph_ops::NeighborMean(*graph, hv);
+  Tensor out = graph_ops::NeighborVarianceScore(*graph, hv);
+  const int d = hv.cols();
+  return Variable::FromOp(
+      std::move(out), {h},
+      [graph = std::move(graph), hv, mean, d](AutogradNode& self) {
+        // o_i = (1/|N_i|) sum_{j in N_i} ||h_j - mean_i||^2. The dependence
+        // of mean_i on h_j folds into d o_i / d h_j = (2/|N_i|)(h_j - mean_i)
+        // (the cross term through the mean cancels).
+        const int n = graph->num_nodes();
+        Tensor gh = Tensor::Zeros(n, d);
+        const auto& row_ptr = graph->row_ptr();
+        const auto& col_idx = graph->col_idx();
+        const float* g = self.grad.data();
+        const float* src = hv.data();
+        const float* mu = mean.data();
+        float* dst = gh.data();
+        for (int i = 0; i < n; ++i) {
+          const int deg = graph->Degree(i);
+          if (deg == 0) continue;
+          const float coeff = 2.0f * g[i] / static_cast<float>(deg);
+          const float* mrow = mu + static_cast<size_t>(i) * d;
+          for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+            const float* hrow = src + static_cast<size_t>(col_idx[e]) * d;
+            float* grow = dst + static_cast<size_t>(col_idx[e]) * d;
+            for (int c = 0; c < d; ++c) {
+              grow[c] += coeff * (hrow[c] - mrow[c]);
+            }
+          }
+        }
+        self.inputs[0]->AccumulateGrad(gh);
+      },
+      "NeighborVarianceScore");
+}
+
+namespace {
+
+/// Everything the GAT backward needs from the forward pass.
+struct GatForwardState {
+  std::vector<float> attention;  // alpha per CSR edge slot.
+  std::vector<float> pre_activation;  // z = p_i + q_j per edge slot.
+};
+
+}  // namespace
+
+Variable GatAggregate(std::shared_ptr<const AttributedGraph> graph,
+                      const Variable& s, const Variable& p, const Variable& q,
+                      float negative_slope) {
+  const int n = graph->num_nodes();
+  const int d = s.cols();
+  VGOD_CHECK_EQ(s.rows(), n);
+  VGOD_CHECK_EQ(p.rows(), n);
+  VGOD_CHECK_EQ(p.cols(), 1);
+  VGOD_CHECK_EQ(q.rows(), n);
+  VGOD_CHECK_EQ(q.cols(), 1);
+
+  Tensor sv = s.value();
+  const Tensor& pv = p.value();
+  const Tensor& qv = q.value();
+  const auto& row_ptr = graph->row_ptr();
+  const auto& col_idx = graph->col_idx();
+
+  auto state = std::make_shared<GatForwardState>();
+  state->attention.resize(graph->num_directed_edges());
+  state->pre_activation.resize(graph->num_directed_edges());
+
+  Tensor out = Tensor::Zeros(n, d);
+  for (int i = 0; i < n; ++i) {
+    const int64_t begin = row_ptr[i], end = row_ptr[i + 1];
+    if (begin == end) continue;
+    // Edge scores with a per-group max shift for a stable softmax.
+    float max_score = -std::numeric_limits<float>::infinity();
+    for (int64_t e = begin; e < end; ++e) {
+      const float z = pv.At(i, 0) + qv.At(col_idx[e], 0);
+      state->pre_activation[e] = z;
+      const float activated = z > 0.0f ? z : negative_slope * z;
+      state->attention[e] = activated;
+      max_score = std::max(max_score, activated);
+    }
+    float denom = 0.0f;
+    for (int64_t e = begin; e < end; ++e) {
+      state->attention[e] = std::exp(state->attention[e] - max_score);
+      denom += state->attention[e];
+    }
+    float* orow = out.data() + static_cast<size_t>(i) * d;
+    for (int64_t e = begin; e < end; ++e) {
+      state->attention[e] /= denom;
+      const float alpha = state->attention[e];
+      const float* srow = sv.data() + static_cast<size_t>(col_idx[e]) * d;
+      for (int c = 0; c < d; ++c) orow[c] += alpha * srow[c];
+    }
+  }
+
+  return Variable::FromOp(
+      std::move(out), {s, p, q},
+      [graph = std::move(graph), state, sv, negative_slope,
+       d](AutogradNode& self) {
+        const int num_nodes = graph->num_nodes();
+        const auto& rows = graph->row_ptr();
+        const auto& cols = graph->col_idx();
+        const float* g = self.grad.data();
+        const bool need_s = self.inputs[0]->requires_grad;
+        const bool need_p = self.inputs[1]->requires_grad;
+        const bool need_q = self.inputs[2]->requires_grad;
+        Tensor gs = Tensor::Zeros(num_nodes, d);
+        Tensor gp = Tensor::Zeros(num_nodes, 1);
+        Tensor gq = Tensor::Zeros(num_nodes, 1);
+        std::vector<float> dalpha(state->attention.size());
+        for (int i = 0; i < num_nodes; ++i) {
+          const int64_t begin = rows[i], end = rows[i + 1];
+          if (begin == end) continue;
+          const float* grow = g + static_cast<size_t>(i) * d;
+          // d out_i / d alpha_ij = g_i . s_j; d out_i / d s_j = alpha g_i.
+          double weighted_sum = 0.0;  // sum_k alpha_ik * dalpha_ik
+          for (int64_t e = begin; e < end; ++e) {
+            const float* srow =
+                sv.data() + static_cast<size_t>(cols[e]) * d;
+            double dot = 0.0;
+            for (int c = 0; c < d; ++c) dot += grow[c] * srow[c];
+            dalpha[e] = static_cast<float>(dot);
+            weighted_sum += state->attention[e] * dot;
+            if (need_s) {
+              float* srcg = gs.data() + static_cast<size_t>(cols[e]) * d;
+              const float alpha = state->attention[e];
+              for (int c = 0; c < d; ++c) srcg[c] += alpha * grow[c];
+            }
+          }
+          if (!need_p && !need_q) continue;
+          for (int64_t e = begin; e < end; ++e) {
+            // Softmax backward within group i, then LeakyReLU backward.
+            const float de = state->attention[e] *
+                             (dalpha[e] - static_cast<float>(weighted_sum));
+            const float slope =
+                state->pre_activation[e] > 0.0f ? 1.0f : negative_slope;
+            const float dz = de * slope;
+            if (need_p) gp.data()[i] += dz;
+            if (need_q) gq.data()[cols[e]] += dz;
+          }
+        }
+        if (need_s) self.inputs[0]->AccumulateGrad(gs);
+        if (need_p) self.inputs[1]->AccumulateGrad(gp);
+        if (need_q) self.inputs[2]->AccumulateGrad(gq);
+      },
+      "GatAggregate");
+}
+
+}  // namespace vgod::ag

@@ -1,0 +1,47 @@
+#ifndef VGOD_GNN_GRAPH_AUTOGRAD_H_
+#define VGOD_GNN_GRAPH_AUTOGRAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/autograd.h"
+
+namespace vgod::ag {
+
+// Differentiable message-passing primitives. Backward passes are fused
+// edge-scatter kernels (no transpose materialization), so they work for
+// directed graphs such as the negative networks of paper Definition 4.
+// Each op holds a shared_ptr to the graph so the autograd tape keeps the
+// topology alive until Backward() runs.
+
+/// out[i] = sum_{j in N(i)} w(i->j) * h[j]. `edge_weights` aligned with the
+/// graph's CSR order; empty means all-ones. Gradient flows to h only (the
+/// weights are structural constants, e.g. GCN normalization).
+Variable Spmm(std::shared_ptr<const AttributedGraph> graph,
+              std::vector<float> edge_weights, const Variable& h);
+
+/// Mean over neighbors (paper Eq. 7 / MeanConv). Zero row for isolated
+/// nodes.
+Variable NeighborMean(std::shared_ptr<const AttributedGraph> graph,
+                      const Variable& h);
+
+/// n x 1 neighbor-variance score (paper Eq. 7-9): the structural outlier
+/// score of VBM. o_i = sum_c Var_{j in N_i}(h_jc); zero for isolated nodes.
+Variable NeighborVarianceScore(std::shared_ptr<const AttributedGraph> graph,
+                               const Variable& h);
+
+/// GAT aggregation (paper Eq. 3). Per node i the incoming messages from
+/// its neighbor list are combined with attention
+///   alpha_ij = softmax_{j in N_i}( LeakyReLU(p_i + q_j) ),
+///   out_i = sum_j alpha_ij s_j,
+/// where s = X W (n x d), p = s a_src and q = s a_dst are n x 1 projections.
+/// Gradients flow to s, p and q. Pass a self-looped graph for standard GAT
+/// semantics; isolated nodes yield zero rows.
+Variable GatAggregate(std::shared_ptr<const AttributedGraph> graph,
+                      const Variable& s, const Variable& p, const Variable& q,
+                      float negative_slope = 0.2f);
+
+}  // namespace vgod::ag
+
+#endif  // VGOD_GNN_GRAPH_AUTOGRAD_H_

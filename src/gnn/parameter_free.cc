@@ -1,0 +1,37 @@
+#include "gnn/parameter_free.h"
+
+#include "core/check.h"
+#include "graph/graph_ops.h"
+
+namespace vgod::gnn {
+
+Tensor MeanConv(const AttributedGraph& graph, const Tensor& h) {
+  return graph_ops::NeighborMean(graph, h);
+}
+
+Tensor MinusConv(const AttributedGraph& graph, const Tensor& h,
+                 const Tensor& neighbor_mean) {
+  VGOD_CHECK_EQ(h.rows(), graph.num_nodes());
+  VGOD_CHECK(neighbor_mean.SameShape(h));
+  const int n = graph.num_nodes();
+  const int d = h.cols();
+  Tensor out = Tensor::Zeros(n, 1);
+  for (int i = 0; i < n; ++i) {
+    const auto neighbors = graph.Neighbors(i);
+    if (neighbors.empty()) continue;
+    const float* mean_row =
+        neighbor_mean.data() + static_cast<size_t>(i) * d;
+    double acc = 0.0;
+    for (int32_t j : neighbors) {
+      const float* hrow = h.data() + static_cast<size_t>(j) * d;
+      for (int c = 0; c < d; ++c) {
+        const double diff = static_cast<double>(hrow[c]) - mean_row[c];
+        acc += diff * diff;
+      }
+    }
+    out.SetAt(i, 0, static_cast<float>(acc / neighbors.size()));
+  }
+  return out;
+}
+
+}  // namespace vgod::gnn

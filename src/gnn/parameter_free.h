@@ -1,0 +1,26 @@
+#ifndef VGOD_GNN_PARAMETER_FREE_H_
+#define VGOD_GNN_PARAMETER_FREE_H_
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace vgod::gnn {
+
+// The two parameter-free message-passing layers of paper Fig 5. VBM's
+// training path uses the fused autograd op ag::NeighborVarianceScore; these
+// explicit layers implement the same computation step by step and are used
+// to cross-validate the fused kernel in tests and to mirror the paper's
+// presentation.
+
+/// MeanConv (Fig 5a): out_i = (1/|N_i|) sum_{j in N_i} h_j (Eq. 7).
+Tensor MeanConv(const AttributedGraph& graph, const Tensor& h);
+
+/// MinusConv (Fig 5b): given h and the MeanConv output, computes the
+/// per-node variance vector var(v_i) (Eq. 8) and returns its L1 norm per
+/// node as an n x 1 score (Eq. 9).
+Tensor MinusConv(const AttributedGraph& graph, const Tensor& h,
+                 const Tensor& neighbor_mean);
+
+}  // namespace vgod::gnn
+
+#endif  // VGOD_GNN_PARAMETER_FREE_H_

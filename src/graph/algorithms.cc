@@ -1,0 +1,179 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "core/check.h"
+
+namespace vgod::graph_algorithms {
+
+std::vector<int> ConnectedComponents(const AttributedGraph& graph) {
+  const int n = graph.num_nodes();
+  std::vector<int> component(n, -1);
+  int next_component = 0;
+  std::deque<int> frontier;
+  for (int start = 0; start < n; ++start) {
+    if (component[start] != -1) continue;
+    component[start] = next_component;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      const int node = frontier.front();
+      frontier.pop_front();
+      for (int32_t neighbor : graph.Neighbors(node)) {
+        if (component[neighbor] == -1) {
+          component[neighbor] = next_component;
+          frontier.push_back(neighbor);
+        }
+      }
+    }
+    ++next_component;
+  }
+  return component;
+}
+
+int NumConnectedComponents(const AttributedGraph& graph) {
+  const std::vector<int> component = ConnectedComponents(graph);
+  int max_id = -1;
+  for (int id : component) max_id = std::max(max_id, id);
+  return max_id + 1;
+}
+
+std::vector<int64_t> TriangleCounts(const AttributedGraph& graph) {
+  const int n = graph.num_nodes();
+  std::vector<int64_t> triangles(n, 0);
+  // For each edge (u, v) with u < v, intersect sorted neighbor lists and
+  // count common neighbors w > v to count each triangle exactly once.
+  for (int u = 0; u < n; ++u) {
+    const auto neighbors_u = graph.Neighbors(u);
+    for (int32_t v : neighbors_u) {
+      if (v <= u) continue;
+      const auto neighbors_v = graph.Neighbors(v);
+      size_t i = 0, j = 0;
+      while (i < neighbors_u.size() && j < neighbors_v.size()) {
+        const int32_t a = neighbors_u[i], b = neighbors_v[j];
+        if (a < b) {
+          ++i;
+        } else if (b < a) {
+          ++j;
+        } else {
+          if (a > v) {
+            ++triangles[u];
+            ++triangles[v];
+            ++triangles[a];
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+std::vector<double> LocalClusteringCoefficients(
+    const AttributedGraph& graph) {
+  const std::vector<int64_t> triangles = TriangleCounts(graph);
+  std::vector<double> coefficients(graph.num_nodes(), 0.0);
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const int64_t degree = graph.Degree(i);
+    if (degree < 2) continue;
+    coefficients[i] =
+        2.0 * triangles[i] / (static_cast<double>(degree) * (degree - 1));
+  }
+  return coefficients;
+}
+
+double GlobalClusteringCoefficient(const AttributedGraph& graph) {
+  const std::vector<int64_t> triangles = TriangleCounts(graph);
+  int64_t closed = 0;
+  int64_t wedges = 0;
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    closed += triangles[i];  // Sum over nodes = 3 * #triangles already.
+    const int64_t degree = graph.Degree(i);
+    wedges += degree * (degree - 1) / 2;
+  }
+  return wedges == 0 ? 0.0 : static_cast<double>(closed) / wedges;
+}
+
+std::vector<int> CoreNumbers(const AttributedGraph& graph) {
+  const int n = graph.num_nodes();
+  std::vector<int> degree(n);
+  int max_degree = 0;
+  for (int i = 0; i < n; ++i) {
+    degree[i] = graph.Degree(i);
+    max_degree = std::max(max_degree, degree[i]);
+  }
+  // Bucket sort nodes by degree (Batagelj-Zaversnik peeling).
+  std::vector<int> bucket_start(max_degree + 2, 0);
+  for (int i = 0; i < n; ++i) ++bucket_start[degree[i] + 1];
+  for (int d = 1; d <= max_degree + 1; ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<int> sorted(n), position(n);
+  std::vector<int> cursor(bucket_start.begin(), bucket_start.end() - 1);
+  for (int i = 0; i < n; ++i) {
+    position[i] = cursor[degree[i]]++;
+    sorted[position[i]] = i;
+  }
+  std::vector<int> core = degree;
+  std::vector<int> bin_ptr(bucket_start.begin(), bucket_start.end() - 1);
+  for (int idx = 0; idx < n; ++idx) {
+    const int node = sorted[idx];
+    for (int32_t neighbor : graph.Neighbors(node)) {
+      if (core[neighbor] <= core[node]) continue;
+      // Move the neighbor one bucket down: swap it with the first node of
+      // its current bucket, then shrink the bucket.
+      const int deg_v = core[neighbor];
+      const int first_pos = bin_ptr[deg_v];
+      const int first_node = sorted[first_pos];
+      if (first_node != neighbor) {
+        std::swap(sorted[position[neighbor]], sorted[first_pos]);
+        std::swap(position[neighbor], position[first_node]);
+      }
+      ++bin_ptr[deg_v];
+      --core[neighbor];
+    }
+  }
+  return core;
+}
+
+Tensor StructuralFeatureMatrix(const AttributedGraph& graph) {
+  const int n = graph.num_nodes();
+  const std::vector<int64_t> triangles = TriangleCounts(graph);
+  const std::vector<double> clustering =
+      LocalClusteringCoefficients(graph);
+  const std::vector<int> cores = CoreNumbers(graph);
+
+  Tensor features(n, 5);
+  for (int i = 0; i < n; ++i) {
+    const double degree = graph.Degree(i);
+    features.SetAt(i, 0, static_cast<float>(degree));
+    features.SetAt(i, 1, static_cast<float>(triangles[i]));
+    features.SetAt(i, 2, static_cast<float>(degree * (degree - 1) / 2.0));
+    features.SetAt(i, 3, static_cast<float>(clustering[i]));
+    features.SetAt(i, 4, static_cast<float>(cores[i]));
+  }
+  // Column z-scoring keeps the AE loss from being dominated by the
+  // heavy-tailed triangle/wedge counts.
+  for (int c = 0; c < features.cols(); ++c) {
+    double mean = 0.0;
+    for (int i = 0; i < n; ++i) mean += features.At(i, c);
+    mean /= std::max(1, n);
+    double variance = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double diff = features.At(i, c) - mean;
+      variance += diff * diff;
+    }
+    const double stddev = std::sqrt(variance / std::max(1, n));
+    for (int i = 0; i < n; ++i) {
+      const float value =
+          stddev > 0 ? static_cast<float>((features.At(i, c) - mean) / stddev)
+                     : 0.0f;
+      features.SetAt(i, c, value);
+    }
+  }
+  return features;
+}
+
+}  // namespace vgod::graph_algorithms

@@ -1,0 +1,43 @@
+#ifndef VGOD_GRAPH_ALGORITHMS_H_
+#define VGOD_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace vgod::graph_algorithms {
+
+/// Component id (0-based, dense) per node via BFS over the undirected
+/// structure. Isolated nodes get their own components.
+std::vector<int> ConnectedComponents(const AttributedGraph& graph);
+
+int NumConnectedComponents(const AttributedGraph& graph);
+
+/// Number of triangles through each node (each triangle counted once per
+/// member). Uses sorted-adjacency intersection; O(sum_deg^2 / ...) — fine
+/// for the sparse graphs this library targets.
+std::vector<int64_t> TriangleCounts(const AttributedGraph& graph);
+
+/// Local clustering coefficient per node: triangles / (deg choose 2);
+/// zero for degree < 2.
+std::vector<double> LocalClusteringCoefficients(const AttributedGraph& graph);
+
+/// Transitivity: 3 * triangles / wedges over the whole graph.
+double GlobalClusteringCoefficient(const AttributedGraph& graph);
+
+/// Core number per node (largest k such that the node is in the k-core),
+/// by the standard O(V + E) peeling algorithm.
+std::vector<int> CoreNumbers(const AttributedGraph& graph);
+
+/// Per-node higher-order structural feature matrix used by the GUIDE
+/// baseline in place of raw adjacency rows: columns are
+///   [degree, triangle count, wedge count, local clustering, core number],
+/// each column z-scored across nodes. Injected cliques light up the
+/// triangle/clustering columns far more than organic neighborhoods do.
+Tensor StructuralFeatureMatrix(const AttributedGraph& graph);
+
+}  // namespace vgod::graph_algorithms
+
+#endif  // VGOD_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,169 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/check.h"
+
+namespace vgod {
+
+Result<AttributedGraph> AttributedGraph::FromEdgeList(
+    int num_nodes, const std::vector<std::pair<int, int>>& edges,
+    Tensor attributes, bool make_undirected) {
+  GraphBuilder builder(num_nodes);
+  builder.SetUndirected(make_undirected);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  if (attributes.defined()) builder.SetAttributes(std::move(attributes));
+  return builder.Build();
+}
+
+double AttributedGraph::AverageDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return static_cast<double>(num_directed_edges()) / num_nodes_;
+}
+
+bool AttributedGraph::HasEdge(int u, int v) const {
+  VGOD_CHECK(u >= 0 && u < num_nodes_);
+  VGOD_CHECK(v >= 0 && v < num_nodes_);
+  const auto neighbors = Neighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+void AttributedGraph::SetAttributes(Tensor attributes) {
+  VGOD_CHECK_EQ(attributes.rows(), num_nodes_);
+  attributes_ = std::move(attributes);
+}
+
+void AttributedGraph::SetCommunities(std::vector<int> communities) {
+  VGOD_CHECK_EQ(static_cast<int>(communities.size()), num_nodes_);
+  communities_ = std::move(communities);
+}
+
+int AttributedGraph::NumCommunities() const {
+  int max_label = -1;
+  for (int label : communities_) max_label = std::max(max_label, label);
+  return max_label + 1;
+}
+
+void AttributedGraph::SetOutlierLabels(std::vector<uint8_t> labels) {
+  VGOD_CHECK_EQ(static_cast<int>(labels.size()), num_nodes_);
+  outlier_labels_ = std::move(labels);
+}
+
+AttributedGraph AttributedGraph::WithSelfLoops() const {
+  AttributedGraph out;
+  out.num_nodes_ = num_nodes_;
+  out.attributes_ = attributes_;
+  out.communities_ = communities_;
+  out.outlier_labels_ = outlier_labels_;
+  out.row_ptr_.assign(num_nodes_ + 1, 0);
+  out.col_idx_.reserve(col_idx_.size() + num_nodes_);
+  for (int i = 0; i < num_nodes_; ++i) {
+    const auto neighbors = Neighbors(i);
+    bool inserted = false;
+    for (int32_t j : neighbors) {
+      if (!inserted && j >= i) {
+        if (j != i) out.col_idx_.push_back(i);
+        inserted = true;
+      }
+      out.col_idx_.push_back(j);
+    }
+    if (!inserted) out.col_idx_.push_back(i);
+    out.row_ptr_[i + 1] = static_cast<int64_t>(out.col_idx_.size());
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> AttributedGraph::UndirectedEdgeList() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(col_idx_.size() / 2);
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (int32_t v : Neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+GraphBuilder& GraphBuilder::AddEdge(int u, int v) {
+  edges_.emplace_back(u, v);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::SetAttributes(Tensor attributes) {
+  attributes_ = std::move(attributes);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::SetCommunities(std::vector<int> communities) {
+  communities_ = std::move(communities);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::SetOutlierLabels(std::vector<uint8_t> labels) {
+  outlier_labels_ = std::move(labels);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::SetUndirected(bool undirected) {
+  undirected_ = undirected;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::SetKeepSelfLoops(bool keep) {
+  keep_self_loops_ = keep;
+  return *this;
+}
+
+Result<AttributedGraph> GraphBuilder::Build() {
+  if (num_nodes_ < 0) {
+    return Status::InvalidArgument("num_nodes must be non-negative");
+  }
+  if (attributes_.defined() && attributes_.rows() != num_nodes_) {
+    return Status::InvalidArgument(
+        "attribute rows (" + std::to_string(attributes_.rows()) +
+        ") != num_nodes (" + std::to_string(num_nodes_) + ")");
+  }
+  if (!communities_.empty() &&
+      static_cast<int>(communities_.size()) != num_nodes_) {
+    return Status::InvalidArgument("community label size != num_nodes");
+  }
+  if (!outlier_labels_.empty() &&
+      static_cast<int>(outlier_labels_.size()) != num_nodes_) {
+    return Status::InvalidArgument("outlier label size != num_nodes");
+  }
+
+  std::vector<std::pair<int, int>> directed;
+  directed.reserve(edges_.size() * (undirected_ ? 2 : 1));
+  for (const auto& [u, v] : edges_) {
+    if (u < 0 || u >= num_nodes_ || v < 0 || v >= num_nodes_) {
+      return Status::OutOfRange("edge (" + std::to_string(u) + "," +
+                                std::to_string(v) + ") out of range [0," +
+                                std::to_string(num_nodes_) + ")");
+    }
+    if (u == v && !keep_self_loops_) continue;
+    directed.emplace_back(u, v);
+    if (undirected_ && u != v) directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  AttributedGraph graph;
+  graph.num_nodes_ = num_nodes_;
+  graph.row_ptr_.assign(num_nodes_ + 1, 0);
+  graph.col_idx_.reserve(directed.size());
+  for (const auto& [u, v] : directed) {
+    graph.row_ptr_[u + 1]++;
+    graph.col_idx_.push_back(v);
+  }
+  for (int i = 0; i < num_nodes_; ++i) {
+    graph.row_ptr_[i + 1] += graph.row_ptr_[i];
+  }
+  graph.attributes_ = std::move(attributes_);
+  graph.communities_ = std::move(communities_);
+  graph.outlier_labels_ = std::move(outlier_labels_);
+  return graph;
+}
+
+}  // namespace vgod

@@ -1,0 +1,137 @@
+#ifndef VGOD_GRAPH_GRAPH_H_
+#define VGOD_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace vgod {
+
+/// An attributed network G = (V, E, X) (paper Definition 1) stored in CSR.
+///
+/// Edges are stored *directed*: an undirected graph stores both (u,v) and
+/// (v,u). Column indices within each row are sorted, enabling binary-search
+/// HasEdge. Attributes are an n x d dense matrix; community labels (for the
+/// node-classification-based injection of paper §VI-D) and outlier labels
+/// (ground truth for evaluation) are optional per-node vectors.
+///
+/// Construction goes through GraphBuilder or FromEdgeList, which validate
+/// indices, deduplicate, sort, and optionally symmetrize.
+class AttributedGraph {
+ public:
+  AttributedGraph() = default;
+
+  /// Validated construction. `edges` may contain duplicates; they are
+  /// removed. Self loops in the input are dropped (use WithSelfLoops() to
+  /// add the paper's Eq. 13 self-loop technique explicitly). When
+  /// `make_undirected` is true each edge is mirrored.
+  static Result<AttributedGraph> FromEdgeList(
+      int num_nodes, const std::vector<std::pair<int, int>>& edges,
+      Tensor attributes, bool make_undirected = true);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Number of stored (directed) edges. For an undirected graph this is
+  /// twice the edge count usually reported in dataset tables.
+  int64_t num_directed_edges() const {
+    return static_cast<int64_t>(col_idx_.size());
+  }
+
+  /// Out-degree of `node` (== degree for undirected graphs).
+  int Degree(int node) const {
+    return static_cast<int>(row_ptr_[node + 1] - row_ptr_[node]);
+  }
+
+  double AverageDegree() const;
+
+  /// Sorted neighbor list of `node`.
+  std::span<const int32_t> Neighbors(int node) const {
+    return {col_idx_.data() + row_ptr_[node],
+            static_cast<size_t>(row_ptr_[node + 1] - row_ptr_[node])};
+  }
+
+  /// True if the directed edge (u, v) is present (binary search).
+  bool HasEdge(int u, int v) const;
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+
+  bool has_attributes() const { return attributes_.defined(); }
+  const Tensor& attributes() const { return attributes_; }
+  int attribute_dim() const {
+    return attributes_.defined() ? attributes_.cols() : 0;
+  }
+
+  /// Replaces the attribute matrix (rows must equal num_nodes).
+  void SetAttributes(Tensor attributes);
+
+  bool has_communities() const { return !communities_.empty(); }
+  const std::vector<int>& communities() const { return communities_; }
+  void SetCommunities(std::vector<int> communities);
+  int NumCommunities() const;
+
+  bool has_outlier_labels() const { return !outlier_labels_.empty(); }
+  /// 1 = outlier, 0 = normal. Size num_nodes when present.
+  const std::vector<uint8_t>& outlier_labels() const {
+    return outlier_labels_;
+  }
+  void SetOutlierLabels(std::vector<uint8_t> labels);
+
+  /// Copy of this graph with a self-loop added to every node (Eq. 13).
+  /// Idempotent: existing self loops are not duplicated.
+  AttributedGraph WithSelfLoops() const;
+
+  /// Unique undirected edges as (u, v) with u < v. Self loops excluded.
+  std::vector<std::pair<int, int>> UndirectedEdgeList() const;
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<int64_t> row_ptr_ = {0};
+  std::vector<int32_t> col_idx_;
+  Tensor attributes_;
+  std::vector<int> communities_;
+  std::vector<uint8_t> outlier_labels_;
+
+  friend class GraphBuilder;
+};
+
+/// Incremental construction of an AttributedGraph. Collects edges (with
+/// duplicates allowed), then Build() validates and assembles CSR.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds edge (u, v); mirrored at Build() time if undirected.
+  GraphBuilder& AddEdge(int u, int v);
+
+  GraphBuilder& SetAttributes(Tensor attributes);
+  GraphBuilder& SetCommunities(std::vector<int> communities);
+  GraphBuilder& SetOutlierLabels(std::vector<uint8_t> labels);
+
+  /// When false, edges are stored exactly as added (used for negative
+  /// networks where each node owns its own sampled neighbor set). Default
+  /// true.
+  GraphBuilder& SetUndirected(bool undirected);
+
+  /// When true, self loops in the input are kept. Default false.
+  GraphBuilder& SetKeepSelfLoops(bool keep);
+
+  Result<AttributedGraph> Build();
+
+ private:
+  int num_nodes_;
+  bool undirected_ = true;
+  bool keep_self_loops_ = false;
+  std::vector<std::pair<int, int>> edges_;
+  Tensor attributes_;
+  std::vector<int> communities_;
+  std::vector<uint8_t> outlier_labels_;
+};
+
+}  // namespace vgod
+
+#endif  // VGOD_GRAPH_GRAPH_H_

@@ -1,0 +1,136 @@
+#include "graph/graph_ops.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace vgod::graph_ops {
+
+Tensor DegreeVector(const AttributedGraph& graph) {
+  Tensor out(graph.num_nodes(), 1);
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    out.SetAt(i, 0, static_cast<float>(graph.Degree(i)));
+  }
+  return out;
+}
+
+std::vector<float> GcnNormWeights(const AttributedGraph& graph) {
+  const int n = graph.num_nodes();
+  std::vector<float> inv_sqrt_deg(n);
+  for (int i = 0; i < n; ++i) {
+    const int deg = graph.Degree(i);
+    inv_sqrt_deg[i] =
+        deg > 0 ? 1.0f / std::sqrt(static_cast<float>(deg)) : 0.0f;
+  }
+  std::vector<float> weights(graph.num_directed_edges());
+  int64_t e = 0;
+  for (int u = 0; u < n; ++u) {
+    for (int32_t v : graph.Neighbors(u)) {
+      weights[e++] = inv_sqrt_deg[u] * inv_sqrt_deg[v];
+    }
+  }
+  return weights;
+}
+
+Tensor Spmm(const AttributedGraph& graph,
+            const std::vector<float>& edge_weights, const Tensor& h) {
+  VGOD_CHECK_EQ(h.rows(), graph.num_nodes());
+  if (!edge_weights.empty()) {
+    VGOD_CHECK_EQ(static_cast<int64_t>(edge_weights.size()),
+                  graph.num_directed_edges());
+  }
+  const int n = graph.num_nodes();
+  const int d = h.cols();
+  Tensor out = Tensor::Zeros(n, d);
+  const float* src = h.data();
+  float* dst = out.data();
+  const auto& row_ptr = graph.row_ptr();
+  const auto& col_idx = graph.col_idx();
+  for (int i = 0; i < n; ++i) {
+    float* orow = dst + static_cast<size_t>(i) * d;
+    for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      const float w = edge_weights.empty() ? 1.0f : edge_weights[e];
+      const float* hrow = src + static_cast<size_t>(col_idx[e]) * d;
+      for (int j = 0; j < d; ++j) orow[j] += w * hrow[j];
+    }
+  }
+  return out;
+}
+
+Tensor NeighborMean(const AttributedGraph& graph, const Tensor& h) {
+  Tensor sum = Spmm(graph, {}, h);
+  const int n = graph.num_nodes();
+  const int d = h.cols();
+  for (int i = 0; i < n; ++i) {
+    const int deg = graph.Degree(i);
+    if (deg == 0) continue;
+    const float inv = 1.0f / static_cast<float>(deg);
+    float* row = sum.data() + static_cast<size_t>(i) * d;
+    for (int j = 0; j < d; ++j) row[j] *= inv;
+  }
+  return sum;
+}
+
+Tensor NeighborVarianceScore(const AttributedGraph& graph, const Tensor& h) {
+  VGOD_CHECK_EQ(h.rows(), graph.num_nodes());
+  const int n = graph.num_nodes();
+  const int d = h.cols();
+  const Tensor mean = NeighborMean(graph, h);
+  Tensor out = Tensor::Zeros(n, 1);
+  const float* src = h.data();
+  const float* mu = mean.data();
+  for (int i = 0; i < n; ++i) {
+    const auto neighbors = graph.Neighbors(i);
+    if (neighbors.empty()) continue;
+    const float* mrow = mu + static_cast<size_t>(i) * d;
+    double acc = 0.0;
+    for (int32_t j : neighbors) {
+      const float* hrow = src + static_cast<size_t>(j) * d;
+      for (int c = 0; c < d; ++c) {
+        const double diff = static_cast<double>(hrow[c]) - mrow[c];
+        acc += diff * diff;
+      }
+    }
+    out.SetAt(i, 0, static_cast<float>(acc / neighbors.size()));
+  }
+  return out;
+}
+
+double EdgeHomophily(const AttributedGraph& graph) {
+  VGOD_CHECK(graph.has_communities());
+  const auto& labels = graph.communities();
+  int64_t same = 0;
+  int64_t total = 0;
+  for (int u = 0; u < graph.num_nodes(); ++u) {
+    for (int32_t v : graph.Neighbors(u)) {
+      ++total;
+      if (labels[u] == labels[v]) ++same;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(same) / total;
+}
+
+Tensor DenseAdjacency(const AttributedGraph& graph) {
+  const int n = graph.num_nodes();
+  Tensor out = Tensor::Zeros(n, n);
+  for (int u = 0; u < n; ++u) {
+    float* row = out.data() + static_cast<size_t>(u) * n;
+    for (int32_t v : graph.Neighbors(u)) row[v] = 1.0f;
+  }
+  return out;
+}
+
+Tensor RowNormalizeAttributes(const Tensor& attributes, float eps) {
+  Tensor out = attributes.Clone();
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.data() + static_cast<size_t>(i) * out.cols();
+    double sum = 0.0;
+    for (int j = 0; j < out.cols(); ++j) sum += std::fabs(row[j]);
+    if (sum <= eps) continue;
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int j = 0; j < out.cols(); ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+}  // namespace vgod::graph_ops

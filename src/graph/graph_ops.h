@@ -1,0 +1,50 @@
+#ifndef VGOD_GRAPH_GRAPH_OPS_H_
+#define VGOD_GRAPH_GRAPH_OPS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace vgod::graph_ops {
+
+/// n x 1 tensor of node degrees. The structural leakage probe of the
+/// paper's DegNorm baseline (Eq. 20).
+Tensor DegreeVector(const AttributedGraph& graph);
+
+/// Per-directed-edge weights for the GCN propagation rule (Eq. 2):
+/// w(u->v) = 1 / sqrt(deg(u) * deg(v)), aligned with the graph's CSR order.
+/// Call on a graph that already includes self loops for the standard
+/// "renormalization trick".
+std::vector<float> GcnNormWeights(const AttributedGraph& graph);
+
+/// Sparse-dense product: out[i] = sum_{j in N(i)} w(i->j) * h[j].
+/// `edge_weights` aligned with CSR order, or empty for all-ones.
+Tensor Spmm(const AttributedGraph& graph,
+            const std::vector<float>& edge_weights, const Tensor& h);
+
+/// Mean of neighbor rows (paper Eq. 7, the MeanConv layer). Nodes with no
+/// neighbors get a zero row.
+Tensor NeighborMean(const AttributedGraph& graph, const Tensor& h);
+
+/// n x 1 neighbor-variance score (paper Eq. 7-9, the MeanConv+MinusConv
+/// composition): o_i = || (1/|N_i|) sum_{j in N_i} (h_j - mean_i)^2 ||_1.
+/// Nodes with no neighbors score 0.
+Tensor NeighborVarianceScore(const AttributedGraph& graph, const Tensor& h);
+
+/// Fraction of directed edges whose endpoints share a community label
+/// (edge homophily, as reported for Weibo in paper §VI-E4). Requires
+/// community labels.
+double EdgeHomophily(const AttributedGraph& graph);
+
+/// Dense adjacency matrix (n x n, 1.0 where a directed edge exists). Used
+/// by reconstruction baselines; intended for the bench-scale graphs only.
+Tensor DenseAdjacency(const AttributedGraph& graph);
+
+/// Attributes divided by their row sums (the paper's row normalization for
+/// Weibo). Rows summing to <= eps are left unchanged.
+Tensor RowNormalizeAttributes(const Tensor& attributes, float eps = 1e-12f);
+
+}  // namespace vgod::graph_ops
+
+#endif  // VGOD_GRAPH_GRAPH_OPS_H_

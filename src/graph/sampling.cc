@@ -1,0 +1,100 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace vgod {
+
+AttributedGraph BuildNegativeGraph(const AttributedGraph& graph, Rng* rng) {
+  const int n = graph.num_nodes();
+  GraphBuilder builder(n);
+  builder.SetUndirected(false);
+  for (int i = 0; i < n; ++i) {
+    const auto neighbors = graph.Neighbors(i);
+    const int degree = static_cast<int>(neighbors.size());
+    if (degree == 0) continue;
+    // Forbidden set: existing neighbors plus the node itself.
+    std::unordered_set<int> forbidden(neighbors.begin(), neighbors.end());
+    forbidden.insert(i);
+    // Degenerate case: nearly-complete neighborhoods leave nothing to
+    // sample. Cap at the number of available non-neighbors.
+    const int available = n - static_cast<int>(forbidden.size());
+    const int want = std::min(degree, available);
+    int added = 0;
+    // Rejection sampling; neighbor sets are tiny relative to n in the
+    // sparse graphs this library targets, so rejections are rare.
+    std::unordered_set<int> chosen;
+    while (added < want) {
+      const int candidate = static_cast<int>(rng->UniformInt(n));
+      if (forbidden.count(candidate) || !chosen.insert(candidate).second) {
+        continue;
+      }
+      builder.AddEdge(i, candidate);
+      ++added;
+    }
+  }
+  builder.SetAttributes(graph.attributes());
+  Result<AttributedGraph> result = builder.Build();
+  VGOD_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+std::vector<int> RandomWalk(const AttributedGraph& graph, int start,
+                            int length, Rng* rng) {
+  VGOD_CHECK(start >= 0 && start < graph.num_nodes());
+  std::vector<int> walk;
+  walk.reserve(length + 1);
+  walk.push_back(start);
+  int current = start;
+  for (int step = 0; step < length; ++step) {
+    const auto neighbors = graph.Neighbors(current);
+    if (!neighbors.empty()) {
+      current = neighbors[rng->UniformInt(neighbors.size())];
+    }
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+BlockDiagonalBatch MakeBlockDiagonalBatch(
+    const AttributedGraph& source, const std::vector<std::vector<int>>& groups) {
+  int total_nodes = 0;
+  std::vector<int> offsets;
+  offsets.reserve(groups.size());
+  for (const auto& group : groups) {
+    offsets.push_back(total_nodes);
+    total_nodes += static_cast<int>(group.size());
+  }
+
+  GraphBuilder builder(total_nodes);
+  const int d = source.attribute_dim();
+  Tensor attrs = Tensor::Zeros(total_nodes, d);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const auto& group = groups[g];
+    const int base = offsets[g];
+    for (size_t a = 0; a < group.size(); ++a) {
+      VGOD_CHECK(group[a] >= 0 && group[a] < source.num_nodes());
+      if (d > 0) {
+        const float* src = source.attributes().data() +
+                           static_cast<size_t>(group[a]) * d;
+        float* dst = attrs.data() + static_cast<size_t>(base + a) * d;
+        std::copy(src, src + d, dst);
+      }
+      // Induced edges within the group (upper triangle; builder mirrors).
+      for (size_t b = a + 1; b < group.size(); ++b) {
+        if (source.HasEdge(group[a], group[b])) {
+          builder.AddEdge(base + static_cast<int>(a),
+                          base + static_cast<int>(b));
+        }
+      }
+    }
+  }
+  builder.SetAttributes(std::move(attrs));
+  Result<AttributedGraph> built = builder.Build();
+  VGOD_CHECK(built.ok()) << built.status().ToString();
+  return BlockDiagonalBatch{std::move(built).value(), std::move(offsets)};
+}
+
+}  // namespace vgod

@@ -1,0 +1,42 @@
+#ifndef VGOD_GRAPH_SAMPLING_H_
+#define VGOD_GRAPH_SAMPLING_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "graph/graph.h"
+
+namespace vgod {
+
+/// Builds the negative network G(-) of paper Definitions 3-4: for every
+/// node i, samples Degree(i) "negative neighbors" uniformly from
+/// V \ (N_i + {i}). The result is a *directed* graph (each node owns its own
+/// sampled neighbor set) carrying the same attributes. Regenerated every
+/// training epoch by VBM.
+AttributedGraph BuildNegativeGraph(const AttributedGraph& graph, Rng* rng);
+
+/// Uniform random walk of `length` steps starting at `start` (start
+/// included in the result; the walk stays at the current node when it has
+/// no neighbors). Used by the CoLA baseline's subgraph sampler.
+std::vector<int> RandomWalk(const AttributedGraph& graph, int start,
+                            int length, Rng* rng);
+
+/// A batch of node groups packed into one block-diagonal graph: edges are
+/// the induced subgraph edges within each group, node r of group g becomes
+/// row `group_offsets[g] + r`. Lets per-subgraph GNNs (CoLA) run as a
+/// single SpMM over the batch.
+struct BlockDiagonalBatch {
+  AttributedGraph graph;
+  /// Row offset of each group's first node in the batched graph.
+  std::vector<int> group_offsets;
+};
+
+/// Packs `groups` (lists of node ids in `source`) into one batched graph,
+/// copying each node's attribute row. Duplicate nodes across groups get
+/// independent rows.
+BlockDiagonalBatch MakeBlockDiagonalBatch(
+    const AttributedGraph& source, const std::vector<std::vector<int>>& groups);
+
+}  // namespace vgod
+
+#endif  // VGOD_GRAPH_SAMPLING_H_

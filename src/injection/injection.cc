@@ -1,0 +1,281 @@
+#include "injection/injection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace vgod::injection {
+namespace {
+
+/// Distance between attribute rows `a` and `b` of `attrs`.
+double RowDistance(const Tensor& attrs, int a, int b, DistanceKind kind) {
+  const int d = attrs.cols();
+  const float* ra = attrs.data() + static_cast<size_t>(a) * d;
+  const float* rb = attrs.data() + static_cast<size_t>(b) * d;
+  if (kind == DistanceKind::kEuclidean) {
+    double acc = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double diff = static_cast<double>(ra[j]) - rb[j];
+      acc += diff * diff;
+    }
+    return std::sqrt(acc);
+  }
+  // Cosine distance: 1 - cos(a, b); zero vectors treated as orthogonal.
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int j = 0; j < d; ++j) {
+    dot += static_cast<double>(ra[j]) * rb[j];
+    na += static_cast<double>(ra[j]) * ra[j];
+    nb += static_cast<double>(rb[j]) * rb[j];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 1.0;
+  return 1.0 - dot / std::sqrt(na * nb);
+}
+
+/// Uniformly samples `count` nodes that are not already marked in `taken`,
+/// marking them. Returns empty status error if not enough nodes remain.
+Result<std::vector<int>> TakeVictims(int num_nodes, int count,
+                                     std::vector<uint8_t>* taken, Rng* rng) {
+  std::vector<int> available;
+  available.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    if (!(*taken)[i]) available.push_back(i);
+  }
+  if (static_cast<int>(available.size()) < count) {
+    return Status::InvalidArgument(
+        "not enough normal nodes to inject: need " + std::to_string(count) +
+        ", have " + std::to_string(available.size()));
+  }
+  rng->Shuffle(&available);
+  available.resize(count);
+  for (int id : available) (*taken)[id] = 1;
+  return available;
+}
+
+std::vector<uint8_t> ExistingLabels(const AttributedGraph& graph) {
+  return graph.has_outlier_labels()
+             ? graph.outlier_labels()
+             : std::vector<uint8_t>(graph.num_nodes(), 0);
+}
+
+Result<AttributedGraph> Rebuild(const AttributedGraph& original,
+                                const std::vector<std::pair<int, int>>& edges,
+                                Tensor attrs,
+                                std::vector<uint8_t> combined_labels) {
+  GraphBuilder builder(original.num_nodes());
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  builder.SetAttributes(std::move(attrs));
+  if (original.has_communities()) {
+    builder.SetCommunities(original.communities());
+  }
+  builder.SetOutlierLabels(std::move(combined_labels));
+  return builder.Build();
+}
+
+std::vector<uint8_t> Or(const std::vector<uint8_t>& a,
+                        const std::vector<uint8_t>& b) {
+  std::vector<uint8_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] | b[i];
+  return out;
+}
+
+}  // namespace
+
+Result<InjectionResult> InjectStructuralOutliers(const AttributedGraph& graph,
+                                                 int num_cliques,
+                                                 int clique_size, Rng* rng) {
+  if (num_cliques <= 0 || clique_size < 2) {
+    return Status::InvalidArgument("need num_cliques > 0 and clique_size >= 2");
+  }
+  const int n = graph.num_nodes();
+  std::vector<uint8_t> taken = ExistingLabels(graph);
+  Result<std::vector<int>> victims =
+      TakeVictims(n, num_cliques * clique_size, &taken, rng);
+  if (!victims.ok()) return victims.status();
+
+  std::vector<std::pair<int, int>> edges = graph.UndirectedEdgeList();
+  std::vector<uint8_t> structural(n, 0);
+  for (int c = 0; c < num_cliques; ++c) {
+    const int base = c * clique_size;
+    for (int a = 0; a < clique_size; ++a) {
+      structural[victims.value()[base + a]] = 1;
+      for (int b = a + 1; b < clique_size; ++b) {
+        edges.emplace_back(victims.value()[base + a],
+                           victims.value()[base + b]);
+      }
+    }
+  }
+
+  InjectionResult result;
+  result.structural = structural;
+  result.contextual.assign(n, 0);
+  result.combined = Or(structural, ExistingLabels(graph));
+  Result<AttributedGraph> rebuilt = Rebuild(
+      graph, edges, graph.attributes().Clone(), result.combined);
+  if (!rebuilt.ok()) return rebuilt.status();
+  result.graph = std::move(rebuilt).value();
+  return result;
+}
+
+Result<InjectionResult> InjectContextualOutliers(const AttributedGraph& graph,
+                                                 int count,
+                                                 int candidate_set_size,
+                                                 DistanceKind distance,
+                                                 Rng* rng) {
+  if (count <= 0 || candidate_set_size <= 0) {
+    return Status::InvalidArgument("need count > 0 and candidate_set_size > 0");
+  }
+  const int n = graph.num_nodes();
+  if (candidate_set_size >= n) {
+    return Status::InvalidArgument("candidate set must be smaller than |V|");
+  }
+  std::vector<uint8_t> taken = ExistingLabels(graph);
+  Result<std::vector<int>> victims = TakeVictims(n, count, &taken, rng);
+  if (!victims.ok()) return victims.status();
+
+  // Replacements are computed against the *original* attributes (all
+  // victims are chosen up front in the standard protocol), then applied.
+  const Tensor& original = graph.attributes();
+  Tensor attrs = original.Clone();
+  std::vector<uint8_t> contextual(n, 0);
+  for (int victim : victims.value()) {
+    contextual[victim] = 1;
+    int best = -1;
+    double best_distance = -1.0;
+    for (int t = 0; t < candidate_set_size; ++t) {
+      int candidate = static_cast<int>(rng->UniformInt(n));
+      while (candidate == victim) {
+        candidate = static_cast<int>(rng->UniformInt(n));
+      }
+      const double dist = RowDistance(original, candidate, victim, distance);
+      if (dist > best_distance) {
+        best_distance = dist;
+        best = candidate;
+      }
+    }
+    const int d = original.cols();
+    const float* src = original.data() + static_cast<size_t>(best) * d;
+    float* dst = attrs.data() + static_cast<size_t>(victim) * d;
+    std::copy(src, src + d, dst);
+  }
+
+  InjectionResult result;
+  result.structural.assign(n, 0);
+  result.contextual = contextual;
+  result.combined = Or(contextual, ExistingLabels(graph));
+  Result<AttributedGraph> rebuilt = Rebuild(graph, graph.UndirectedEdgeList(),
+                                            std::move(attrs), result.combined);
+  if (!rebuilt.ok()) return rebuilt.status();
+  result.graph = std::move(rebuilt).value();
+  return result;
+}
+
+Result<InjectionResult> InjectStandard(const AttributedGraph& graph,
+                                       int num_cliques, int clique_size,
+                                       int candidate_set_size, Rng* rng) {
+  Result<InjectionResult> structural =
+      InjectStructuralOutliers(graph, num_cliques, clique_size, rng);
+  if (!structural.ok()) return structural.status();
+  Result<InjectionResult> contextual = InjectContextualOutliers(
+      structural.value().graph, num_cliques * clique_size, candidate_set_size,
+      DistanceKind::kEuclidean, rng);
+  if (!contextual.ok()) return contextual.status();
+
+  InjectionResult result = std::move(contextual).value();
+  result.structural = structural.value().structural;
+  return result;
+}
+
+Result<InjectionResult> InjectStructuralByEdgeReplacement(
+    const AttributedGraph& graph, int count, Rng* rng) {
+  if (!graph.has_communities()) {
+    return Status::FailedPrecondition(
+        "edge-replacement injection requires community labels");
+  }
+  const int n = graph.num_nodes();
+  std::vector<uint8_t> taken = ExistingLabels(graph);
+  Result<std::vector<int>> victims = TakeVictims(n, count, &taken, rng);
+  if (!victims.ok()) return victims.status();
+  std::vector<uint8_t> structural(n, 0);
+  for (int v : victims.value()) structural[v] = 1;
+
+  const auto& communities = graph.communities();
+  // Per-community membership lists for uniform other-community sampling.
+  // Victims are excluded as targets so each victim's final degree equals
+  // its original degree exactly (the property this injection exists for).
+  const int num_communities = graph.NumCommunities();
+  std::vector<std::vector<int>> members(num_communities);
+  for (int i = 0; i < n; ++i) {
+    if (!structural[i]) members[communities[i]].push_back(i);
+  }
+
+  // Keep only edges with no victim endpoint, then rewire each victim with
+  // its original degree toward other communities.
+  std::vector<std::pair<int, int>> edges;
+  for (const auto& [u, v] : graph.UndirectedEdgeList()) {
+    if (!structural[u] && !structural[v]) edges.emplace_back(u, v);
+  }
+  for (int victim : victims.value()) {
+    const int degree = graph.Degree(victim);
+    const int own = communities[victim];
+    std::set<int> chosen;
+    int guard = 0;
+    while (static_cast<int>(chosen.size()) < degree && guard++ < degree * 200) {
+      int community = static_cast<int>(rng->UniformInt(num_communities));
+      if (community == own || members[community].empty()) continue;
+      const int target = members[community][rng->UniformInt(
+          static_cast<int64_t>(members[community].size()))];
+      if (target == victim) continue;
+      if (chosen.insert(target).second) edges.emplace_back(victim, target);
+    }
+  }
+
+  InjectionResult result;
+  result.structural = structural;
+  result.contextual.assign(n, 0);
+  result.combined = Or(structural, ExistingLabels(graph));
+  Result<AttributedGraph> rebuilt = Rebuild(
+      graph, edges, graph.attributes().Clone(), result.combined);
+  if (!rebuilt.ok()) return rebuilt.status();
+  result.graph = std::move(rebuilt).value();
+  return result;
+}
+
+Result<GroupedInjectionResult> InjectCliqueSizeGroups(
+    const AttributedGraph& graph, const std::vector<int>& clique_sizes,
+    int group_size, Rng* rng) {
+  const int n = graph.num_nodes();
+  std::vector<uint8_t> taken = ExistingLabels(graph);
+  std::vector<std::pair<int, int>> edges = graph.UndirectedEdgeList();
+
+  GroupedInjectionResult result;
+  result.combined = ExistingLabels(graph);
+  for (int q : clique_sizes) {
+    if (q < 2) return Status::InvalidArgument("clique size must be >= 2");
+    // Round the group to whole cliques covering >= group_size outliers.
+    const int cliques = (group_size + q - 1) / q;
+    Result<std::vector<int>> victims =
+        TakeVictims(n, cliques * q, &taken, rng);
+    if (!victims.ok()) return victims.status();
+    for (int c = 0; c < cliques; ++c) {
+      for (int a = 0; a < q; ++a) {
+        const int u = victims.value()[c * q + a];
+        result.combined[u] = 1;
+        for (int b = a + 1; b < q; ++b) {
+          edges.emplace_back(u, victims.value()[c * q + b]);
+        }
+      }
+    }
+    result.groups.push_back(std::move(victims).value());
+  }
+
+  Result<AttributedGraph> rebuilt = Rebuild(
+      graph, edges, graph.attributes().Clone(), result.combined);
+  if (!rebuilt.ok()) return rebuilt.status();
+  result.graph = std::move(rebuilt).value();
+  return result;
+}
+
+}  // namespace vgod::injection

@@ -1,0 +1,79 @@
+#ifndef VGOD_INJECTION_INJECTION_H_
+#define VGOD_INJECTION_INJECTION_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "graph/graph.h"
+
+namespace vgod::injection {
+
+/// Distance used when selecting the replacement attribute vector for a
+/// contextual outlier. The paper shows Euclidean distance is a key cause of
+/// the L2-norm data leakage (Theorem 1) and suggests cosine as a
+/// mitigation (Fig 3).
+enum class DistanceKind { kEuclidean, kCosine };
+
+/// Outcome of an injection: the perturbed graph plus per-type ground-truth
+/// labels. `graph.outlier_labels()` is set to `combined`.
+struct InjectionResult {
+  AttributedGraph graph;
+  std::vector<uint8_t> structural;  // 1 where the node is a structural outlier
+  std::vector<uint8_t> contextual;  // 1 where the node is a contextual outlier
+  std::vector<uint8_t> combined;    // structural OR contextual
+};
+
+/// Structural outlier injection of paper §IV-A1: `num_cliques` (p) cliques
+/// of `clique_size` (q) nodes each, chosen uniformly from nodes that are
+/// not already outliers, made fully connected. The chosen nodes keep their
+/// attributes; their degree jumps to >= q-1 — the leakage the paper
+/// analyzes.
+Result<InjectionResult> InjectStructuralOutliers(const AttributedGraph& graph,
+                                                 int num_cliques,
+                                                 int clique_size, Rng* rng);
+
+/// Contextual outlier injection of paper §IV-B1: for each of `count`
+/// victims, sample `candidate_set_size` (k) other nodes and replace the
+/// victim's attribute vector by the candidate's vector farthest away under
+/// `distance`. Large k + Euclidean distance biases replacements toward
+/// large L2 norms (Theorem 1).
+Result<InjectionResult> InjectContextualOutliers(const AttributedGraph& graph,
+                                                 int count,
+                                                 int candidate_set_size,
+                                                 DistanceKind distance,
+                                                 Rng* rng);
+
+/// The standard combined protocol used by the paper's UNOD experiment
+/// (§VI-B1): p*q structural outliers, then an equal number of contextual
+/// outliers on disjoint victims, with k=candidate_set_size and Euclidean
+/// distance.
+Result<InjectionResult> InjectStandard(const AttributedGraph& graph,
+                                       int num_cliques, int clique_size,
+                                       int candidate_set_size, Rng* rng);
+
+/// The paper's new leakage-free structural injection (§VI-D1): each
+/// victim's neighbors are replaced by nodes sampled uniformly from *other*
+/// communities; the victim's degree is unchanged. Requires community
+/// labels. `count` victims (the paper uses 10% of nodes).
+Result<InjectionResult> InjectStructuralByEdgeReplacement(
+    const AttributedGraph& graph, int count, Rng* rng);
+
+/// Multi-group structural injection for the clique-size sweep of paper
+/// §VI-C1: one group of structural outliers per entry of `clique_sizes`,
+/// each group holding `group_size` outliers (the paper uses 2% of |V|).
+struct GroupedInjectionResult {
+  AttributedGraph graph;
+  /// groups[g] lists the outlier node ids injected with clique size
+  /// clique_sizes[g].
+  std::vector<std::vector<int>> groups;
+  std::vector<uint8_t> combined;
+};
+
+Result<GroupedInjectionResult> InjectCliqueSizeGroups(
+    const AttributedGraph& graph, const std::vector<int>& clique_sizes,
+    int group_size, Rng* rng);
+
+}  // namespace vgod::injection
+
+#endif  // VGOD_INJECTION_INJECTION_H_

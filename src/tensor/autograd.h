@@ -1,0 +1,112 @@
+#ifndef VGOD_TENSOR_AUTOGRAD_H_
+#define VGOD_TENSOR_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace vgod {
+
+namespace internal {
+
+/// One node in the dynamic autograd tape. Holds the forward value, the
+/// (lazily allocated) gradient buffer, the input nodes, and a closure that
+/// propagates this node's gradient into its inputs.
+struct AutogradNode {
+  Tensor value;
+  Tensor grad;  // Undefined until first accumulation; same shape as value.
+  bool requires_grad = false;
+  bool is_leaf = true;
+  std::vector<std::shared_ptr<AutogradNode>> inputs;
+  /// Reads `self.grad` and accumulates into each input's grad. Null for
+  /// leaves and constants.
+  std::function<void(AutogradNode& self)> backward_fn;
+  const char* op_name = "leaf";
+
+  /// Accumulates `g` into this node's gradient buffer (allocating it first
+  /// if needed). No-op when requires_grad is false.
+  void AccumulateGrad(const Tensor& g);
+};
+
+}  // namespace internal
+
+/// A handle to a node in the autograd graph. Cheap to copy. Building blocks
+/// live in tensor/functional.h (elementwise/matrix ops) and
+/// gnn/graph_ops.h (message-passing ops).
+class Variable {
+ public:
+  /// An undefined variable (no node).
+  Variable() = default;
+
+  /// Trainable leaf: participates in gradients.
+  static Variable Parameter(Tensor value);
+
+  /// Non-trainable leaf: gradient never computed.
+  static Variable Constant(Tensor value);
+
+  /// Interior node produced by an op. `backward_fn` must accumulate into the
+  /// inputs' gradients using AccumulateGrad.
+  static Variable FromOp(Tensor value,
+                         std::vector<Variable> inputs,
+                         std::function<void(internal::AutogradNode&)> backward_fn,
+                         const char* op_name);
+
+  bool defined() const { return node_ != nullptr; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  const Tensor& value() const {
+    VGOD_CHECK(defined());
+    return node_->value;
+  }
+
+  /// Gradient buffer. Allocated (zero-filled) on first access.
+  Tensor& grad();
+
+  /// True if a gradient has been accumulated since the last ZeroGrad().
+  bool has_grad() const { return node_ && node_->grad.defined(); }
+
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  /// Clears the gradient buffer (keeps the allocation).
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this (scalar, 1 x 1) variable.
+  /// Gradients accumulate into every reachable parameter's grad buffer.
+  void Backward() const;
+
+  /// Replaces the stored value in place (used by optimizers). Shape must
+  /// match. Only meaningful on leaves.
+  void SetValue(const Tensor& value);
+
+  internal::AutogradNode* node() const { return node_.get(); }
+  std::shared_ptr<internal::AutogradNode> shared_node() const { return node_; }
+
+ private:
+  explicit Variable(std::shared_ptr<internal::AutogradNode> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<internal::AutogradNode> node_;
+};
+
+/// While alive, ops built through Variable::FromOp produce constants (no
+/// backward closures, no graph growth). Used during inference/scoring.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  static bool GradEnabled();
+
+ private:
+  bool previous_;
+};
+
+}  // namespace vgod
+
+#endif  // VGOD_TENSOR_AUTOGRAD_H_

@@ -1,0 +1,81 @@
+#ifndef VGOD_TENSOR_FUNCTIONAL_H_
+#define VGOD_TENSOR_FUNCTIONAL_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace vgod::ag {
+
+// Differentiable operations on Variables. Each op computes its forward value
+// through tensor/kernels.h and registers an analytic backward closure. All
+// ops are verified by finite-difference gradcheck in tests/tensor.
+
+/// C = A * B.
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// C = A * B^T (used by structure decoders reconstructing sigma(Z Z^T)).
+Variable MatMulNT(const Variable& a, const Variable& b);
+
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Scale(const Variable& a, float s);
+
+/// x + bias where bias is a 1 x cols row vector broadcast over rows.
+Variable AddRowVector(const Variable& x, const Variable& bias);
+
+/// Rows of x scaled elementwise by the n x 1 column vector w:
+/// out[i][j] = x[i][j] * w[i][0].
+Variable MulRowsByColVector(const Variable& x, const Variable& w);
+
+Variable Relu(const Variable& x);
+
+/// Elementwise sqrt(x + eps); the eps keeps the gradient finite at zero
+/// (used by the L2,1-norm penalties of the non-deep baselines).
+Variable Sqrt(const Variable& x, float eps = 1e-8f);
+Variable LeakyRelu(const Variable& x, float negative_slope);
+Variable Sigmoid(const Variable& x);
+Variable Tanh(const Variable& x);
+Variable Square(const Variable& x);
+
+/// Each row divided by max(||row||_2, eps) (paper Eq. 6 normalization).
+Variable RowL2Normalize(const Variable& x, float eps = 1e-12f);
+
+/// Scalar sum of all entries.
+Variable SumAll(const Variable& x);
+
+/// Scalar mean of all entries.
+Variable MeanAll(const Variable& x);
+
+/// n x 1 vector of row sums.
+Variable RowSums(const Variable& x);
+
+/// n x 1 vector: out[i] = ||a_i - b_i||_2^2 (paper Eq. 17 per-node
+/// reconstruction error).
+Variable RowSquaredDistance(const Variable& a, const Variable& b);
+
+/// Scalar mean squared error between same-shaped tensors.
+Variable MseLoss(const Variable& pred, const Variable& target);
+
+/// Selects rows of x by index; out.rows() == indices.size(). Backward
+/// scatter-adds. Duplicate indices accumulate.
+Variable GatherRows(const Variable& x, std::vector<int> indices);
+
+/// Horizontal concatenation (same row count); used for multi-head GAT.
+Variable ConcatCols(const std::vector<Variable>& parts);
+
+/// Mean over contiguous row groups: group g covers rows
+/// [offsets[g], offsets[g+1]); out.rows() == offsets.size() - 1. Empty
+/// groups yield zero rows. Used as the subgraph readout of the CoLA
+/// baseline.
+Variable SegmentMeanRows(const Variable& x, std::vector<int> offsets);
+
+/// Scalar mean binary cross-entropy between `logits` (any shape) and
+/// constant 0/1 `targets` (same shape), computed in the numerically stable
+/// log-sum-exp form. Backward: (sigmoid(z) - y) / size.
+Variable BceWithLogits(const Variable& logits, const Tensor& targets);
+
+}  // namespace vgod::ag
+
+#endif  // VGOD_TENSOR_FUNCTIONAL_H_

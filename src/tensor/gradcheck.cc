@@ -1,0 +1,54 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace vgod {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& loss_fn,
+    std::vector<Variable> params, double epsilon, double tolerance) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (Variable& p : params) p.ZeroGrad();
+  Variable loss = loss_fn(params);
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (Variable& p : params) analytic.push_back(p.grad().Clone());
+
+  // Numeric pass: central differences on every parameter entry.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& value = const_cast<Tensor&>(params[pi].value());
+    for (int64_t j = 0; j < value.size(); ++j) {
+      const float original = value.data()[j];
+
+      value.data()[j] = original + static_cast<float>(epsilon);
+      const double loss_plus =
+          static_cast<double>(loss_fn(params).value().ScalarValue());
+      value.data()[j] = original - static_cast<float>(epsilon);
+      const double loss_minus =
+          static_cast<double>(loss_fn(params).value().ScalarValue());
+      value.data()[j] = original;
+
+      const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+      const double got = analytic[pi].data()[j];
+      const double denom = std::max(1.0, std::fabs(numeric));
+      const double rel = std::fabs(got - numeric) / denom;
+      if (rel > result.max_relative_error) {
+        result.max_relative_error = rel;
+        if (rel > tolerance && result.ok) {
+          result.ok = false;
+          std::ostringstream out;
+          out << "param " << pi << " entry " << j << ": analytic " << got
+              << " vs numeric " << numeric << " (rel err " << rel << ")";
+          result.detail = out.str();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vgod

@@ -1,0 +1,33 @@
+#ifndef VGOD_TENSOR_GRADCHECK_H_
+#define VGOD_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace vgod {
+
+struct GradCheckResult {
+  bool ok = true;
+  /// Largest |analytic - numeric| / max(1, |numeric|) over all entries.
+  double max_relative_error = 0.0;
+  /// Description of the first failing entry, for test diagnostics.
+  std::string detail;
+};
+
+/// Verifies analytic gradients by central finite differences.
+///
+/// `loss_fn` must build a scalar loss from `params` (same Variables each
+/// call; their values are perturbed in place between evaluations). Every op
+/// in the library is exercised through this in tests/tensor — any backward
+/// bug trips here before it can corrupt a training run.
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& loss_fn,
+    std::vector<Variable> params, double epsilon = 1e-3,
+    double tolerance = 5e-2);
+
+}  // namespace vgod
+
+#endif  // VGOD_TENSOR_GRADCHECK_H_

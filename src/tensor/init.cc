@@ -1,0 +1,22 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace vgod::init {
+
+Tensor XavierUniform(int fan_in, int fan_out, Rng* rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandomUniform(fan_in, fan_out, -bound, bound, rng);
+}
+
+Tensor XavierNormal(int fan_in, int fan_out, Rng* rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandomNormal(fan_in, fan_out, 0.0f, stddev, rng);
+}
+
+Tensor KaimingUniform(int fan_in, int fan_out, Rng* rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  return Tensor::RandomUniform(fan_in, fan_out, -bound, bound, rng);
+}
+
+}  // namespace vgod::init

@@ -1,0 +1,21 @@
+#ifndef VGOD_TENSOR_INIT_H_
+#define VGOD_TENSOR_INIT_H_
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace vgod::init {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// The default initializer for every weight matrix in this library.
+Tensor XavierUniform(int fan_in, int fan_out, Rng* rng);
+
+/// Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out)).
+Tensor XavierNormal(int fan_in, int fan_out, Rng* rng);
+
+/// Kaiming/He uniform for ReLU networks: U(-a, a), a = sqrt(6 / fan_in).
+Tensor KaimingUniform(int fan_in, int fan_out, Rng* rng);
+
+}  // namespace vgod::init
+
+#endif  // VGOD_TENSOR_INIT_H_

@@ -1,0 +1,301 @@
+#include "tensor/kernels.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace vgod::kernels {
+namespace {
+
+// Applies `fn` elementwise into a fresh tensor.
+template <typename Fn>
+Tensor ElementwiseUnary(const Tensor& a, Fn fn) {
+  Tensor out(a.rows(), a.cols());
+  const float* in = a.data();
+  float* dst = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) dst[i] = fn(in[i]);
+  return out;
+}
+
+template <typename Fn>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, Fn fn) {
+  VGOD_CHECK(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  Tensor out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* dst = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) dst[i] = fn(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  VGOD_CHECK_EQ(a.cols(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out = Tensor::Zeros(m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // i-k-j loop order: the inner j loop is a contiguous saxpy that the
+  // compiler auto-vectorizes; this is the hot kernel of the whole library.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<size_t>(i) * k;
+    float* crow = pc + static_cast<size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float aval = arow[kk];
+      if (aval == 0.0f) continue;  // Attribute matrices are often sparse.
+      const float* brow = pb + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  VGOD_CHECK_EQ(a.cols(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor out(m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<size_t>(i) * k;
+    float* crow = pc + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<size_t>(j) * k;
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTN(const Tensor& a, const Tensor& b) {
+  VGOD_CHECK_EQ(a.rows(), b.rows());
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  Tensor out = Tensor::Zeros(m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = pa + static_cast<size_t>(kk) * m;
+    const float* brow = pb + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float aval = arow[i];
+      if (aval == 0.0f) continue;
+      float* crow = pc + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) out.SetAt(j, i, a.At(i, j));
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return ElementwiseUnary(a, [s](float x) { return x * s; });
+}
+
+Tensor AddRowVector(const Tensor& a, const Tensor& row) {
+  VGOD_CHECK_EQ(row.rows(), 1);
+  VGOD_CHECK_EQ(row.cols(), a.cols());
+  Tensor out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pr = row.data();
+  float* dst = out.data();
+  for (int i = 0; i < a.rows(); ++i) {
+    const size_t base = static_cast<size_t>(i) * a.cols();
+    for (int j = 0; j < a.cols(); ++j) dst[base + j] = pa[base + j] + pr[j];
+  }
+  return out;
+}
+
+void AddInPlace(Tensor* dst, const Tensor& src) {
+  VGOD_CHECK(dst->SameShape(src));
+  float* pd = dst->data();
+  const float* ps = src.data();
+  const int64_t n = dst->size();
+  for (int64_t i = 0; i < n; ++i) pd[i] += ps[i];
+}
+
+void AxpyInPlace(Tensor* dst, float s, const Tensor& src) {
+  VGOD_CHECK(dst->SameShape(src));
+  float* pd = dst->data();
+  const float* ps = src.data();
+  const int64_t n = dst->size();
+  for (int64_t i = 0; i < n; ++i) pd[i] += s * ps[i];
+}
+
+void ScaleInPlace(Tensor* dst, float s) {
+  float* pd = dst->data();
+  const int64_t n = dst->size();
+  for (int64_t i = 0; i < n; ++i) pd[i] *= s;
+}
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return ElementwiseUnary(
+      a, [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) {
+    // Numerically stable piecewise form.
+    if (x >= 0.0f) {
+      const float z = std::exp(-x);
+      return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+  });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Square(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return x * x; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor SumAll(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) acc += p[i];
+  return Tensor::Scalar(static_cast<float>(acc));
+}
+
+Tensor RowSums(const Tensor& a) {
+  Tensor out(a.rows(), 1);
+  const float* p = a.data();
+  for (int i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    const size_t base = static_cast<size_t>(i) * a.cols();
+    for (int j = 0; j < a.cols(); ++j) acc += p[base + j];
+    out.SetAt(i, 0, static_cast<float>(acc));
+  }
+  return out;
+}
+
+Tensor ColSums(const Tensor& a) {
+  Tensor out = Tensor::Zeros(1, a.cols());
+  const float* p = a.data();
+  float* dst = out.data();
+  for (int i = 0; i < a.rows(); ++i) {
+    const size_t base = static_cast<size_t>(i) * a.cols();
+    for (int j = 0; j < a.cols(); ++j) dst[j] += p[base + j];
+  }
+  return out;
+}
+
+Tensor RowNorms(const Tensor& a) {
+  Tensor out(a.rows(), 1);
+  const float* p = a.data();
+  for (int i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    const size_t base = static_cast<size_t>(i) * a.cols();
+    for (int j = 0; j < a.cols(); ++j) {
+      acc += static_cast<double>(p[base + j]) * p[base + j];
+    }
+    out.SetAt(i, 0, static_cast<float>(std::sqrt(acc)));
+  }
+  return out;
+}
+
+Tensor RowL2Normalize(const Tensor& a, float eps) {
+  Tensor out(a.rows(), a.cols());
+  const float* p = a.data();
+  float* dst = out.data();
+  for (int i = 0; i < a.rows(); ++i) {
+    const size_t base = static_cast<size_t>(i) * a.cols();
+    double acc = 0.0;
+    for (int j = 0; j < a.cols(); ++j) {
+      acc += static_cast<double>(p[base + j]) * p[base + j];
+    }
+    const float inv =
+        1.0f / std::max(static_cast<float>(std::sqrt(acc)), eps);
+    for (int j = 0; j < a.cols(); ++j) dst[base + j] = p[base + j] * inv;
+  }
+  return out;
+}
+
+Tensor RowSquaredDistance(const Tensor& a, const Tensor& b) {
+  VGOD_CHECK(a.SameShape(b));
+  Tensor out(a.rows(), 1);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int i = 0; i < a.rows(); ++i) {
+    const size_t base = static_cast<size_t>(i) * a.cols();
+    double acc = 0.0;
+    for (int j = 0; j < a.cols(); ++j) {
+      const double d = static_cast<double>(pa[base + j]) - pb[base + j];
+      acc += d * d;
+    }
+    out.SetAt(i, 0, static_cast<float>(acc));
+  }
+  return out;
+}
+
+double MeanValue(const Tensor& a) {
+  VGOD_CHECK_GT(a.size(), 0);
+  return SumAll(a).ScalarValue() / static_cast<double>(a.size());
+}
+
+double StdValue(const Tensor& a) {
+  const double mean = MeanValue(a);
+  double acc = 0.0;
+  const float* p = a.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = p[i] - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  VGOD_CHECK(a.SameShape(b));
+  float max_diff = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) {
+    max_diff = std::max(max_diff, std::fabs(pa[i] - pb[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace vgod::kernels

@@ -1,0 +1,62 @@
+#ifndef VGOD_TENSOR_OPTIMIZER_H_
+#define VGOD_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace vgod {
+
+/// Base class for gradient-descent optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in the
+  /// parameters. Parameters whose grad was never touched this step are
+  /// skipped.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients. Call before each backward pass.
+  void ZeroGrad();
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+/// SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015). The optimizer used by the paper's experiments.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+};
+
+}  // namespace vgod
+
+#endif  // VGOD_TENSOR_OPTIMIZER_H_

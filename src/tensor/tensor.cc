@@ -1,0 +1,121 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace vgod {
+
+Tensor::Tensor(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(rows) * cols)) {
+  VGOD_CHECK_GE(rows, 0);
+  VGOD_CHECK_GE(cols, 0);
+}
+
+Tensor Tensor::Zeros(int rows, int cols) {
+  Tensor t(rows, cols);
+  t.Fill(0.0f);
+  return t;
+}
+
+Tensor Tensor::Ones(int rows, int cols) { return Full(rows, cols, 1.0f); }
+
+Tensor Tensor::Full(int rows, int cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values, int rows,
+                          int cols) {
+  VGOD_CHECK_EQ(static_cast<int64_t>(values.size()),
+                static_cast<int64_t>(rows) * cols);
+  Tensor t(rows, cols);
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::RandomUniform(int rows, int cols, float lo, float hi,
+                             Rng* rng) {
+  Tensor t(rows, cols);
+  float* out = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    out[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomNormal(int rows, int cols, float mean, float stddev,
+                            Rng* rng) {
+  Tensor t(rows, cols);
+  float* out = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    out[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  VGOD_CHECK(defined());
+  Tensor t(rows_, cols_);
+  std::memcpy(t.data(), data(), static_cast<size_t>(size()) * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::Reshaped(int rows, int cols) const {
+  VGOD_CHECK(defined());
+  VGOD_CHECK_EQ(static_cast<int64_t>(rows) * cols, size());
+  Tensor t = *this;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  VGOD_CHECK(defined());
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+void Tensor::CopyFrom(const Tensor& other) {
+  VGOD_CHECK(SameShape(other)) << ShapeString() << " vs "
+                               << other.ShapeString();
+  std::memcpy(data(), other.data(),
+              static_cast<size_t>(size()) * sizeof(float));
+}
+
+std::vector<float> Tensor::RowToVector(int row) const {
+  VGOD_CHECK(row >= 0 && row < rows_);
+  const float* begin = data() + static_cast<size_t>(row) * cols_;
+  return std::vector<float>(begin, begin + cols_);
+}
+
+std::vector<float> Tensor::ToVector() const {
+  return std::vector<float>(data(), data() + size());
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[" << rows_ << " x " << cols_ << "]";
+  return out.str();
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream out;
+  out << ShapeString() << "\n";
+  const int max_dim = 8;
+  for (int i = 0; i < std::min(rows_, max_dim); ++i) {
+    out << "  ";
+    for (int j = 0; j < std::min(cols_, max_dim); ++j) {
+      out << At(i, j) << " ";
+    }
+    if (cols_ > max_dim) out << "...";
+    out << "\n";
+  }
+  if (rows_ > max_dim) out << "  ...\n";
+  return out.str();
+}
+
+}  // namespace vgod

@@ -1,0 +1,109 @@
+#ifndef VGOD_TENSOR_TENSOR_H_
+#define VGOD_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace vgod {
+
+/// A dense 2-D row-major float32 matrix. Vectors are represented as n x 1 or
+/// 1 x n tensors; scalars as 1 x 1.
+///
+/// Copying a Tensor is cheap: copies share the underlying storage. The
+/// library's convention is that a Tensor's contents are only mutated by the
+/// code that allocated it (kernels write into freshly allocated outputs;
+/// optimizers mutate the parameter/gradient tensors they own). Use Clone()
+/// when an independent copy is needed.
+class Tensor {
+ public:
+  /// An empty (0 x 0) tensor. Distinguishable via defined().
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Uninitialized rows x cols tensor (contents unspecified).
+  Tensor(int rows, int cols);
+
+  static Tensor Zeros(int rows, int cols);
+  static Tensor Ones(int rows, int cols);
+  static Tensor Full(int rows, int cols, float value);
+  static Tensor Scalar(float value) { return Full(1, 1, value); }
+
+  /// Builds a tensor from `values` (row-major). Requires
+  /// values.size() == rows * cols.
+  static Tensor FromVector(const std::vector<float>& values, int rows,
+                           int cols);
+
+  /// Entries drawn i.i.d. uniform in [lo, hi).
+  static Tensor RandomUniform(int rows, int cols, float lo, float hi,
+                              Rng* rng);
+
+  /// Entries drawn i.i.d. normal(mean, stddev).
+  static Tensor RandomNormal(int rows, int cols, float mean, float stddev,
+                             Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+  bool defined() const { return data_ != nullptr; }
+  bool IsScalar() const { return rows_ == 1 && cols_ == 1; }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  const float* data() const { return data_->data(); }
+  float* data() { return data_->data(); }
+
+  float At(int row, int col) const {
+    VGOD_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_)
+        << "index (" << row << "," << col << ") out of " << ShapeString();
+    return (*data_)[static_cast<size_t>(row) * cols_ + col];
+  }
+  void SetAt(int row, int col, float value) {
+    VGOD_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_)
+        << "index (" << row << "," << col << ") out of " << ShapeString();
+    (*data_)[static_cast<size_t>(row) * cols_ + col] = value;
+  }
+
+  /// Value of a 1 x 1 tensor.
+  float ScalarValue() const {
+    VGOD_CHECK(IsScalar()) << "not a scalar: " << ShapeString();
+    return (*data_)[0];
+  }
+
+  /// Deep copy with independent storage.
+  Tensor Clone() const;
+
+  /// Same storage viewed with a different shape. Requires equal size().
+  Tensor Reshaped(int rows, int cols) const;
+
+  /// Sets every entry to `value`.
+  void Fill(float value);
+
+  /// Copies contents from `other` (same shape required) into this storage.
+  void CopyFrom(const Tensor& other);
+
+  /// Row `row` copied out as a std::vector (length cols()).
+  std::vector<float> RowToVector(int row) const;
+
+  /// All entries copied out row-major.
+  std::vector<float> ToVector() const;
+
+  /// e.g. "[3 x 4]".
+  std::string ShapeString() const;
+
+  /// Human-readable dump (small tensors only; rows/cols truncated at 8).
+  std::string ToString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace vgod
+
+#endif  // VGOD_TENSOR_TENSOR_H_

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/rng.h"
+#include "datasets/synthetic.h"
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+
+namespace vgod {
+namespace {
+
+namespace ga = ::vgod::graph_algorithms;
+
+AttributedGraph FromEdges(int n, std::vector<std::pair<int, int>> edges) {
+  return std::move(AttributedGraph::FromEdgeList(n, edges, Tensor::Ones(n, 1)))
+      .value();
+}
+
+TEST(ConnectedComponentsTest, TwoComponentsPlusIsolated) {
+  // {0,1,2} triangle, {3,4} edge, {5} isolated.
+  AttributedGraph g = FromEdges(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}});
+  std::vector<int> comp = ga::ConnectedComponents(g);
+  EXPECT_EQ(ga::NumConnectedComponents(g), 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(ConnectedComponentsTest, DenseComponentIdsStartAtZero) {
+  AttributedGraph g = FromEdges(4, {{0, 1}, {2, 3}});
+  std::vector<int> comp = ga::ConnectedComponents(g);
+  EXPECT_EQ(*std::min_element(comp.begin(), comp.end()), 0);
+  EXPECT_EQ(*std::max_element(comp.begin(), comp.end()), 1);
+}
+
+TEST(TriangleCountsTest, SingleTriangle) {
+  AttributedGraph g = FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  std::vector<int64_t> triangles = ga::TriangleCounts(g);
+  EXPECT_EQ(triangles[0], 1);
+  EXPECT_EQ(triangles[1], 1);
+  EXPECT_EQ(triangles[2], 1);
+  EXPECT_EQ(triangles[3], 0);
+}
+
+TEST(TriangleCountsTest, CompleteGraphK5) {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < 5; ++u) {
+    for (int v = u + 1; v < 5; ++v) edges.emplace_back(u, v);
+  }
+  AttributedGraph g = FromEdges(5, edges);
+  // Each node of K5 is in (4 choose 2) = 6 triangles.
+  for (int64_t t : ga::TriangleCounts(g)) EXPECT_EQ(t, 6);
+}
+
+TEST(TriangleCountsTest, TreeHasNone) {
+  AttributedGraph g = FromEdges(5, {{0, 1}, {0, 2}, {1, 3}, {1, 4}});
+  for (int64_t t : ga::TriangleCounts(g)) EXPECT_EQ(t, 0);
+}
+
+TEST(ClusteringTest, LocalCoefficients) {
+  // Node 1 has neighbors {0, 2, 3}; only (0,2) connected: C = 1/3.
+  AttributedGraph g = FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {1, 3}});
+  std::vector<double> c = ga::LocalClusteringCoefficients(g);
+  EXPECT_DOUBLE_EQ(c[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[3], 0.0);  // Degree 1.
+}
+
+TEST(ClusteringTest, GlobalCoefficientCompleteGraphIsOne) {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < 6; ++u) {
+    for (int v = u + 1; v < 6; ++v) edges.emplace_back(u, v);
+  }
+  EXPECT_DOUBLE_EQ(ga::GlobalClusteringCoefficient(FromEdges(6, edges)), 1.0);
+}
+
+TEST(ClusteringTest, GlobalCoefficientTreeIsZero) {
+  AttributedGraph g = FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_DOUBLE_EQ(ga::GlobalClusteringCoefficient(g), 0.0);
+}
+
+TEST(CoreNumbersTest, CliqueWithTail) {
+  // K4 on {0..3}, tail 3-4-5.
+  AttributedGraph g = FromEdges(
+      6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}});
+  std::vector<int> core = ga::CoreNumbers(g);
+  EXPECT_EQ(core[0], 3);
+  EXPECT_EQ(core[1], 3);
+  EXPECT_EQ(core[2], 3);
+  EXPECT_EQ(core[3], 3);
+  EXPECT_EQ(core[4], 1);
+  EXPECT_EQ(core[5], 1);
+}
+
+TEST(CoreNumbersTest, CycleIsTwoCore) {
+  AttributedGraph g = FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  for (int c : ga::CoreNumbers(g)) EXPECT_EQ(c, 2);
+}
+
+TEST(CoreNumbersTest, IsolatedNodeZeroCore) {
+  AttributedGraph g = FromEdges(3, {{0, 1}});
+  EXPECT_EQ(ga::CoreNumbers(g)[2], 0);
+}
+
+TEST(StructuralFeaturesTest, ShapeAndNormalization) {
+  datasets::SyntheticGraphSpec spec;
+  spec.num_nodes = 200;
+  spec.avg_degree = 6.0;
+  spec.attribute_dim = 8;
+  Rng rng(5);
+  AttributedGraph g = datasets::GeneratePlantedPartition(spec, &rng);
+  Tensor features = ga::StructuralFeatureMatrix(g);
+  EXPECT_EQ(features.rows(), 200);
+  EXPECT_EQ(features.cols(), 5);
+  // Columns are z-scored: mean ~0, std ~1.
+  for (int c = 0; c < 5; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (int i = 0; i < 200; ++i) mean += features.At(i, c) / 200;
+    for (int i = 0; i < 200; ++i) {
+      const double diff = features.At(i, c) - mean;
+      var += diff * diff / 200;
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "column " << c;
+    EXPECT_NEAR(var, 1.0, 1e-3) << "column " << c;
+  }
+}
+
+TEST(StructuralFeaturesTest, CliqueMembersStandOut) {
+  // Sparse background + one injected 8-clique: clique members must have
+  // far larger (z-scored) triangle features — the GUIDE signal.
+  Rng rng(7);
+  std::vector<std::pair<int, int>> edges;
+  for (int e = 0; e < 300; ++e) {
+    int u = static_cast<int>(rng.UniformInt(200));
+    int v = static_cast<int>(rng.UniformInt(200));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) edges.emplace_back(a, b);
+  }
+  AttributedGraph g = FromEdges(200, edges);
+  Tensor features = graph_algorithms::StructuralFeatureMatrix(g);
+  double clique_triangles = 0.0, other_triangles = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    if (i < 8) {
+      clique_triangles += features.At(i, 1) / 8;
+    } else {
+      other_triangles += features.At(i, 1) / 192;
+    }
+  }
+  EXPECT_GT(clique_triangles, other_triangles + 2.0);
+}
+
+}  // namespace
+}  // namespace vgod

@@ -1,0 +1,93 @@
+// Randomized composition fuzz for the autograd engine: build random chains
+// of differentiable ops and verify the full analytic gradient against
+// central finite differences. Complements the per-op gradchecks in
+// autograd_test.cc by exercising op *interactions* (shared subexpressions,
+// shape changes, mixed constants/parameters).
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "tensor/functional.h"
+#include "tensor/gradcheck.h"
+
+namespace vgod {
+namespace {
+
+/// Applies a randomly chosen shape-preserving unary op.
+Variable RandomUnary(const Variable& x, Rng* rng) {
+  switch (rng->UniformInt(6)) {
+    case 0:
+      return ag::Tanh(x);
+    case 1:
+      return ag::Sigmoid(x);
+    case 2:
+      return ag::LeakyRelu(x, 0.1f);
+    case 3:
+      return ag::Scale(x, static_cast<float>(rng->Uniform(-2.0, 2.0)));
+    case 4:
+      return ag::Square(ag::Tanh(x));  // Keeps values bounded.
+    default:
+      return ag::RowL2Normalize(x);
+  }
+}
+
+/// Applies a randomly chosen binary op on same-shaped inputs.
+Variable RandomBinary(const Variable& a, const Variable& b, Rng* rng) {
+  switch (rng->UniformInt(3)) {
+    case 0:
+      return ag::Add(a, b);
+    case 1:
+      return ag::Sub(a, b);
+    default:
+      return ag::Mul(ag::Tanh(a), ag::Tanh(b));  // Bounded product.
+  }
+}
+
+class AutogradFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutogradFuzzTest, RandomChainGradientsMatchNumeric) {
+  Rng rng(GetParam());
+  const int rows = 2 + static_cast<int>(rng.UniformInt(4));
+  const int cols = 2 + static_cast<int>(rng.UniformInt(4));
+  const int inner = 2 + static_cast<int>(rng.UniformInt(4));
+
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(rows, inner, 0, 0.8f, &rng)),
+      Variable::Parameter(Tensor::RandomNormal(inner, cols, 0, 0.8f, &rng)),
+      Variable::Parameter(Tensor::RandomNormal(rows, cols, 0, 0.8f, &rng)),
+  };
+  // A fixed random program per seed (re-built identically on every call,
+  // as CheckGradients re-evaluates the loss).
+  const uint64_t program_seed = rng.Next();
+
+  GradCheckResult result = CheckGradients(
+      [program_seed](const std::vector<Variable>& p) {
+        Rng program(program_seed);
+        Variable h = ag::MatMul(p[0], p[1]);  // rows x cols
+        h = RandomBinary(h, p[2], &program);
+        const int depth = 1 + static_cast<int>(program.UniformInt(4));
+        for (int step = 0; step < depth; ++step) {
+          h = RandomUnary(h, &program);
+          if (program.Bernoulli(0.3)) {
+            h = RandomBinary(h, p[2], &program);  // Shared subexpression.
+          }
+        }
+        switch (program.UniformInt(3)) {
+          case 0:
+            return ag::MeanAll(ag::Square(h));
+          case 1:
+            return ag::MeanAll(ag::RowSquaredDistance(h, p[2]));
+          default:
+            return ag::MeanAll(ag::Sqrt(ag::RowSums(ag::Square(h)), 0.05f));
+        }
+      },
+      params, /*epsilon=*/1e-3, /*tolerance=*/8e-2);
+  EXPECT_TRUE(result.ok) << "seed " << GetParam() << ": " << result.detail
+                         << " (max rel err " << result.max_relative_error
+                         << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzTest,
+                         ::testing::Range<uint64_t>(100, 140));
+
+}  // namespace
+}  // namespace vgod

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "tensor/autograd.h"
+#include "tensor/functional.h"
+#include "tensor/gradcheck.h"
+#include "tensor/init.h"
+#include "tensor/kernels.h"
+#include "tensor/nn.h"
+#include "tensor/optimizer.h"
+
+namespace vgod {
+namespace {
+
+Tensor RandomTensor(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandomNormal(rows, cols, 0.0f, 1.0f, &rng);
+}
+
+TEST(AutogradTest, ParameterAndConstantFlags) {
+  Variable p = Variable::Parameter(Tensor::Ones(2, 2));
+  Variable c = Variable::Constant(Tensor::Ones(2, 2));
+  EXPECT_TRUE(p.requires_grad());
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(AutogradTest, BackwardThroughScalarChain) {
+  // loss = mean((x * 2)^2), x = [1, 2] -> dloss/dx = 4x / 2.
+  Variable x = Variable::Parameter(Tensor::FromVector({1, 2}, 1, 2));
+  Variable loss = ag::MeanAll(ag::Square(ag::Scale(x, 2.0f)));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().At(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(x.grad().At(0, 1), 8.0f);
+}
+
+TEST(AutogradDeathTest, BackwardRequiresScalar) {
+  Variable x = Variable::Parameter(Tensor::Ones(2, 2));
+  Variable y = ag::Scale(x, 2.0f);
+  EXPECT_DEATH(y.Backward(), "scalar");
+}
+
+TEST(AutogradTest, GradientAccumulatesAcrossBackwards) {
+  Variable x = Variable::Parameter(Tensor::Ones(1, 1));
+  ag::SumAll(x).Backward();
+  ag::SumAll(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad().ScalarValue(), 2.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().ScalarValue(), 0.0f);
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // loss = sum(x + x): gradient of each entry is 2.
+  Variable x = Variable::Parameter(Tensor::Ones(2, 2));
+  Variable loss = ag::SumAll(ag::Add(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().At(1, 1), 2.0f);
+}
+
+TEST(AutogradTest, NoGradGuardDisablesTape) {
+  Variable x = Variable::Parameter(Tensor::Ones(2, 2));
+  NoGradGuard guard;
+  Variable y = ag::Scale(x, 2.0f);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(AutogradTest, DeepChainDoesNotOverflowStack) {
+  Variable x = Variable::Parameter(Tensor::Ones(1, 1));
+  Variable h = x;
+  for (int i = 0; i < 20000; ++i) h = ag::Scale(h, 1.0f);
+  ag::SumAll(h).Backward();
+  EXPECT_FLOAT_EQ(x.grad().ScalarValue(), 1.0f);
+}
+
+// --- Gradcheck sweeps over every op ---
+
+using LossBuilder = Variable (*)(const std::vector<Variable>&);
+
+struct OpCase {
+  const char* name;
+  std::vector<std::pair<int, int>> shapes;  // Parameter shapes.
+  LossBuilder build;
+};
+
+Variable LossMatMul(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::MatMul(p[0], p[1]));
+}
+Variable LossMatMulNT(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::MatMulNT(p[0], p[1])));
+}
+Variable LossAdd(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::Add(p[0], p[1])));
+}
+Variable LossSub(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::Sub(p[0], p[1])));
+}
+Variable LossMul(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Mul(p[0], p[1]));
+}
+Variable LossScale(const std::vector<Variable>& p) {
+  return ag::SumAll(ag::Scale(p[0], -1.7f));
+}
+Variable LossAddRowVector(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::AddRowVector(p[0], p[1])));
+}
+Variable LossMulRowsByColVector(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::MulRowsByColVector(p[0], p[1])));
+}
+Variable LossSqrt(const std::vector<Variable>& p) {
+  // Square first so inputs to Sqrt are positive and away from the kink.
+  return ag::MeanAll(ag::Sqrt(ag::Square(p[0]), 0.1f));
+}
+Variable LossLeakyRelu(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::LeakyRelu(p[0], 0.2f));
+}
+Variable LossSigmoid(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::Sigmoid(p[0])));
+}
+Variable LossTanh(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::Tanh(p[0])));
+}
+Variable LossRowL2Normalize(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::RowL2Normalize(p[0])));
+}
+Variable LossRowSums(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::RowSums(p[0])));
+}
+Variable LossRowSquaredDistance(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::RowSquaredDistance(p[0], p[1]));
+}
+Variable LossMse(const std::vector<Variable>& p) {
+  return ag::MseLoss(p[0], p[1]);
+}
+Variable LossGatherRows(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::GatherRows(p[0], {2, 0, 2, 1})));
+}
+Variable LossConcatCols(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::ConcatCols({p[0], p[1]})));
+}
+Variable LossSegmentMeanRows(const std::vector<Variable>& p) {
+  return ag::MeanAll(ag::Square(ag::SegmentMeanRows(p[0], {0, 2, 2, 5, 6})));
+}
+Variable LossBce(const std::vector<Variable>& p) {
+  static const Tensor targets = Tensor::FromVector({1, 0, 1, 0, 1, 0}, 3, 2);
+  return ag::BceWithLogits(p[0], targets);
+}
+Variable LossComposite(const std::vector<Variable>& p) {
+  // A small MLP-like composition exercising op interactions.
+  Variable h = ag::Tanh(ag::AddRowVector(ag::MatMul(p[0], p[1]), p[2]));
+  return ag::MeanAll(ag::Square(h));
+}
+
+const OpCase kOpCases[] = {
+    {"MatMul", {{3, 4}, {4, 2}}, LossMatMul},
+    {"MatMulNT", {{3, 4}, {5, 4}}, LossMatMulNT},
+    {"Add", {{3, 3}, {3, 3}}, LossAdd},
+    {"Sub", {{3, 3}, {3, 3}}, LossSub},
+    {"Mul", {{4, 2}, {4, 2}}, LossMul},
+    {"Scale", {{3, 5}}, LossScale},
+    {"AddRowVector", {{4, 3}, {1, 3}}, LossAddRowVector},
+    {"MulRowsByColVector", {{4, 3}, {4, 1}}, LossMulRowsByColVector},
+    {"Sqrt", {{3, 3}}, LossSqrt},
+    {"LeakyRelu", {{4, 4}}, LossLeakyRelu},
+    {"Sigmoid", {{3, 3}}, LossSigmoid},
+    {"Tanh", {{3, 3}}, LossTanh},
+    {"RowL2Normalize", {{4, 3}}, LossRowL2Normalize},
+    {"RowSums", {{4, 3}}, LossRowSums},
+    {"RowSquaredDistance", {{4, 3}, {4, 3}}, LossRowSquaredDistance},
+    {"MseLoss", {{3, 4}, {3, 4}}, LossMse},
+    {"GatherRows", {{3, 4}}, LossGatherRows},
+    {"ConcatCols", {{3, 2}, {3, 4}}, LossConcatCols},
+    {"SegmentMeanRows", {{6, 3}}, LossSegmentMeanRows},
+    {"BceWithLogits", {{3, 2}}, LossBce},
+    {"Composite", {{3, 4}, {4, 2}, {1, 2}}, LossComposite},
+};
+
+class OpGradCheckTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(OpGradCheckTest, AnalyticMatchesNumeric) {
+  const OpCase& op = GetParam();
+  std::vector<Variable> params;
+  uint64_t seed = 100;
+  for (const auto& [rows, cols] : op.shapes) {
+    params.push_back(Variable::Parameter(RandomTensor(rows, cols, seed++)));
+  }
+  GradCheckResult result = CheckGradients(
+      [&op](const std::vector<Variable>& p) { return op.build(p); }, params);
+  EXPECT_TRUE(result.ok) << op.name << ": " << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpGradCheckTest, ::testing::ValuesIn(kOpCases),
+    [](const ::testing::TestParamInfo<OpCase>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+// Relu has a kink at 0; gradcheck it away from the kink.
+TEST(OpGradCheckSpecialTest, ReluAwayFromKink) {
+  Rng rng(9);
+  Tensor x(4, 4);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    float v = static_cast<float>(rng.Normal());
+    if (std::fabs(v) < 0.2f) v = std::copysign(0.5f, v);
+    x.data()[i] = v;
+  }
+  std::vector<Variable> params = {Variable::Parameter(x)};
+  GradCheckResult result = CheckGradients(
+      [](const std::vector<Variable>& p) { return ag::MeanAll(ag::Relu(p[0])); },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// --- nn modules ---
+
+TEST(NnTest, LinearShapesAndParams) {
+  Rng rng(1);
+  nn::Linear layer(5, 3, &rng);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+  EXPECT_EQ(layer.NumParameters(), 5 * 3 + 3);
+  Variable x = Variable::Constant(RandomTensor(7, 5, 2));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 7);
+  EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(NnTest, LinearWithoutBias) {
+  Rng rng(1);
+  nn::Linear layer(5, 3, &rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  // Zero input maps to zero without a bias.
+  Variable y = layer.Forward(Variable::Constant(Tensor::Zeros(2, 5)));
+  EXPECT_EQ(kernels::SumAll(y.value()).ScalarValue(), 0.0f);
+}
+
+TEST(NnTest, MlpGradCheck) {
+  Rng rng(4);
+  nn::Mlp mlp({3, 4, 2}, &rng);
+  std::vector<Variable> params = mlp.Parameters();
+  EXPECT_EQ(params.size(), 4u);
+  Tensor input = RandomTensor(5, 3, 11);
+  GradCheckResult result = CheckGradients(
+      [&mlp, &input](const std::vector<Variable>&) {
+        return ag::MeanAll(ag::Square(mlp.Forward(Variable::Constant(input))));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// --- init ---
+
+TEST(InitTest, XavierUniformBounds) {
+  Rng rng(6);
+  Tensor w = init::XavierUniform(100, 50, &rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w.data()[i]), bound);
+  }
+  // Not degenerate.
+  EXPECT_GT(kernels::StdValue(w), bound / 4);
+}
+
+TEST(InitTest, XavierNormalVariance) {
+  Rng rng(6);
+  Tensor w = init::XavierNormal(200, 200, &rng);
+  EXPECT_NEAR(kernels::StdValue(w), std::sqrt(2.0f / 400.0f), 0.01);
+}
+
+// --- Optimizers ---
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  Variable x = Variable::Parameter(Tensor::Full(1, 1, 10.0f));
+  Sgd optimizer({x}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    Variable loss = ag::MeanAll(ag::Square(x));
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_NEAR(x.value().ScalarValue(), 0.0f, 1e-4f);
+}
+
+TEST(OptimizerTest, SgdMomentumConverges) {
+  Variable x = Variable::Parameter(Tensor::Full(1, 1, 10.0f));
+  Sgd optimizer({x}, 0.05f, 0.9f);
+  for (int i = 0; i < 300; ++i) {
+    Variable loss = ag::MeanAll(ag::Square(x));
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_NEAR(x.value().ScalarValue(), 0.0f, 1e-3f);
+}
+
+TEST(OptimizerTest, AdamConvergesOnShiftedQuadratic) {
+  // Minimize mean((x - 3)^2) elementwise.
+  Variable x = Variable::Parameter(Tensor::Zeros(2, 2));
+  Variable target = Variable::Constant(Tensor::Full(2, 2, 3.0f));
+  Adam optimizer({x}, 0.05f);
+  for (int i = 0; i < 500; ++i) {
+    Variable loss = ag::MseLoss(x, target);
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_NEAR(x.value().At(0, 0), 3.0f, 0.01f);
+  EXPECT_NEAR(x.value().At(1, 1), 3.0f, 0.01f);
+}
+
+TEST(OptimizerTest, AdamWeightDecayShrinksUnusedDirections) {
+  Variable x = Variable::Parameter(Tensor::Full(1, 1, 5.0f));
+  Adam optimizer({x}, 0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.5f);
+  for (int i = 0; i < 200; ++i) {
+    // Loss gradient is zero; only decay acts.
+    Variable loss = ag::MeanAll(ag::Scale(x, 0.0f));
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_LT(std::fabs(x.value().ScalarValue()), 1.0f);
+}
+
+TEST(OptimizerTest, StepSkipsParamsWithoutGrad) {
+  Variable used = Variable::Parameter(Tensor::Full(1, 1, 1.0f));
+  Variable unused = Variable::Parameter(Tensor::Full(1, 1, 1.0f));
+  Adam optimizer({used, unused}, 0.1f);
+  Variable loss = ag::MeanAll(ag::Square(used));
+  optimizer.ZeroGrad();
+  loss.Backward();
+  optimizer.Step();
+  EXPECT_NE(used.value().ScalarValue(), 1.0f);
+  EXPECT_FLOAT_EQ(unused.value().ScalarValue(), 1.0f);
+}
+
+}  // namespace
+}  // namespace vgod

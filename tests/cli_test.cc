@@ -1,0 +1,92 @@
+// End-to-end tests of the vgod_cli tool: generate -> detect -> eval over
+// real process invocations. VGOD_CLI_PATH is injected by CMake as the
+// built binary's location.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace vgod {
+namespace {
+
+std::string CliPath() { return VGOD_CLI_PATH; }
+
+/// Runs a command, returning its exit status; stdout/stderr are captured
+/// into `output`.
+int RunCommand(const std::string& command, std::string* output) {
+  const std::string log = ::testing::TempDir() + "/cli_out.txt";
+  const int status =
+      std::system((command + " > " + log + " 2>&1").c_str());
+  std::ifstream in(log);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *output = buffer.str();
+  std::remove(log.c_str());
+  return status;
+}
+
+TEST(CliTest, GenerateDetectEvalPipeline) {
+  const std::string graph = ::testing::TempDir() + "/cli_graph.graph";
+  const std::string scores = ::testing::TempDir() + "/cli_scores.tsv";
+  std::string out;
+
+  ASSERT_EQ(RunCommand(CliPath() + " generate --dataset=cora --scale=0.1" +
+                           " --seed=5 --inject=standard --output=" + graph,
+                       &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("labeled"), std::string::npos) << out;
+
+  // Deg is training-free -> instant; the pipeline mechanics are the test.
+  ASSERT_EQ(RunCommand(CliPath() + " detect --graph=" + graph +
+                           " --detector=Deg --top=3 --output=" + scores,
+                       &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("AUC against stored labels"), std::string::npos) << out;
+  EXPECT_NE(out.find("top-3"), std::string::npos) << out;
+
+  ASSERT_EQ(RunCommand(CliPath() + " eval --graph=" + graph +
+                           " --scores=" + scores,
+                       &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("AUC:"), std::string::npos) << out;
+
+  std::remove(graph.c_str());
+  std::remove(scores.c_str());
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string out;
+  EXPECT_NE(RunCommand(CliPath() + " frobnicate", &out), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+}
+
+TEST(CliTest, UnknownOptionFails) {
+  std::string out;
+  EXPECT_NE(RunCommand(CliPath() + " detect --graph=x --bogus=1", &out), 0);
+  EXPECT_NE(out.find("unknown option"), std::string::npos) << out;
+}
+
+TEST(CliTest, UnknownDatasetFails) {
+  std::string out;
+  EXPECT_NE(RunCommand(CliPath() + " generate --dataset=mnist --output=/tmp/x",
+                       &out),
+            0);
+  EXPECT_NE(out.find("NotFound"), std::string::npos) << out;
+}
+
+TEST(CliTest, MissingGraphFileFails) {
+  std::string out;
+  EXPECT_NE(
+      RunCommand(CliPath() + " detect --graph=/nonexistent/g.graph", &out),
+      0);
+  EXPECT_NE(out.find("IoError"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace vgod

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/args.h"
+#include "core/check.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "core/stopwatch.h"
+
+namespace vgod {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad graph");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad graph");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad graph");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal, StatusCode::kIoError}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+Status FailingStep() { return Status::Internal("boom"); }
+
+Status UsesReturnIfError() {
+  VGOD_RETURN_IF_ERROR(FailingStep());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kInternal);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ VGOD_CHECK(1 == 2) << "unreachable"; }, "check failed");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosPrintOperands) {
+  EXPECT_DEATH({ VGOD_CHECK_EQ(3, 4); }, "3 vs 4");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) counts[rng.UniformInt(10)]++;
+  for (int count : counts) EXPECT_NEAR(count, 5000, 400);
+}
+
+TEST(RngDeathTest, UniformIntRejectsNonPositive) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.UniformInt(0), "check failed");
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  for (int k : {0, 1, 5, 50, 100}) {
+    std::vector<int> sample = rng.SampleWithoutReplacement(100, k);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(static_cast<int>(sample.size()), k);
+    EXPECT_EQ(unique.size(), sample.size());
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(31);
+  std::vector<int> sample = rng.SampleWithoutReplacement(20, 20);
+  std::sort(sample.begin(), sample.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUnbiased) {
+  // Element 0 should appear in a k-of-n sample with probability k/n.
+  Rng rng(37);
+  int hits = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> sample = rng.SampleWithoutReplacement(10, 3);
+    hits += std::count(sample.begin(), sample.end(), 0) > 0;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.Split();
+  // The child stream should not track the parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.Next() == child.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(ArgParserTest, PositionalAndOptions) {
+  const char* argv[] = {"tool", "detect", "--graph=g.tsv", "--self-loop",
+                        "--seed=42", "--epoch-scale=0.5"};
+  Result<ArgParser> args = ArgParser::Parse(6, argv);
+  ASSERT_TRUE(args.ok());
+  ASSERT_EQ(args.value().positional().size(), 1u);
+  EXPECT_EQ(args.value().positional()[0], "detect");
+  EXPECT_EQ(args.value().GetString("graph", ""), "g.tsv");
+  EXPECT_TRUE(args.value().GetBool("self-loop"));
+  EXPECT_FALSE(args.value().GetBool("row-normalize"));
+  EXPECT_EQ(args.value().GetInt("seed", 0), 42);
+  EXPECT_DOUBLE_EQ(args.value().GetDouble("epoch-scale", 1.0), 0.5);
+}
+
+TEST(ArgParserTest, FallbacksWhenAbsent) {
+  const char* argv[] = {"tool"};
+  ArgParser args = std::move(ArgParser::Parse(1, argv)).value();
+  EXPECT_EQ(args.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(args.GetDouble("missing", 1.5), 1.5);
+}
+
+TEST(ArgParserTest, ValidateRejectsUnknown) {
+  const char* argv[] = {"tool", "--graph=x", "--oops=1"};
+  ArgParser args = std::move(ArgParser::Parse(3, argv)).value();
+  EXPECT_TRUE(args.Validate({"graph", "oops"}).ok());
+  EXPECT_FALSE(args.Validate({"graph"}).ok());
+}
+
+TEST(ArgParserTest, MalformedOptionRejected) {
+  const char* argv[] = {"tool", "--=x"};
+  EXPECT_FALSE(ArgParser::Parse(2, argv).ok());
+}
+
+TEST(ArgParserTest, BoolValueForms) {
+  const char* argv[] = {"tool", "--a", "--b=true", "--c=1", "--d=false"};
+  ArgParser args = std::move(ArgParser::Parse(5, argv)).value();
+  EXPECT_TRUE(args.GetBool("a"));
+  EXPECT_TRUE(args.GetBool("b"));
+  EXPECT_TRUE(args.GetBool("c"));
+  EXPECT_FALSE(args.GetBool("d"));
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(static_cast<double>(i));
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  const double before_reset = watch.ElapsedSeconds();
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), before_reset + 1.0);
+}
+
+}  // namespace
+}  // namespace vgod

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "core/rng.h"
+#include "datasets/io.h"
+#include "datasets/registry.h"
+#include "datasets/synthetic.h"
+#include "graph/graph_ops.h"
+#include "tensor/kernels.h"
+
+namespace vgod {
+namespace {
+
+using ::vgod::datasets::AttributeModel;
+using ::vgod::datasets::Dataset;
+using ::vgod::datasets::GeneratePlantedPartition;
+using ::vgod::datasets::GenerateWeiboSim;
+using ::vgod::datasets::MakeDataset;
+using ::vgod::datasets::SyntheticGraphSpec;
+using ::vgod::datasets::WeiboSimSpec;
+
+SyntheticGraphSpec BaseSpec() {
+  SyntheticGraphSpec spec;
+  spec.num_nodes = 600;
+  spec.num_communities = 5;
+  spec.avg_degree = 6.0;
+  spec.attribute_dim = 64;
+  spec.topic_dims_per_community = 12;
+  spec.intra_community_fraction = 0.9;
+  return spec;
+}
+
+TEST(SyntheticTest, NodeAndEdgeCounts) {
+  Rng rng(1);
+  AttributedGraph g = GeneratePlantedPartition(BaseSpec(), &rng);
+  EXPECT_EQ(g.num_nodes(), 600);
+  // Average degree within 15% of the target (rejections cost a few edges).
+  EXPECT_NEAR(g.AverageDegree(), 6.0, 0.9);
+  EXPECT_EQ(g.attribute_dim(), 64);
+  EXPECT_TRUE(g.has_communities());
+}
+
+TEST(SyntheticTest, PlantedHomophily) {
+  Rng rng(2);
+  AttributedGraph g = GeneratePlantedPartition(BaseSpec(), &rng);
+  // With 90% intra-community wiring, edge homophily must be high.
+  EXPECT_GT(graph_ops::EdgeHomophily(g), 0.8);
+}
+
+TEST(SyntheticTest, CommunitiesCoverAllLabels) {
+  Rng rng(3);
+  AttributedGraph g = GeneratePlantedPartition(BaseSpec(), &rng);
+  std::set<int> labels(g.communities().begin(), g.communities().end());
+  EXPECT_EQ(static_cast<int>(labels.size()), 5);
+}
+
+TEST(SyntheticTest, SparseTopicAttributesAreBinaryAndSparse) {
+  Rng rng(4);
+  AttributedGraph g = GeneratePlantedPartition(BaseSpec(), &rng);
+  const Tensor& attrs = g.attributes();
+  int64_t nonzero = 0;
+  for (int64_t i = 0; i < attrs.size(); ++i) {
+    const float v = attrs.data()[i];
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+    nonzero += v != 0.0f;
+  }
+  const double density = static_cast<double>(nonzero) / attrs.size();
+  EXPECT_GT(density, 0.005);
+  EXPECT_LT(density, 0.25);
+}
+
+TEST(SyntheticTest, TopicAttributesAlignWithCommunities) {
+  // Same-community node pairs must share more active dimensions than
+  // cross-community pairs — the signal ARM and VBM rely on.
+  Rng rng(5);
+  AttributedGraph g = GeneratePlantedPartition(BaseSpec(), &rng);
+  const Tensor& attrs = g.attributes();
+  const auto& comm = g.communities();
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  Rng pair_rng(6);
+  for (int t = 0; t < 4000; ++t) {
+    const int a = static_cast<int>(pair_rng.UniformInt(g.num_nodes()));
+    const int b = static_cast<int>(pair_rng.UniformInt(g.num_nodes()));
+    if (a == b) continue;
+    double dot = 0.0;
+    for (int j = 0; j < attrs.cols(); ++j) {
+      dot += attrs.At(a, j) * attrs.At(b, j);
+    }
+    if (comm[a] == comm[b]) {
+      same += dot;
+      ++same_n;
+    } else {
+      cross += dot;
+      ++cross_n;
+    }
+  }
+  EXPECT_GT(same / same_n, 2.0 * cross / cross_n);
+}
+
+TEST(SyntheticTest, DenseGaussianModel) {
+  SyntheticGraphSpec spec = BaseSpec();
+  spec.attribute_model = AttributeModel::kDenseGaussian;
+  Rng rng(7);
+  AttributedGraph g = GeneratePlantedPartition(spec, &rng);
+  // Dense: virtually no exact zeros.
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < g.attributes().size(); ++i) {
+    zeros += g.attributes().data()[i] == 0.0f;
+  }
+  EXPECT_LT(zeros, 10);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  Rng rng_a(9), rng_b(9);
+  AttributedGraph a = GeneratePlantedPartition(BaseSpec(), &rng_a);
+  AttributedGraph b = GeneratePlantedPartition(BaseSpec(), &rng_b);
+  EXPECT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(kernels::MaxAbsDiff(a.attributes(), b.attributes()), 0.0f);
+}
+
+TEST(SyntheticTest, DegreePowerAddsHeterogeneity) {
+  SyntheticGraphSpec flat = BaseSpec();
+  flat.degree_power = 0.0;
+  SyntheticGraphSpec heavy = BaseSpec();
+  heavy.degree_power = 0.7;
+  Rng rng_a(11), rng_b(11);
+  AttributedGraph g_flat = GeneratePlantedPartition(flat, &rng_a);
+  AttributedGraph g_heavy = GeneratePlantedPartition(heavy, &rng_b);
+  auto degree_std = [](const AttributedGraph& g) {
+    return kernels::StdValue(graph_ops::DegreeVector(g));
+  };
+  EXPECT_GT(degree_std(g_heavy), degree_std(g_flat));
+}
+
+// --- Weibo sim: the three properties of paper Fig 9 / §VI-E4 ---
+
+WeiboSimSpec WeiboSpec() {
+  WeiboSimSpec spec;
+  spec.base.num_nodes = 800;
+  spec.base.num_communities = 8;
+  spec.base.avg_degree = 10.0;
+  spec.base.attribute_dim = 32;
+  spec.base.attribute_model = AttributeModel::kDenseGaussian;
+  spec.base.intra_community_fraction = 0.8;
+  return spec;
+}
+
+TEST(WeiboSimTest, OutlierFraction) {
+  Rng rng(13);
+  AttributedGraph g = GenerateWeiboSim(WeiboSpec(), &rng);
+  int outliers = 0;
+  for (uint8_t label : g.outlier_labels()) outliers += label;
+  EXPECT_NEAR(outliers / 800.0, 0.103, 0.01);
+}
+
+TEST(WeiboSimTest, OutliersNotDegreeElevated) {
+  // Paper Fig 9(b): Weibo outliers do NOT have a higher degree
+  // distribution — degree is useless there.
+  Rng rng(13);
+  AttributedGraph g = GenerateWeiboSim(WeiboSpec(), &rng);
+  double outlier_deg = 0.0, inlier_deg = 0.0;
+  int n_out = 0, n_in = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (g.outlier_labels()[i]) {
+      outlier_deg += g.Degree(i);
+      ++n_out;
+    } else {
+      inlier_deg += g.Degree(i);
+      ++n_in;
+    }
+  }
+  outlier_deg /= n_out;
+  inlier_deg /= n_in;
+  EXPECT_LT(outlier_deg, 1.5 * inlier_deg);
+  EXPECT_GT(outlier_deg, 0.5 * inlier_deg);
+}
+
+TEST(WeiboSimTest, OutlierAttributesFarMoreDiverse) {
+  // Paper: outlier attribute variance 425.0 vs inlier 11.95 (~35x). The
+  // sim must reproduce a large ratio.
+  Rng rng(13);
+  AttributedGraph g = GenerateWeiboSim(WeiboSpec(), &rng);
+  const double outlier_var =
+      datasets::AttributeVariance(g.attributes(), g.outlier_labels(), 1);
+  const double inlier_var =
+      datasets::AttributeVariance(g.attributes(), g.outlier_labels(), 0);
+  EXPECT_GT(outlier_var, 5.0 * inlier_var);
+}
+
+TEST(WeiboSimTest, OutlierClustersAreCohesive) {
+  // Paper Fig 9(a): outliers form cohesive clusters -> homophily stays
+  // high overall (paper reports 0.75) and outlier-outlier edges dominate
+  // outliers' neighborhoods.
+  Rng rng(13);
+  AttributedGraph g = GenerateWeiboSim(WeiboSpec(), &rng);
+  EXPECT_GT(graph_ops::EdgeHomophily(g), 0.6);
+  int64_t outlier_edges = 0, outlier_outlier = 0;
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    if (!g.outlier_labels()[u]) continue;
+    for (int32_t v : g.Neighbors(u)) {
+      ++outlier_edges;
+      outlier_outlier += g.outlier_labels()[v];
+    }
+  }
+  EXPECT_GT(static_cast<double>(outlier_outlier) / outlier_edges, 0.5);
+}
+
+// --- registry ---
+
+TEST(RegistryTest, AllNamesBuild) {
+  for (const std::string& name : datasets::BenchmarkDatasetNames()) {
+    Result<Dataset> dataset = MakeDataset(name, /*scale=*/0.1, /*seed=*/1);
+    ASSERT_TRUE(dataset.ok()) << name;
+    EXPECT_EQ(dataset.value().name, name);
+    EXPECT_GT(dataset.value().graph.num_nodes(), 0);
+    EXPECT_TRUE(dataset.value().graph.has_attributes());
+    EXPECT_TRUE(dataset.value().graph.has_communities());
+  }
+}
+
+TEST(RegistryTest, OnlyWeiboHasLabels) {
+  for (const std::string& name : datasets::BenchmarkDatasetNames()) {
+    Dataset dataset = std::move(MakeDataset(name, 0.1, 1)).value();
+    EXPECT_EQ(dataset.has_labeled_outliers, name == "weibo") << name;
+    EXPECT_EQ(dataset.graph.has_outlier_labels(), name == "weibo") << name;
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(MakeDataset("imagenet", 1.0, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, ScaleChangesSize) {
+  Dataset small = std::move(MakeDataset("cora", 0.1, 1)).value();
+  Dataset large = std::move(MakeDataset("cora", 0.3, 1)).value();
+  EXPECT_GT(large.graph.num_nodes(), 2 * small.graph.num_nodes());
+}
+
+TEST(RegistryTest, SeedChangesGraphScaleKeepsStats) {
+  Dataset a = std::move(MakeDataset("citeseer", 0.2, 1)).value();
+  Dataset b = std::move(MakeDataset("citeseer", 0.2, 2)).value();
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_NE(a.graph.col_idx(), b.graph.col_idx());
+}
+
+// --- IO ---
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  Rng rng(15);
+  SyntheticGraphSpec spec = BaseSpec();
+  spec.num_nodes = 80;
+  AttributedGraph g = GeneratePlantedPartition(spec, &rng);
+  g.SetOutlierLabels(std::vector<uint8_t>(80, 0));
+  const std::string path = ::testing::TempDir() + "/roundtrip.graph";
+  ASSERT_TRUE(datasets::SaveGraph(g, path).ok());
+  Result<AttributedGraph> loaded = datasets::LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_directed_edges(), g.num_directed_edges());
+  EXPECT_EQ(loaded.value().col_idx(), g.col_idx());
+  EXPECT_EQ(loaded.value().communities(), g.communities());
+  EXPECT_LT(kernels::MaxAbsDiff(loaded.value().attributes(), g.attributes()),
+            1e-4f);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.graph";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("not a graph at all\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(datasets::LoadGraph(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileIsIoError) {
+  EXPECT_EQ(datasets::LoadGraph("/nonexistent/nope.graph").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace vgod

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace vgod {
+namespace {
+
+namespace ev = ::vgod::eval;
+
+TEST(AucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(ev::Auc({0.1, 0.2, 0.9, 0.8}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  EXPECT_DOUBLE_EQ(ev::Auc({0.9, 0.8, 0.1, 0.2}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(AucTest, KnownPartialValue) {
+  // Positives {0.8, 0.3}, negatives {0.5, 0.1}: pairs won = 3 of 4.
+  EXPECT_DOUBLE_EQ(ev::Auc({0.8, 0.3, 0.5, 0.1}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(AucTest, TiesCountHalf) {
+  // All scores equal: AUC must be exactly 0.5.
+  EXPECT_DOUBLE_EQ(ev::Auc({1.0, 1.0, 1.0, 1.0}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, MixedTies) {
+  // Positive at 0.5 ties one negative: 1 win + 0.5 tie of 2 pairs.
+  EXPECT_DOUBLE_EQ(ev::Auc({0.5, 0.5, 0.1}, {1, 0, 0}), 0.75);
+}
+
+TEST(AucTest, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<double> scores(5000);
+  std::vector<uint8_t> labels(5000);
+  for (int i = 0; i < 5000; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.1);
+  }
+  EXPECT_NEAR(ev::Auc(scores, labels), 0.5, 0.05);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  Rng rng(2);
+  std::vector<double> scores(500);
+  std::vector<uint8_t> labels(500);
+  for (int i = 0; i < 500; ++i) {
+    scores[i] = rng.Normal();
+    labels[i] = rng.Bernoulli(0.2);
+  }
+  if (std::count(labels.begin(), labels.end(), 1) == 0) labels[0] = 1;
+  std::vector<double> transformed(500);
+  for (int i = 0; i < 500; ++i) transformed[i] = std::exp(scores[i] * 3);
+  EXPECT_DOUBLE_EQ(ev::Auc(scores, labels), ev::Auc(transformed, labels));
+}
+
+TEST(AucDeathTest, RequiresBothClasses) {
+  EXPECT_DEATH(ev::Auc({1.0, 2.0}, {1, 1}), "negative");
+  EXPECT_DEATH(ev::Auc({1.0, 2.0}, {0, 0}), "positive");
+}
+
+TEST(AucSubsetTest, ExcludesOtherOutliers) {
+  // Nodes: subset outlier (0.9), other outlier (0.95), normals (0.1, 0.2).
+  // The other outlier's high score must not count against the subset.
+  std::vector<double> scores = {0.9, 0.95, 0.1, 0.2};
+  std::vector<uint8_t> all = {1, 1, 0, 0};
+  std::vector<uint8_t> subset = {1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(ev::AucSubset(scores, all, subset), 1.0);
+}
+
+TEST(AucSubsetTest, MatchesAucWhenSubsetIsAll) {
+  std::vector<double> scores = {0.9, 0.4, 0.1, 0.6};
+  std::vector<uint8_t> all = {1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(ev::AucSubset(scores, all, all), ev::Auc(scores, all));
+}
+
+TEST(AucGapTest, SymmetricAndBoundedBelow) {
+  EXPECT_DOUBLE_EQ(ev::AucGap(0.8, 0.8), 1.0);
+  EXPECT_DOUBLE_EQ(ev::AucGap(0.9, 0.6), 1.5);
+  EXPECT_DOUBLE_EQ(ev::AucGap(0.6, 0.9), 1.5);
+  EXPECT_GE(ev::AucGap(0.513, 0.964), 1.0);
+}
+
+TEST(MeanStdNormalizeTest, ZeroMeanUnitStd) {
+  std::vector<double> normalized =
+      ev::MeanStdNormalize({1.0, 2.0, 3.0, 4.0, 5.0});
+  double mean = 0.0, var = 0.0;
+  for (double v : normalized) mean += v / 5;
+  for (double v : normalized) var += (v - mean) * (v - mean) / 5;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+}
+
+TEST(MeanStdNormalizeTest, ConstantVectorBecomesZeros) {
+  for (double v : ev::MeanStdNormalize({3.0, 3.0, 3.0})) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(MeanStdNormalizeTest, PreservesRanking) {
+  std::vector<double> scores = {5.0, 1.0, 3.0};
+  std::vector<double> normalized = ev::MeanStdNormalize(scores);
+  EXPECT_GT(normalized[0], normalized[2]);
+  EXPECT_GT(normalized[2], normalized[1]);
+}
+
+TEST(SumToUnitTest, SumsToOne) {
+  std::vector<double> normalized = ev::SumToUnitNormalize({1.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(normalized[0] + normalized[1] + normalized[2], 1.0);
+  EXPECT_DOUBLE_EQ(normalized[2], 0.5);
+}
+
+TEST(SumToUnitTest, AllZerosUnchanged) {
+  for (double v : ev::SumToUnitNormalize({0.0, 0.0})) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(SumToUnitDeathTest, RejectsNegative) {
+  EXPECT_DEATH(ev::SumToUnitNormalize({1.0, -1.0}), "non-negative");
+}
+
+TEST(RankNormalizeTest, FractionalRanks) {
+  std::vector<double> ranks = ev::RankNormalize({10.0, 30.0, 20.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0 / 3);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0 / 3);
+}
+
+TEST(RankNormalizeTest, TiesGetAverageRank) {
+  std::vector<double> ranks = ev::RankNormalize({5.0, 5.0, 1.0, 9.0});
+  EXPECT_DOUBLE_EQ(ranks[0], ranks[1]);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.5 / 4);
+  EXPECT_DOUBLE_EQ(ranks[2], 0.25);
+  EXPECT_DOUBLE_EQ(ranks[3], 1.0);
+}
+
+TEST(RankNormalizeTest, ScaleFree) {
+  std::vector<double> a = {1.0, 100.0, 3.0, 2.0};
+  std::vector<double> b = {0.01, 1e9, 0.03, 0.02};  // Same ordering.
+  EXPECT_EQ(ev::RankNormalize(a), ev::RankNormalize(b));
+}
+
+TEST(CombineScoresTest, WeightedSum) {
+  std::vector<double> combined =
+      ev::CombineScores({1.0, 2.0}, {10.0, 20.0}, 0.5);
+  EXPECT_DOUBLE_EQ(combined[0], 6.0);
+  EXPECT_DOUBLE_EQ(combined[1], 12.0);
+}
+
+TEST(TableTest, AlignedOutputContainsCells) {
+  ev::Table table({"Model", "AUC"});
+  table.AddRow().AddCell("VGOD").AddCell(0.9503, 4);
+  table.AddRow().AddCell("DegNorm").AddCell(0.8928, 4);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("VGOD"), std::string::npos);
+  EXPECT_NE(out.find("0.9503"), std::string::npos);
+  EXPECT_NE(out.find("0.8928"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableDeathTest, CellBeforeRowAborts) {
+  ev::Table table({"a"});
+  EXPECT_DEATH(table.AddCell("x"), "AddRow");
+}
+
+}  // namespace
+}  // namespace vgod

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rng.h"
+#include "gnn/graph_autograd.h"
+#include "gnn/layers.h"
+#include "graph/graph.h"
+#include "graph/graph_ops.h"
+#include "graph/sampling.h"
+#include "tensor/gradcheck.h"
+#include "tensor/kernels.h"
+
+namespace vgod {
+namespace {
+
+std::shared_ptr<const AttributedGraph> TestGraph(bool self_loops = false) {
+  // 6 nodes, mixed degrees (one isolated node to hit the empty-row paths).
+  Rng rng(21);
+  Tensor attrs = Tensor::RandomNormal(6, 3, 0, 1, &rng);
+  AttributedGraph g =
+      std::move(AttributedGraph::FromEdgeList(
+                    6, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}}, attrs))
+          .value();
+  return std::make_shared<const AttributedGraph>(
+      self_loops ? g.WithSelfLoops() : g);
+}
+
+std::shared_ptr<const AttributedGraph> DirectedTestGraph() {
+  GraphBuilder builder(5);
+  builder.SetUndirected(false);
+  builder.AddEdge(0, 1).AddEdge(0, 2).AddEdge(1, 3).AddEdge(4, 0).AddEdge(4,
+                                                                          2);
+  Rng rng(23);
+  builder.SetAttributes(Tensor::RandomNormal(5, 3, 0, 1, &rng));
+  return std::make_shared<const AttributedGraph>(
+      std::move(builder.Build()).value());
+}
+
+// --- graph autograd ops: value checks ---
+
+TEST(GraphAutogradTest, SpmmForwardMatchesKernel) {
+  auto g = TestGraph();
+  Rng rng(1);
+  Tensor h = Tensor::RandomNormal(6, 4, 0, 1, &rng);
+  Variable out = ag::Spmm(g, {}, Variable::Constant(h));
+  EXPECT_LT(kernels::MaxAbsDiff(out.value(), graph_ops::Spmm(*g, {}, h)),
+            1e-6f);
+}
+
+TEST(GraphAutogradTest, NeighborMeanForwardMatchesKernel) {
+  auto g = TestGraph();
+  Rng rng(2);
+  Tensor h = Tensor::RandomNormal(6, 4, 0, 1, &rng);
+  Variable out = ag::NeighborMean(g, Variable::Constant(h));
+  EXPECT_LT(
+      kernels::MaxAbsDiff(out.value(), graph_ops::NeighborMean(*g, h)),
+      1e-6f);
+}
+
+TEST(GraphAutogradTest, VarianceForwardMatchesKernel) {
+  auto g = TestGraph();
+  Rng rng(3);
+  Tensor h = Tensor::RandomNormal(6, 4, 0, 1, &rng);
+  Variable out = ag::NeighborVarianceScore(g, Variable::Constant(h));
+  EXPECT_LT(kernels::MaxAbsDiff(out.value(),
+                                graph_ops::NeighborVarianceScore(*g, h)),
+            1e-6f);
+}
+
+// --- graph autograd ops: gradcheck ---
+
+TEST(GraphAutogradGradTest, Spmm) {
+  auto g = TestGraph();
+  Rng rng(4);
+  std::vector<float> weights(g->num_directed_edges());
+  for (float& w : weights) w = static_cast<float>(rng.Uniform(0.1, 1.0));
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(6, 3, 0, 1, &rng))};
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& p) {
+        return ag::MeanAll(ag::Square(ag::Spmm(g, weights, p[0])));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GraphAutogradGradTest, SpmmDirectedGraph) {
+  auto g = DirectedTestGraph();
+  Rng rng(5);
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(5, 3, 0, 1, &rng))};
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& p) {
+        return ag::MeanAll(ag::Square(ag::Spmm(g, {}, p[0])));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GraphAutogradGradTest, NeighborMean) {
+  auto g = TestGraph();
+  Rng rng(6);
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(6, 3, 0, 1, &rng))};
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& p) {
+        return ag::MeanAll(ag::Square(ag::NeighborMean(g, p[0])));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GraphAutogradGradTest, NeighborVarianceScore) {
+  auto g = TestGraph();
+  Rng rng(7);
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(6, 3, 0, 1, &rng))};
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& p) {
+        return ag::MeanAll(ag::NeighborVarianceScore(g, p[0]));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GraphAutogradGradTest, NeighborVarianceOnDirectedNegativeGraph) {
+  // The VBM loss differentiates variance through the (directed) negative
+  // network; the backward must respect edge direction.
+  Rng rng(8);
+  auto base = TestGraph();
+  auto neg = std::make_shared<const AttributedGraph>(
+      BuildNegativeGraph(*base, &rng));
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(6, 3, 0, 1, &rng))};
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& p) {
+        return ag::MeanAll(ag::NeighborVarianceScore(neg, p[0]));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GraphAutogradGradTest, GatAggregate) {
+  auto g = TestGraph(/*self_loops=*/true);
+  Rng rng(9);
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(6, 3, 0, 1, &rng)),
+      Variable::Parameter(Tensor::RandomNormal(6, 1, 0, 1, &rng)),
+      Variable::Parameter(Tensor::RandomNormal(6, 1, 0, 1, &rng))};
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& p) {
+        return ag::MeanAll(
+            ag::Square(ag::GatAggregate(g, p[0], p[1], p[2])));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GraphAutogradTest, GatAttentionIsConvexCombination) {
+  // With identical inputs s, the output of GatAggregate must equal s for
+  // every non-isolated node (attention rows sum to one).
+  auto g = TestGraph(/*self_loops=*/true);
+  Tensor s = Tensor::Full(6, 3, 2.5f);
+  Variable out = ag::GatAggregate(g, Variable::Constant(s),
+                                  Variable::Constant(Tensor::Zeros(6, 1)),
+                                  Variable::Constant(Tensor::Zeros(6, 1)));
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(out.value().At(i, 0), 2.5f, 1e-5f);
+  }
+}
+
+// --- layers ---
+
+class ConvLayerTest : public ::testing::TestWithParam<gnn::GnnKind> {};
+
+TEST_P(ConvLayerTest, ForwardShape) {
+  Rng rng(31);
+  auto layer = gnn::MakeConv(GetParam(), 3, 8, &rng);
+  auto g = TestGraph(/*self_loops=*/true);
+  Variable out =
+      layer->Forward(g, Variable::Constant(g->attributes()));
+  EXPECT_EQ(out.rows(), 6);
+  EXPECT_EQ(out.cols(), 8);
+  EXPECT_GT(layer->NumParameters(), 0);
+}
+
+TEST_P(ConvLayerTest, GradCheckThroughLayer) {
+  Rng rng(33);
+  auto layer = gnn::MakeConv(GetParam(), 3, 4, &rng);
+  auto g = TestGraph(/*self_loops=*/true);
+  Tensor input = g->attributes();
+  std::vector<Variable> params = layer->Parameters();
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>&) {
+        return ag::MeanAll(
+            ag::Square(layer->Forward(g, Variable::Constant(input))));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << gnn::GnnKindName(GetParam()) << ": "
+                         << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ConvLayerTest,
+                         ::testing::Values(gnn::GnnKind::kGcn,
+                                           gnn::GnnKind::kGat,
+                                           gnn::GnnKind::kGin,
+                                           gnn::GnnKind::kSage),
+                         [](const ::testing::TestParamInfo<gnn::GnnKind>& i) {
+                           return gnn::GnnKindName(i.param);
+                         });
+
+TEST(GatConvTest, MultiHeadConcatenatesWidths) {
+  Rng rng(35);
+  gnn::GatConv layer(3, 8, &rng, /*heads=*/2);
+  auto g = TestGraph(/*self_loops=*/true);
+  Variable out = layer.Forward(g, Variable::Constant(g->attributes()));
+  EXPECT_EQ(out.cols(), 8);
+  // 2 heads x (weight + two attention vectors).
+  EXPECT_EQ(layer.Parameters().size(), 6u);
+}
+
+TEST(GatConvDeathTest, HeadsMustDivideWidth) {
+  Rng rng(35);
+  EXPECT_DEATH(gnn::GatConv(3, 7, &rng, 2), "heads");
+}
+
+TEST(GcnConvTest, ConstantSignalPreservedOnRegularGraph) {
+  // On a self-looped k-regular graph the symmetric normalization averages
+  // to exactly the input for constant signals (eigenvector of A_hat).
+  Rng rng(37);
+  // 4-cycle: every node degree 2 (+self = 3).
+  AttributedGraph g =
+      std::move(AttributedGraph::FromEdgeList(
+                    4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, Tensor::Ones(4, 1)))
+          .value()
+          .WithSelfLoops();
+  auto shared = std::make_shared<const AttributedGraph>(g);
+  Variable h = ag::Spmm(shared, graph_ops::GcnNormWeights(*shared),
+                        Variable::Constant(Tensor::Ones(4, 2)));
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(h.value().At(i, 0), 1.0f, 1e-5f);
+}
+
+TEST(GnnKindTest, NamesRoundTrip) {
+  EXPECT_STREQ(gnn::GnnKindName(gnn::GnnKind::kGcn), "GCN");
+  EXPECT_STREQ(gnn::GnnKindName(gnn::GnnKind::kGat), "GAT");
+  EXPECT_STREQ(gnn::GnnKindName(gnn::GnnKind::kGin), "GIN");
+  EXPECT_STREQ(gnn::GnnKindName(gnn::GnnKind::kSage), "SAGE");
+}
+
+}  // namespace
+}  // namespace vgod

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "gnn/parameter_free.h"
+#include "graph/graph.h"
+#include "graph/graph_ops.h"
+#include "tensor/kernels.h"
+
+namespace vgod {
+namespace {
+
+namespace go = ::vgod::graph_ops;
+
+AttributedGraph Path4() {
+  // 0-1-2-3 path with distinctive attributes.
+  Tensor attrs = Tensor::FromVector({1, 0, 0, 1, 1, 1, 2, 2}, 4, 2);
+  return std::move(AttributedGraph::FromEdgeList(
+                       4, {{0, 1}, {1, 2}, {2, 3}}, attrs))
+      .value();
+}
+
+TEST(GraphOpsTest, DegreeVector) {
+  Tensor deg = go::DegreeVector(Path4());
+  EXPECT_FLOAT_EQ(deg.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(deg.At(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(deg.At(2, 0), 2.0f);
+  EXPECT_FLOAT_EQ(deg.At(3, 0), 1.0f);
+}
+
+TEST(GraphOpsTest, GcnNormWeightsValues) {
+  AttributedGraph g = Path4().WithSelfLoops();
+  std::vector<float> w = go::GcnNormWeights(g);
+  ASSERT_EQ(static_cast<int64_t>(w.size()), g.num_directed_edges());
+  // Node 0 has degree 2 (self + 1), node 1 degree 3: w(0->1) = 1/sqrt(6).
+  int64_t e = g.row_ptr()[0];
+  // Neighbors of 0 are sorted: {0, 1}.
+  EXPECT_NEAR(w[e], 1.0f / 2.0f, 1e-6f);          // 0->0: 1/sqrt(2*2)
+  EXPECT_NEAR(w[e + 1], 1.0f / std::sqrt(6.0f), 1e-6f);  // 0->1
+}
+
+TEST(GraphOpsTest, SpmmMatchesDenseAdjacency) {
+  Rng rng(3);
+  AttributedGraph g = Path4();
+  Tensor h = Tensor::RandomNormal(4, 3, 0, 1, &rng);
+  Tensor sparse = go::Spmm(g, {}, h);
+  Tensor dense = kernels::MatMul(go::DenseAdjacency(g), h);
+  EXPECT_LT(kernels::MaxAbsDiff(sparse, dense), 1e-5f);
+}
+
+TEST(GraphOpsTest, SpmmWithWeights) {
+  AttributedGraph g = Path4();
+  std::vector<float> weights(g.num_directed_edges(), 0.5f);
+  Tensor h = Tensor::Ones(4, 1);
+  Tensor out = go::Spmm(g, weights, h);
+  EXPECT_FLOAT_EQ(out.At(1, 0), 1.0f);  // 2 neighbors * 0.5
+  EXPECT_FLOAT_EQ(out.At(0, 0), 0.5f);
+}
+
+TEST(GraphOpsTest, NeighborMeanHandComputed) {
+  AttributedGraph g = Path4();
+  Tensor mean = go::NeighborMean(g, g.attributes());
+  // Node 1 neighbors {0, 2}: mean = ((1,0)+(1,1))/2 = (1, 0.5).
+  EXPECT_FLOAT_EQ(mean.At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mean.At(1, 1), 0.5f);
+  // Node 0 neighbor {1}: copy of (0, 1).
+  EXPECT_FLOAT_EQ(mean.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(mean.At(0, 1), 1.0f);
+}
+
+TEST(GraphOpsTest, NeighborMeanIsolatedNodeZero) {
+  Result<AttributedGraph> g =
+      AttributedGraph::FromEdgeList(3, {{0, 1}}, Tensor::Ones(3, 2));
+  Tensor mean = go::NeighborMean(g.value(), g.value().attributes());
+  EXPECT_FLOAT_EQ(mean.At(2, 0), 0.0f);
+  EXPECT_FLOAT_EQ(mean.At(2, 1), 0.0f);
+}
+
+TEST(GraphOpsTest, NeighborVarianceHandComputed) {
+  AttributedGraph g = Path4();
+  Tensor var = go::NeighborVarianceScore(g, g.attributes());
+  // Node 1 neighbors (1,0),(1,1): per-dim variance (0, 0.25), L1 = 0.25.
+  EXPECT_NEAR(var.At(1, 0), 0.25f, 1e-6f);
+  // Degree-1 nodes have zero variance.
+  EXPECT_FLOAT_EQ(var.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(var.At(3, 0), 0.0f);
+}
+
+TEST(GraphOpsTest, NeighborVarianceZeroForIdenticalNeighbors) {
+  // Star where all leaves share one attribute vector.
+  Tensor attrs = Tensor::FromVector({0, 0, 5, 5, 5, 5, 5, 5}, 4, 2);
+  Result<AttributedGraph> g = AttributedGraph::FromEdgeList(
+      4, {{0, 1}, {0, 2}, {0, 3}}, attrs);
+  Tensor var = go::NeighborVarianceScore(g.value(), attrs);
+  EXPECT_FLOAT_EQ(var.At(0, 0), 0.0f);
+}
+
+TEST(GraphOpsTest, NeighborVarianceGrowsWithSpread) {
+  Tensor tight = Tensor::FromVector({0, 0, 1, 1, 1.1f, 1.1f, 0.9f, 0.9f}, 4, 2);
+  Tensor wide = Tensor::FromVector({0, 0, 5, -5, -5, 5, 0, 9}, 4, 2);
+  Result<AttributedGraph> g = AttributedGraph::FromEdgeList(
+      4, {{0, 1}, {0, 2}, {0, 3}}, tight);
+  const float tight_var =
+      go::NeighborVarianceScore(g.value(), tight).At(0, 0);
+  const float wide_var = go::NeighborVarianceScore(g.value(), wide).At(0, 0);
+  EXPECT_GT(wide_var, 10 * tight_var);
+}
+
+TEST(GraphOpsTest, MeanMinusConvMatchFusedKernel) {
+  // The explicit MeanConv/MinusConv layers (paper Fig 5) must agree with
+  // the fused NeighborVarianceScore kernel.
+  Rng rng(17);
+  std::vector<std::pair<int, int>> edges;
+  for (int e = 0; e < 120; ++e) {
+    int u = static_cast<int>(rng.UniformInt(40));
+    int v = static_cast<int>(rng.UniformInt(40));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  Tensor attrs = Tensor::RandomNormal(40, 8, 0, 1, &rng);
+  AttributedGraph g =
+      std::move(AttributedGraph::FromEdgeList(40, edges, attrs)).value();
+  Tensor mean = gnn::MeanConv(g, attrs);
+  Tensor via_layers = gnn::MinusConv(g, attrs, mean);
+  Tensor fused = go::NeighborVarianceScore(g, attrs);
+  EXPECT_LT(kernels::MaxAbsDiff(via_layers, fused), 1e-4f);
+}
+
+TEST(GraphOpsTest, EdgeHomophilyExtremes) {
+  AttributedGraph g = Path4();
+  g.SetCommunities({0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(go::EdgeHomophily(g), 1.0);
+  g.SetCommunities({0, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(go::EdgeHomophily(g), 0.0);
+  g.SetCommunities({0, 0, 1, 1});
+  EXPECT_NEAR(go::EdgeHomophily(g), 4.0 / 6.0, 1e-9);
+}
+
+TEST(GraphOpsTest, DenseAdjacencySymmetric) {
+  AttributedGraph g = Path4();
+  Tensor a = go::DenseAdjacency(g);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(a.At(i, i), 0.0f);
+    for (int j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(a.At(i, j), a.At(j, i));
+  }
+  EXPECT_FLOAT_EQ(a.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(a.At(0, 2), 0.0f);
+}
+
+TEST(GraphOpsTest, RowNormalizeAttributes) {
+  Tensor attrs = Tensor::FromVector({2, 2, 0, 0, 3, 1}, 3, 2);
+  Tensor normalized = go::RowNormalizeAttributes(attrs);
+  EXPECT_FLOAT_EQ(normalized.At(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(normalized.At(2, 0), 0.75f);
+  // Zero rows unchanged.
+  EXPECT_FLOAT_EQ(normalized.At(1, 0), 0.0f);
+  // Original untouched.
+  EXPECT_FLOAT_EQ(attrs.At(0, 0), 2.0f);
+}
+
+}  // namespace
+}  // namespace vgod

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/rng.h"
+#include "graph/graph.h"
+#include "graph/sampling.h"
+
+namespace vgod {
+namespace {
+
+AttributedGraph TriangleWithTail() {
+  // 0-1-2 triangle, 2-3 tail.
+  Result<AttributedGraph> g = AttributedGraph::FromEdgeList(
+      4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, Tensor::Ones(4, 2));
+  return std::move(g).value();
+}
+
+TEST(GraphTest, BasicProperties) {
+  AttributedGraph g = TriangleWithTail();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_directed_edges(), 8);
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(2), 3);
+  EXPECT_EQ(g.Degree(3), 1);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  AttributedGraph g = TriangleWithTail();
+  auto neighbors = g.Neighbors(2);
+  EXPECT_TRUE(std::is_sorted(neighbors.begin(), neighbors.end()));
+  EXPECT_EQ(neighbors.size(), 3u);
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  AttributedGraph g = TriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphTest, DuplicateEdgesDeduplicated) {
+  Result<AttributedGraph> g = AttributedGraph::FromEdgeList(
+      3, {{0, 1}, {0, 1}, {1, 0}}, Tensor::Ones(3, 1));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_directed_edges(), 2);
+}
+
+TEST(GraphTest, SelfLoopsDroppedByDefault) {
+  Result<AttributedGraph> g = AttributedGraph::FromEdgeList(
+      3, {{0, 0}, {0, 1}}, Tensor::Ones(3, 1));
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g.value().HasEdge(0, 0));
+  EXPECT_EQ(g.value().num_directed_edges(), 2);
+}
+
+TEST(GraphTest, OutOfRangeEdgeRejected) {
+  Result<AttributedGraph> g =
+      AttributedGraph::FromEdgeList(3, {{0, 5}}, Tensor::Ones(3, 1));
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphTest, AttributeRowMismatchRejected) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1).SetAttributes(Tensor::Ones(4, 2));
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphTest, CommunitySizeMismatchRejected) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1).SetCommunities({0, 1});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphTest, DirectedBuilderKeepsAsymmetry) {
+  GraphBuilder builder(3);
+  builder.SetUndirected(false).AddEdge(0, 1).AddEdge(1, 2);
+  AttributedGraph g = std::move(builder.Build()).value();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.Degree(2), 0);
+}
+
+TEST(GraphTest, WithSelfLoopsAddsExactlyOnePerNode) {
+  AttributedGraph g = TriangleWithTail();
+  AttributedGraph sl = g.WithSelfLoops();
+  EXPECT_EQ(sl.num_directed_edges(), g.num_directed_edges() + 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(sl.HasEdge(i, i));
+    EXPECT_EQ(sl.Degree(i), g.Degree(i) + 1);
+  }
+  // Idempotent.
+  EXPECT_EQ(sl.WithSelfLoops().num_directed_edges(), sl.num_directed_edges());
+}
+
+TEST(GraphTest, WithSelfLoopsKeepsNeighborsSorted) {
+  AttributedGraph sl = TriangleWithTail().WithSelfLoops();
+  for (int i = 0; i < sl.num_nodes(); ++i) {
+    auto neighbors = sl.Neighbors(i);
+    EXPECT_TRUE(std::is_sorted(neighbors.begin(), neighbors.end()));
+  }
+}
+
+TEST(GraphTest, UndirectedEdgeListHalvesDirected) {
+  AttributedGraph g = TriangleWithTail();
+  auto edges = g.UndirectedEdgeList();
+  EXPECT_EQ(edges.size(), 4u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(GraphTest, LabelsRoundTrip) {
+  AttributedGraph g = TriangleWithTail();
+  g.SetCommunities({0, 0, 1, 1});
+  g.SetOutlierLabels({0, 1, 0, 1});
+  EXPECT_EQ(g.NumCommunities(), 2);
+  EXPECT_EQ(g.outlier_labels()[1], 1);
+  // Self-loop copy carries metadata.
+  AttributedGraph sl = g.WithSelfLoops();
+  EXPECT_TRUE(sl.has_communities());
+  EXPECT_TRUE(sl.has_outlier_labels());
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Result<AttributedGraph> g =
+      AttributedGraph::FromEdgeList(0, {}, Tensor::Zeros(0, 3));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 0);
+  EXPECT_EQ(g.value().num_directed_edges(), 0);
+}
+
+// --- sampling ---
+
+AttributedGraph SmallRandomGraph(int n, double avg_degree, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> edges;
+  const int m = static_cast<int>(n * avg_degree / 2);
+  for (int e = 0; e < m; ++e) {
+    const int u = static_cast<int>(rng.UniformInt(n));
+    const int v = static_cast<int>(rng.UniformInt(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return std::move(
+             AttributedGraph::FromEdgeList(n, edges, Tensor::Ones(n, 2)))
+      .value();
+}
+
+TEST(SamplingTest, NegativeGraphAvoidsRealEdgesAndSelf) {
+  AttributedGraph g = SmallRandomGraph(60, 6, 3);
+  Rng rng(5);
+  AttributedGraph neg = BuildNegativeGraph(g, &rng);
+  EXPECT_EQ(neg.num_nodes(), g.num_nodes());
+  for (int u = 0; u < neg.num_nodes(); ++u) {
+    for (int32_t v : neg.Neighbors(u)) {
+      EXPECT_FALSE(g.HasEdge(u, v)) << u << "->" << v;
+      EXPECT_NE(u, v);
+    }
+  }
+}
+
+TEST(SamplingTest, NegativeGraphMatchesDegrees) {
+  AttributedGraph g = SmallRandomGraph(80, 5, 7);
+  Rng rng(9);
+  AttributedGraph neg = BuildNegativeGraph(g, &rng);
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(neg.Degree(u), g.Degree(u)) << "node " << u;
+  }
+}
+
+TEST(SamplingTest, NegativeGraphCarriesAttributes) {
+  AttributedGraph g = SmallRandomGraph(30, 4, 11);
+  Rng rng(13);
+  AttributedGraph neg = BuildNegativeGraph(g, &rng);
+  EXPECT_TRUE(neg.has_attributes());
+  EXPECT_EQ(neg.attribute_dim(), g.attribute_dim());
+}
+
+TEST(SamplingTest, NegativeGraphNearCompleteNeighborhood) {
+  // A 4-clique: each node's forbidden set is everything, so the negative
+  // graph must cap at zero negative neighbors instead of hanging.
+  Result<AttributedGraph> g = AttributedGraph::FromEdgeList(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, Tensor::Ones(4, 1));
+  Rng rng(1);
+  AttributedGraph neg = BuildNegativeGraph(g.value(), &rng);
+  EXPECT_EQ(neg.num_directed_edges(), 0);
+}
+
+TEST(SamplingTest, RandomWalkStaysOnGraph) {
+  AttributedGraph g = SmallRandomGraph(50, 4, 17);
+  Rng rng(19);
+  std::vector<int> walk = RandomWalk(g, 7, 10, &rng);
+  EXPECT_EQ(walk.size(), 11u);
+  EXPECT_EQ(walk[0], 7);
+  for (size_t i = 1; i < walk.size(); ++i) {
+    // Each hop is an edge, unless the walker was stuck on an isolated node.
+    if (walk[i] != walk[i - 1]) {
+      EXPECT_TRUE(g.HasEdge(walk[i - 1], walk[i]));
+    }
+  }
+}
+
+TEST(SamplingTest, RandomWalkIsolatedNodeStays) {
+  Result<AttributedGraph> g =
+      AttributedGraph::FromEdgeList(3, {{0, 1}}, Tensor::Ones(3, 1));
+  Rng rng(1);
+  std::vector<int> walk = RandomWalk(g.value(), 2, 5, &rng);
+  for (int node : walk) EXPECT_EQ(node, 2);
+}
+
+TEST(SamplingTest, BlockDiagonalBatchStructure) {
+  AttributedGraph g = TriangleWithTail();
+  BlockDiagonalBatch batch =
+      MakeBlockDiagonalBatch(g, {{0, 1, 2}, {2, 3}, {3}});
+  EXPECT_EQ(batch.graph.num_nodes(), 6);
+  EXPECT_EQ(batch.group_offsets, (std::vector<int>{0, 3, 5}));
+  // Group 0 is the triangle: all three induced edges present.
+  EXPECT_TRUE(batch.graph.HasEdge(0, 1));
+  EXPECT_TRUE(batch.graph.HasEdge(1, 2));
+  EXPECT_TRUE(batch.graph.HasEdge(0, 2));
+  // Group 1 is the 2-3 tail edge, relabeled to 3-4.
+  EXPECT_TRUE(batch.graph.HasEdge(3, 4));
+  // No cross-group edges.
+  EXPECT_FALSE(batch.graph.HasEdge(2, 3));
+  // Attribute rows copied per block.
+  EXPECT_EQ(batch.graph.attributes().rows(), 6);
+}
+
+TEST(SamplingTest, BlockDiagonalBatchDuplicateNodes) {
+  AttributedGraph g = TriangleWithTail();
+  BlockDiagonalBatch batch = MakeBlockDiagonalBatch(g, {{0, 1}, {0, 1}});
+  // Duplicates get independent rows and their own edges.
+  EXPECT_TRUE(batch.graph.HasEdge(0, 1));
+  EXPECT_TRUE(batch.graph.HasEdge(2, 3));
+  EXPECT_FALSE(batch.graph.HasEdge(1, 2));
+}
+
+}  // namespace
+}  // namespace vgod

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/rng.h"
+#include "datasets/synthetic.h"
+#include "injection/injection.h"
+#include "tensor/kernels.h"
+
+namespace vgod {
+namespace {
+
+using ::vgod::injection::DistanceKind;
+using ::vgod::injection::GroupedInjectionResult;
+using ::vgod::injection::InjectCliqueSizeGroups;
+using ::vgod::injection::InjectContextualOutliers;
+using ::vgod::injection::InjectionResult;
+using ::vgod::injection::InjectStandard;
+using ::vgod::injection::InjectStructuralByEdgeReplacement;
+using ::vgod::injection::InjectStructuralOutliers;
+
+AttributedGraph BaseGraph(int n = 400, uint64_t seed = 1) {
+  datasets::SyntheticGraphSpec spec;
+  spec.num_nodes = n;
+  spec.num_communities = 4;
+  spec.avg_degree = 4.0;
+  spec.attribute_dim = 48;
+  spec.topic_dims_per_community = 10;
+  Rng rng(seed);
+  return datasets::GeneratePlantedPartition(spec, &rng);
+}
+
+int CountLabels(const std::vector<uint8_t>& labels) {
+  return std::accumulate(labels.begin(), labels.end(), 0);
+}
+
+TEST(StructuralInjectionTest, CountsAndLabels) {
+  AttributedGraph g = BaseGraph();
+  Rng rng(2);
+  InjectionResult result =
+      std::move(InjectStructuralOutliers(g, 3, 5, &rng)).value();
+  EXPECT_EQ(CountLabels(result.structural), 15);
+  EXPECT_EQ(CountLabels(result.contextual), 0);
+  EXPECT_EQ(result.combined, result.structural);
+  EXPECT_EQ(result.graph.outlier_labels(), result.combined);
+}
+
+TEST(StructuralInjectionTest, OutliersFormCliques) {
+  AttributedGraph g = BaseGraph();
+  Rng rng(3);
+  InjectionResult result =
+      std::move(InjectStructuralOutliers(g, 2, 6, &rng)).value();
+  // Every structural outlier gains >= q-1 degree (clique edges).
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (result.structural[i]) {
+      EXPECT_GE(result.graph.Degree(i), 5) << "node " << i;
+      EXPECT_GE(result.graph.Degree(i), g.Degree(i));
+    } else {
+      EXPECT_EQ(result.graph.Degree(i), g.Degree(i)) << "node " << i;
+    }
+  }
+}
+
+TEST(StructuralInjectionTest, AttributesUntouched) {
+  AttributedGraph g = BaseGraph();
+  Rng rng(4);
+  InjectionResult result =
+      std::move(InjectStructuralOutliers(g, 3, 5, &rng)).value();
+  EXPECT_EQ(kernels::MaxAbsDiff(result.graph.attributes(), g.attributes()),
+            0.0f);
+}
+
+TEST(StructuralInjectionTest, DegreeLeakageExists) {
+  // The core observation of paper §IV-A2: injected structural outliers have
+  // far higher degree than the graph average.
+  AttributedGraph g = BaseGraph();
+  Rng rng(5);
+  InjectionResult result =
+      std::move(InjectStructuralOutliers(g, 3, 15, &rng)).value();
+  double outlier_deg = 0.0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (result.structural[i]) outlier_deg += result.graph.Degree(i);
+  }
+  outlier_deg /= 45.0;
+  EXPECT_GT(outlier_deg, 3.0 * g.AverageDegree());
+}
+
+TEST(StructuralInjectionTest, RejectsOversizedRequest) {
+  AttributedGraph g = BaseGraph(50);
+  Rng rng(6);
+  EXPECT_FALSE(InjectStructuralOutliers(g, 10, 15, &rng).ok());
+}
+
+TEST(StructuralInjectionTest, RejectsBadParameters) {
+  AttributedGraph g = BaseGraph(100);
+  Rng rng(7);
+  EXPECT_FALSE(InjectStructuralOutliers(g, 0, 5, &rng).ok());
+  EXPECT_FALSE(InjectStructuralOutliers(g, 2, 1, &rng).ok());
+}
+
+TEST(ContextualInjectionTest, CountsAndTopologyPreserved) {
+  AttributedGraph g = BaseGraph();
+  Rng rng(8);
+  InjectionResult result =
+      std::move(
+          InjectContextualOutliers(g, 20, 50, DistanceKind::kEuclidean, &rng))
+          .value();
+  EXPECT_EQ(CountLabels(result.contextual), 20);
+  EXPECT_EQ(result.graph.col_idx(), g.col_idx());
+  EXPECT_EQ(result.graph.num_directed_edges(), g.num_directed_edges());
+}
+
+TEST(ContextualInjectionTest, VictimAttributesReplacedByExistingRows) {
+  AttributedGraph g = BaseGraph();
+  Rng rng(9);
+  InjectionResult result =
+      std::move(
+          InjectContextualOutliers(g, 15, 50, DistanceKind::kEuclidean, &rng))
+          .value();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const bool changed =
+        kernels::MaxAbsDiff(
+            Tensor::FromVector(result.graph.attributes().RowToVector(i), 1,
+                               g.attribute_dim()),
+            Tensor::FromVector(g.attributes().RowToVector(i), 1,
+                               g.attribute_dim())) > 0;
+    if (!result.contextual[i]) {
+      EXPECT_FALSE(changed) << "non-victim " << i << " was modified";
+    }
+  }
+}
+
+TEST(ContextualInjectionTest, EuclideanLargeKCausesNormLeakage) {
+  // Theorem 1: with k=50 and Euclidean distance, the chosen replacement
+  // vectors are biased toward large L2 norms.
+  AttributedGraph g = BaseGraph(600, 11);
+  Rng rng(12);
+  InjectionResult result =
+      std::move(
+          InjectContextualOutliers(g, 40, 50, DistanceKind::kEuclidean, &rng))
+          .value();
+  const Tensor norms = kernels::RowNorms(result.graph.attributes());
+  double outlier_norm = 0.0, normal_norm = 0.0;
+  int n_out = 0, n_in = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (result.contextual[i]) {
+      outlier_norm += norms.At(i, 0);
+      ++n_out;
+    } else {
+      normal_norm += norms.At(i, 0);
+      ++n_in;
+    }
+  }
+  EXPECT_GT(outlier_norm / n_out, 1.15 * (normal_norm / n_in));
+}
+
+TEST(ContextualInjectionTest, SmallKMitigatesLeakage) {
+  // Paper Fig 3 (left): shrinking the candidate set weakens the norm bias.
+  AttributedGraph g = BaseGraph(600, 13);
+  auto norm_gap = [&g](int k, uint64_t seed) {
+    Rng rng(seed);
+    InjectionResult result =
+        std::move(
+            InjectContextualOutliers(g, 40, k, DistanceKind::kEuclidean, &rng))
+            .value();
+    const Tensor norms = kernels::RowNorms(result.graph.attributes());
+    double outlier = 0.0, normal = 0.0;
+    int n_out = 0, n_in = 0;
+    for (int i = 0; i < g.num_nodes(); ++i) {
+      if (result.contextual[i]) {
+        outlier += norms.At(i, 0);
+        ++n_out;
+      } else {
+        normal += norms.At(i, 0);
+        ++n_in;
+      }
+    }
+    return (outlier / n_out) / (normal / n_in);
+  };
+  // Average over seeds to stabilize the comparison.
+  double gap_k1 = 0.0, gap_k50 = 0.0;
+  for (uint64_t s = 0; s < 5; ++s) {
+    gap_k1 += norm_gap(1, 100 + s) / 5;
+    gap_k50 += norm_gap(50, 200 + s) / 5;
+  }
+  EXPECT_GT(gap_k50, gap_k1);
+}
+
+TEST(ContextualInjectionTest, RejectsBadParameters) {
+  AttributedGraph g = BaseGraph(100);
+  Rng rng(14);
+  EXPECT_FALSE(
+      InjectContextualOutliers(g, 0, 50, DistanceKind::kEuclidean, &rng).ok());
+  EXPECT_FALSE(
+      InjectContextualOutliers(g, 5, 0, DistanceKind::kEuclidean, &rng).ok());
+  EXPECT_FALSE(
+      InjectContextualOutliers(g, 5, 100, DistanceKind::kEuclidean, &rng)
+          .ok());
+}
+
+TEST(StandardInjectionTest, DisjointTypesAndCombinedLabels) {
+  AttributedGraph g = BaseGraph();
+  Rng rng(15);
+  InjectionResult result = std::move(InjectStandard(g, 3, 5, 50, &rng)).value();
+  EXPECT_EQ(CountLabels(result.structural), 15);
+  EXPECT_EQ(CountLabels(result.contextual), 15);
+  EXPECT_EQ(CountLabels(result.combined), 30);
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_FALSE(result.structural[i] && result.contextual[i])
+        << "node " << i << " is both types";
+    EXPECT_EQ(result.combined[i], result.structural[i] | result.contextual[i]);
+  }
+}
+
+TEST(EdgeReplacementTest, DegreePreserved) {
+  // The paper's new injection (§VI-D1) removes the degree leakage: every
+  // victim keeps its degree.
+  AttributedGraph g = BaseGraph(500, 17);
+  Rng rng(18);
+  InjectionResult result =
+      std::move(InjectStructuralByEdgeReplacement(g, 50, &rng)).value();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (result.structural[i]) {
+      EXPECT_EQ(result.graph.Degree(i), g.Degree(i)) << "victim " << i;
+    }
+  }
+}
+
+TEST(EdgeReplacementTest, NewNeighborsFromOtherCommunities) {
+  AttributedGraph g = BaseGraph(500, 19);
+  Rng rng(20);
+  InjectionResult result =
+      std::move(InjectStructuralByEdgeReplacement(g, 40, &rng)).value();
+  const auto& comm = result.graph.communities();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (!result.structural[i]) continue;
+    for (int32_t j : result.graph.Neighbors(i)) {
+      // A victim's neighbors either come from other communities or are
+      // other victims that rewired onto it.
+      if (!result.structural[j]) {
+        EXPECT_NE(comm[i], comm[j]) << "victim " << i << " neighbor " << j;
+      }
+    }
+  }
+}
+
+TEST(EdgeReplacementTest, RequiresCommunities) {
+  Result<AttributedGraph> g =
+      AttributedGraph::FromEdgeList(10, {{0, 1}, {1, 2}}, Tensor::Ones(10, 4));
+  Rng rng(21);
+  EXPECT_EQ(
+      InjectStructuralByEdgeReplacement(g.value(), 2, &rng).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(CliqueGroupsTest, GroupsAreDisjointAndSized) {
+  AttributedGraph g = BaseGraph(800, 23);
+  Rng rng(24);
+  GroupedInjectionResult result =
+      std::move(InjectCliqueSizeGroups(g, {3, 5, 10, 15}, 16, &rng)).value();
+  ASSERT_EQ(result.groups.size(), 4u);
+  std::vector<uint8_t> seen(g.num_nodes(), 0);
+  for (const auto& group : result.groups) {
+    EXPECT_GE(static_cast<int>(group.size()), 16);
+    for (int node : group) {
+      EXPECT_FALSE(seen[node]) << "node " << node << " in two groups";
+      seen[node] = 1;
+      EXPECT_TRUE(result.combined[node]);
+    }
+  }
+}
+
+TEST(CliqueGroupsTest, GroupDegreeScalesWithCliqueSize) {
+  AttributedGraph g = BaseGraph(800, 25);
+  Rng rng(26);
+  GroupedInjectionResult result =
+      std::move(InjectCliqueSizeGroups(g, {3, 15}, 15, &rng)).value();
+  auto mean_degree = [&result](const std::vector<int>& group) {
+    double total = 0.0;
+    for (int node : group) total += result.graph.Degree(node);
+    return total / group.size();
+  };
+  EXPECT_GT(mean_degree(result.groups[1]), mean_degree(result.groups[0]) + 5);
+}
+
+TEST(InjectionDeterminismTest, SameSeedSameResult) {
+  AttributedGraph g = BaseGraph(300, 27);
+  Rng rng_a(42), rng_b(42);
+  InjectionResult a = std::move(InjectStandard(g, 2, 5, 20, &rng_a)).value();
+  InjectionResult b = std::move(InjectStandard(g, 2, 5, 20, &rng_b)).value();
+  EXPECT_EQ(a.combined, b.combined);
+  EXPECT_EQ(a.graph.col_idx(), b.graph.col_idx());
+  EXPECT_EQ(
+      kernels::MaxAbsDiff(a.graph.attributes(), b.graph.attributes()), 0.0f);
+}
+
+}  // namespace
+}  // namespace vgod
