@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_minibatch_scaling.dir/ext_minibatch_scaling.cc.o"
+  "CMakeFiles/ext_minibatch_scaling.dir/ext_minibatch_scaling.cc.o.d"
+  "ext_minibatch_scaling"
+  "ext_minibatch_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_minibatch_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

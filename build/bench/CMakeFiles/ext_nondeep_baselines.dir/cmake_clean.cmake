@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nondeep_baselines.dir/ext_nondeep_baselines.cc.o"
+  "CMakeFiles/ext_nondeep_baselines.dir/ext_nondeep_baselines.cc.o.d"
+  "ext_nondeep_baselines"
+  "ext_nondeep_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nondeep_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

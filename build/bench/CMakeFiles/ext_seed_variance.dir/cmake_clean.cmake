@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_seed_variance.dir/ext_seed_variance.cc.o"
+  "CMakeFiles/ext_seed_variance.dir/ext_seed_variance.cc.o.d"
+  "ext_seed_variance"
+  "ext_seed_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_seed_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

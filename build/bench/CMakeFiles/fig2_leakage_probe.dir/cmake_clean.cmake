@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_leakage_probe.dir/fig2_leakage_probe.cc.o"
+  "CMakeFiles/fig2_leakage_probe.dir/fig2_leakage_probe.cc.o.d"
+  "fig2_leakage_probe"
+  "fig2_leakage_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_leakage_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_table7_efficiency.dir/fig7_table7_efficiency.cc.o"
+  "CMakeFiles/fig7_table7_efficiency.dir/fig7_table7_efficiency.cc.o.d"
+  "fig7_table7_efficiency"
+  "fig7_table7_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_table7_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vbm_epochs.dir/fig8_vbm_epochs.cc.o"
+  "CMakeFiles/fig8_vbm_epochs.dir/fig8_vbm_epochs.cc.o.d"
+  "fig8_vbm_epochs"
+  "fig8_vbm_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vbm_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_fig9_weibo.dir/table10_fig9_weibo.cc.o"
+  "CMakeFiles/table10_fig9_weibo.dir/table10_fig9_weibo.cc.o.d"
+  "table10_fig9_weibo"
+  "table10_fig9_weibo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_fig9_weibo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_12_selfloop.dir/table11_12_selfloop.cc.o"
+  "CMakeFiles/table11_12_selfloop.dir/table11_12_selfloop.cc.o.d"
+  "table11_12_selfloop"
+  "table11_12_selfloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_12_selfloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table11_12_selfloop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table13_14_score_combination.dir/table13_14_score_combination.cc.o"
+  "CMakeFiles/table13_14_score_combination.dir/table13_14_score_combination.cc.o.d"
+  "table13_14_score_combination"
+  "table13_14_score_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_14_score_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

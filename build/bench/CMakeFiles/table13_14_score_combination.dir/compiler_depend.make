@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table13_14_score_combination.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table15_16_inductive.dir/table15_16_inductive.cc.o"
+  "CMakeFiles/table15_16_inductive.dir/table15_16_inductive.cc.o.d"
+  "table15_16_inductive"
+  "table15_16_inductive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table15_16_inductive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

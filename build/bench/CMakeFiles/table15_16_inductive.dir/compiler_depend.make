@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table15_16_inductive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_4_unod.dir/table3_4_unod.cc.o"
+  "CMakeFiles/table3_4_unod.dir/table3_4_unod.cc.o.d"
+  "table3_4_unod"
+  "table3_4_unod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_4_unod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fig6_clique_sweep.dir/table5_fig6_clique_sweep.cc.o"
+  "CMakeFiles/table5_fig6_clique_sweep.dir/table5_fig6_clique_sweep.cc.o.d"
+  "table5_fig6_clique_sweep"
+  "table5_fig6_clique_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fig6_clique_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

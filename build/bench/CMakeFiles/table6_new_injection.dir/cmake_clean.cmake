@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_new_injection.dir/table6_new_injection.cc.o"
+  "CMakeFiles/table6_new_injection.dir/table6_new_injection.cc.o.d"
+  "table6_new_injection"
+  "table6_new_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_new_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_9_gnn_ablation.dir/table8_9_gnn_ablation.cc.o"
+  "CMakeFiles/table8_9_gnn_ablation.dir/table8_9_gnn_ablation.cc.o.d"
+  "table8_9_gnn_ablation"
+  "table8_9_gnn_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_9_gnn_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

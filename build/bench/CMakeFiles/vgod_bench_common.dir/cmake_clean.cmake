@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libvgod_bench_common.a"
+  "../lib/libvgod_bench_common.pdb"
+  "CMakeFiles/vgod_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/vgod_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

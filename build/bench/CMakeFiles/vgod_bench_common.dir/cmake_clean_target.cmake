@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libvgod_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_audit.dir/citation_audit.cpp.o"
+  "CMakeFiles/citation_audit.dir/citation_audit.cpp.o.d"
+  "citation_audit"
+  "citation_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inductive_deploy.dir/inductive_deploy.cpp.o"
+  "CMakeFiles/inductive_deploy.dir/inductive_deploy.cpp.o.d"
+  "inductive_deploy"
+  "inductive_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inductive_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

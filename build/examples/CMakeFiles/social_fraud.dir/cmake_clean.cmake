@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_fraud.dir/social_fraud.cpp.o"
+  "CMakeFiles/social_fraud.dir/social_fraud.cpp.o.d"
+  "social_fraud"
+  "social_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

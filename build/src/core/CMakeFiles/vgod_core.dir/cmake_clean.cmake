@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgod_core.dir/args.cc.o"
+  "CMakeFiles/vgod_core.dir/args.cc.o.d"
+  "CMakeFiles/vgod_core.dir/logging.cc.o"
+  "CMakeFiles/vgod_core.dir/logging.cc.o.d"
+  "CMakeFiles/vgod_core.dir/rng.cc.o"
+  "CMakeFiles/vgod_core.dir/rng.cc.o.d"
+  "CMakeFiles/vgod_core.dir/status.cc.o"
+  "CMakeFiles/vgod_core.dir/status.cc.o.d"
+  "libvgod_core.a"
+  "libvgod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

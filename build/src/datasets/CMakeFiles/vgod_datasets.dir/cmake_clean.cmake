@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgod_datasets.dir/io.cc.o"
+  "CMakeFiles/vgod_datasets.dir/io.cc.o.d"
+  "CMakeFiles/vgod_datasets.dir/registry.cc.o"
+  "CMakeFiles/vgod_datasets.dir/registry.cc.o.d"
+  "CMakeFiles/vgod_datasets.dir/synthetic.cc.o"
+  "CMakeFiles/vgod_datasets.dir/synthetic.cc.o.d"
+  "libvgod_datasets.a"
+  "libvgod_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detectors/anomalydae.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/anomalydae.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/anomalydae.cc.o.d"
+  "/root/repo/src/detectors/arm.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/arm.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/arm.cc.o.d"
+  "/root/repo/src/detectors/cola.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/cola.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/cola.cc.o.d"
+  "/root/repo/src/detectors/conad.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/conad.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/conad.cc.o.d"
+  "/root/repo/src/detectors/dominant.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/dominant.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/dominant.cc.o.d"
+  "/root/repo/src/detectors/done.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/done.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/done.cc.o.d"
+  "/root/repo/src/detectors/guide.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/guide.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/guide.cc.o.d"
+  "/root/repo/src/detectors/nondeep.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/nondeep.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/nondeep.cc.o.d"
+  "/root/repo/src/detectors/registry.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/registry.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/registry.cc.o.d"
+  "/root/repo/src/detectors/serialize.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/serialize.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/serialize.cc.o.d"
+  "/root/repo/src/detectors/simple.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/simple.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/simple.cc.o.d"
+  "/root/repo/src/detectors/vbm.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/vbm.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/vbm.cc.o.d"
+  "/root/repo/src/detectors/vgod.cc" "src/detectors/CMakeFiles/vgod_detectors.dir/vgod.cc.o" "gcc" "src/detectors/CMakeFiles/vgod_detectors.dir/vgod.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/vgod_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vgod_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vgod_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/vgod_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vgod_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

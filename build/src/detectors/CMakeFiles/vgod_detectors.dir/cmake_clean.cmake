@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgod_detectors.dir/anomalydae.cc.o"
+  "CMakeFiles/vgod_detectors.dir/anomalydae.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/arm.cc.o"
+  "CMakeFiles/vgod_detectors.dir/arm.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/cola.cc.o"
+  "CMakeFiles/vgod_detectors.dir/cola.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/conad.cc.o"
+  "CMakeFiles/vgod_detectors.dir/conad.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/dominant.cc.o"
+  "CMakeFiles/vgod_detectors.dir/dominant.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/done.cc.o"
+  "CMakeFiles/vgod_detectors.dir/done.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/guide.cc.o"
+  "CMakeFiles/vgod_detectors.dir/guide.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/nondeep.cc.o"
+  "CMakeFiles/vgod_detectors.dir/nondeep.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/registry.cc.o"
+  "CMakeFiles/vgod_detectors.dir/registry.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/serialize.cc.o"
+  "CMakeFiles/vgod_detectors.dir/serialize.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/simple.cc.o"
+  "CMakeFiles/vgod_detectors.dir/simple.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/vbm.cc.o"
+  "CMakeFiles/vgod_detectors.dir/vbm.cc.o.d"
+  "CMakeFiles/vgod_detectors.dir/vgod.cc.o"
+  "CMakeFiles/vgod_detectors.dir/vgod.cc.o.d"
+  "libvgod_detectors.a"
+  "libvgod_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

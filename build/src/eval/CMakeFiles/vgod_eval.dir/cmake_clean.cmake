@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgod_eval.dir/metrics.cc.o"
+  "CMakeFiles/vgod_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/vgod_eval.dir/table.cc.o"
+  "CMakeFiles/vgod_eval.dir/table.cc.o.d"
+  "libvgod_eval.a"
+  "libvgod_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/graph_autograd.cc" "src/gnn/CMakeFiles/vgod_gnn.dir/graph_autograd.cc.o" "gcc" "src/gnn/CMakeFiles/vgod_gnn.dir/graph_autograd.cc.o.d"
+  "/root/repo/src/gnn/layers.cc" "src/gnn/CMakeFiles/vgod_gnn.dir/layers.cc.o" "gcc" "src/gnn/CMakeFiles/vgod_gnn.dir/layers.cc.o.d"
+  "/root/repo/src/gnn/parameter_free.cc" "src/gnn/CMakeFiles/vgod_gnn.dir/parameter_free.cc.o" "gcc" "src/gnn/CMakeFiles/vgod_gnn.dir/parameter_free.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/vgod_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vgod_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vgod_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgod_gnn.dir/graph_autograd.cc.o"
+  "CMakeFiles/vgod_gnn.dir/graph_autograd.cc.o.d"
+  "CMakeFiles/vgod_gnn.dir/layers.cc.o"
+  "CMakeFiles/vgod_gnn.dir/layers.cc.o.d"
+  "CMakeFiles/vgod_gnn.dir/parameter_free.cc.o"
+  "CMakeFiles/vgod_gnn.dir/parameter_free.cc.o.d"
+  "libvgod_gnn.a"
+  "libvgod_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgod_graph.dir/algorithms.cc.o"
+  "CMakeFiles/vgod_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/vgod_graph.dir/graph.cc.o"
+  "CMakeFiles/vgod_graph.dir/graph.cc.o.d"
+  "CMakeFiles/vgod_graph.dir/graph_ops.cc.o"
+  "CMakeFiles/vgod_graph.dir/graph_ops.cc.o.d"
+  "CMakeFiles/vgod_graph.dir/sampling.cc.o"
+  "CMakeFiles/vgod_graph.dir/sampling.cc.o.d"
+  "libvgod_graph.a"
+  "libvgod_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgod_injection.dir/injection.cc.o"
+  "CMakeFiles/vgod_injection.dir/injection.cc.o.d"
+  "libvgod_injection.a"
+  "libvgod_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgod_tensor.dir/autograd.cc.o"
+  "CMakeFiles/vgod_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/vgod_tensor.dir/functional.cc.o"
+  "CMakeFiles/vgod_tensor.dir/functional.cc.o.d"
+  "CMakeFiles/vgod_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/vgod_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/vgod_tensor.dir/init.cc.o"
+  "CMakeFiles/vgod_tensor.dir/init.cc.o.d"
+  "CMakeFiles/vgod_tensor.dir/kernels.cc.o"
+  "CMakeFiles/vgod_tensor.dir/kernels.cc.o.d"
+  "CMakeFiles/vgod_tensor.dir/nn.cc.o"
+  "CMakeFiles/vgod_tensor.dir/nn.cc.o.d"
+  "CMakeFiles/vgod_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/vgod_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/vgod_tensor.dir/tensor.cc.o"
+  "CMakeFiles/vgod_tensor.dir/tensor.cc.o.d"
+  "libvgod_tensor.a"
+  "libvgod_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/injection_test.dir/injection_test.cc.o"
+  "CMakeFiles/injection_test.dir/injection_test.cc.o.d"
+  "injection_test"
+  "injection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

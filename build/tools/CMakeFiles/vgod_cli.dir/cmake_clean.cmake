@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgod_cli.dir/vgod_cli.cc.o"
+  "CMakeFiles/vgod_cli.dir/vgod_cli.cc.o.d"
+  "vgod_cli"
+  "vgod_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
