@@ -2,10 +2,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
 
 #include "core/check.h"
 #include "core/logging.h"
 #include "core/rng.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 
 namespace vgod::bench {
 namespace {
@@ -13,6 +18,97 @@ namespace {
 double EnvDouble(const char* name, double fallback) {
   const char* value = std::getenv(name);
   return value != nullptr ? std::atof(value) : fallback;
+}
+
+struct ManifestResult {
+  std::string dataset;
+  std::string detector;
+  std::string metric;
+  double value = 0.0;
+};
+
+struct ManifestState {
+  std::mutex mutex;
+  std::string artifact;
+  std::vector<ManifestResult> results;
+};
+
+ManifestState& Manifest() {
+  static ManifestState* state = new ManifestState();
+  return *state;
+}
+
+const char* ManifestPath() { return std::getenv("VGOD_BENCH_MANIFEST"); }
+
+/// {"artifact":...,"scale":...,"seed":...,"epoch_scale":...,
+///  "results":[{dataset,detector,metric,value}...],
+///  "spans":[{name,count,total_us}...]} — spans only when tracing is on.
+std::string ManifestToJson() {
+  ManifestState& state = Manifest();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::string out = "{";
+  out += "\"artifact\":";
+  obs::AppendJsonString(&out, state.artifact);
+  out += ",\"scale\":";
+  obs::AppendJsonNumber(&out, EnvScale());
+  out += ",\"seed\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(EnvSeed()));
+  out += ",\"epoch_scale\":";
+  obs::AppendJsonNumber(&out, EnvEpochScale());
+  out += ",\"results\":[";
+  bool first = true;
+  for (const ManifestResult& r : state.results) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"dataset\":";
+    obs::AppendJsonString(&out, r.dataset);
+    out += ",\"detector\":";
+    obs::AppendJsonString(&out, r.detector);
+    out += ",\"metric\":";
+    obs::AppendJsonString(&out, r.metric);
+    out += ",\"value\":";
+    obs::AppendJsonNumber(&out, r.value);
+    out += "}";
+  }
+  out += "],\"spans\":[";
+  struct SpanTotals {
+    int64_t count = 0;
+    int64_t total_us = 0;
+  };
+  std::map<std::string, SpanTotals> totals;
+  for (const obs::TraceEvent& event : obs::SnapshotTraceEvents()) {
+    SpanTotals& t = totals[event.name];
+    ++t.count;
+    t.total_us += event.dur_us;
+  }
+  first = true;
+  for (const auto& [name, t] : totals) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    obs::AppendJsonString(&out, name);
+    out += ",\"count\":";
+    obs::AppendJsonNumber(&out, static_cast<double>(t.count));
+    out += ",\"total_us\":";
+    obs::AppendJsonNumber(&out, static_cast<double>(t.total_us));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+/// Registered via atexit by PrintBanner: the manifest (and, when
+/// VGOD_TRACE carried a path, the trace) land on disk even if a bench
+/// binary returns from main without explicit teardown.
+void WriteArtifactsAtExit() {
+  WriteManifest();
+  const std::string trace_path = obs::TraceEnvPath();
+  if (obs::TraceEnabled() && !trace_path.empty()) {
+    const Status status = obs::WriteTrace(trace_path);
+    if (!status.ok()) {
+      VGOD_LOG(Error) << "trace export failed: " << status.ToString();
+    }
+  }
 }
 
 }  // namespace
@@ -83,13 +179,47 @@ detectors::DetectorOptions OptionsFor(const UnodCase& unod_case,
 }
 
 void PrintBanner(const std::string& artifact, const std::string& what) {
-  SetLogLevel(LogLevel::kWarning);
+  SetLogLevelFromEnv(LogLevel::kWarning);
+  obs::InitTraceFromEnv();
+  {
+    ManifestState& state = Manifest();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.artifact = artifact;
+  }
+  if (ManifestPath() != nullptr || obs::TraceEnabled()) {
+    static const bool registered = []() {
+      std::atexit(WriteArtifactsAtExit);
+      return true;
+    }();
+    (void)registered;
+  }
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", artifact.c_str(), what.c_str());
   std::printf("scale=%.2f seed=%llu epoch_scale=%.2f  (see DESIGN.md §4-5)\n",
               EnvScale(), static_cast<unsigned long long>(EnvSeed()),
               EnvEpochScale());
   std::printf("==============================================================\n");
+}
+
+void RecordManifestResult(const std::string& dataset,
+                          const std::string& detector,
+                          const std::string& metric, double value) {
+  if (ManifestPath() == nullptr) return;
+  ManifestState& state = Manifest();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.results.push_back(ManifestResult{dataset, detector, metric, value});
+}
+
+bool WriteManifest() {
+  const char* path = ManifestPath();
+  if (path == nullptr || path[0] == '\0') return false;
+  std::ofstream out(path);
+  if (!out) {
+    VGOD_LOG(Error) << "cannot open manifest path " << path;
+    return false;
+  }
+  out << ManifestToJson() << "\n";
+  return out.good();
 }
 
 }  // namespace vgod::bench

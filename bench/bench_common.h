@@ -18,6 +18,14 @@ namespace vgod::bench {
 //   VGOD_BENCH_SEED        base seed (default 7)
 //   VGOD_BENCH_EPOCH_SCALE multiplier on every model's epoch budget
 //                          (default 1.0; use ~0.2 for a quick smoke run)
+//   VGOD_BENCH_MANIFEST    path for a per-run JSON manifest (artifact,
+//                          scale/seed knobs, recorded results, and — when
+//                          VGOD_TRACE is on — per-span timing totals).
+//                          Written at process exit; unset = no manifest.
+//   VGOD_LOG_LEVEL         log threshold override (core/logging.h); bench
+//                          binaries default to "warning"
+//   VGOD_TRACE             enable trace spans (obs/trace.h); a path-like
+//                          value also sets the export destination
 
 double EnvScale();
 uint64_t EnvSeed();
@@ -58,8 +66,21 @@ detectors::DetectorOptions OptionsFor(const UnodCase& unod_case,
                                       uint64_t seed);
 
 /// Prints the standard bench banner: which paper artifact this regenerates
-/// and the active scale/seed knobs.
+/// and the active scale/seed knobs. Also applies VGOD_LOG_LEVEL (fallback:
+/// warning), arms tracing from VGOD_TRACE, and — when VGOD_BENCH_MANIFEST
+/// is set — registers the manifest writer to run at process exit.
 void PrintBanner(const std::string& artifact, const std::string& what);
+
+/// Adds one named result (typically an AUC or a timing) to the run
+/// manifest. Safe to call unconditionally: a no-op without
+/// VGOD_BENCH_MANIFEST.
+void RecordManifestResult(const std::string& dataset,
+                          const std::string& detector,
+                          const std::string& metric, double value);
+
+/// Writes the manifest JSON now instead of at exit (mainly for tests).
+/// Returns false when VGOD_BENCH_MANIFEST is unset or the write fails.
+bool WriteManifest();
 
 }  // namespace vgod::bench
 

@@ -8,6 +8,7 @@
 #include "detectors/vbm.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
+#include "obs/monitor.h"
 
 namespace vgod {
 namespace {
@@ -41,18 +42,28 @@ void Run() {
     for (int q : kCliqueSizes) header.push_back("q=" + std::to_string(q));
     eval::Table table(header);
 
-    detectors::VbmConfig config;
-    config.seed = bench::EnvSeed();
-    config.self_loop = name != "flickr";
-    config.epochs = epochs;
-    config.epoch_callback = [&](int epoch,
-                                const std::vector<double>& scores) {
+    // The monitor's score probe replaces the old VbmConfig callback:
+    // VBM computes CurrentScores after an epoch only when a probe asks.
+    obs::TrainingMonitor monitor;
+    monitor.SetScoreProbe([&](const std::string& /*detector*/, int epoch,
+                              const std::vector<double>& scores) {
       if (epoch % 2 != 1 && epoch != epochs) return;  // Print every other.
       table.AddRow().AddCell(std::to_string(epoch));
       for (size_t g = 0; g < masks.size(); ++g) {
         table.AddCell(eval::AucSubset(scores, sweep.combined, masks[g]), 3);
+        bench::RecordManifestResult(
+            name, "VBM",
+            "auc_epoch" + std::to_string(epoch) + "_q" +
+                std::to_string(kCliqueSizes[g]),
+            eval::AucSubset(scores, sweep.combined, masks[g]));
       }
-    };
+    });
+
+    detectors::VbmConfig config;
+    config.seed = bench::EnvSeed();
+    config.self_loop = name != "flickr";
+    config.epochs = epochs;
+    config.monitor = &monitor;
     detectors::Vbm vbm(config);
     VGOD_CHECK(vbm.Fit(sweep.graph).ok());
 

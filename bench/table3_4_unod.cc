@@ -68,6 +68,13 @@ void Run() {
             eval::AucSubset(out.score, unod.combined, unod.contextual);
       }
       results[model][unod.name] = cell;
+      bench::RecordManifestResult(unod.name, model, "auc", cell.auc);
+      if (cell.has_types) {
+        bench::RecordManifestResult(unod.name, model, "structural_auc",
+                                    cell.str_auc);
+        bench::RecordManifestResult(unod.name, model, "contextual_auc",
+                                    cell.ctx_auc);
+      }
       std::fprintf(stderr, "  [done] %s on %s\n", model.c_str(),
                    unod.name.c_str());
     }

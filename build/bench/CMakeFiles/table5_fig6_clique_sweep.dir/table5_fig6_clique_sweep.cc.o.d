@@ -208,5 +208,19 @@ bench/CMakeFiles/table5_fig6_clique_sweep.dir/table5_fig6_clique_sweep.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/detectors/registry.h /root/repo/src/detectors/detector.h \
- /root/repo/src/injection/injection.h /root/repo/src/eval/metrics.h \
- /root/repo/src/eval/table.h
+ /root/repo/src/obs/monitor.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/stopwatch.h \
+ /usr/include/c++/12/chrono /root/repo/src/injection/injection.h \
+ /root/repo/src/eval/metrics.h /root/repo/src/eval/table.h

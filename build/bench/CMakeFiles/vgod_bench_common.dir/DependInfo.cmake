@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/graph/CMakeFiles/vgod_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/eval/CMakeFiles/vgod_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/vgod_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/vgod_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/vgod_core.dir/DependInfo.cmake"
   )
 

@@ -215,15 +215,19 @@ examples/CMakeFiles/social_fraud.dir/social_fraud.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/detectors/simple.h /root/repo/src/detectors/detector.h \
- /root/repo/src/detectors/vgod.h /root/repo/src/detectors/arm.h \
- /root/repo/src/gnn/layers.h /root/repo/src/gnn/graph_autograd.h \
- /root/repo/src/tensor/autograd.h /usr/include/c++/12/functional \
+ /root/repo/src/obs/monitor.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/tensor/nn.h \
- /root/repo/src/tensor/functional.h /root/repo/src/detectors/vbm.h \
- /root/repo/src/tensor/optimizer.h /root/repo/src/eval/metrics.h \
- /root/repo/src/graph/graph_ops.h
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/stopwatch.h \
+ /usr/include/c++/12/chrono /root/repo/src/detectors/vgod.h \
+ /root/repo/src/detectors/arm.h /root/repo/src/gnn/layers.h \
+ /root/repo/src/gnn/graph_autograd.h /root/repo/src/tensor/autograd.h \
+ /root/repo/src/tensor/nn.h /root/repo/src/tensor/functional.h \
+ /root/repo/src/detectors/vbm.h /root/repo/src/tensor/optimizer.h \
+ /root/repo/src/eval/metrics.h /root/repo/src/graph/graph_ops.h

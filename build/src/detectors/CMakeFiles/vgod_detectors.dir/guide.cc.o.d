@@ -207,8 +207,7 @@ src/detectors/CMakeFiles/vgod_detectors.dir/guide.cc.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/rng.h \
- /root/repo/src/gnn/layers.h /root/repo/src/gnn/graph_autograd.h \
- /root/repo/src/tensor/autograd.h /usr/include/c++/12/functional \
+ /root/repo/src/obs/monitor.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -217,9 +216,13 @@ src/detectors/CMakeFiles/vgod_detectors.dir/guide.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/tensor/nn.h \
- /root/repo/src/tensor/functional.h /root/repo/src/core/stopwatch.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/graph/algorithms.h /root/repo/src/tensor/optimizer.h
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/stopwatch.h \
+ /usr/include/c++/12/chrono /root/repo/src/gnn/layers.h \
+ /root/repo/src/gnn/graph_autograd.h /root/repo/src/tensor/autograd.h \
+ /root/repo/src/tensor/nn.h /root/repo/src/tensor/functional.h \
+ /root/repo/src/graph/algorithms.h /root/repo/src/obs/trace.h \
+ /root/repo/src/tensor/optimizer.h

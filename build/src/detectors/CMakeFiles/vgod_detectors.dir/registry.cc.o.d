@@ -207,25 +207,30 @@ src/detectors/CMakeFiles/vgod_detectors.dir/registry.cc.o: \
  /root/repo/src/core/check.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/rng.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/obs/monitor.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/stopwatch.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/detectors/anomalydae.h /root/repo/src/gnn/layers.h \
  /root/repo/src/gnn/graph_autograd.h /root/repo/src/tensor/autograd.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/tensor/nn.h \
- /root/repo/src/tensor/functional.h /root/repo/src/detectors/arm.h \
- /root/repo/src/detectors/cola.h /root/repo/src/graph/sampling.h \
- /root/repo/src/detectors/conad.h /root/repo/src/detectors/dominant.h \
- /root/repo/src/detectors/guide.h /root/repo/src/detectors/done.h \
- /root/repo/src/detectors/nondeep.h /root/repo/src/detectors/simple.h \
- /root/repo/src/detectors/vbm.h /root/repo/src/tensor/optimizer.h \
- /root/repo/src/detectors/vgod.h
+ /root/repo/src/tensor/nn.h /root/repo/src/tensor/functional.h \
+ /root/repo/src/detectors/arm.h /root/repo/src/detectors/cola.h \
+ /root/repo/src/graph/sampling.h /root/repo/src/detectors/conad.h \
+ /root/repo/src/detectors/dominant.h /root/repo/src/detectors/guide.h \
+ /root/repo/src/detectors/done.h /root/repo/src/detectors/nondeep.h \
+ /root/repo/src/detectors/simple.h /root/repo/src/detectors/vbm.h \
+ /root/repo/src/tensor/optimizer.h /root/repo/src/detectors/vgod.h

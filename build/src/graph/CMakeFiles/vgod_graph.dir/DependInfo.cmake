@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tensor/CMakeFiles/vgod_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/vgod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/vgod_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

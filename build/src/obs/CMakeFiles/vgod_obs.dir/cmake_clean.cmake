@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgod_obs.dir/json.cc.o"
+  "CMakeFiles/vgod_obs.dir/json.cc.o.d"
+  "CMakeFiles/vgod_obs.dir/memory.cc.o"
+  "CMakeFiles/vgod_obs.dir/memory.cc.o.d"
+  "CMakeFiles/vgod_obs.dir/metrics.cc.o"
+  "CMakeFiles/vgod_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/vgod_obs.dir/monitor.cc.o"
+  "CMakeFiles/vgod_obs.dir/monitor.cc.o.d"
+  "CMakeFiles/vgod_obs.dir/trace.cc.o"
+  "CMakeFiles/vgod_obs.dir/trace.cc.o.d"
+  "libvgod_obs.a"
+  "libvgod_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgod_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvgod_obs.a"
+)

@@ -208,4 +208,5 @@ src/tensor/CMakeFiles/vgod_tensor.dir/tensor.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/obs/memory.h

@@ -318,6 +318,6 @@ tests/CMakeFiles/core_test.dir/core_test.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/args.h \
  /root/repo/src/core/status.h /root/repo/src/core/check.h \
- /root/repo/src/core/rng.h /root/repo/src/core/stopwatch.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio
+ /root/repo/src/core/logging.h /root/repo/src/core/rng.h \
+ /root/repo/src/core/stopwatch.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio

@@ -319,14 +319,17 @@ tests/CMakeFiles/detectors_test.dir/detectors_test.cc.o: \
  /root/repo/src/graph/graph.h /usr/include/c++/12/span \
  /root/repo/src/core/status.h /root/repo/src/tensor/tensor.h \
  /root/repo/src/detectors/anomalydae.h \
- /root/repo/src/detectors/detector.h /root/repo/src/gnn/layers.h \
- /root/repo/src/gnn/graph_autograd.h /root/repo/src/tensor/autograd.h \
- /root/repo/src/tensor/nn.h /root/repo/src/tensor/functional.h \
- /root/repo/src/detectors/arm.h /root/repo/src/detectors/cola.h \
- /root/repo/src/graph/sampling.h /root/repo/src/detectors/conad.h \
- /root/repo/src/detectors/dominant.h /root/repo/src/detectors/guide.h \
- /root/repo/src/detectors/nondeep.h /root/repo/src/detectors/done.h \
- /root/repo/src/detectors/registry.h /root/repo/src/detectors/simple.h \
- /root/repo/src/detectors/vbm.h /root/repo/src/tensor/optimizer.h \
- /root/repo/src/detectors/vgod.h /root/repo/src/eval/metrics.h \
- /root/repo/src/injection/injection.h
+ /root/repo/src/detectors/detector.h /root/repo/src/obs/monitor.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/stopwatch.h /usr/include/c++/12/chrono \
+ /root/repo/src/gnn/layers.h /root/repo/src/gnn/graph_autograd.h \
+ /root/repo/src/tensor/autograd.h /root/repo/src/tensor/nn.h \
+ /root/repo/src/tensor/functional.h /root/repo/src/detectors/arm.h \
+ /root/repo/src/detectors/cola.h /root/repo/src/graph/sampling.h \
+ /root/repo/src/detectors/conad.h /root/repo/src/detectors/dominant.h \
+ /root/repo/src/detectors/guide.h /root/repo/src/detectors/nondeep.h \
+ /root/repo/src/detectors/done.h /root/repo/src/detectors/registry.h \
+ /root/repo/src/detectors/simple.h /root/repo/src/detectors/vbm.h \
+ /root/repo/src/tensor/optimizer.h /root/repo/src/detectors/vgod.h \
+ /root/repo/src/eval/metrics.h /root/repo/src/injection/injection.h

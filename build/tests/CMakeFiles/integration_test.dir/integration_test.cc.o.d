@@ -298,9 +298,13 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/datasets/synthetic.h /root/repo/src/graph/graph.h \
  /usr/include/c++/12/span /root/repo/src/tensor/tensor.h \
  /root/repo/src/detectors/registry.h /root/repo/src/detectors/detector.h \
- /root/repo/src/detectors/simple.h /root/repo/src/detectors/vbm.h \
- /root/repo/src/tensor/nn.h /root/repo/src/tensor/autograd.h \
- /root/repo/src/tensor/functional.h /root/repo/src/tensor/optimizer.h \
- /root/repo/src/detectors/vgod.h /root/repo/src/detectors/arm.h \
- /root/repo/src/gnn/layers.h /root/repo/src/gnn/graph_autograd.h \
- /root/repo/src/eval/metrics.h /root/repo/src/injection/injection.h
+ /root/repo/src/obs/monitor.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/stopwatch.h \
+ /usr/include/c++/12/chrono /root/repo/src/detectors/simple.h \
+ /root/repo/src/detectors/vbm.h /root/repo/src/tensor/nn.h \
+ /root/repo/src/tensor/autograd.h /root/repo/src/tensor/functional.h \
+ /root/repo/src/tensor/optimizer.h /root/repo/src/detectors/vgod.h \
+ /root/repo/src/detectors/arm.h /root/repo/src/gnn/layers.h \
+ /root/repo/src/gnn/graph_autograd.h /root/repo/src/eval/metrics.h \
+ /root/repo/src/injection/injection.h

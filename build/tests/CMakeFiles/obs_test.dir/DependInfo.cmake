@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detectors/CMakeFiles/vgod_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/injection/CMakeFiles/vgod_injection.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/vgod_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/vgod_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vgod_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/vgod_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vgod_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/vgod_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vgod_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

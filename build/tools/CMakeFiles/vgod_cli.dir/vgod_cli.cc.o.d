@@ -224,13 +224,19 @@ tools/CMakeFiles/vgod_cli.dir/vgod_cli.cc.o: /root/repo/tools/vgod_cli.cc \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/rng.h /root/repo/src/datasets/registry.h \
  /root/repo/src/datasets/synthetic.h /root/repo/src/detectors/registry.h \
- /root/repo/src/detectors/detector.h /root/repo/src/detectors/vgod.h \
- /root/repo/src/detectors/arm.h /root/repo/src/gnn/layers.h \
- /root/repo/src/gnn/graph_autograd.h /root/repo/src/tensor/autograd.h \
+ /root/repo/src/detectors/detector.h /root/repo/src/obs/monitor.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/tensor/nn.h \
- /root/repo/src/tensor/functional.h /root/repo/src/detectors/vbm.h \
- /root/repo/src/tensor/optimizer.h /root/repo/src/eval/metrics.h \
- /root/repo/src/injection/injection.h
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/stopwatch.h \
+ /usr/include/c++/12/chrono /root/repo/src/detectors/vgod.h \
+ /root/repo/src/detectors/arm.h /root/repo/src/gnn/layers.h \
+ /root/repo/src/gnn/graph_autograd.h /root/repo/src/tensor/autograd.h \
+ /root/repo/src/tensor/nn.h /root/repo/src/tensor/functional.h \
+ /root/repo/src/detectors/vbm.h /root/repo/src/tensor/optimizer.h \
+ /root/repo/src/eval/metrics.h /root/repo/src/injection/injection.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /root/repo/src/obs/trace.h

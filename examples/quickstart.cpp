@@ -11,6 +11,7 @@
 #include "detectors/vgod.h"
 #include "eval/metrics.h"
 #include "injection/injection.h"
+#include "obs/monitor.h"
 
 int main() {
   using namespace vgod;
@@ -44,13 +45,27 @@ int main() {
   // 3. Train VGOD: the variance-based model (VBM) handles structural
   //    outliers, the attribute reconstruction model (ARM) handles
   //    contextual ones; scores are combined by mean-std normalization.
+  //    A TrainingMonitor observes both components' epochs (see
+  //    docs/OBSERVABILITY.md for the JSONL variant used by vgod_cli).
+  obs::TrainingMonitor monitor;
   detectors::VgodConfig config;
   config.vbm.self_loop = true;  // Low average degree -> enable Eq. 13.
+  config.vbm.monitor = &monitor;
+  config.arm.monitor = &monitor;
   detectors::Vgod vgod(config);
   const Status fit = vgod.Fit(data.graph);
   if (!fit.ok()) {
     std::fprintf(stderr, "training failed: %s\n", fit.ToString().c_str());
     return 1;
+  }
+  const std::vector<obs::EpochRecord> epochs = monitor.Records();
+  if (!epochs.empty()) {
+    const obs::EpochRecord& first = epochs.front();
+    const obs::EpochRecord& last = epochs.back();
+    std::printf("telemetry: %zu epochs across VBM+ARM, %s loss %.4f -> "
+                "%s loss %.4f\n",
+                epochs.size(), first.detector.c_str(), first.loss,
+                last.detector.c_str(), last.loss);
   }
 
   // 4. Score and evaluate.

@@ -1,11 +1,14 @@
 #include "core/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 
 namespace vgod {
 namespace {
-
-LogLevel g_log_level = LogLevel::kInfo;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,10 +24,69 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Parses VGOD_LOG_LEVEL ("debug"/"info"/"warning"|"warn"/"error", or a
+/// numeric 0-3). Returns false when unset or unrecognized.
+bool ParseEnvLogLevel(LogLevel* out) {
+  const char* value = std::getenv("VGOD_LOG_LEVEL");
+  if (value == nullptr || value[0] == '\0') return false;
+  if (std::strcmp(value, "debug") == 0 || std::strcmp(value, "0") == 0) {
+    *out = LogLevel::kDebug;
+  } else if (std::strcmp(value, "info") == 0 || std::strcmp(value, "1") == 0) {
+    *out = LogLevel::kInfo;
+  } else if (std::strcmp(value, "warning") == 0 ||
+             std::strcmp(value, "warn") == 0 || std::strcmp(value, "2") == 0) {
+    *out = LogLevel::kWarning;
+  } else if (std::strcmp(value, "error") == 0 || std::strcmp(value, "3") == 0) {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogLevel InitialLogLevel() {
+  LogLevel level = LogLevel::kInfo;
+  ParseEnvLogLevel(&level);
+  return level;
+}
+
+LogLevel g_log_level = InitialLogLevel();
+
+/// Small per-thread id in first-use order (readable, unlike hashed
+/// std::thread::id values).
+uint32_t ThreadLogId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local const uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// "2026-08-06T12:34:56.789Z" (UTC, millisecond precision).
+void FormatTimestamp(char* buffer, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm utc;
+  gmtime_r(&seconds, &utc);
+  char date[24];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::snprintf(buffer, size, "%s.%03dZ", date, millis);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_log_level = level; }
 LogLevel GetLogLevel() { return g_log_level; }
+
+void SetLogLevelFromEnv(LogLevel fallback) {
+  LogLevel level = fallback;
+  ParseEnvLogLevel(&level);
+  g_log_level = level;
+}
 
 namespace internal {
 
@@ -36,7 +98,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) < static_cast<int>(g_log_level)) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level_), stream_.str().c_str());
+  char timestamp[32];
+  FormatTimestamp(timestamp, sizeof(timestamp));
+  std::fprintf(stderr, "%s [%s] [tid %u] %s\n", timestamp, LevelName(level_),
+               ThreadLogId(), stream_.str().c_str());
 }
 
 }  // namespace internal

@@ -8,15 +8,22 @@ namespace vgod {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum level that reaches stderr. Default is kInfo; bench and
-/// test binaries raise it to kWarning to keep output tables clean.
+/// Sets the minimum level that reaches stderr. The default is kInfo, or
+/// whatever the VGOD_LOG_LEVEL environment variable requested at startup
+/// ("debug"/"info"/"warning"/"error" or 0-3).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Sets the threshold to `fallback` unless VGOD_LOG_LEVEL is set, in which
+/// case the environment wins. Lets bench/test binaries pick a quiet
+/// default without taking the override away from the user.
+void SetLogLevelFromEnv(LogLevel fallback);
+
 namespace internal {
 
-/// One log statement; formats "<LEVEL> <message>" to stderr on destruction
-/// if `level` passes the global threshold.
+/// One log statement; formats
+/// "<ISO-8601 UTC timestamp> [LEVEL] [tid N] <message>" to stderr on
+/// destruction if `level` passes the global threshold.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -6,22 +6,66 @@
 namespace vgod {
 
 /// Wall-clock stopwatch used by the efficiency experiments (paper Fig 7 /
-/// Table VII) and by detectors to report per-epoch training time.
+/// Table VII) and by the per-epoch training telemetry. Supports lap
+/// splits (Lap) and pause/resume; paused time never counts toward the
+/// elapsed total.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : resume_point_(Clock::now()) {}
 
-  /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
-
-  /// Seconds elapsed since construction or the last Reset().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+  /// Restarts the stopwatch: elapsed and lap both return to zero, and the
+  /// stopwatch is running (even if it was paused).
+  void Reset() {
+    accumulated_ = Duration::zero();
+    lap_mark_ = Duration::zero();
+    resume_point_ = Clock::now();
+    running_ = true;
   }
+
+  /// Seconds of running (non-paused) time since construction or Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Accumulated()).count();
+  }
+
+  /// Seconds of running time since the last Lap() (or Reset()/start), and
+  /// advances the lap mark. Replaces the ad-hoc
+  /// "ElapsedSeconds() - previous" delta pattern.
+  double Lap() {
+    const Duration now = Accumulated();
+    const Duration lap = now - lap_mark_;
+    lap_mark_ = now;
+    return std::chrono::duration<double>(lap).count();
+  }
+
+  /// Freezes the elapsed clock. No-op when already paused.
+  void Pause() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - resume_point_;
+    running_ = false;
+  }
+
+  /// Restarts the elapsed clock after Pause(). No-op when running.
+  void Resume() {
+    if (running_) return;
+    resume_point_ = Clock::now();
+    running_ = true;
+  }
+
+  bool paused() const { return !running_; }
 
  private:
   using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  using Duration = Clock::duration;
+
+  Duration Accumulated() const {
+    return running_ ? accumulated_ + (Clock::now() - resume_point_)
+                    : accumulated_;
+  }
+
+  Duration accumulated_ = Duration::zero();  // Run time up to last pause.
+  Duration lap_mark_ = Duration::zero();     // Accumulated() at last Lap().
+  Clock::time_point resume_point_;
+  bool running_ = true;
 };
 
 }  // namespace vgod

@@ -1,7 +1,7 @@
 #include "detectors/anomalydae.h"
 
-#include "core/stopwatch.h"
 #include "graph/graph_ops.h"
+#include "obs/trace.h"
 #include "tensor/kernels.h"
 #include "tensor/optimizer.h"
 
@@ -29,7 +29,8 @@ Status AnomalyDae::Fit(const AttributedGraph& graph) {
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("AnomalyDAE requires node attributes");
   }
-  Stopwatch watch;
+  obs::TrainingRun run("AnomalyDAE", config_.epochs, config_.monitor,
+                       &train_stats_.epoch_records);
   Rng rng(config_.seed);
   const int n = graph.num_nodes();
   const int d = graph.attribute_dim();
@@ -56,6 +57,7 @@ Status AnomalyDae::Fit(const AttributedGraph& graph) {
   Adam optimizer(params, config_.lr);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    VGOD_TRACE_SPAN("anomalydae/epoch");
     Forward forward = RunForward(message_graph, graph.attributes());
     Variable attr_loss = ag::MeanAll(
         ag::RowSquaredDistance(forward.attribute_reconstruction, attr_target));
@@ -66,9 +68,11 @@ Status AnomalyDae::Fit(const AttributedGraph& graph) {
     optimizer.ZeroGrad();
     loss.Backward();
     optimizer.Step();
+    run.EndEpoch(epoch + 1, loss.value().ScalarValue(),
+                 optimizer.GradNorm());
   }
   train_stats_.epochs = config_.epochs;
-  train_stats_.train_seconds = watch.ElapsedSeconds();
+  train_stats_.train_seconds = run.TotalSeconds();
   return Status::Ok();
 }
 

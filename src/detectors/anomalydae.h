@@ -19,6 +19,8 @@ struct AnomalyDaeConfig {
   /// structure term gets 1 - eta.
   float eta = 0.5f;
   uint64_t seed = 4;
+  /// Optional training telemetry sink. Not owned; must outlive Fit().
+  obs::TrainingMonitor* monitor = nullptr;
 };
 
 /// AnomalyDAE: a dual autoencoder. The structure encoder (linear + GAT

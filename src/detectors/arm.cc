@@ -1,8 +1,8 @@
 #include "detectors/arm.h"
 
-#include "core/stopwatch.h"
 #include "detectors/serialize.h"
 #include "graph/graph_ops.h"
+#include "obs/trace.h"
 #include "tensor/optimizer.h"
 
 namespace vgod::detectors {
@@ -59,7 +59,8 @@ Status Arm::Fit(const AttributedGraph& graph) {
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("ARM requires node attributes");
   }
-  Stopwatch watch;
+  obs::TrainingRun run("ARM", config_.epochs, config_.monitor,
+                       &train_stats_.epoch_records);
   Rng rng(config_.seed);
   const Tensor attributes =
       PrepareAttributes(graph, config_.row_normalize_attributes);
@@ -73,6 +74,7 @@ Status Arm::Fit(const AttributedGraph& graph) {
 
   Adam optimizer(Parameters(), config_.lr);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    VGOD_TRACE_SPAN("arm/epoch");
     Variable reconstructed = Reconstruct(message_graph, attributes);
     // Eq. 17-18: minimize the mean per-node squared error.
     Variable loss =
@@ -80,9 +82,11 @@ Status Arm::Fit(const AttributedGraph& graph) {
     optimizer.ZeroGrad();
     loss.Backward();
     optimizer.Step();
+    run.EndEpoch(epoch + 1, loss.value().ScalarValue(),
+                 optimizer.GradNorm());
   }
   train_stats_.epochs = config_.epochs;
-  train_stats_.train_seconds = watch.ElapsedSeconds();
+  train_stats_.train_seconds = run.TotalSeconds();
   return Status::Ok();
 }
 

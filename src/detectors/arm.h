@@ -30,6 +30,9 @@ struct ArmConfig {
   /// Row-normalize attributes before use (paper: applied on Weibo).
   bool row_normalize_attributes = false;
   uint64_t seed = 2;
+  /// Optional training telemetry sink (one EpochRecord per epoch). Not
+  /// owned; must outlive Fit().
+  obs::TrainingMonitor* monitor = nullptr;
 };
 
 /// The Attribute Reconstruction Model: linear feature transform with row

@@ -2,9 +2,9 @@
 
 #include <numeric>
 
-#include "core/stopwatch.h"
 #include "gnn/graph_autograd.h"
 #include "graph/graph_ops.h"
+#include "obs/trace.h"
 #include "tensor/kernels.h"
 #include "tensor/optimizer.h"
 
@@ -69,7 +69,8 @@ Status Cola::Fit(const AttributedGraph& graph) {
   if (graph.num_nodes() < 2) {
     return Status::InvalidArgument("CoLA needs at least two nodes");
   }
-  Stopwatch watch;
+  obs::TrainingRun run("CoLA", config_.epochs, config_.monitor,
+                       &train_stats_.epoch_records);
   Rng rng(config_.seed);
   embed_.emplace(graph.attribute_dim(), config_.hidden_dim, &rng,
                  /*use_bias=*/false);
@@ -86,15 +87,18 @@ Status Cola::Fit(const AttributedGraph& graph) {
   const Tensor ones = Tensor::Ones(n, 1);
   const Tensor zeros = Tensor::Zeros(n, 1);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    VGOD_TRACE_SPAN("cola/epoch");
     RoundOutput round = RunRound(graph, &rng);
     Variable loss = ag::Add(ag::BceWithLogits(round.positive_logits, ones),
                             ag::BceWithLogits(round.negative_logits, zeros));
     optimizer.ZeroGrad();
     loss.Backward();
     optimizer.Step();
+    run.EndEpoch(epoch + 1, loss.value().ScalarValue(),
+                 optimizer.GradNorm());
   }
   train_stats_.epochs = config_.epochs;
-  train_stats_.train_seconds = watch.ElapsedSeconds();
+  train_stats_.train_seconds = run.TotalSeconds();
   return Status::Ok();
 }
 

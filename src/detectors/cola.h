@@ -23,6 +23,8 @@ struct ColaConfig {
   /// inference by a wide margin, paper Table VII).
   int test_rounds = 64;
   uint64_t seed = 6;
+  /// Optional training telemetry sink. Not owned; must outlive Fit().
+  obs::TrainingMonitor* monitor = nullptr;
 };
 
 /// CoLA: contrastive self-supervised detection. For each target node, a

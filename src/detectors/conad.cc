@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "core/stopwatch.h"
 #include "graph/graph_ops.h"
+#include "obs/trace.h"
 #include "tensor/optimizer.h"
 
 namespace vgod::detectors {
@@ -83,7 +83,8 @@ Status Conad::Fit(const AttributedGraph& graph) {
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("CONAD requires node attributes");
   }
-  Stopwatch watch;
+  obs::TrainingRun run("CONAD", config_.epochs, config_.monitor,
+                       &train_stats_.epoch_records);
   Rng rng(config_.seed);
   const int n = graph.num_nodes();
   const int d = graph.attribute_dim();
@@ -106,6 +107,7 @@ Status Conad::Fit(const AttributedGraph& graph) {
   Adam optimizer(params, config_.lr);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    VGOD_TRACE_SPAN("conad/epoch");
     AugmentedView view = Augment(graph, &rng);
     auto augmented =
         std::make_shared<const AttributedGraph>(view.graph.WithSelfLoops());
@@ -146,9 +148,11 @@ Status Conad::Fit(const AttributedGraph& graph) {
     optimizer.ZeroGrad();
     loss.Backward();
     optimizer.Step();
+    run.EndEpoch(epoch + 1, loss.value().ScalarValue(),
+                 optimizer.GradNorm());
   }
   train_stats_.epochs = config_.epochs;
-  train_stats_.train_seconds = watch.ElapsedSeconds();
+  train_stats_.train_seconds = run.TotalSeconds();
   return Status::Ok();
 }
 

@@ -21,6 +21,8 @@ struct ConadConfig {
   /// Margin of the contrastive hinge for pseudo-anomalous nodes.
   float margin = 0.5f;
   uint64_t seed = 8;
+  /// Optional training telemetry sink. Not owned; must outlive Fit().
+  obs::TrainingMonitor* monitor = nullptr;
 };
 
 /// CONAD: contrastive detection with human-knowledge-driven augmentation.

@@ -7,6 +7,7 @@
 
 #include "core/status.h"
 #include "graph/graph.h"
+#include "obs/monitor.h"
 
 namespace vgod::detectors {
 
@@ -25,10 +26,13 @@ struct DetectorOutput {
 };
 
 /// Wall-clock accounting for the efficiency experiment (paper Fig 7 /
-/// Table VII).
+/// Table VII), plus the per-epoch telemetry captured by
+/// obs::TrainingRun (loss, grad norm, epoch seconds, peak tensor
+/// bytes). `epoch_records` is empty for non-deep detectors.
 struct TrainStats {
   int epochs = 0;
   double train_seconds = 0.0;
+  std::vector<obs::EpochRecord> epoch_records;
 
   double SecondsPerEpoch() const {
     return epochs > 0 ? train_seconds / epochs : 0.0;

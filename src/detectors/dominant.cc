@@ -1,7 +1,7 @@
 #include "detectors/dominant.h"
 
-#include "core/stopwatch.h"
 #include "graph/graph_ops.h"
+#include "obs/trace.h"
 #include "tensor/optimizer.h"
 
 namespace vgod::detectors {
@@ -24,7 +24,8 @@ Status Dominant::Fit(const AttributedGraph& graph) {
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("Dominant requires node attributes");
   }
-  Stopwatch watch;
+  obs::TrainingRun run("Dominant", config_.epochs, config_.monitor,
+                       &train_stats_.epoch_records);
   Rng rng(config_.seed);
   const int d = graph.attribute_dim();
   encoder1_ = std::make_unique<gnn::GcnConv>(d, config_.hidden_dim, &rng);
@@ -47,6 +48,7 @@ Status Dominant::Fit(const AttributedGraph& graph) {
   Adam optimizer(params, config_.lr);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    VGOD_TRACE_SPAN("dominant/epoch");
     Forward forward = RunForward(message_graph, graph.attributes());
     Variable attr_loss = ag::MeanAll(
         ag::RowSquaredDistance(forward.attribute_reconstruction, attr_target));
@@ -57,9 +59,11 @@ Status Dominant::Fit(const AttributedGraph& graph) {
     optimizer.ZeroGrad();
     loss.Backward();
     optimizer.Step();
+    run.EndEpoch(epoch + 1, loss.value().ScalarValue(),
+                 optimizer.GradNorm());
   }
   train_stats_.epochs = config_.epochs;
-  train_stats_.train_seconds = watch.ElapsedSeconds();
+  train_stats_.train_seconds = run.TotalSeconds();
   return Status::Ok();
 }
 

@@ -18,6 +18,8 @@ struct DominantConfig {
   /// structure term. 0.5 balances them as in the reference setup.
   float alpha = 0.5f;
   uint64_t seed = 3;
+  /// Optional training telemetry sink. Not owned; must outlive Fit().
+  obs::TrainingMonitor* monitor = nullptr;
 };
 
 /// Dominant: a shared two-layer GCN encoder feeding (a) a GCN attribute

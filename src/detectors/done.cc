@@ -2,10 +2,10 @@
 
 #include <cmath>
 
-#include "core/stopwatch.h"
 #include "eval/metrics.h"
 #include "gnn/graph_autograd.h"
 #include "graph/graph_ops.h"
+#include "obs/trace.h"
 #include "tensor/optimizer.h"
 
 namespace vgod::detectors {
@@ -66,7 +66,8 @@ Status Done::Fit(const AttributedGraph& graph) {
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("DONE requires node attributes");
   }
-  Stopwatch watch;
+  obs::TrainingRun run("DONE", config_.epochs, config_.monitor,
+                       &train_stats_.epoch_records);
   Rng rng(config_.seed);
   const int n = graph.num_nodes();
   const int d = graph.attribute_dim();
@@ -89,6 +90,7 @@ Status Done::Fit(const AttributedGraph& graph) {
   // (alternating minimization over o and the network parameters).
   std::vector<Tensor> weights(kNumTerms, Tensor::Ones(n, 1));
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    VGOD_TRACE_SPAN("done/epoch");
     ErrorTerms errors = ComputeErrors(graph, graph.attributes(), adjacency);
     Variable loss;
     for (int k = 0; k < kNumTerms; ++k) {
@@ -103,9 +105,11 @@ Status Done::Fit(const AttributedGraph& graph) {
     for (int k = 0; k < kNumTerms; ++k) {
       weights[k] = LogInverseWeights(ErrorProbabilities(errors.terms[k]));
     }
+    run.EndEpoch(epoch + 1, loss.value().ScalarValue(),
+                 optimizer.GradNorm());
   }
   train_stats_.epochs = config_.epochs;
-  train_stats_.train_seconds = watch.ElapsedSeconds();
+  train_stats_.train_seconds = run.TotalSeconds();
   return Status::Ok();
 }
 

@@ -14,6 +14,8 @@ struct DoneConfig {
   int epochs = 40;
   float lr = 0.005f;
   uint64_t seed = 5;
+  /// Optional training telemetry sink. Not owned; must outlive Fit().
+  obs::TrainingMonitor* monitor = nullptr;
 };
 
 /// DONE: two MLP autoencoders — one over adjacency rows (structure AE) and

@@ -1,7 +1,7 @@
 #include "detectors/guide.h"
 
-#include "core/stopwatch.h"
 #include "graph/algorithms.h"
+#include "obs/trace.h"
 #include "tensor/optimizer.h"
 
 namespace vgod::detectors {
@@ -26,7 +26,8 @@ Status Guide::Fit(const AttributedGraph& graph) {
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("GUIDE requires node attributes");
   }
-  Stopwatch watch;
+  obs::TrainingRun run("GUIDE", config_.epochs, config_.monitor,
+                       &train_stats_.epoch_records);
   Rng rng(config_.seed);
   const int d = graph.attribute_dim();
   attr_encoder_ = std::make_unique<gnn::GcnConv>(d, config_.hidden_dim, &rng);
@@ -52,6 +53,7 @@ Status Guide::Fit(const AttributedGraph& graph) {
   Adam optimizer(params, config_.lr);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    VGOD_TRACE_SPAN("guide/epoch");
     Forward forward =
         RunForward(message_graph, graph.attributes(), structure_features);
     Variable attr_loss = ag::MeanAll(
@@ -63,9 +65,11 @@ Status Guide::Fit(const AttributedGraph& graph) {
     optimizer.ZeroGrad();
     loss.Backward();
     optimizer.Step();
+    run.EndEpoch(epoch + 1, loss.value().ScalarValue(),
+                 optimizer.GradNorm());
   }
   train_stats_.epochs = config_.epochs;
-  train_stats_.train_seconds = watch.ElapsedSeconds();
+  train_stats_.train_seconds = run.TotalSeconds();
   return Status::Ok();
 }
 

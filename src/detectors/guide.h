@@ -19,6 +19,8 @@ struct GuideConfig {
   /// Weight of the attribute reconstruction term.
   float alpha = 0.5f;
   uint64_t seed = 10;
+  /// Optional training telemetry sink. Not owned; must outlive Fit().
+  obs::TrainingMonitor* monitor = nullptr;
 };
 
 /// GUIDE: replaces Dominant's O(|V|^2) adjacency reconstruction with

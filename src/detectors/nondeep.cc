@@ -1,7 +1,7 @@
 #include "detectors/nondeep.h"
 
 #include "core/rng.h"
-#include "core/stopwatch.h"
+#include "obs/trace.h"
 #include "tensor/functional.h"
 #include "tensor/kernels.h"
 #include "tensor/optimizer.h"
@@ -38,17 +38,25 @@ std::vector<double> ResidualRowNorms(const Variable& residual) {
 }
 
 /// Runs Adam on `loss_fn` over `params`, normalizing loss terms by the
-/// number of nodes to make the hyperparameters scale-free.
+/// number of nodes to make the hyperparameters scale-free. Records one
+/// EpochRecord per epoch into `stats` and returns the total wall time.
 template <typename LossFn>
-void Optimize(const ResidualAnalysisConfig& config,
-              std::vector<Variable> params, LossFn loss_fn) {
+double Optimize(const std::string& detector,
+                const ResidualAnalysisConfig& config, TrainStats* stats,
+                std::vector<Variable> params, LossFn loss_fn) {
+  obs::TrainingRun run(detector, config.epochs, config.monitor,
+                       &stats->epoch_records);
   Adam optimizer(params, config.lr);
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    VGOD_TRACE_SPAN("nondeep/epoch");
     Variable loss = loss_fn();
     optimizer.ZeroGrad();
     loss.Backward();
     optimizer.Step();
+    run.EndEpoch(epoch + 1, loss.value().ScalarValue(),
+                 optimizer.GradNorm());
   }
+  return run.TotalSeconds();
 }
 
 }  // namespace
@@ -59,7 +67,6 @@ Status Radar::Fit(const AttributedGraph& graph) {
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("Radar requires node attributes");
   }
-  Stopwatch watch;
   const int n = graph.num_nodes();
   const float inv_n = 1.0f / static_cast<float>(n);
   Variable x = Variable::Constant(graph.attributes());
@@ -71,7 +78,8 @@ Status Radar::Fit(const AttributedGraph& graph) {
       Tensor::RandomNormal(n, n, 0.0f, 0.01f, &rng));
   Variable r = Variable::Parameter(graph.attributes().Clone());
 
-  Optimize(config_, {w, r}, [&]() {
+  const double seconds = Optimize(name(), config_, &train_stats_, {w, r},
+                                  [&]() {
     Variable reconstruction = ag::Add(ag::MatMul(w, x), r);
     Variable fit = ag::SumAll(ag::RowSquaredDistance(reconstruction, x));
     Variable loss = ag::Scale(fit, inv_n);
@@ -84,7 +92,7 @@ Status Radar::Fit(const AttributedGraph& graph) {
 
   scores_ = ResidualRowNorms(r);
   train_stats_.epochs = config_.epochs;
-  train_stats_.train_seconds = watch.ElapsedSeconds();
+  train_stats_.train_seconds = seconds;
   return Status::Ok();
 }
 
@@ -103,7 +111,6 @@ Status Anomalous::Fit(const AttributedGraph& graph) {
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("ANOMALOUS requires node attributes");
   }
-  Stopwatch watch;
   const int n = graph.num_nodes();
   const int d = graph.attribute_dim();
   const float inv_n = 1.0f / static_cast<float>(n);
@@ -113,7 +120,8 @@ Status Anomalous::Fit(const AttributedGraph& graph) {
       Tensor::RandomNormal(d, d, 0.0f, 0.01f, &rng));
   Variable r = Variable::Parameter(graph.attributes().Clone());
 
-  Optimize(config_, {w, r}, [&]() {
+  const double seconds = Optimize(name(), config_, &train_stats_, {w, r},
+                                  [&]() {
     Variable reconstruction = ag::Add(ag::MatMul(x, w), r);
     Variable fit = ag::SumAll(ag::RowSquaredDistance(reconstruction, x));
     Variable loss = ag::Scale(fit, inv_n);
@@ -128,7 +136,7 @@ Status Anomalous::Fit(const AttributedGraph& graph) {
 
   scores_ = ResidualRowNorms(r);
   train_stats_.epochs = config_.epochs;
-  train_stats_.train_seconds = watch.ElapsedSeconds();
+  train_stats_.train_seconds = seconds;
   return Status::Ok();
 }
 

@@ -31,6 +31,8 @@ struct ResidualAnalysisConfig {
   int epochs = 50;
   float lr = 0.01f;
   uint64_t seed = 9;
+  /// Optional training telemetry sink. Not owned; must outlive Fit().
+  obs::TrainingMonitor* monitor = nullptr;
 };
 
 /// Radar: attributes of each node are reconstructed from *other nodes'*

@@ -46,6 +46,7 @@ Result<std::unique_ptr<OutlierDetector>> MakeDetector(
   if (name == "VBM") {
     VbmConfig config;
     config.seed = options.seed;
+    config.monitor = options.monitor;
     config.self_loop = options.self_loop;
     config.row_normalize_attributes = options.row_normalize_attributes;
     config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
@@ -54,6 +55,7 @@ Result<std::unique_ptr<OutlierDetector>> MakeDetector(
   if (name == "ARM") {
     ArmConfig config;
     config.seed = options.seed;
+    config.monitor = options.monitor;
     config.row_normalize_attributes = options.row_normalize_attributes;
     config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
     return std::unique_ptr<OutlierDetector>(new Arm(config));
@@ -62,6 +64,8 @@ Result<std::unique_ptr<OutlierDetector>> MakeDetector(
     VgodConfig config;
     config.vbm.seed = options.seed;
     config.arm.seed = options.seed + 1;
+    config.vbm.monitor = options.monitor;
+    config.arm.monitor = options.monitor;
     config.vbm.self_loop = options.self_loop;
     config.vbm.row_normalize_attributes = options.row_normalize_attributes;
     config.arm.row_normalize_attributes = options.row_normalize_attributes;
@@ -72,42 +76,49 @@ Result<std::unique_ptr<OutlierDetector>> MakeDetector(
   if (name == "Dominant") {
     DominantConfig config;
     config.seed = options.seed;
+    config.monitor = options.monitor;
     config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
     return std::unique_ptr<OutlierDetector>(new Dominant(config));
   }
   if (name == "AnomalyDAE") {
     AnomalyDaeConfig config;
     config.seed = options.seed;
+    config.monitor = options.monitor;
     config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
     return std::unique_ptr<OutlierDetector>(new AnomalyDae(config));
   }
   if (name == "DONE") {
     DoneConfig config;
     config.seed = options.seed;
+    config.monitor = options.monitor;
     config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
     return std::unique_ptr<OutlierDetector>(new Done(config));
   }
   if (name == "CoLA") {
     ColaConfig config;
     config.seed = options.seed;
+    config.monitor = options.monitor;
     config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
     return std::unique_ptr<OutlierDetector>(new Cola(config));
   }
   if (name == "CONAD") {
     ConadConfig config;
     config.seed = options.seed;
+    config.monitor = options.monitor;
     config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
     return std::unique_ptr<OutlierDetector>(new Conad(config));
   }
   if (name == "GUIDE") {
     GuideConfig config;
     config.seed = options.seed;
+    config.monitor = options.monitor;
     config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
     return std::unique_ptr<OutlierDetector>(new Guide(config));
   }
   if (name == "Radar" || name == "ANOMALOUS") {
     ResidualAnalysisConfig config;
     config.seed = options.seed;
+    config.monitor = options.monitor;
     config.epochs = ScaledEpochs(config.epochs, options.epoch_scale);
     if (name == "Radar") {
       return std::unique_ptr<OutlierDetector>(new Radar(config));

@@ -20,6 +20,9 @@ struct DetectorOptions {
   bool row_normalize_attributes = false;
   /// Scales every detector's epoch budget (1.0 = paper-like defaults).
   double epoch_scale = 1.0;
+  /// Optional training telemetry sink threaded into every trainable
+  /// detector's config. Not owned; must outlive the detector's Fit().
+  obs::TrainingMonitor* monitor = nullptr;
 };
 
 /// Detector names accepted by MakeDetector, in the order of the paper's

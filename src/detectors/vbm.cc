@@ -4,11 +4,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "core/stopwatch.h"
 #include "detectors/serialize.h"
 #include "gnn/graph_autograd.h"
 #include "graph/graph_ops.h"
 #include "graph/sampling.h"
+#include "obs/trace.h"
 #include "tensor/functional.h"
 
 namespace vgod::detectors {
@@ -45,10 +45,12 @@ std::vector<double> Vbm::CurrentScores(const AttributedGraph& graph) const {
   return scores;
 }
 
-void Vbm::RunMiniBatchEpoch(const AttributedGraph& graph,
-                            const Tensor& attributes, Optimizer* optimizer,
-                            Rng* rng) const {
+double Vbm::RunMiniBatchEpoch(const AttributedGraph& graph,
+                              const Tensor& attributes, Optimizer* optimizer,
+                              Rng* rng) const {
   const int n = graph.num_nodes();
+  double loss_sum = 0.0;
+  int batches = 0;
   std::vector<int> order(n);
   std::iota(order.begin(), order.end(), 0);
   rng->Shuffle(&order);
@@ -133,14 +135,18 @@ void Vbm::RunMiniBatchEpoch(const AttributedGraph& graph,
     optimizer->ZeroGrad();
     loss.Backward();
     optimizer->Step();
+    loss_sum += loss.value().ScalarValue();
+    ++batches;
   }
+  return batches > 0 ? loss_sum / batches : 0.0;
 }
 
 Status Vbm::Fit(const AttributedGraph& graph) {
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("VBM requires node attributes");
   }
-  Stopwatch watch;
+  obs::TrainingRun run("VBM", config_.epochs, config_.monitor,
+                       &train_stats_.epoch_records);
   Rng rng(config_.seed);
   const Tensor attributes =
       PrepareAttributes(graph, config_.row_normalize_attributes);
@@ -152,8 +158,10 @@ Status Vbm::Fit(const AttributedGraph& graph) {
 
   Adam optimizer(transform_->Parameters(), config_.lr);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    VGOD_TRACE_SPAN("vbm/epoch");
+    double epoch_loss = 0.0;
     if (config_.batch_size > 0) {
-      RunMiniBatchEpoch(graph, attributes, &optimizer, &rng);
+      epoch_loss = RunMiniBatchEpoch(graph, attributes, &optimizer, &rng);
     } else {
       // Fresh negative network each epoch (paper Algorithm 1, line 3).
       auto negative = std::make_shared<const AttributedGraph>(
@@ -171,14 +179,16 @@ Status Vbm::Fit(const AttributedGraph& graph) {
       optimizer.ZeroGrad();
       loss.Backward();
       optimizer.Step();
+      epoch_loss = loss.value().ScalarValue();
     }
 
-    if (config_.epoch_callback) {
-      config_.epoch_callback(epoch + 1, CurrentScores(graph));
+    run.EndEpoch(epoch + 1, epoch_loss, optimizer.GradNorm());
+    if (run.wants_scores()) {
+      run.ProbeScores(epoch + 1, CurrentScores(graph));
     }
   }
   train_stats_.epochs = config_.epochs;
-  train_stats_.train_seconds = watch.ElapsedSeconds();
+  train_stats_.train_seconds = run.TotalSeconds();
   return Status::Ok();
 }
 

@@ -1,12 +1,12 @@
 #ifndef VGOD_DETECTORS_VBM_H_
 #define VGOD_DETECTORS_VBM_H_
 
-#include <functional>
 #include <memory>
 #include <optional>
 
 #include "core/rng.h"
 #include "detectors/detector.h"
+#include "obs/monitor.h"
 #include "tensor/nn.h"
 #include "tensor/optimizer.h"
 
@@ -36,10 +36,11 @@ struct VbmConfig {
   /// (GraphSAGE-style neighbor sampling). 0 = use all neighbors.
   int max_neighbors_per_node = 0;
   uint64_t seed = 1;
-  /// Called after every epoch with the current structural scores; drives
-  /// the AUC-vs-epoch study of paper Fig 8. Optional.
-  std::function<void(int epoch, const std::vector<double>& scores)>
-      epoch_callback;
+  /// Optional training telemetry sink: receives one EpochRecord per epoch
+  /// and, when a score probe is installed, the current structural scores
+  /// after each epoch (drives the AUC-vs-epoch study of paper Fig 8).
+  /// Not owned; must outlive Fit().
+  obs::TrainingMonitor* monitor = nullptr;
 };
 
 /// The Variance-Based Model: learns a linear + row-L2-normalized feature
@@ -69,10 +70,11 @@ class Vbm : public OutlierDetector {
   Variable Embed(const Tensor& attributes) const;
 
   /// One optimization pass over all nodes in mini-batches (neighbor-sampled
-  /// subgraphs); used when config_.batch_size > 0.
-  void RunMiniBatchEpoch(const AttributedGraph& graph,
-                         const Tensor& attributes, Optimizer* optimizer,
-                         Rng* rng) const;
+  /// subgraphs); used when config_.batch_size > 0. Returns the mean
+  /// per-batch loss of the epoch.
+  double RunMiniBatchEpoch(const AttributedGraph& graph,
+                           const Tensor& attributes, Optimizer* optimizer,
+                           Rng* rng) const;
 
   /// Neighbor-variance scores for `graph` under the current parameters,
   /// applying the self-loop technique when configured.

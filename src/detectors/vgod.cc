@@ -2,6 +2,7 @@
 
 #include "core/stopwatch.h"
 #include "eval/metrics.h"
+#include "obs/trace.h"
 
 namespace vgod::detectors {
 
@@ -23,6 +24,7 @@ Vgod::Vgod(VgodConfig config)
     : config_(config), vbm_(config.vbm), arm_(config.arm) {}
 
 Status Vgod::Fit(const AttributedGraph& graph) {
+  VGOD_TRACE_SPAN("vgod/fit");
   Stopwatch watch;
   // Separate training with independent epoch budgets (paper Algorithm 1):
   // joint training over-trains one component before the other converges.
@@ -30,6 +32,15 @@ Status Vgod::Fit(const AttributedGraph& graph) {
   VGOD_RETURN_IF_ERROR(arm_.Fit(graph));
   train_stats_.epochs = config_.vbm.epochs + config_.arm.epochs;
   train_stats_.train_seconds = watch.ElapsedSeconds();
+  // Concatenate the components' per-epoch telemetry (records carry the
+  // component name, so the phases stay distinguishable).
+  train_stats_.epoch_records.clear();
+  for (const auto* component_stats :
+       {&vbm_.train_stats(), &arm_.train_stats()}) {
+    train_stats_.epoch_records.insert(train_stats_.epoch_records.end(),
+                                      component_stats->epoch_records.begin(),
+                                      component_stats->epoch_records.end());
+  }
   return Status::Ok();
 }
 

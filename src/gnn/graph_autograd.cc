@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/graph_ops.h"
+#include "obs/metrics.h"
 #include "tensor/kernels.h"
 
 namespace vgod::ag {
@@ -12,6 +13,8 @@ using ::vgod::internal::AutogradNode;
 
 Variable Spmm(std::shared_ptr<const AttributedGraph> graph,
               std::vector<float> edge_weights, const Variable& h) {
+  VGOD_COUNTER_INC("gnn.spmm.calls");
+  VGOD_COUNTER_ADD("gnn.spmm.edges", graph->num_directed_edges());
   Tensor out = graph_ops::Spmm(*graph, edge_weights, h.value());
   const int d = h.cols();
   return Variable::FromOp(
@@ -40,6 +43,8 @@ Variable Spmm(std::shared_ptr<const AttributedGraph> graph,
 
 Variable NeighborMean(std::shared_ptr<const AttributedGraph> graph,
                       const Variable& h) {
+  VGOD_COUNTER_INC("gnn.neighbor_mean.calls");
+  VGOD_COUNTER_ADD("gnn.spmm.edges", graph->num_directed_edges());
   Tensor out = graph_ops::NeighborMean(*graph, h.value());
   const int d = h.cols();
   return Variable::FromOp(
@@ -68,6 +73,8 @@ Variable NeighborMean(std::shared_ptr<const AttributedGraph> graph,
 
 Variable NeighborVarianceScore(std::shared_ptr<const AttributedGraph> graph,
                                const Variable& h) {
+  VGOD_COUNTER_INC("gnn.neighbor_variance.calls");
+  VGOD_COUNTER_ADD("gnn.spmm.edges", graph->num_directed_edges());
   Tensor hv = h.value();
   Tensor mean = graph_ops::NeighborMean(*graph, hv);
   Tensor out = graph_ops::NeighborVarianceScore(*graph, hv);
@@ -119,6 +126,8 @@ Variable GatAggregate(std::shared_ptr<const AttributedGraph> graph,
                       float negative_slope) {
   const int n = graph->num_nodes();
   const int d = s.cols();
+  VGOD_COUNTER_INC("gnn.gat_aggregate.calls");
+  VGOD_COUNTER_ADD("gnn.spmm.edges", graph->num_directed_edges());
   VGOD_CHECK_EQ(s.rows(), n);
   VGOD_CHECK_EQ(p.rows(), n);
   VGOD_CHECK_EQ(p.cols(), 1);

@@ -1,0 +1,324 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vgod::obs {
+namespace {
+
+void Dump(const JsonValue& value, std::string* out);
+
+void DumpObject(const JsonValue::Object& object, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, member] : object) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonString(out, key);
+    out->push_back(':');
+    Dump(member, out);
+  }
+  out->push_back('}');
+}
+
+void DumpArray(const JsonValue::Array& array, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < array.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    Dump(array[i], out);
+  }
+  out->push_back(']');
+}
+
+void Dump(const JsonValue& value, std::string* out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out->append("null");
+      return;
+    case JsonValue::Kind::kBool:
+      out->append(value.boolean() ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber:
+      AppendJsonNumber(out, value.number());
+      return;
+    case JsonValue::Kind::kString:
+      AppendJsonString(out, value.string_value());
+      return;
+    case JsonValue::Kind::kArray:
+      DumpArray(value.array(), out);
+      return;
+    case JsonValue::Kind::kObject:
+      DumpObject(value.object(), out);
+      return;
+  }
+}
+
+/// Cursor over the input text with one-token-lookahead helpers.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    Result<JsonValue> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      Result<std::string> s = ParseString();
+      if (!s.ok()) return s.status();
+      return JsonValue(std::move(s).value());
+    }
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue::Object object;
+    if (Consume('}')) return JsonValue(std::move(object));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      object.emplace(std::move(key).value(), std::move(value).value());
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue(std::move(object));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue::Array array;
+    if (Consume(']')) return JsonValue(std::move(array));
+    while (true) {
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      array.push_back(std::move(value).value());
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue(std::move(array));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              code |= h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code |= h - 'A' + 10;
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+          // the exporters never emit them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t begin = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == begin) return Error("expected a JSON value");
+    const std::string token = text_.substr(begin, pos_ - begin);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  static const JsonValue* null_value = new JsonValue();
+  if (kind_ != Kind::kObject) return *null_value;
+  auto it = object_.find(key);
+  return it == object_.end() ? *null_value : it->second;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  obs::Dump(*this, &out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->push_back('0');
+    return;
+  }
+  // Integral values print without an exponent/decimal point so counters
+  // stay readable; %.17g round-trips everything else.
+  if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    out->append(buffer);
+    return;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out->append(buffer);
+}
+
+}  // namespace vgod::obs

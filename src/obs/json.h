@@ -1,0 +1,79 @@
+#ifndef VGOD_OBS_JSON_H_
+#define VGOD_OBS_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vgod::obs {
+
+/// Minimal JSON document model used by the observability exporters and
+/// their round-trip tests. Numbers are stored as double (sufficient for
+/// the telemetry payloads: seconds, losses, counters well below 2^53).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  explicit JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  explicit JsonValue(int64_t value)
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  explicit JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  explicit JsonValue(Array value)
+      : kind_(Kind::kArray), array_(std::move(value)) {}
+  explicit JsonValue(Object value)
+      : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const Array& array() const { return array_; }
+  const Object& object() const { return object_; }
+
+  bool Has(const std::string& key) const {
+    return kind_ == Kind::kObject && object_.count(key) > 0;
+  }
+
+  /// Member lookup; returns a static null value when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Serializes back to compact JSON (object keys in sorted map order).
+  std::string Dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Strict-enough recursive-descent parser for the subset of JSON the
+/// exporters emit (full value grammar; \uXXXX escapes decoded to UTF-8).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Appends `s` as a quoted, escaped JSON string.
+void AppendJsonString(std::string* out, const std::string& s);
+
+/// Appends a number with enough precision to round-trip a double. Non-finite
+/// values (illegal in JSON) are emitted as 0.
+void AppendJsonNumber(std::string* out, double value);
+
+}  // namespace vgod::obs
+
+#endif  // VGOD_OBS_JSON_H_

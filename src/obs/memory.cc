@@ -1,0 +1,45 @@
+#include "obs/memory.h"
+
+#include <atomic>
+
+namespace vgod::obs {
+namespace {
+
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+std::atomic<int64_t> g_total_allocs{0};
+
+}  // namespace
+
+void OnTensorAlloc(int64_t bytes) {
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  const int64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void OnTensorFree(int64_t bytes) {
+  g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+int64_t LiveTensorBytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+
+int64_t PeakTensorBytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+
+void ResetPeakTensorBytes() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+int64_t TotalTensorAllocs() {
+  return g_total_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace vgod::obs

@@ -1,0 +1,31 @@
+#ifndef VGOD_OBS_MEMORY_H_
+#define VGOD_OBS_MEMORY_H_
+
+#include <cstdint>
+
+namespace vgod::obs {
+
+/// Tensor storage accounting. The Tensor allocator (src/tensor/tensor.cc)
+/// reports every storage allocation/release here; TrainingRun reads the
+/// high-water mark to attribute peak tensor bytes to each epoch.
+/// All functions are lock-free and safe from any thread.
+
+void OnTensorAlloc(int64_t bytes);
+void OnTensorFree(int64_t bytes);
+
+/// Bytes of tensor storage currently alive.
+int64_t LiveTensorBytes();
+
+/// High-water mark of LiveTensorBytes() since process start or the last
+/// ResetPeakTensorBytes().
+int64_t PeakTensorBytes();
+
+/// Rebases the high-water mark to the current live bytes.
+void ResetPeakTensorBytes();
+
+/// Total allocations ever made (monotonic; feeds the metrics export).
+int64_t TotalTensorAllocs();
+
+}  // namespace vgod::obs
+
+#endif  // VGOD_OBS_MEMORY_H_

@@ -1,0 +1,119 @@
+#ifndef VGOD_OBS_METRICS_H_
+#define VGOD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vgod::obs {
+
+/// Monotonic counter. Recording is a single relaxed atomic add, safe to
+/// call from any thread and cheap enough for per-kernel-call accounting.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper edges ("le" in
+/// Prometheus terms); one implicit overflow bucket catches the rest.
+/// Observe() is lock-free (atomic bucket counters + CAS-accumulated sum).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<int64_t> BucketCounts() const;
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;  // Sorted ascending at construction.
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram edges for durations in seconds: 1us .. ~100s, powers
+/// of 10 with a 1-3 split per decade.
+const std::vector<double>& DefaultLatencyBounds();
+
+/// Process-wide registry. Registration takes a mutex; the returned
+/// pointers are stable for the process lifetime, so hot paths cache them
+/// (the VGOD_COUNTER_* macros do this with a function-local static).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// First registration of `name` fixes the bucket bounds; later calls
+  /// return the existing histogram regardless of `bounds`.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with names in
+  /// sorted order (deterministic output for golden tests).
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Zeroes every metric value; registrations (and cached pointers) stay
+  /// valid. Intended for tests and for per-run bench manifests.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace vgod::obs
+
+/// Cheap recording macros: one mutex-protected registry lookup on first
+/// execution, a relaxed atomic add afterwards.
+#define VGOD_COUNTER_ADD(name, delta)                                    \
+  do {                                                                   \
+    static ::vgod::obs::Counter* vgod_counter_ =                         \
+        ::vgod::obs::MetricsRegistry::Global().GetCounter(name);         \
+    vgod_counter_->Add(delta);                                           \
+  } while (0)
+
+#define VGOD_COUNTER_INC(name) VGOD_COUNTER_ADD(name, 1)
+
+#define VGOD_HISTOGRAM_OBSERVE(name, value)                              \
+  do {                                                                   \
+    static ::vgod::obs::Histogram* vgod_histogram_ =                     \
+        ::vgod::obs::MetricsRegistry::Global().GetHistogram(             \
+            name, ::vgod::obs::DefaultLatencyBounds());                  \
+    vgod_histogram_->Observe(value);                                     \
+  } while (0)
+
+#endif  // VGOD_OBS_METRICS_H_

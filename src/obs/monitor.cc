@@ -1,0 +1,128 @@
+#include "obs/monitor.h"
+
+#include <fstream>
+
+#include "core/logging.h"
+#include "obs/json.h"
+#include "obs/memory.h"
+#include "obs/trace.h"
+
+namespace vgod::obs {
+
+std::string EpochRecordToJson(const EpochRecord& record) {
+  std::string out = "{\"detector\":";
+  AppendJsonString(&out, record.detector);
+  out.append(",\"epoch\":");
+  AppendJsonNumber(&out, record.epoch);
+  out.append(",\"planned_epochs\":");
+  AppendJsonNumber(&out, record.planned_epochs);
+  out.append(",\"loss\":");
+  AppendJsonNumber(&out, record.loss);
+  out.append(",\"grad_norm\":");
+  AppendJsonNumber(&out, record.grad_norm);
+  out.append(",\"seconds\":");
+  AppendJsonNumber(&out, record.seconds);
+  out.append(",\"peak_tensor_bytes\":");
+  AppendJsonNumber(&out, static_cast<double>(record.peak_tensor_bytes));
+  out.push_back('}');
+  return out;
+}
+
+Result<std::unique_ptr<TrainingMonitor>> TrainingMonitor::WithJsonl(
+    const std::string& path) {
+  auto stream = std::make_unique<std::ofstream>(path);
+  if (!*stream) {
+    return Status::IoError("cannot write telemetry to " + path);
+  }
+  auto monitor = std::make_unique<TrainingMonitor>();
+  monitor->jsonl_ = std::move(stream);
+  return monitor;
+}
+
+void TrainingMonitor::Record(const EpochRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+  if (jsonl_) {
+    *jsonl_ << EpochRecordToJson(record) << "\n";
+    jsonl_->flush();
+  }
+}
+
+std::vector<EpochRecord> TrainingMonitor::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void TrainingMonitor::SetScoreProbe(ScoreProbe probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_ = std::move(probe);
+}
+
+bool TrainingMonitor::wants_scores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probe_ != nullptr;
+}
+
+void TrainingMonitor::ProbeScores(const std::string& detector, int epoch,
+                                  const std::vector<double>& scores) const {
+  ScoreProbe probe;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probe = probe_;
+  }
+  if (probe) probe(detector, epoch, scores);
+}
+
+TrainingRun::TrainingRun(std::string detector, int planned_epochs,
+                         TrainingMonitor* monitor,
+                         std::vector<EpochRecord>* sink)
+    : detector_(std::move(detector)),
+      planned_epochs_(planned_epochs),
+      monitor_(monitor),
+      sink_(sink) {
+  if (sink_ != nullptr) sink_->clear();
+  ResetPeakTensorBytes();
+  fit_start_us_ = TraceNowMicros();
+  epoch_start_us_ = fit_start_us_;
+}
+
+TrainingRun::~TrainingRun() {
+  if (TraceEnabled()) {
+    RecordCompleteEvent(detector_ + "/fit", fit_start_us_,
+                        TraceNowMicros() - fit_start_us_);
+  }
+}
+
+EpochRecord TrainingRun::EndEpoch(int epoch, double loss, double grad_norm) {
+  EpochRecord record;
+  record.detector = detector_;
+  record.epoch = epoch;
+  record.planned_epochs = planned_epochs_;
+  record.loss = loss;
+  record.grad_norm = grad_norm;
+  record.seconds = total_watch_.Lap();
+  record.peak_tensor_bytes = PeakTensorBytes();
+  ResetPeakTensorBytes();
+
+  if (sink_ != nullptr) sink_->push_back(record);
+  if (monitor_ != nullptr) monitor_->Record(record);
+  if (TraceEnabled()) {
+    const int64_t now_us = TraceNowMicros();
+    RecordCompleteEvent(detector_ + "/epoch", epoch_start_us_,
+                        now_us - epoch_start_us_);
+    epoch_start_us_ = now_us;
+  }
+  VGOD_LOG(Debug) << record.detector << " epoch " << record.epoch << "/"
+                  << record.planned_epochs << " loss=" << record.loss
+                  << " grad_norm=" << record.grad_norm << " seconds="
+                  << record.seconds << " peak_tensor_bytes="
+                  << record.peak_tensor_bytes;
+  return record;
+}
+
+void TrainingRun::ProbeScores(int epoch,
+                              const std::vector<double>& scores) const {
+  if (monitor_ != nullptr) monitor_->ProbeScores(detector_, epoch, scores);
+}
+
+}  // namespace vgod::obs

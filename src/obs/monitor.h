@@ -1,0 +1,102 @@
+#ifndef VGOD_OBS_MONITOR_H_
+#define VGOD_OBS_MONITOR_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/stopwatch.h"
+
+namespace vgod::obs {
+
+/// One completed training epoch as captured by TrainingRun: loss, global
+/// gradient norm after the last optimizer step, wall seconds, and the
+/// peak bytes of live tensor storage during the epoch.
+struct EpochRecord {
+  std::string detector;
+  int epoch = 0;        // 1-based.
+  int planned_epochs = 0;
+  double loss = 0.0;
+  double grad_norm = 0.0;
+  double seconds = 0.0;
+  int64_t peak_tensor_bytes = 0;
+};
+
+/// One JSON object (single line, JSONL-ready) for `record`.
+std::string EpochRecordToJson(const EpochRecord& record);
+
+/// Collects per-epoch telemetry across detectors. Passed to detectors via
+/// their config's `monitor` pointer (or DetectorOptions::monitor); the
+/// same monitor can observe several detectors in sequence (e.g. VGOD's
+/// VBM + ARM components — records carry the detector name). Thread-safe.
+class TrainingMonitor {
+ public:
+  TrainingMonitor() = default;
+
+  /// Monitor that additionally streams every record to `path` as JSONL,
+  /// one object per line, flushed per epoch so partial runs stay usable.
+  static Result<std::unique_ptr<TrainingMonitor>> WithJsonl(
+      const std::string& path);
+
+  void Record(const EpochRecord& record);
+  std::vector<EpochRecord> Records() const;
+
+  /// Optional per-epoch score probe (drives the paper's Fig 8 AUC-vs-epoch
+  /// study). Detectors that can score cheaply mid-training (VBM) call
+  /// ProbeScores each epoch when a probe is set; others skip it.
+  using ScoreProbe = std::function<void(
+      const std::string& detector, int epoch, const std::vector<double>&)>;
+  void SetScoreProbe(ScoreProbe probe);
+  bool wants_scores() const;
+  void ProbeScores(const std::string& detector, int epoch,
+                   const std::vector<double>& scores) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<EpochRecord> records_;
+  std::unique_ptr<std::ostream> jsonl_;
+  ScoreProbe probe_;
+};
+
+/// Drives telemetry for one Fit() call. Construct before the epoch loop,
+/// call EndEpoch once per epoch after the optimizer step; the destructor
+/// emits a "<detector>/fit" trace span. Works with a null monitor (records
+/// still flow into `sink`, i.e. the detector's TrainStats).
+class TrainingRun {
+ public:
+  /// `sink` (optional) receives every EpochRecord; it is cleared first so
+  /// a re-Fit starts fresh. `monitor` may be null.
+  TrainingRun(std::string detector, int planned_epochs,
+              TrainingMonitor* monitor, std::vector<EpochRecord>* sink);
+  ~TrainingRun();
+  TrainingRun(const TrainingRun&) = delete;
+  TrainingRun& operator=(const TrainingRun&) = delete;
+
+  /// Closes epoch `epoch` (1-based): laps the stopwatch, snapshots peak
+  /// tensor bytes, appends to the sink, notifies the monitor, emits a
+  /// "<detector>/epoch" trace span and a debug log line.
+  EpochRecord EndEpoch(int epoch, double loss, double grad_norm);
+
+  bool wants_scores() const { return monitor_ && monitor_->wants_scores(); }
+  void ProbeScores(int epoch, const std::vector<double>& scores) const;
+
+  /// Wall seconds since construction (the whole Fit, not just epochs).
+  double TotalSeconds() const { return total_watch_.ElapsedSeconds(); }
+
+ private:
+  std::string detector_;
+  int planned_epochs_;
+  TrainingMonitor* monitor_;
+  std::vector<EpochRecord>* sink_;
+  Stopwatch total_watch_;
+  int64_t fit_start_us_ = 0;
+  int64_t epoch_start_us_ = 0;
+};
+
+}  // namespace vgod::obs
+
+#endif  // VGOD_OBS_MONITOR_H_

@@ -1,0 +1,166 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace vgod::obs {
+namespace {
+
+constexpr size_t kRingCapacity = 1 << 16;
+
+std::atomic<bool> g_enabled{false};
+
+/// Ring buffer of completed spans. Spans end at epoch/phase frequency, not
+/// per tensor element, so a mutex is cheap enough here; the fast path for
+/// disabled tracing never reaches this.
+struct Ring {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // Ring storage, capacity kRingCapacity.
+  size_t next = 0;                 // Ring write position.
+  int64_t total = 0;               // Events ever recorded.
+};
+
+Ring& GetRing() {
+  static Ring* ring = new Ring();
+  return *ring;
+}
+
+std::string& EnvPathStorage() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+bool TraceEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetTraceEnabled(bool enabled) {
+  TraceEpoch();  // Pin the epoch no later than the first enable.
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void InitTraceFromEnv() {
+  const char* value = std::getenv("VGOD_TRACE");
+  if (value == nullptr || value[0] == '\0' ||
+      (value[0] == '0' && value[1] == '\0')) {
+    return;
+  }
+  const std::string text(value);
+  if (text.find('/') != std::string::npos ||
+      (text.size() > 5 && text.compare(text.size() - 5, 5, ".json") == 0)) {
+    EnvPathStorage() = text;
+  }
+  SetTraceEnabled(true);
+}
+
+std::string TraceEnvPath() { return EnvPathStorage(); }
+
+int64_t TraceNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+uint32_t TraceThreadId() {
+  // Small per-thread id assigned in first-use order: stabler across runs
+  // than hashed std::thread::id values, and readable in trace viewers.
+  static std::atomic<uint32_t> next_id{1};
+  thread_local const uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void RecordCompleteEvent(std::string name, int64_t ts_us, int64_t dur_us) {
+  if (!TraceEnabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.tid = TraceThreadId();
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+
+  Ring& ring = GetRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.events.size() < kRingCapacity) {
+    ring.events.push_back(std::move(event));
+  } else {
+    ring.events[ring.next] = std::move(event);
+  }
+  ring.next = (ring.next + 1) % kRingCapacity;
+  ++ring.total;
+}
+
+std::vector<TraceEvent> SnapshotTraceEvents() {
+  Ring& ring = GetRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.events.size() < kRingCapacity) return ring.events;
+  // Unroll the ring: oldest event sits at the write position.
+  std::vector<TraceEvent> out;
+  out.reserve(kRingCapacity);
+  for (size_t i = 0; i < kRingCapacity; ++i) {
+    out.push_back(ring.events[(ring.next + i) % kRingCapacity]);
+  }
+  return out;
+}
+
+size_t TraceEventCount() {
+  Ring& ring = GetRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  return ring.events.size();
+}
+
+int64_t TraceDroppedCount() {
+  Ring& ring = GetRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  return ring.total - static_cast<int64_t>(ring.events.size());
+}
+
+void ClearTrace() {
+  Ring& ring = GetRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.events.clear();
+  ring.next = 0;
+  ring.total = 0;
+}
+
+std::string TraceToJson() {
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append("{\"name\":");
+    AppendJsonString(&out, events[i].name);
+    out.append(",\"cat\":\"vgod\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    AppendJsonNumber(&out, static_cast<double>(events[i].tid));
+    out.append(",\"ts\":");
+    AppendJsonNumber(&out, static_cast<double>(events[i].ts_us));
+    out.append(",\"dur\":");
+    AppendJsonNumber(&out, static_cast<double>(events[i].dur_us));
+    out.push_back('}');
+  }
+  out.append("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":");
+  AppendJsonNumber(&out, static_cast<double>(TraceDroppedCount()));
+  out.append("}}");
+  return out;
+}
+
+Status WriteTrace(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot write trace to " + path);
+  file << TraceToJson() << "\n";
+  if (!file) return Status::IoError("failed writing trace to " + path);
+  return Status::Ok();
+}
+
+}  // namespace vgod::obs

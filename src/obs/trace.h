@@ -1,0 +1,87 @@
+#ifndef VGOD_OBS_TRACE_H_
+#define VGOD_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vgod::obs {
+
+/// One completed ("ph":"X") span, timestamped in microseconds since the
+/// process trace epoch.
+struct TraceEvent {
+  std::string name;
+  uint32_t tid = 0;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+};
+
+/// Global on/off switch. When off, VGOD_TRACE_SPAN costs one relaxed
+/// atomic load and nothing is recorded.
+bool TraceEnabled();
+void SetTraceEnabled(bool enabled);
+
+/// Applies the VGOD_TRACE environment variable: unset, "" or "0" leaves
+/// tracing off; anything else turns it on. A value containing '/' or
+/// ending in ".json" additionally becomes the default export path
+/// returned by TraceEnvPath().
+void InitTraceFromEnv();
+
+/// Export path carried by VGOD_TRACE (empty when none was given).
+std::string TraceEnvPath();
+
+/// Microseconds since the process trace epoch (steady clock).
+int64_t TraceNowMicros();
+
+/// Stable small id for the calling thread (used as "tid" in exports).
+uint32_t TraceThreadId();
+
+/// Appends a completed span to the in-process ring buffer (oldest events
+/// are overwritten past the capacity). No-op when tracing is disabled.
+void RecordCompleteEvent(std::string name, int64_t ts_us, int64_t dur_us);
+
+/// Events currently buffered, oldest first. Number dropped by ring
+/// wrap-around is reported by TraceDroppedCount().
+std::vector<TraceEvent> SnapshotTraceEvents();
+size_t TraceEventCount();
+int64_t TraceDroppedCount();
+void ClearTrace();
+
+/// Chrome trace_event JSON ("catapult" format): load via chrome://tracing
+/// or https://ui.perfetto.dev.
+std::string TraceToJson();
+Status WriteTrace(const std::string& path);
+
+/// RAII span: records one complete event from construction to destruction.
+/// `name` is copied only when tracing is enabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceEnabled()) {
+      name_ = name;
+      start_us_ = TraceNowMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      RecordCompleteEvent(name_, start_us_, TraceNowMicros() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace vgod::obs
+
+#define VGOD_OBS_CONCAT_INNER(a, b) a##b
+#define VGOD_OBS_CONCAT(a, b) VGOD_OBS_CONCAT_INNER(a, b)
+#define VGOD_TRACE_SPAN(name) \
+  ::vgod::obs::TraceSpan VGOD_OBS_CONCAT(vgod_trace_span_, __LINE__)(name)
+
+#endif  // VGOD_OBS_TRACE_H_

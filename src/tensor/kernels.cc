@@ -3,8 +3,22 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace vgod::kernels {
 namespace {
+
+/// Op-level accounting for the dense matmul family (the library's hot
+/// kernels): flop/byte estimates shared across the three variants; each
+/// variant also bumps its own call counter at the call site. A few
+/// relaxed atomic adds per *call* (not per element), so the overhead is
+/// unmeasurable next to the O(mnk) loop itself.
+void CountMatMulWork(int64_t m, int64_t n, int64_t k) {
+  VGOD_COUNTER_ADD("tensor.matmul.flops", 2 * m * n * k);
+  VGOD_COUNTER_ADD("tensor.matmul.bytes",
+                   (m * k + k * n + m * n) *
+                       static_cast<int64_t>(sizeof(float)));
+}
 
 // Applies `fn` elementwise into a fresh tensor.
 template <typename Fn>
@@ -34,6 +48,8 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, Fn fn) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   VGOD_CHECK_EQ(a.cols(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.cols();
+  VGOD_COUNTER_INC("tensor.matmul.calls");
+  CountMatMulWork(m, n, k);
   Tensor out = Tensor::Zeros(m, n);
   const float* pa = a.data();
   const float* pb = b.data();
@@ -56,6 +72,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   VGOD_CHECK_EQ(a.cols(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.rows();
+  VGOD_COUNTER_INC("tensor.matmul_nt.calls");
+  CountMatMulWork(m, n, k);
   Tensor out(m, n);
   const float* pa = a.data();
   const float* pb = b.data();
@@ -76,6 +94,8 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
 Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   VGOD_CHECK_EQ(a.rows(), b.rows());
   const int m = a.cols(), k = a.rows(), n = b.cols();
+  VGOD_COUNTER_INC("tensor.matmul_tn.calls");
+  CountMatMulWork(m, n, k);
   Tensor out = Tensor::Zeros(m, n);
   const float* pa = a.data();
   const float* pb = b.data();

@@ -18,6 +18,21 @@ void Optimizer::ZeroGrad() {
   for (Variable& p : params_) p.ZeroGrad();
 }
 
+double Optimizer::GradNorm() const {
+  double acc = 0.0;
+  for (const Variable& p : params_) {
+    if (!p.has_grad()) continue;
+    Variable& mutable_p = const_cast<Variable&>(p);
+    const Tensor& grad = mutable_p.grad();
+    const float* g = grad.data();
+    const int64_t n = grad.size();
+    for (int64_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  return std::sqrt(acc);
+}
+
 Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
     : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
   if (momentum_ != 0.0f) {

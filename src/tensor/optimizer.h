@@ -21,6 +21,11 @@ class Optimizer {
   /// Clears all parameter gradients. Call before each backward pass.
   void ZeroGrad();
 
+  /// Global L2 norm of the gradients currently stored in the parameters
+  /// (parameters without a grad contribute zero). Read it after
+  /// Backward() and before Step()/ZeroGrad() for per-step telemetry.
+  double GradNorm() const;
+
  protected:
   std::vector<Variable> params_;
 };

@@ -4,13 +4,31 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/memory.h"
+
 namespace vgod {
+namespace {
+
+/// Allocates tensor storage with the observability accounting attached:
+/// the deleter reports the release, so obs::LiveTensorBytes() and the
+/// per-epoch peak watermark stay exact.
+std::shared_ptr<std::vector<float>> MakeStorage(int64_t count) {
+  const int64_t bytes = count * static_cast<int64_t>(sizeof(float));
+  obs::OnTensorAlloc(bytes);
+  return std::shared_ptr<std::vector<float>>(
+      new std::vector<float>(static_cast<size_t>(count)),
+      [bytes](std::vector<float>* storage) {
+        obs::OnTensorFree(bytes);
+        delete storage;
+      });
+}
+
+}  // namespace
 
 Tensor::Tensor(int rows, int cols)
     : rows_(rows),
       cols_(cols),
-      data_(std::make_shared<std::vector<float>>(
-          static_cast<size_t>(rows) * cols)) {
+      data_(MakeStorage(static_cast<int64_t>(rows) * cols)) {
   VGOD_CHECK_GE(rows, 0);
   VGOD_CHECK_GE(cols, 0);
 }

@@ -60,6 +60,67 @@ TEST(CliTest, GenerateDetectEvalPipeline) {
   std::remove(scores.c_str());
 }
 
+TEST(CliTest, TelemetryMetricsAndTraceArtifacts) {
+  const std::string graph = ::testing::TempDir() + "/cli_obs_graph.graph";
+  const std::string telemetry = ::testing::TempDir() + "/cli_obs.jsonl";
+  const std::string metrics = ::testing::TempDir() + "/cli_obs_metrics.json";
+  const std::string trace = ::testing::TempDir() + "/cli_obs_trace.json";
+  std::string out;
+
+  ASSERT_EQ(RunCommand(CliPath() + " generate --dataset=cora --scale=0.05" +
+                           " --seed=5 --inject=standard --output=" + graph,
+                       &out),
+            0)
+      << out;
+  ASSERT_EQ(RunCommand(CliPath() + " detect --graph=" + graph +
+                           " --detector=VBM --epoch-scale=0.05" +
+                           " --telemetry_out=" + telemetry +
+                           " --metrics_out=" + metrics +
+                           " --trace_out=" + trace,
+                       &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("epoch records to"), std::string::npos) << out;
+  EXPECT_NE(out.find("wrote metrics to"), std::string::npos) << out;
+  EXPECT_NE(out.find("trace events to"), std::string::npos) << out;
+
+  // Telemetry: one JSON object per epoch with the expected keys.
+  std::ifstream jsonl(telemetry);
+  ASSERT_TRUE(jsonl.good());
+  std::string line;
+  int epochs = 0;
+  while (std::getline(jsonl, line)) {
+    ++epochs;
+    EXPECT_NE(line.find("\"detector\":\"VBM\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"loss\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"grad_norm\":"), std::string::npos) << line;
+  }
+  EXPECT_GT(epochs, 0);
+
+  // Metrics: the matmul counters must have moved during training.
+  std::ifstream metrics_in(metrics);
+  ASSERT_TRUE(metrics_in.good());
+  std::ostringstream metrics_buf;
+  metrics_buf << metrics_in.rdbuf();
+  EXPECT_NE(metrics_buf.str().find("tensor.matmul.calls"),
+            std::string::npos);
+  EXPECT_NE(metrics_buf.str().find("\"counters\""), std::string::npos);
+
+  // Trace: Chrome trace_event envelope with at least the fit span.
+  std::ifstream trace_in(trace);
+  ASSERT_TRUE(trace_in.good());
+  std::ostringstream trace_buf;
+  trace_buf << trace_in.rdbuf();
+  EXPECT_NE(trace_buf.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_buf.str().find("VBM/fit"), std::string::npos);
+  EXPECT_NE(trace_buf.str().find("\"ph\":\"X\""), std::string::npos);
+
+  std::remove(graph.c_str());
+  std::remove(telemetry.c_str());
+  std::remove(metrics.c_str());
+  std::remove(trace.c_str());
+}
+
 TEST(CliTest, UnknownCommandFails) {
   std::string out;
   EXPECT_NE(RunCommand(CliPath() + " frobnicate", &out), 0);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "core/args.h"
 #include "core/check.h"
+#include "core/logging.h"
 #include "core/rng.h"
 #include "core/status.h"
 #include "core/stopwatch.h"
@@ -240,6 +242,67 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   const double before_reset = watch.ElapsedSeconds();
   watch.Reset();
   EXPECT_LT(watch.ElapsedSeconds(), before_reset + 1.0);
+}
+
+double BurnCpu(int iterations) {
+  volatile double sink = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  return sink;
+}
+
+TEST(StopwatchTest, LapReturnsPerPhaseDeltasThatSumToElapsed) {
+  Stopwatch watch;
+  BurnCpu(50000);
+  const double lap1 = watch.Lap();
+  BurnCpu(50000);
+  const double lap2 = watch.Lap();
+  EXPECT_GT(lap1, 0.0);
+  EXPECT_GT(lap2, 0.0);
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, lap1 + lap2);
+  // The remainder after two laps is the time since the last Lap() only.
+  EXPECT_LT(watch.Lap(), elapsed);
+}
+
+TEST(StopwatchTest, PausedTimeDoesNotCount) {
+  Stopwatch watch;
+  BurnCpu(20000);
+  watch.Pause();
+  EXPECT_TRUE(watch.paused());
+  const double frozen = watch.ElapsedSeconds();
+  BurnCpu(200000);
+  EXPECT_EQ(watch.ElapsedSeconds(), frozen);
+  watch.Pause();  // No-op when already paused.
+  EXPECT_EQ(watch.ElapsedSeconds(), frozen);
+  watch.Resume();
+  EXPECT_FALSE(watch.paused());
+  BurnCpu(20000);
+  EXPECT_GT(watch.ElapsedSeconds(), frozen);
+}
+
+TEST(StopwatchTest, ResetWhilePausedRestartsRunning) {
+  Stopwatch watch;
+  watch.Pause();
+  watch.Reset();
+  EXPECT_FALSE(watch.paused());
+  BurnCpu(20000);
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(LoggingTest, EnvOverridesFallbackLevel) {
+  const LogLevel original = GetLogLevel();
+  ::setenv("VGOD_LOG_LEVEL", "error", 1);
+  SetLogLevelFromEnv(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ::setenv("VGOD_LOG_LEVEL", "1", 1);
+  SetLogLevelFromEnv(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+  ::unsetenv("VGOD_LOG_LEVEL");
+  SetLogLevelFromEnv(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(original);
 }
 
 }  // namespace

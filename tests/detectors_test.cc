@@ -18,6 +18,7 @@
 #include "detectors/vgod.h"
 #include "eval/metrics.h"
 #include "injection/injection.h"
+#include "obs/monitor.h"
 
 namespace vgod {
 namespace {
@@ -147,21 +148,37 @@ TEST(VbmTest, SelfLoopEnablesContextualDetection) {
   EXPECT_GT(auc_loop, auc_plain + 0.1);
 }
 
-TEST(VbmTest, EpochCallbackInvoked) {
+TEST(VbmTest, MonitorReceivesEpochRecordsAndScores) {
   injection::InjectionResult injected = StandardInjected(11);
   VbmConfig config = SmallVbm();
   config.epochs = 3;
+  obs::TrainingMonitor monitor;
   int calls = 0;
-  config.epoch_callback = [&calls, &injected](
-                              int epoch, const std::vector<double>& scores) {
+  monitor.SetScoreProbe([&calls, &injected](const std::string& detector,
+                                            int epoch,
+                                            const std::vector<double>& scores) {
     ++calls;
+    EXPECT_EQ(detector, "VBM");
     EXPECT_EQ(epoch, calls);
     EXPECT_EQ(scores.size(),
               static_cast<size_t>(injected.graph.num_nodes()));
-  };
+  });
+  config.monitor = &monitor;
   Vbm vbm(config);
   ASSERT_TRUE(vbm.Fit(injected.graph).ok());
   EXPECT_EQ(calls, 3);
+  const std::vector<obs::EpochRecord> records = monitor.Records();
+  ASSERT_EQ(records.size(), 3u);
+  ASSERT_EQ(vbm.train_stats().epoch_records.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const obs::EpochRecord& record = records[i];
+    EXPECT_EQ(record.detector, "VBM");
+    EXPECT_EQ(record.epoch, i + 1);
+    EXPECT_EQ(record.planned_epochs, 3);
+    EXPECT_TRUE(std::isfinite(record.loss));
+    EXPECT_GE(record.grad_norm, 0.0);
+    EXPECT_GT(record.seconds, 0.0);
+  }
 }
 
 TEST(VbmTest, TrainStatsPopulated) {

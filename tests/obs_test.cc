@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/memory.h"
+#include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/trace.h"
+
+namespace vgod::obs {
+namespace {
+
+// --- metrics ---
+
+TEST(MetricsTest, CounterConcurrentAddsAreLossless) {
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("test.concurrent_counter");
+  counter->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter]() {
+      for (int i = 0; i < kAddsPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kAddsPerThread);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.stable");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsTest, MacroCachesOneCounterPerCallSite) {
+  Counter* direct = MetricsRegistry::Global().GetCounter("test.macro_site");
+  direct->Reset();
+  for (int i = 0; i < 5; ++i) VGOD_COUNTER_ADD("test.macro_site", 2);
+  EXPECT_EQ(direct->Value(), 10);
+}
+
+TEST(MetricsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  Histogram hist({1.0, 10.0, 100.0});
+  hist.Observe(0.5);    // bucket 0
+  hist.Observe(1.0);    // bucket 0: edges are inclusive ("le")
+  hist.Observe(1.0001); // bucket 1
+  hist.Observe(10.0);   // bucket 1
+  hist.Observe(99.9);   // bucket 2
+  hist.Observe(100.0);  // bucket 2
+  hist.Observe(100.5);  // overflow
+  const std::vector<int64_t> counts = hist.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(hist.Count(), 7);
+  EXPECT_NEAR(hist.Sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.9 + 100.0 + 100.5,
+              1e-9);
+}
+
+TEST(MetricsTest, HistogramConcurrentObserveCountsEveryValue) {
+  Histogram hist(DefaultLatencyBounds());
+  constexpr int kThreads = 4;
+  constexpr int kObsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t]() {
+      for (int i = 0; i < kObsPerThread; ++i) {
+        hist.Observe(1e-6 * (t + 1) * (i % 97 + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist.Count(), int64_t{kThreads} * kObsPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t c : hist.BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, hist.Count());
+}
+
+TEST(MetricsTest, RegistryJsonRoundTrips) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.json.counter")->Reset();
+  registry.GetCounter("test.json.counter")->Add(42);
+  registry.GetGauge("test.json.gauge")->Set(2.5);
+  Histogram* hist = registry.GetHistogram("test.json.hist", {1.0, 2.0});
+  hist->Reset();
+  hist->Observe(0.5);
+  hist->Observe(3.0);
+
+  Result<JsonValue> parsed = ParseJson(registry.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.at("counters").at("test.json.counter").number(), 42.0);
+  EXPECT_EQ(root.at("gauges").at("test.json.gauge").number(), 2.5);
+  const JsonValue& hist_json = root.at("histograms").at("test.json.hist");
+  ASSERT_TRUE(hist_json.is_object());
+  EXPECT_EQ(hist_json.at("count").number(), 2.0);
+  const JsonValue::Array& buckets = hist_json.at("buckets").array();
+  ASSERT_EQ(buckets.size(), 3u);  // Two bounds + overflow.
+  EXPECT_EQ(buckets[0].at("le").number(), 1.0);
+  EXPECT_EQ(buckets[0].at("count").number(), 1.0);
+  EXPECT_EQ(buckets[1].at("count").number(), 0.0);
+  EXPECT_EQ(buckets[2].at("le").string_value(), "inf");
+  EXPECT_EQ(buckets[2].at("count").number(), 1.0);
+}
+
+// --- json ---
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  JsonValue::Object obj;
+  obj["name"] = JsonValue(std::string("va\"lue\nwith \\ escapes"));
+  obj["pi"] = JsonValue(3.14159265358979);
+  obj["neg"] = JsonValue(int64_t{-7});
+  obj["flag"] = JsonValue(true);
+  obj["nothing"] = JsonValue();
+  JsonValue::Array arr;
+  arr.push_back(JsonValue(1.0));
+  arr.push_back(JsonValue(std::string("two")));
+  obj["list"] = JsonValue(std::move(arr));
+  const JsonValue original{JsonValue(std::move(obj))};
+
+  Result<JsonValue> reparsed = ParseJson(original.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().Dump(), original.Dump());
+  EXPECT_EQ(reparsed.value().at("name").string_value(),
+            "va\"lue\nwith \\ escapes");
+  EXPECT_NEAR(reparsed.value().at("pi").number(), 3.14159265358979, 1e-15);
+  EXPECT_TRUE(reparsed.value().at("flag").boolean());
+  EXPECT_TRUE(reparsed.value().at("nothing").is_null());
+  EXPECT_EQ(reparsed.value().at("list").array().size(), 2u);
+}
+
+TEST(JsonTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseJson("{\"unterminated\": ").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("nope").ok());
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsZero) {
+  std::string out;
+  AppendJsonNumber(&out, std::nan(""));
+  EXPECT_EQ(out, "0");
+}
+
+// --- trace ---
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = TraceEnabled();
+    ClearTrace();
+    SetTraceEnabled(true);
+  }
+  void TearDown() override {
+    ClearTrace();
+    SetTraceEnabled(was_enabled_);
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(TraceTest, NestedSpansRecordInnerFirstAndNestWithinOuter) {
+  {
+    VGOD_TRACE_SPAN("outer");
+    VGOD_TRACE_SPAN("inner");
+  }
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order: inner closes (and records) before outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+}
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  SetTraceEnabled(false);
+  {
+    VGOD_TRACE_SPAN("invisible");
+  }
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, TraceJsonIsChromeTraceEventFormat) {
+  RecordCompleteEvent("phase/a", 10, 5);
+  RecordCompleteEvent("phase/b", 20, 1);
+  Result<JsonValue> parsed = ParseJson(TraceToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.Has("traceEvents"));
+  const JsonValue::Array& events = root.at("traceEvents").array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").string_value(), "phase/a");
+  EXPECT_EQ(events[0].at("ph").string_value(), "X");
+  EXPECT_EQ(events[0].at("ts").number(), 10.0);
+  EXPECT_EQ(events[0].at("dur").number(), 5.0);
+  EXPECT_TRUE(events[0].Has("pid"));
+  EXPECT_TRUE(events[0].Has("tid"));
+}
+
+TEST_F(TraceTest, WriteTraceProducesReadableFile) {
+  RecordCompleteEvent("io/span", 0, 3);
+  const std::string path = ::testing::TempDir() + "/vgod_trace_test.json";
+  ASSERT_TRUE(WriteTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<JsonValue> parsed = ParseJson(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().at("traceEvents").array().size(), 1u);
+  std::remove(path.c_str());
+}
+
+// --- memory ---
+
+TEST(MemoryTest, PeakTracksHighWaterMark) {
+  ResetPeakTensorBytes();
+  const int64_t base_live = LiveTensorBytes();
+  OnTensorAlloc(1000);
+  OnTensorAlloc(500);
+  OnTensorFree(1000);
+  OnTensorAlloc(100);
+  EXPECT_EQ(LiveTensorBytes(), base_live + 600);
+  EXPECT_EQ(PeakTensorBytes(), base_live + 1500);
+  ResetPeakTensorBytes();
+  EXPECT_EQ(PeakTensorBytes(), base_live + 600);
+  OnTensorFree(500);
+  OnTensorFree(100);
+  EXPECT_EQ(LiveTensorBytes(), base_live);
+}
+
+// --- monitor ---
+
+EpochRecord MakeRecord(int epoch) {
+  EpochRecord record;
+  record.detector = "TestDetector";
+  record.epoch = epoch;
+  record.planned_epochs = 3;
+  record.loss = 0.5 / epoch;
+  record.grad_norm = 1.25;
+  record.seconds = 0.01;
+  record.peak_tensor_bytes = 4096;
+  return record;
+}
+
+TEST(MonitorTest, EpochRecordJsonRoundTrips) {
+  Result<JsonValue> parsed = ParseJson(EpochRecordToJson(MakeRecord(2)));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.value();
+  EXPECT_EQ(root.at("detector").string_value(), "TestDetector");
+  EXPECT_EQ(root.at("epoch").number(), 2.0);
+  EXPECT_EQ(root.at("planned_epochs").number(), 3.0);
+  EXPECT_EQ(root.at("loss").number(), 0.25);
+  EXPECT_EQ(root.at("grad_norm").number(), 1.25);
+  EXPECT_EQ(root.at("peak_tensor_bytes").number(), 4096.0);
+}
+
+TEST(MonitorTest, JsonlStreamsOneParsableObjectPerEpoch) {
+  const std::string path = ::testing::TempDir() + "/vgod_monitor_test.jsonl";
+  {
+    Result<std::unique_ptr<TrainingMonitor>> monitor =
+        TrainingMonitor::WithJsonl(path);
+    ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
+    for (int epoch = 1; epoch <= 3; ++epoch) {
+      monitor.value()->Record(MakeRecord(epoch));
+    }
+    EXPECT_EQ(monitor.value()->Records().size(), 3u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    Result<JsonValue> parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << "line " << lines << ": " << line;
+    EXPECT_EQ(parsed.value().at("epoch").number(), lines);
+  }
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+TEST(MonitorTest, WithJsonlRejectsUnwritablePath) {
+  EXPECT_FALSE(TrainingMonitor::WithJsonl("/nonexistent-dir/x.jsonl").ok());
+}
+
+TEST(MonitorTest, TrainingRunFeedsSinkMonitorAndProbe) {
+  TrainingMonitor monitor;
+  std::vector<std::pair<int, size_t>> probed;
+  monitor.SetScoreProbe([&probed](const std::string& detector, int epoch,
+                                  const std::vector<double>& scores) {
+    EXPECT_EQ(detector, "Probe");
+    probed.emplace_back(epoch, scores.size());
+  });
+  std::vector<EpochRecord> sink = {MakeRecord(99)};  // Stale; must clear.
+  {
+    TrainingRun run("Probe", 2, &monitor, &sink);
+    EXPECT_TRUE(run.wants_scores());
+    for (int epoch = 1; epoch <= 2; ++epoch) {
+      const EpochRecord record = run.EndEpoch(epoch, 0.5, 0.1);
+      EXPECT_EQ(record.detector, "Probe");
+      EXPECT_EQ(record.epoch, epoch);
+      EXPECT_GE(record.seconds, 0.0);
+      run.ProbeScores(epoch, {1.0, 2.0, 3.0});
+    }
+    EXPECT_GT(run.TotalSeconds(), 0.0);
+  }
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink[0].epoch, 1);
+  EXPECT_EQ(sink[1].epoch, 2);
+  EXPECT_EQ(monitor.Records().size(), 2u);
+  ASSERT_EQ(probed.size(), 2u);
+  EXPECT_EQ(probed[0], (std::pair<int, size_t>{1, 3u}));
+}
+
+TEST(MonitorTest, TrainingRunEmitsFitAndEpochSpans) {
+  const bool was_enabled = TraceEnabled();
+  ClearTrace();
+  SetTraceEnabled(true);
+  {
+    TrainingRun run("SpanCheck", 1, nullptr, nullptr);
+    run.EndEpoch(1, 0.0, 0.0);
+  }
+  std::vector<std::string> names;
+  for (const TraceEvent& event : SnapshotTraceEvents()) {
+    names.push_back(event.name);
+  }
+  ClearTrace();
+  SetTraceEnabled(was_enabled);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "SpanCheck/epoch");
+  EXPECT_EQ(names[1], "SpanCheck/fit");
+}
+
+}  // namespace
+}  // namespace vgod::obs

@@ -5,11 +5,17 @@
 //   vgod_cli detect --graph=g.graph --detector=VGOD [--self-loop]
 //            [--row-normalize] [--seed=7] [--epoch-scale=1]
 //            [--output=scores.tsv] [--top=10] [--save-model=prefix]
+//            [--telemetry_out=train.jsonl] [--metrics_out=metrics.json]
+//            [--trace] [--trace_out=trace.json]
 //   vgod_cli eval --graph=g.graph --scores=scores.tsv
 //
 // `generate` writes a simulated benchmark dataset (optionally with
 // injected outliers); `detect` trains a detector and prints/stores scores;
 // `eval` computes AUC of a score file against the graph's stored labels.
+// Observability (see docs/OBSERVABILITY.md): --telemetry_out streams one
+// JSONL record per training epoch, --metrics_out dumps the process metric
+// registry, --trace/--trace_out (or the VGOD_TRACE env var) capture Chrome
+// trace_event JSON viewable in chrome://tracing.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -22,6 +28,9 @@
 #include "detectors/vgod.h"
 #include "eval/metrics.h"
 #include "injection/injection.h"
+#include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/trace.h"
 
 namespace vgod {
 namespace {
@@ -40,6 +49,8 @@ int Usage() {
                "[--row-normalize]\n"
                "           [--seed=N] [--epoch-scale=F] [--output=PATH] "
                "[--top=K] [--save-model=PREFIX]\n"
+               "           [--telemetry_out=PATH] [--metrics_out=PATH] "
+               "[--trace] [--trace_out=PATH]\n"
                "  eval     --graph=PATH --scores=PATH\n");
   return 2;
 }
@@ -104,19 +115,38 @@ int RunGenerate(const ArgParser& args) {
 int RunDetect(const ArgParser& args) {
   Status valid = args.Validate({"graph", "detector", "self-loop",
                                 "row-normalize", "seed", "epoch-scale",
-                                "output", "top", "save-model"});
+                                "output", "top", "save-model",
+                                "telemetry_out", "metrics_out", "trace",
+                                "trace_out"});
   if (!valid.ok()) return Fail(valid);
   const std::string graph_path = args.GetString("graph", "");
   if (graph_path.empty()) return Usage();
 
+  obs::InitTraceFromEnv();
+  const std::string trace_path =
+      args.GetString("trace_out", obs::TraceEnvPath());
+  if (args.GetBool("trace") || !trace_path.empty()) {
+    obs::SetTraceEnabled(true);
+  }
+
   Result<AttributedGraph> graph = datasets::LoadGraph(graph_path);
   if (!graph.ok()) return Fail(graph.status());
+
+  std::unique_ptr<obs::TrainingMonitor> monitor;
+  const std::string telemetry_path = args.GetString("telemetry_out", "");
+  if (!telemetry_path.empty()) {
+    Result<std::unique_ptr<obs::TrainingMonitor>> opened =
+        obs::TrainingMonitor::WithJsonl(telemetry_path);
+    if (!opened.ok()) return Fail(opened.status());
+    monitor = std::move(opened).value();
+  }
 
   detectors::DetectorOptions options;
   options.seed = args.GetInt("seed", 7);
   options.self_loop = args.GetBool("self-loop");
   options.row_normalize_attributes = args.GetBool("row-normalize");
   options.epoch_scale = args.GetDouble("epoch-scale", 1.0);
+  options.monitor = monitor.get();
   const std::string detector_name = args.GetString("detector", "VGOD");
   Result<std::unique_ptr<detectors::OutlierDetector>> detector =
       detectors::MakeDetector(detector_name, options);
@@ -124,10 +154,31 @@ int RunDetect(const ArgParser& args) {
 
   Status fit = detector.value()->Fit(graph.value());
   if (!fit.ok()) return Fail(fit);
-  detectors::DetectorOutput out = detector.value()->Score(graph.value());
+  detectors::DetectorOutput out;
+  {
+    VGOD_TRACE_SPAN("cli/score");
+    out = detector.value()->Score(graph.value());
+  }
   std::printf("%s fitted in %.2fs (%d epochs)\n", detector_name.c_str(),
               detector.value()->train_stats().train_seconds,
               detector.value()->train_stats().epochs);
+  if (monitor != nullptr) {
+    std::printf("wrote %zu epoch records to %s\n",
+                monitor->Records().size(), telemetry_path.c_str());
+  }
+
+  const std::string metrics_path = args.GetString("metrics_out", "");
+  if (!metrics_path.empty()) {
+    Status written = obs::MetricsRegistry::Global().WriteJson(metrics_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  if (obs::TraceEnabled() && !trace_path.empty()) {
+    Status written = obs::WriteTrace(trace_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote %zu trace events to %s\n", obs::TraceEventCount(),
+                trace_path.c_str());
+  }
 
   if (graph.value().has_outlier_labels()) {
     std::printf("AUC against stored labels: %.4f\n",
