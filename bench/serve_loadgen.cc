@@ -1,0 +1,248 @@
+// serve_loadgen — closed-loop load benchmark for the serving path.
+//
+// Trains a VBM detector on the standard cora UNOD case, exports it as a
+// model bundle, then for each (threads × max_batch) engine configuration
+// restores the bundle into a fresh ScoringEngine and drives it with
+// concurrent closed-loop clients. Reports client-observed p50/p99/mean
+// latency, throughput, and the batch amortization factor (requests per
+// detector Score() call), alongside the engine-side latency histogram
+// quantiles from vgod::obs.
+//
+//   serve_loadgen [--clients=8] [--requests=40] [--json=PATH]
+//
+// Honors the usual bench env knobs (VGOD_BENCH_SCALE / _SEED /
+// _EPOCH_SCALE); tools/check_serve.py runs this at a reduced scale and
+// validates the --json output.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/args.h"
+#include "core/logging.h"
+#include "detectors/bundle.h"
+#include "detectors/registry.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+
+namespace vgod::bench {
+namespace {
+
+struct ConfigResult {
+  int threads = 0;
+  int max_batch = 0;
+  int64_t requests = 0;
+  int64_t score_calls = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double throughput_rps = 0.0;
+  double engine_p50_ms = 0.0;
+  double engine_p99_ms = 0.0;
+};
+
+double PercentileMs(std::vector<double>* sorted_ms, double q) {
+  if (sorted_ms->empty()) return 0.0;
+  std::sort(sorted_ms->begin(), sorted_ms->end());
+  const size_t n = sorted_ms->size();
+  size_t index = static_cast<size_t>(q * static_cast<double>(n));
+  if (index >= n) index = n - 1;
+  return (*sorted_ms)[index];
+}
+
+ConfigResult RunConfig(const detectors::ModelBundle& bundle,
+                       const UnodCase& unod_case, int threads, int max_batch,
+                       int clients, int requests_per_client) {
+  ConfigResult out;
+  out.threads = threads;
+  out.max_batch = max_batch;
+
+  detectors::DetectorOptions options;
+  options.seed = EnvSeed();
+  Result<std::unique_ptr<detectors::OutlierDetector>> restored =
+      detectors::MakeDetectorFromBundle(bundle, options);
+  VGOD_CHECK(restored.ok()) << restored.status().ToString();
+
+  serve::EngineConfig config;
+  config.num_threads = threads;
+  config.max_batch = max_batch;
+  config.max_delay_us = 500;
+  serve::ScoringEngine engine(std::move(restored.value()), unod_case.graph,
+                              config);
+  VGOD_CHECK(engine.Start().ok());
+
+  obs::MetricsRegistry::Global().ResetAll();
+
+  const int num_nodes = unod_case.graph.num_nodes();
+  std::vector<std::vector<double>> latencies_ms(clients);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c]() {
+      std::vector<double>& mine = latencies_ms[c];
+      mine.reserve(requests_per_client);
+      for (int r = 0; r < requests_per_client; ++r) {
+        std::vector<int> nodes = {(c * 131 + r * 17) % num_nodes,
+                                  (c * 131 + r * 17 + 1) % num_nodes,
+                                  (c * 131 + r * 17 + 2) % num_nodes,
+                                  (c * 131 + r * 17 + 3) % num_nodes};
+        const auto t0 = std::chrono::steady_clock::now();
+        Result<serve::ScoreResult> result = engine.ScoreNodes(std::move(nodes));
+        const auto t1 = std::chrono::steady_clock::now();
+        VGOD_CHECK(result.ok()) << result.status().ToString();
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  obs::Histogram* latency = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request.latency.seconds", obs::DefaultLatencyBounds());
+  out.engine_p50_ms = obs::HistogramQuantile(*latency, 0.5) * 1e3;
+  out.engine_p99_ms = obs::HistogramQuantile(*latency, 0.99) * 1e3;
+
+  engine.Shutdown();
+
+  std::vector<double> merged;
+  for (const std::vector<double>& per_client : latencies_ms) {
+    merged.insert(merged.end(), per_client.begin(), per_client.end());
+  }
+  out.requests = static_cast<int64_t>(merged.size());
+  out.score_calls = engine.score_calls();
+  double sum = 0.0;
+  for (double v : merged) sum += v;
+  out.mean_ms = merged.empty() ? 0.0 : sum / static_cast<double>(merged.size());
+  out.p99_ms = PercentileMs(&merged, 0.99);
+  out.p50_ms = PercentileMs(&merged, 0.50);
+  out.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(merged.size()) / wall_s : 0.0;
+  return out;
+}
+
+std::string ResultsJson(const UnodCase& unod_case, int clients,
+                        int requests_per_client,
+                        const std::vector<ConfigResult>& results) {
+  std::string out = "{\"benchmark\":\"serve_loadgen\",\"dataset\":";
+  obs::AppendJsonString(&out, unod_case.name);
+  out.append(",\"detector\":\"VBM\",\"nodes\":");
+  obs::AppendJsonNumber(&out, unod_case.graph.num_nodes());
+  out.append(",\"clients\":");
+  obs::AppendJsonNumber(&out, clients);
+  out.append(",\"requests_per_client\":");
+  obs::AppendJsonNumber(&out, requests_per_client);
+  out.append(",\"configs\":[");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"threads\":");
+    obs::AppendJsonNumber(&out, r.threads);
+    out.append(",\"max_batch\":");
+    obs::AppendJsonNumber(&out, r.max_batch);
+    out.append(",\"requests\":");
+    obs::AppendJsonNumber(&out, static_cast<double>(r.requests));
+    out.append(",\"score_calls\":");
+    obs::AppendJsonNumber(&out, static_cast<double>(r.score_calls));
+    out.append(",\"p50_ms\":");
+    obs::AppendJsonNumber(&out, r.p50_ms);
+    out.append(",\"p99_ms\":");
+    obs::AppendJsonNumber(&out, r.p99_ms);
+    out.append(",\"mean_ms\":");
+    obs::AppendJsonNumber(&out, r.mean_ms);
+    out.append(",\"throughput_rps\":");
+    obs::AppendJsonNumber(&out, r.throughput_rps);
+    out.append(",\"engine_p50_ms\":");
+    obs::AppendJsonNumber(&out, r.engine_p50_ms);
+    out.append(",\"engine_p99_ms\":");
+    obs::AppendJsonNumber(&out, r.engine_p99_ms);
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Result<ArgParser> args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  Status valid = args.value().Validate({"clients", "requests", "json"});
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+  const int clients =
+      std::max<int>(1, static_cast<int>(args.value().GetInt("clients", 8)));
+  const int requests_per_client =
+      std::max<int>(1, static_cast<int>(args.value().GetInt("requests", 40)));
+  const std::string json_path = args.value().GetString("json", "");
+
+  PrintBanner("serve_loadgen",
+              "serving-path load benchmark: p50/p99 latency + throughput "
+              "across thread x batch configurations");
+
+  UnodCase unod_case = MakeUnodCase("cora", EnvSeed());
+  detectors::DetectorOptions options = OptionsFor(unod_case, EnvSeed());
+  Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+      detectors::MakeDetector("VBM", options);
+  VGOD_CHECK(detector.ok()) << detector.status().ToString();
+  std::printf("training VBM on %s (%d nodes)...\n", unod_case.name.c_str(),
+              unod_case.graph.num_nodes());
+  Status fitted = detector.value()->Fit(unod_case.graph);
+  VGOD_CHECK(fitted.ok()) << fitted.ToString();
+  Result<detectors::ModelBundle> bundle = detector.value()->ExportBundle();
+  VGOD_CHECK(bundle.ok()) << bundle.status().ToString();
+
+  const int kConfigs[][2] = {{1, 1}, {1, 8}, {4, 1}, {4, 8}};
+  std::vector<ConfigResult> results;
+  std::printf("%8s %10s %10s %10s %10s %12s %12s\n", "threads", "max_batch",
+              "p50_ms", "p99_ms", "mean_ms", "rps", "batch_amort");
+  for (const auto& [threads, max_batch] : kConfigs) {
+    ConfigResult r = RunConfig(bundle.value(), unod_case, threads, max_batch,
+                               clients, requests_per_client);
+    const double amortization =
+        r.score_calls > 0
+            ? static_cast<double>(r.requests) /
+                  static_cast<double>(r.score_calls)
+            : 0.0;
+    std::printf("%8d %10d %10.3f %10.3f %10.3f %12.1f %12.2f\n", r.threads,
+                r.max_batch, r.p50_ms, r.p99_ms, r.mean_ms, r.throughput_rps,
+                amortization);
+    std::string tag = "t";
+    tag.append(std::to_string(threads));
+    tag.push_back('b');
+    tag.append(std::to_string(max_batch));
+    RecordManifestResult(unod_case.name, "VBM", tag + ".p50_ms", r.p50_ms);
+    RecordManifestResult(unod_case.name, "VBM", tag + ".p99_ms", r.p99_ms);
+    RecordManifestResult(unod_case.name, "VBM", tag + ".throughput_rps",
+                         r.throughput_rps);
+    results.push_back(r);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    file << ResultsJson(unod_case, clients, requests_per_client, results)
+         << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vgod::bench
+
+int main(int argc, char** argv) { return vgod::bench::Main(argc, argv); }

@@ -1,7 +1,9 @@
 // Scenario: train once, deploy on new graphs — the inductive setting of
 // the paper's Appendix B. A VGOD model is fitted on one snapshot of a
-// network, persisted test graphs are written/read via the datasets::io
-// format, and the fitted model scores fresh snapshots it never saw.
+// network and persisted as a model bundle (the artifact vgod_serve
+// loads); a separate "deployment" restores the bundle by name — no
+// architecture knowledge needed — and scores fresh snapshots the model
+// never saw, round-tripped through the on-disk graph format.
 //
 //   ./build/examples/inductive_deploy
 #include <cstdio>
@@ -9,6 +11,8 @@
 #include "core/rng.h"
 #include "datasets/io.h"
 #include "datasets/registry.h"
+#include "detectors/bundle.h"
+#include "detectors/registry.h"
 #include "detectors/vgod.h"
 #include "eval/metrics.h"
 #include "injection/injection.h"
@@ -43,8 +47,41 @@ int main() {
   std::printf("transductive AUC (same graph): %.3f\n\n",
               eval::Auc(vgod.Score(train.graph).score, train.combined));
 
-  // Deployment: three fresh snapshots, each injected with a new seed. They
-  // round-trip through the on-disk graph format as a deployment would.
+  // Persist the fitted model as a bundle: detector name + architecture
+  // config + checksummed parameters in one self-describing file.
+  const std::string bundle_path = "/tmp/vgod_inductive.vgodb";
+  Result<detectors::ModelBundle> exported = vgod.ExportBundle();
+  if (!exported.ok()) {
+    std::fprintf(stderr, "%s\n", exported.status().ToString().c_str());
+    return 1;
+  }
+  Status saved_bundle = detectors::SaveBundle(exported.value(), bundle_path);
+  if (!saved_bundle.ok()) {
+    std::fprintf(stderr, "%s\n", saved_bundle.ToString().c_str());
+    return 1;
+  }
+
+  // Deployment side: restore the model from the bundle alone. The bundle
+  // names its detector and carries the config, so this code has no
+  // VgodConfig of its own — exactly what `vgod_serve --bundle=` does.
+  Result<detectors::ModelBundle> bundle = detectors::LoadBundle(bundle_path);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<detectors::OutlierDetector>> deployed =
+      detectors::MakeDetectorFromBundle(bundle.value());
+  if (!deployed.ok()) {
+    std::fprintf(stderr, "%s\n", deployed.status().ToString().c_str());
+    return 1;
+  }
+  std::remove(bundle_path.c_str());
+  std::printf("restored %s from bundle (%zu parameter tensors)\n\n",
+              deployed.value()->name().c_str(),
+              bundle.value().params.size());
+
+  // Three fresh snapshots, each injected with a new seed. They round-trip
+  // through the on-disk graph format as a deployment would.
   for (uint64_t snapshot = 1; snapshot <= 3; ++snapshot) {
     Rng rng(21 + snapshot);
     injection::InjectionResult fresh =
@@ -64,8 +101,9 @@ int main() {
     }
     std::remove(path.c_str());
 
-    // The fitted model scores the unseen snapshot directly — no retraining.
-    detectors::DetectorOutput out = vgod.Score(loaded.value());
+    // The restored model scores the unseen snapshot directly — no
+    // retraining, and bit-identical to scoring with the trained instance.
+    detectors::DetectorOutput out = deployed.value()->Score(loaded.value());
     std::printf("snapshot %llu: inductive AUC %.3f (str %.3f, ctx %.3f)\n",
                 static_cast<unsigned long long>(snapshot),
                 eval::Auc(out.score, fresh.combined),

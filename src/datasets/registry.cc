@@ -1,6 +1,8 @@
 #include "datasets/registry.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 
 namespace vgod::datasets {
 namespace {
@@ -9,21 +11,7 @@ int Scaled(int base, double scale) {
   return std::max(50, static_cast<int>(base * scale + 0.5));
 }
 
-}  // namespace
-
-const std::vector<std::string>& BenchmarkDatasetNames() {
-  static const std::vector<std::string>* names = new std::vector<std::string>{
-      "cora", "citeseer", "pubmed", "flickr", "weibo"};
-  return *names;
-}
-
-const std::vector<std::string>& InjectionDatasetNames() {
-  static const std::vector<std::string>* names = new std::vector<std::string>{
-      "cora", "citeseer", "pubmed", "flickr"};
-  return *names;
-}
-
-Result<Dataset> MakeDataset(const std::string& name, double scale,
+Result<Dataset> MakeBuiltin(const std::string& name, double scale,
                             uint64_t seed) {
   Rng rng(seed ^ 0xda7a5e7ULL);
   Dataset dataset;
@@ -98,6 +86,81 @@ Result<Dataset> MakeDataset(const std::string& name, double scale,
 
   dataset.graph = GeneratePlantedPartition(spec, &rng);
   return dataset;
+}
+
+// Name -> factory map behind a mutex, mirroring detectors::FactoryRegistry:
+// the serving layer and bench harnesses build datasets from several threads
+// at once. The factory is copied out before it runs, so graph generation
+// (the slow part) never happens under the lock.
+class DatasetRegistry {
+ public:
+  static DatasetRegistry& Global() {
+    static DatasetRegistry* registry = new DatasetRegistry();
+    return *registry;
+  }
+
+  void Register(const std::string& name, DatasetFactory factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    factories_[name] = std::move(factory);
+  }
+
+  Result<DatasetFactory> Find(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return Status::NotFound("unknown dataset: " + name);
+    }
+    return it->second;
+  }
+
+  std::vector<std::string> Names() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  DatasetRegistry() {
+    for (const std::string& name : BenchmarkDatasetNames()) {
+      factories_[name] = [name](double scale, uint64_t seed) {
+        return MakeBuiltin(name, scale, seed);
+      };
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, DatasetFactory> factories_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& BenchmarkDatasetNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "cora", "citeseer", "pubmed", "flickr", "weibo"};
+  return *names;
+}
+
+const std::vector<std::string>& InjectionDatasetNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "cora", "citeseer", "pubmed", "flickr"};
+  return *names;
+}
+
+Result<Dataset> MakeDataset(const std::string& name, double scale,
+                            uint64_t seed) {
+  Result<DatasetFactory> factory = DatasetRegistry::Global().Find(name);
+  if (!factory.ok()) return factory.status();
+  return factory.value()(scale, seed);
+}
+
+void RegisterDataset(const std::string& name, DatasetFactory factory) {
+  DatasetRegistry::Global().Register(name, std::move(factory));
+}
+
+std::vector<std::string> RegisteredDatasetNames() {
+  return DatasetRegistry::Global().Names();
 }
 
 }  // namespace vgod::datasets

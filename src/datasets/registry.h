@@ -1,6 +1,7 @@
 #ifndef VGOD_DATASETS_REGISTRY_H_
 #define VGOD_DATASETS_REGISTRY_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,8 +34,21 @@ const std::vector<std::string>& InjectionDatasetNames();
 /// Builds the simulated stand-in for the named paper dataset. `scale`
 /// multiplies the node count (1.0 = the bench-scale defaults in DESIGN.md
 /// §4; tests use ~0.2). Each (name, seed, scale) triple is reproducible.
+/// Thread-safe: serving and bench code generate datasets concurrently.
 Result<Dataset> MakeDataset(const std::string& name, double scale,
                             uint64_t seed);
+
+/// Builds a dataset instance at (scale, seed); registered under a name.
+using DatasetFactory =
+    std::function<Result<Dataset>(double scale, uint64_t seed)>;
+
+/// Adds (or replaces) a dataset factory under `name`. Thread-safe with
+/// respect to concurrent MakeDataset calls.
+void RegisterDataset(const std::string& name, DatasetFactory factory);
+
+/// Every registered dataset name (built-ins plus RegisterDataset calls),
+/// sorted. Thread-safe.
+std::vector<std::string> RegisteredDatasetNames();
 
 }  // namespace vgod::datasets
 

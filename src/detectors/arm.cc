@@ -118,11 +118,15 @@ Status Arm::Save(const std::string& path) const {
 Status Arm::Load(const std::string& path) {
   Result<std::vector<Tensor>> tensors = LoadParameterList(path);
   if (!tensors.ok()) return tensors.status();
-  if (tensors.value().empty()) {
-    return Status::InvalidArgument("empty parameter file: " + path);
+  return RestoreParameters(tensors.value());
+}
+
+Status Arm::RestoreParameters(const std::vector<Tensor>& tensors) {
+  if (tensors.empty()) {
+    return Status::InvalidArgument("ARM: empty parameter list");
   }
   // The first tensor is the input transform's d x hidden weight.
-  const Tensor& weight = tensors.value()[0];
+  const Tensor& weight = tensors[0];
   if (weight.cols() != config_.hidden_dim) {
     return Status::InvalidArgument(
         "stored hidden dim " + std::to_string(weight.cols()) +
@@ -131,7 +135,59 @@ Status Arm::Load(const std::string& path) {
   Rng rng(config_.seed);
   BuildModules(weight.rows(), &rng);
   std::vector<Variable> params = Parameters();
-  return AssignParameters(tensors.value(), &params);
+  return AssignParameters(tensors, &params);
+}
+
+Result<ModelBundle> Arm::ExportBundle() const {
+  if (!in_transform_.has_value()) {
+    return Status::FailedPrecondition("Fit() before ExportBundle()");
+  }
+  ModelBundle bundle;
+  bundle.detector = name();
+  obs::JsonValue::Object config;
+  config["hidden_dim"] =
+      obs::JsonValue(static_cast<int64_t>(config_.hidden_dim));
+  config["num_layers"] =
+      obs::JsonValue(static_cast<int64_t>(config_.num_layers));
+  config["gnn"] = obs::JsonValue(std::string(gnn::GnnKindName(config_.gnn)));
+  config["row_normalize_attributes"] =
+      obs::JsonValue(config_.row_normalize_attributes);
+  bundle.config = obs::JsonValue(std::move(config));
+  for (const Variable& param : Parameters()) {
+    bundle.params.push_back(param.value().Clone());
+  }
+  return bundle;
+}
+
+Status Arm::RestoreFromBundle(const ModelBundle& bundle) {
+  if (!bundle.detector.empty() && bundle.detector != name()) {
+    return Status::InvalidArgument("bundle is for detector '" +
+                                   bundle.detector + "', not " + name());
+  }
+  if (bundle.config.is_object()) {
+    config_.hidden_dim = static_cast<int>(
+        ConfigNumber(bundle.config, "hidden_dim", config_.hidden_dim));
+    config_.num_layers = static_cast<int>(
+        ConfigNumber(bundle.config, "num_layers", config_.num_layers));
+    config_.row_normalize_attributes =
+        ConfigBool(bundle.config, "row_normalize_attributes",
+                   config_.row_normalize_attributes);
+    const std::string gnn_name =
+        ConfigString(bundle.config, "gnn", gnn::GnnKindName(config_.gnn));
+    bool known = false;
+    for (gnn::GnnKind kind : {gnn::GnnKind::kGcn, gnn::GnnKind::kGat,
+                              gnn::GnnKind::kGin, gnn::GnnKind::kSage}) {
+      if (gnn_name == gnn::GnnKindName(kind)) {
+        config_.gnn = kind;
+        known = true;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown GNN backbone in bundle: " +
+                                     gnn_name);
+    }
+  }
+  return RestoreParameters(bundle.params);
 }
 
 }  // namespace vgod::detectors

@@ -56,7 +56,17 @@ class Arm : public OutlierDetector {
   /// model's config (hidden dim, layer count, backbone).
   Status Load(const std::string& path);
 
+  /// Bundle persistence (bundle.h): the config JSON carries hidden_dim,
+  /// num_layers, the GNN backbone name, and row_normalize_attributes.
+  bool supports_bundles() const override { return true; }
+  Result<ModelBundle> ExportBundle() const override;
+  Status RestoreFromBundle(const ModelBundle& bundle) override;
+
  private:
+  /// Rebuilds the module stack from the tensor shapes + current config and
+  /// installs `tensors`.
+  Status RestoreParameters(const std::vector<Tensor>& tensors);
+
   /// Reconstructed attribute matrix X_hat for `graph`.
   Variable Reconstruct(std::shared_ptr<const AttributedGraph> graph,
                        const Tensor& attributes) const;

@@ -1,0 +1,16 @@
+#include "detectors/detector.h"
+
+namespace vgod::detectors {
+
+Result<ModelBundle> OutlierDetector::ExportBundle() const {
+  return Status::FailedPrecondition(name() +
+                                    " does not support model bundles");
+}
+
+Status OutlierDetector::RestoreFromBundle(const ModelBundle& bundle) {
+  (void)bundle;
+  return Status::FailedPrecondition(name() +
+                                    " does not support model bundles");
+}
+
+}  // namespace vgod::detectors

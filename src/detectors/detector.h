@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "detectors/bundle.h"
 #include "graph/graph.h"
 #include "obs/monitor.h"
 
@@ -59,6 +60,19 @@ class OutlierDetector {
   /// Whether a fitted model can score a graph other than its training
   /// graph (paper Table II, "Inductive Inference" column).
   virtual bool supports_inductive() const { return true; }
+
+  /// Whether this detector can round-trip through a model bundle
+  /// (bundle.h) — the deployment artifact vgod::serve loads.
+  virtual bool supports_bundles() const { return false; }
+
+  /// Packs the fitted model (name, architecture config, parameters) into a
+  /// bundle. Default: FailedPrecondition for detectors without support.
+  virtual Result<ModelBundle> ExportBundle() const;
+
+  /// Reconfigures this detector from `bundle.config` and installs
+  /// `bundle.params`, making it ready to Score without a Fit. Fails on
+  /// detector-name, parameter-count, or shape mismatch.
+  virtual Status RestoreFromBundle(const ModelBundle& bundle);
 
   const TrainStats& train_stats() const { return train_stats_; }
 

@@ -1,11 +1,13 @@
 #ifndef VGOD_DETECTORS_REGISTRY_H_
 #define VGOD_DETECTORS_REGISTRY_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/status.h"
+#include "detectors/bundle.h"
 #include "detectors/detector.h"
 
 namespace vgod::detectors {
@@ -31,9 +33,31 @@ struct DetectorOptions {
 const std::vector<std::string>& ComparisonDetectorNames();
 
 /// Builds a detector by name with the paper-default configuration adjusted
-/// by `options`.
+/// by `options`. Thread-safe: the serving worker pool constructs detectors
+/// concurrently.
 Result<std::unique_ptr<OutlierDetector>> MakeDetector(
     const std::string& name, const DetectorOptions& options = {});
+
+/// Builds the detector named by `bundle.detector` and restores its config
+/// and parameters, yielding a model ready to Score without a Fit. Fails on
+/// unknown detector names, bundles without bundle support, and config or
+/// shape mismatches. Thread-safe.
+Result<std::unique_ptr<OutlierDetector>> MakeDetectorFromBundle(
+    const ModelBundle& bundle, const DetectorOptions& options = {});
+
+/// Constructs a detector from `options`; registered under a name.
+using DetectorFactory =
+    std::function<Result<std::unique_ptr<OutlierDetector>>(
+        const DetectorOptions& options)>;
+
+/// Adds (or replaces) a detector factory under `name`. Thread-safe with
+/// respect to concurrent MakeDetector calls; built-in names can be
+/// overridden deliberately.
+void RegisterDetector(const std::string& name, DetectorFactory factory);
+
+/// Every registered detector name (built-ins plus RegisterDetector calls),
+/// sorted. Thread-safe.
+std::vector<std::string> RegisteredDetectorNames();
 
 }  // namespace vgod::detectors
 

@@ -35,6 +35,21 @@ DetectorOutput DegNorm::Score(const AttributedGraph& graph) const {
   return out;
 }
 
+Result<ModelBundle> DegNorm::ExportBundle() const {
+  ModelBundle bundle;
+  bundle.detector = name();
+  bundle.config = obs::JsonValue(obs::JsonValue::Object{});
+  return bundle;
+}
+
+Status DegNorm::RestoreFromBundle(const ModelBundle& bundle) {
+  if (!bundle.detector.empty() && bundle.detector != name()) {
+    return Status::InvalidArgument("bundle is for detector '" +
+                                   bundle.detector + "', not " + name());
+  }
+  return Status::Ok();
+}
+
 Status Deg::Fit(const AttributedGraph& graph) {
   (void)graph;
   return Status::Ok();

@@ -18,6 +18,12 @@ class DegNorm : public OutlierDetector {
   std::string name() const override { return "DegNorm"; }
   Status Fit(const AttributedGraph& graph) override;
   DetectorOutput Score(const AttributedGraph& graph) const override;
+
+  /// Training-free, so a bundle is just the detector name — still useful
+  /// as a deployable artifact (and as the fast path in serving tests).
+  bool supports_bundles() const override { return true; }
+  Result<ModelBundle> ExportBundle() const override;
+  Status RestoreFromBundle(const ModelBundle& bundle) override;
 };
 
 /// Degree only (the "Deg" row of paper Table V).

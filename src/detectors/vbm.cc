@@ -209,10 +209,14 @@ Status Vbm::Save(const std::string& path) const {
 Status Vbm::Load(const std::string& path) {
   Result<std::vector<Tensor>> tensors = LoadParameterList(path);
   if (!tensors.ok()) return tensors.status();
-  if (tensors.value().empty()) {
-    return Status::InvalidArgument("empty parameter file: " + path);
+  return RestoreParameters(tensors.value());
+}
+
+Status Vbm::RestoreParameters(const std::vector<Tensor>& tensors) {
+  if (tensors.empty()) {
+    return Status::InvalidArgument("VBM: empty parameter list");
   }
-  const Tensor& weight = tensors.value()[0];
+  const Tensor& weight = tensors[0];
   if (weight.cols() != config_.hidden_dim) {
     return Status::InvalidArgument(
         "stored hidden dim " + std::to_string(weight.cols()) +
@@ -221,7 +225,43 @@ Status Vbm::Load(const std::string& path) {
   Rng rng(config_.seed);
   transform_.emplace(weight.rows(), config_.hidden_dim, &rng);
   std::vector<Variable> params = transform_->Parameters();
-  return AssignParameters(tensors.value(), &params);
+  return AssignParameters(tensors, &params);
+}
+
+Result<ModelBundle> Vbm::ExportBundle() const {
+  if (!transform_.has_value()) {
+    return Status::FailedPrecondition("Fit() before ExportBundle()");
+  }
+  ModelBundle bundle;
+  bundle.detector = name();
+  obs::JsonValue::Object config;
+  config["hidden_dim"] =
+      obs::JsonValue(static_cast<int64_t>(config_.hidden_dim));
+  config["self_loop"] = obs::JsonValue(config_.self_loop);
+  config["row_normalize_attributes"] =
+      obs::JsonValue(config_.row_normalize_attributes);
+  bundle.config = obs::JsonValue(std::move(config));
+  for (const Variable& param : transform_->Parameters()) {
+    bundle.params.push_back(param.value().Clone());
+  }
+  return bundle;
+}
+
+Status Vbm::RestoreFromBundle(const ModelBundle& bundle) {
+  if (!bundle.detector.empty() && bundle.detector != name()) {
+    return Status::InvalidArgument("bundle is for detector '" +
+                                   bundle.detector + "', not " + name());
+  }
+  if (bundle.config.is_object()) {
+    config_.hidden_dim = static_cast<int>(
+        ConfigNumber(bundle.config, "hidden_dim", config_.hidden_dim));
+    config_.self_loop =
+        ConfigBool(bundle.config, "self_loop", config_.self_loop);
+    config_.row_normalize_attributes =
+        ConfigBool(bundle.config, "row_normalize_attributes",
+                   config_.row_normalize_attributes);
+  }
+  return RestoreParameters(bundle.params);
 }
 
 }  // namespace vgod::detectors

@@ -65,7 +65,17 @@ class Vbm : public OutlierDetector {
   /// match config().hidden_dim. After Load the model can Score directly.
   Status Load(const std::string& path);
 
+  /// Bundle persistence (bundle.h): the config JSON carries hidden_dim,
+  /// self_loop, and row_normalize_attributes, so RestoreFromBundle
+  /// reconstructs the exact scoring architecture without a prior Fit.
+  bool supports_bundles() const override { return true; }
+  Result<ModelBundle> ExportBundle() const override;
+  Status RestoreFromBundle(const ModelBundle& bundle) override;
+
  private:
+  /// Rebuilds the transform from the tensor shapes and installs `tensors`.
+  Status RestoreParameters(const std::vector<Tensor>& tensors);
+
   /// Hidden representation H of Eq. 6 for `attributes`.
   Variable Embed(const Tensor& attributes) const;
 

@@ -20,6 +20,15 @@ const char* ScoreCombinationName(ScoreCombination combination) {
   return "?";
 }
 
+Result<ScoreCombination> ParseScoreCombination(const std::string& name) {
+  for (ScoreCombination combination :
+       {ScoreCombination::kMeanStd, ScoreCombination::kSumToUnit,
+        ScoreCombination::kWeighted, ScoreCombination::kRank}) {
+    if (name == ScoreCombinationName(combination)) return combination;
+  }
+  return Status::InvalidArgument("unknown score combination: " + name);
+}
+
 Vgod::Vgod(VgodConfig config)
     : config_(config), vbm_(config.vbm), arm_(config.arm) {}
 
@@ -81,6 +90,71 @@ Status Vgod::Save(const std::string& path) const {
 Status Vgod::Load(const std::string& path) {
   VGOD_RETURN_IF_ERROR(vbm_.Load(path + ".vbm"));
   return arm_.Load(path + ".arm");
+}
+
+Result<ModelBundle> Vgod::ExportBundle() const {
+  Result<ModelBundle> vbm_bundle = vbm_.ExportBundle();
+  if (!vbm_bundle.ok()) return vbm_bundle.status();
+  Result<ModelBundle> arm_bundle = arm_.ExportBundle();
+  if (!arm_bundle.ok()) return arm_bundle.status();
+
+  ModelBundle bundle;
+  bundle.detector = name();
+  obs::JsonValue::Object config;
+  config["vbm"] = vbm_bundle.value().config;
+  config["arm"] = arm_bundle.value().config;
+  config["vbm_params"] = obs::JsonValue(
+      static_cast<int64_t>(vbm_bundle.value().params.size()));
+  config["combination"] = obs::JsonValue(
+      std::string(ScoreCombinationName(config_.combination)));
+  config["contextual_weight"] = obs::JsonValue(config_.contextual_weight);
+  bundle.config = obs::JsonValue(std::move(config));
+
+  bundle.params = std::move(vbm_bundle.value().params);
+  for (Tensor& tensor : arm_bundle.value().params) {
+    bundle.params.push_back(std::move(tensor));
+  }
+  return bundle;
+}
+
+Status Vgod::RestoreFromBundle(const ModelBundle& bundle) {
+  if (bundle.detector != name()) {
+    return Status::InvalidArgument("bundle is for detector '" +
+                                   bundle.detector + "', not " + name());
+  }
+  if (!bundle.config.is_object()) {
+    return Status::InvalidArgument("VGOD bundle is missing its config");
+  }
+  const auto vbm_params = static_cast<size_t>(
+      ConfigNumber(bundle.config, "vbm_params", -1.0));
+  if (vbm_params > bundle.params.size()) {
+    return Status::InvalidArgument("VGOD bundle has a corrupt vbm_params "
+                                   "split");
+  }
+  Result<ScoreCombination> combination = ParseScoreCombination(ConfigString(
+      bundle.config, "combination",
+      ScoreCombinationName(config_.combination)));
+  if (!combination.ok()) return combination.status();
+  config_.combination = combination.value();
+  config_.contextual_weight = ConfigNumber(
+      bundle.config, "contextual_weight", config_.contextual_weight);
+
+  ModelBundle vbm_bundle;
+  vbm_bundle.detector = "VBM";
+  vbm_bundle.config = bundle.config.at("vbm");
+  vbm_bundle.params.assign(bundle.params.begin(),
+                           bundle.params.begin() + vbm_params);
+  VGOD_RETURN_IF_ERROR(vbm_.RestoreFromBundle(vbm_bundle));
+  config_.vbm = vbm_.config();
+
+  ModelBundle arm_bundle;
+  arm_bundle.detector = "ARM";
+  arm_bundle.config = bundle.config.at("arm");
+  arm_bundle.params.assign(bundle.params.begin() + vbm_params,
+                           bundle.params.end());
+  VGOD_RETURN_IF_ERROR(arm_.RestoreFromBundle(arm_bundle));
+  config_.arm = arm_.config();
+  return Status::Ok();
 }
 
 }  // namespace vgod::detectors

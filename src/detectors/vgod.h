@@ -20,6 +20,9 @@ enum class ScoreCombination {
 
 const char* ScoreCombinationName(ScoreCombination combination);
 
+/// Inverse of ScoreCombinationName (used by bundle configs and the CLI).
+Result<ScoreCombination> ParseScoreCombination(const std::string& name);
+
 /// Configuration of the full VGOD framework (paper Fig 4).
 struct VgodConfig {
   VbmConfig vbm;
@@ -50,6 +53,13 @@ class Vgod : public OutlierDetector {
 
   /// Restores a framework saved by Save(); configs must match.
   Status Load(const std::string& path);
+
+  /// Bundle persistence (bundle.h): one bundle holds both component models
+  /// (VBM parameters first, then ARM) plus the combination rule, so a
+  /// single artifact restores the whole framework.
+  bool supports_bundles() const override { return true; }
+  Result<ModelBundle> ExportBundle() const override;
+  Status RestoreFromBundle(const ModelBundle& bundle) override;
 
  private:
   VgodConfig config_;

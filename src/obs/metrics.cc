@@ -40,6 +40,33 @@ void Histogram::Reset() {
   sum_.store(0.0);
 }
 
+double HistogramQuantile(const Histogram& histogram, double q) {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::vector<int64_t> counts = histogram.BucketCounts();
+  const std::vector<double>& bounds = histogram.bounds();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation; q=1 maps to the last one.
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= rank) {
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      // Interpolate within [lower, bounds[i]]; the first finite bucket's
+      // lower edge is 0 (latencies are non-negative).
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double fraction =
+          (rank - cumulative) / static_cast<double>(counts[i]);
+      return lower + fraction * (bounds[i] - lower);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 const std::vector<double>& DefaultLatencyBounds() {
   static const std::vector<double>* bounds = new std::vector<double>{
       1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,

@@ -64,6 +64,13 @@ class Histogram {
 /// of 10 with a 1-3 split per decade.
 const std::vector<double>& DefaultLatencyBounds();
 
+/// Estimate of the value at quantile `q` (in [0, 1]) by linear
+/// interpolation inside the owning bucket — how the serving layer turns
+/// its latency histograms into p50/p99 numbers. Observations in the
+/// overflow bucket clamp to the last bound. Returns 0 for an empty
+/// histogram.
+double HistogramQuantile(const Histogram& histogram, double q);
+
 /// Process-wide registry. Registration takes a mutex; the returned
 /// pointers are stable for the process lifetime, so hot paths cache them
 /// (the VGOD_COUNTER_* macros do this with a function-local static).

@@ -1,0 +1,283 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vgod::serve {
+namespace {
+
+// Batch-size histogram edges: powers of two up to a generous cap.
+const std::vector<double>& BatchSizeBounds() {
+  static const std::vector<double>* bounds =
+      new std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128};
+  return *bounds;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+ScoringEngine::ScoringEngine(
+    std::unique_ptr<detectors::OutlierDetector> detector,
+    AttributedGraph graph, EngineConfig config)
+    : detector_(std::move(detector)),
+      graph_(std::move(graph)),
+      config_(config) {
+  VGOD_CHECK(detector_ != nullptr) << "ScoringEngine needs a detector";
+  VGOD_CHECK(config_.num_threads > 0) << "num_threads must be positive";
+  VGOD_CHECK(config_.max_batch > 0) << "max_batch must be positive";
+  VGOD_CHECK(config_.max_queue > 0) << "max_queue must be positive";
+}
+
+ScoringEngine::~ScoringEngine() { Shutdown(); }
+
+Status ScoringEngine::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::FailedPrecondition("engine already started");
+  if (stopping_) return Status::FailedPrecondition("engine was shut down");
+  started_ = true;
+  workers_.reserve(config_.num_threads);
+  for (int i = 0; i < config_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void ScoringEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Without a started pool nothing drains the queue; fail what's left so
+  // no future is abandoned.
+  std::deque<Pending> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphaned.swap(queue_);
+  }
+  for (Pending& pending : orphaned) {
+    FinishRequest(&pending,
+                  Status::FailedPrecondition("engine shut down"));
+  }
+}
+
+std::future<Result<ScoreResult>> ScoringEngine::Submit(Pending pending) {
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<Result<ScoreResult>> future = pending.promise.get_future();
+  VGOD_COUNTER_INC("serve.requests.total");
+
+  Status rejected = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || !started_) {
+      rejected = Status::FailedPrecondition("engine is not accepting work");
+    } else if (static_cast<int>(queue_.size()) >= config_.max_queue) {
+      rejected = Status::OutOfRange("scoring queue is full");
+    } else {
+      queue_.push_back(std::move(pending));
+      obs::MetricsRegistry::Global()
+          .GetGauge("serve.queue.depth")
+          ->Set(static_cast<double>(queue_.size()));
+    }
+  }
+  if (!rejected.ok()) {
+    VGOD_COUNTER_INC("serve.requests.rejected");
+    // `pending` still owns the promise only in the rejection path.
+    pending.promise.set_value(rejected);
+    return future;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::future<Result<ScoreResult>> ScoringEngine::SubmitNodes(
+    std::vector<int> nodes) {
+  Pending pending;
+  // Validate ids up front so a bad request cannot poison a whole batch.
+  for (int node : nodes) {
+    if (node < 0 || node >= graph_.num_nodes()) {
+      std::promise<Result<ScoreResult>> broken;
+      broken.set_value(Status::OutOfRange(
+          "node " + std::to_string(node) + " outside resident graph (0.." +
+          std::to_string(graph_.num_nodes() - 1) + ")"));
+      VGOD_COUNTER_INC("serve.requests.total");
+      VGOD_COUNTER_INC("serve.requests.rejected");
+      return broken.get_future();
+    }
+  }
+  pending.nodes = std::move(nodes);
+  return Submit(std::move(pending));
+}
+
+std::future<Result<ScoreResult>> ScoringEngine::SubmitGraph(
+    AttributedGraph graph) {
+  // The detector's weights are bound to the training attribute schema; a
+  // mismatched subgraph would abort deep inside a kernel VGOD_CHECK, so
+  // reject it here instead (inductive scoring requires the same schema).
+  if (graph.attribute_dim() != graph_.attribute_dim()) {
+    std::promise<Result<ScoreResult>> broken;
+    broken.set_value(Status::InvalidArgument(
+        "subgraph attribute dim " + std::to_string(graph.attribute_dim()) +
+        " does not match the served model's " +
+        std::to_string(graph_.attribute_dim())));
+    VGOD_COUNTER_INC("serve.requests.total");
+    VGOD_COUNTER_INC("serve.requests.rejected");
+    return broken.get_future();
+  }
+  Pending pending;
+  pending.subgraph =
+      std::make_shared<const AttributedGraph>(std::move(graph));
+  return Submit(std::move(pending));
+}
+
+Result<ScoreResult> ScoringEngine::ScoreNodes(std::vector<int> nodes) {
+  return SubmitNodes(std::move(nodes)).get();
+}
+
+Result<ScoreResult> ScoringEngine::ScoreGraph(AttributedGraph graph) {
+  return SubmitGraph(std::move(graph)).get();
+}
+
+int64_t ScoringEngine::score_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return score_calls_;
+}
+
+int64_t ScoringEngine::requests_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_served_;
+}
+
+void ScoringEngine::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // Drained.
+      continue;
+    }
+
+    Pending first = std::move(queue_.front());
+    queue_.pop_front();
+
+    if (first.subgraph != nullptr) {
+      obs::MetricsRegistry::Global()
+          .GetGauge("serve.queue.depth")
+          ->Set(static_cast<double>(queue_.size()));
+      lock.unlock();
+      ExecuteSubgraph(std::move(first));
+      lock.lock();
+      continue;
+    }
+
+    // Coalesce node requests: flush on max_batch, on the oldest request
+    // reaching max_delay_us, or immediately while draining. A subgraph
+    // request at the head stops accumulation so FIFO order holds.
+    std::vector<Pending> batch;
+    batch.push_back(std::move(first));
+    const auto deadline =
+        batch.front().enqueued +
+        std::chrono::microseconds(config_.max_delay_us);
+    while (static_cast<int>(batch.size()) < config_.max_batch) {
+      if (!queue_.empty()) {
+        if (queue_.front().subgraph != nullptr) break;
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        continue;
+      }
+      if (stopping_) break;
+      if (cv_.wait_until(lock, deadline, [this] {
+            return stopping_ || !queue_.empty();
+          })) {
+        continue;  // New work or draining; loop re-checks.
+      }
+      break;  // Deadline: flush what we have.
+    }
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.queue.depth")
+        ->Set(static_cast<double>(queue_.size()));
+    lock.unlock();
+    ExecuteBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void ScoringEngine::FinishRequest(Pending* pending,
+                                  Result<ScoreResult> result) {
+  VGOD_HISTOGRAM_OBSERVE("serve.request.latency.seconds",
+                         SecondsSince(pending->enqueued));
+  VGOD_COUNTER_INC("serve.requests.completed");
+  pending->promise.set_value(std::move(result));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_served_;
+}
+
+void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
+  VGOD_TRACE_SPAN("serve/batch");
+  {
+    static obs::Histogram* batch_size =
+        obs::MetricsRegistry::Global().GetHistogram("serve.batch.size",
+                                                    BatchSizeBounds());
+    batch_size->Observe(static_cast<double>(batch.size()));
+  }
+  const auto score_start = std::chrono::steady_clock::now();
+  detectors::DetectorOutput out = detector_->Score(graph_);
+  VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds",
+                         SecondsSince(score_start));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++score_calls_;
+  }
+
+  for (Pending& pending : batch) {
+    ScoreResult result;
+    result.nodes = std::move(pending.nodes);
+    result.score.reserve(result.nodes.size());
+    for (int node : result.nodes) {
+      result.score.push_back(out.score[node]);
+    }
+    if (out.has_components()) {
+      result.structural.reserve(result.nodes.size());
+      result.contextual.reserve(result.nodes.size());
+      for (int node : result.nodes) {
+        result.structural.push_back(out.structural_score[node]);
+        result.contextual.push_back(out.contextual_score[node]);
+      }
+    }
+    FinishRequest(&pending, std::move(result));
+  }
+}
+
+void ScoringEngine::ExecuteSubgraph(Pending pending) {
+  VGOD_TRACE_SPAN("serve/subgraph");
+  const auto score_start = std::chrono::steady_clock::now();
+  detectors::DetectorOutput out = detector_->Score(*pending.subgraph);
+  VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds",
+                         SecondsSince(score_start));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++score_calls_;
+  }
+
+  ScoreResult result;
+  result.nodes.resize(pending.subgraph->num_nodes());
+  for (int i = 0; i < pending.subgraph->num_nodes(); ++i) {
+    result.nodes[i] = i;
+  }
+  result.score = std::move(out.score);
+  result.structural = std::move(out.structural_score);
+  result.contextual = std::move(out.contextual_score);
+  FinishRequest(&pending, std::move(result));
+}
+
+}  // namespace vgod::serve

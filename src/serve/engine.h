@@ -1,0 +1,125 @@
+#ifndef VGOD_SERVE_ENGINE_H_
+#define VGOD_SERVE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "detectors/detector.h"
+#include "graph/graph.h"
+
+namespace vgod::serve {
+
+/// Batching/threading knobs of the scoring engine (docs/SERVING.md).
+struct EngineConfig {
+  /// Worker threads executing detector Score() calls.
+  int num_threads = 2;
+  /// A batch flushes when it holds this many node-scoring requests...
+  int max_batch = 8;
+  /// ...or when its oldest request has waited this long, whichever first.
+  int max_delay_us = 1000;
+  /// Submissions beyond this queue depth are rejected (load shedding, so a
+  /// burst degrades to fast 503s instead of unbounded latency).
+  int max_queue = 1024;
+};
+
+/// Scores for the nodes a request asked about, row-aligned with `nodes`.
+/// Component scores are present when the detector separates them.
+struct ScoreResult {
+  std::vector<int> nodes;
+  std::vector<double> score;
+  std::vector<double> structural;
+  std::vector<double> contextual;
+};
+
+/// Owns a fitted detector and a resident graph behind a fixed worker pool
+/// with a bounded request queue and dynamic micro-batching.
+///
+/// Two request shapes:
+///  * node requests — score node ids of the resident graph. Consecutive
+///    node requests coalesce into one detector Score() call per flush
+///    (size- or deadline-triggered), which is where the throughput win
+///    comes from: one full-graph scoring pass answers up to max_batch
+///    requests.
+///  * subgraph requests — score a request-supplied graph (the inductive
+///    deployment shape). Executed singly; distinct graphs cannot share a
+///    Score() call.
+///
+/// Scores are computed by the same Score() the offline path uses, so
+/// served values are bit-identical to in-process scoring.
+class ScoringEngine {
+ public:
+  /// Takes ownership of a fitted (or bundle-restored) detector and the
+  /// resident graph it serves.
+  ScoringEngine(std::unique_ptr<detectors::OutlierDetector> detector,
+                AttributedGraph graph, EngineConfig config = {});
+  ~ScoringEngine();
+
+  ScoringEngine(const ScoringEngine&) = delete;
+  ScoringEngine& operator=(const ScoringEngine&) = delete;
+
+  /// Spawns the worker pool. Fails if already started or shut down.
+  Status Start();
+
+  /// Graceful shutdown: rejects new submissions, drains every queued
+  /// request, joins the workers. Idempotent.
+  void Shutdown();
+
+  /// Enqueues a node-scoring request against the resident graph. The
+  /// returned future resolves when its batch executes. Fails fast (error
+  /// future) on invalid node ids, a full queue, or a stopped engine.
+  std::future<Result<ScoreResult>> SubmitNodes(std::vector<int> nodes);
+
+  /// Enqueues a request to score `graph` (scores every node of it).
+  std::future<Result<ScoreResult>> SubmitGraph(AttributedGraph graph);
+
+  /// Blocking conveniences over the Submit calls.
+  Result<ScoreResult> ScoreNodes(std::vector<int> nodes);
+  Result<ScoreResult> ScoreGraph(AttributedGraph graph);
+
+  const detectors::OutlierDetector& detector() const { return *detector_; }
+  const AttributedGraph& graph() const { return graph_; }
+  const EngineConfig& config() const { return config_; }
+
+  /// Detector Score() invocations so far (== flushed batches).
+  int64_t score_calls() const;
+  /// Requests answered so far (successfully or not).
+  int64_t requests_served() const;
+
+ private:
+  struct Pending {
+    std::vector<int> nodes;                             // Node request.
+    std::shared_ptr<const AttributedGraph> subgraph;    // Subgraph request.
+    std::promise<Result<ScoreResult>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  std::future<Result<ScoreResult>> Submit(Pending pending);
+  void WorkerLoop();
+  void ExecuteBatch(std::vector<Pending> batch);
+  void ExecuteSubgraph(Pending pending);
+  void FinishRequest(Pending* pending, Result<ScoreResult> result);
+
+  const std::unique_ptr<detectors::OutlierDetector> detector_;
+  const AttributedGraph graph_;
+  const EngineConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopping_ = false;
+  int64_t score_calls_ = 0;
+  int64_t requests_served_ = 0;
+};
+
+}  // namespace vgod::serve
+
+#endif  // VGOD_SERVE_ENGINE_H_

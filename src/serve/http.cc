@@ -1,0 +1,281 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "core/logging.h"
+#include "obs/metrics.h"
+
+namespace vgod::serve {
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kMaxBodyBytes = 64 * 1024 * 1024;
+constexpr int kRecvTimeoutMs = 250;  // Poll interval for the stop flag.
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(int port) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind port " + std::to_string(port) + ": " +
+                           error);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("getsockname: " + error);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen: " + error);
+  }
+
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Wake blocked reads; the connection threads notice stopping_ and exit.
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections) connection.join();
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      continue;  // Transient accept failure (e.g. ECONNABORTED).
+    }
+    // Bound reads so connection threads poll the stop flag instead of
+    // blocking in recv forever on an idle keep-alive connection.
+    timeval timeout{};
+    timeout.tv_usec = kRecvTimeoutMs * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    VGOD_COUNTER_INC("serve.http.connections");
+    open_fds_.insert(fd);
+    // One thread per connection; threads are reclaimed on Stop(). Fine for
+    // the double-digit connection counts this server targets — the worker
+    // pool, not the transport, is the concurrency limiter.
+    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool close_connection = false;
+
+  while (!close_connection) {
+    // Read until the header terminator.
+    size_t header_end = std::string::npos;
+    while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      if (buffer.size() > kMaxHeaderBytes) {
+        SendAll(fd, "HTTP/1.1 413 Payload Too Large\r\ncontent-length: 0"
+                    "\r\nconnection: close\r\n\r\n");
+        close_connection = true;
+        break;
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!stopping_) continue;  // Idle keep-alive poll.
+      }
+      close_connection = true;  // Peer closed, error, or server stopping.
+      break;
+    }
+    if (close_connection) break;
+
+    // Parse the request line + headers.
+    HttpRequest request;
+    {
+      const std::string head = buffer.substr(0, header_end);
+      size_t line_end = head.find("\r\n");
+      const std::string request_line =
+          head.substr(0, std::min(line_end, head.size()));
+      const size_t sp1 = request_line.find(' ');
+      const size_t sp2 =
+          sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos) {
+        SendAll(fd, "HTTP/1.1 400 Bad Request\r\ncontent-length: 0"
+                    "\r\nconnection: close\r\n\r\n");
+        break;
+      }
+      request.method = request_line.substr(0, sp1);
+      request.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+      while (line_end != std::string::npos && line_end < head.size()) {
+        const size_t next = head.find("\r\n", line_end + 2);
+        const std::string line =
+            head.substr(line_end + 2, next == std::string::npos
+                                          ? std::string::npos
+                                          : next - line_end - 2);
+        const size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+          request.headers[Lower(Trim(line.substr(0, colon)))] =
+              Trim(line.substr(colon + 1));
+        }
+        line_end = next;
+      }
+    }
+    buffer.erase(0, header_end + 4);
+
+    // Read the body per content-length.
+    size_t content_length = 0;
+    if (auto it = request.headers.find("content-length");
+        it != request.headers.end()) {
+      char* end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(it->second.c_str(), &end, 10);
+      if (end == it->second.c_str() || parsed > kMaxBodyBytes) {
+        SendAll(fd, "HTTP/1.1 413 Payload Too Large\r\ncontent-length: 0"
+                    "\r\nconnection: close\r\n\r\n");
+        break;
+      }
+      content_length = static_cast<size_t>(parsed);
+    }
+    bool read_failed = false;
+    while (buffer.size() < content_length) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!stopping_) continue;
+      }
+      read_failed = true;
+      break;
+    }
+    if (read_failed) break;
+    request.body = buffer.substr(0, content_length);
+    buffer.erase(0, content_length);
+
+    close_connection =
+        Lower(Trim(request.headers.count("connection")
+                       ? request.headers.at("connection")
+                       : "")) == "close";
+
+    VGOD_COUNTER_INC("serve.http.requests");
+    const HttpResponse response = handler_(request);
+
+    std::string wire = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                       HttpStatusReason(response.status) + "\r\n";
+    wire += "content-type: " + response.content_type + "\r\n";
+    wire += "content-length: " + std::to_string(response.body.size()) +
+            "\r\n";
+    wire += close_connection ? "connection: close\r\n"
+                             : "connection: keep-alive\r\n";
+    wire += "\r\n";
+    wire += response.body;
+    if (!SendAll(fd, wire)) break;
+  }
+
+  // Unregister before close so Stop() never shutdown()s a recycled fd.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+}  // namespace vgod::serve

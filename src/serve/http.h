@@ -1,0 +1,75 @@
+#ifndef VGOD_SERVE_HTTP_H_
+#define VGOD_SERVE_HTTP_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vgod::serve {
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Maps an HTTP status code to its reason phrase ("OK", "Not Found", ...).
+const char* HttpStatusReason(int status);
+
+/// Minimal HTTP/1.1 server: an accept-loop thread plus one thread per
+/// connection, with keep-alive. This is deliberately small — request
+/// parsing sufficient for the JSON scoring API, not a general web server.
+/// The heavy lifting (scoring) happens on the ScoringEngine's worker pool;
+/// connection threads only parse, enqueue, and wait.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = pick an ephemeral port, see port()) and
+  /// starts accepting.
+  Status Start(int port);
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+  /// Stops accepting, shuts open connections, joins every thread.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> connections_;
+  std::set<int> open_fds_;
+  bool stopping_ = false;
+};
+
+}  // namespace vgod::serve
+
+#endif  // VGOD_SERVE_HTTP_H_

@@ -1,0 +1,282 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/logging.h"
+#include "datasets/io.h"
+#include "detectors/bundle.h"
+#include "detectors/registry.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace vgod::serve {
+namespace {
+
+void AppendScoreArray(std::string* out, const char* key,
+                      const std::vector<double>& values) {
+  out->append(",\"");
+  out->append(key);
+  out->append("\":[");
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    obs::AppendJsonNumber(out, values[i]);
+  }
+  out->push_back(']');
+}
+
+std::string ScoreResultJson(const ScoreResult& result) {
+  std::string out = "{\"nodes\":[";
+  for (size_t i = 0; i < result.nodes.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(result.nodes[i]);
+  }
+  out.push_back(']');
+  AppendScoreArray(&out, "scores", result.score);
+  if (!result.structural.empty()) {
+    AppendScoreArray(&out, "structural", result.structural);
+  }
+  if (!result.contextual.empty()) {
+    AppendScoreArray(&out, "contextual", result.contextual);
+  }
+  out.push_back('}');
+  return out;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\":";
+  obs::AppendJsonString(&response.body, message);
+  response.body.push_back('}');
+  return response;
+}
+
+int StatusToHttp(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+      return 400;
+    case StatusCode::kOutOfRange:         // Bad node id or full queue.
+    case StatusCode::kFailedPrecondition: // Engine draining.
+      return status.message().find("queue") != std::string::npos ||
+                     status.message().find("accepting") != std::string::npos
+                 ? 503
+                 : 400;
+    default:
+      return 500;
+  }
+}
+
+/// Parses the inline-subgraph request body:
+///   {"num_nodes":N, "edges":[[u,v],...], "attributes":[[...],...],
+///    "undirected":true}
+Result<AttributedGraph> ParseInlineGraph(const obs::JsonValue& spec) {
+  if (!spec.is_object()) {
+    return Status::InvalidArgument("'graph' must be an object");
+  }
+  const obs::JsonValue& num_nodes = spec.at("num_nodes");
+  if (!num_nodes.is_number() || num_nodes.number() < 1) {
+    return Status::InvalidArgument("graph needs a positive 'num_nodes'");
+  }
+  const int n = static_cast<int>(num_nodes.number());
+
+  std::vector<std::pair<int, int>> edges;
+  const obs::JsonValue& edge_spec = spec.at("edges");
+  if (edge_spec.is_array()) {
+    edges.reserve(edge_spec.array().size());
+    for (const obs::JsonValue& edge : edge_spec.array()) {
+      if (!edge.is_array() || edge.array().size() != 2 ||
+          !edge.array()[0].is_number() || !edge.array()[1].is_number()) {
+        return Status::InvalidArgument("each edge must be [u, v]");
+      }
+      edges.emplace_back(static_cast<int>(edge.array()[0].number()),
+                         static_cast<int>(edge.array()[1].number()));
+    }
+  }
+
+  const obs::JsonValue& attr_spec = spec.at("attributes");
+  if (!attr_spec.is_array() ||
+      attr_spec.array().size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument(
+        "graph needs 'attributes' with one row per node");
+  }
+  const size_t dim = attr_spec.array().empty()
+                         ? 0
+                         : attr_spec.array()[0].array().size();
+  if (dim == 0) {
+    return Status::InvalidArgument("attribute rows must be non-empty");
+  }
+  Tensor attributes(n, static_cast<int>(dim));
+  for (int i = 0; i < n; ++i) {
+    const obs::JsonValue& row = attr_spec.array()[i];
+    if (!row.is_array() || row.array().size() != dim) {
+      return Status::InvalidArgument("attribute row " + std::to_string(i) +
+                                     " has the wrong width");
+    }
+    for (size_t j = 0; j < dim; ++j) {
+      if (!row.array()[j].is_number()) {
+        return Status::InvalidArgument("attributes must be numbers");
+      }
+      attributes.SetAt(i, static_cast<int>(j),
+                       static_cast<float>(row.array()[j].number()));
+    }
+  }
+
+  const obs::JsonValue& undirected = spec.at("undirected");
+  const bool make_undirected =
+      undirected.is_bool() ? undirected.boolean() : true;
+  return AttributedGraph::FromEdgeList(n, edges, std::move(attributes),
+                                       make_undirected);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ScoringEngine>> BuildEngine(
+    const std::string& bundle_path, const std::string& graph_path,
+    const EngineConfig& config) {
+  Result<detectors::ModelBundle> bundle =
+      detectors::LoadBundle(bundle_path);
+  if (!bundle.ok()) return bundle.status();
+  Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+      detectors::MakeDetectorFromBundle(bundle.value());
+  if (!detector.ok()) return detector.status();
+
+  Result<AttributedGraph> graph = datasets::LoadGraph(graph_path);
+  if (!graph.ok()) return graph.status();
+  if (!graph.value().has_attributes()) {
+    return Status::FailedPrecondition("resident graph has no attributes");
+  }
+
+  return std::make_unique<ScoringEngine>(std::move(detector).value(),
+                                         std::move(graph).value(), config);
+}
+
+ScoringServer::ScoringServer(std::unique_ptr<ScoringEngine> engine, int port)
+    : engine_(std::move(engine)), requested_port_(port) {}
+
+ScoringServer::~ScoringServer() { Stop(); }
+
+Status ScoringServer::Start() {
+  VGOD_RETURN_IF_ERROR(engine_->Start());
+  http_ = std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return Handle(request); });
+  return http_->Start(requested_port_);
+}
+
+void ScoringServer::Stop() {
+  // Transport first so no new requests arrive while the engine drains.
+  if (http_ != nullptr) http_->Stop();
+  engine_->Shutdown();
+}
+
+HttpResponse ScoringServer::Handle(const HttpRequest& request) {
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET " + request.target);
+    }
+    HttpResponse response;
+    response.body = "{\"status\":\"ok\",\"detector\":";
+    obs::AppendJsonString(&response.body, engine_->detector().name());
+    response.body += ",\"nodes\":" +
+                     std::to_string(engine_->graph().num_nodes()) +
+                     ",\"threads\":" +
+                     std::to_string(engine_->config().num_threads) + "}";
+    return response;
+  }
+  if (request.target == "/metrics") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET " + request.target);
+    }
+    HttpResponse response;
+    response.body = obs::MetricsRegistry::Global().ToJson();
+    return response;
+  }
+  if (request.target == "/score") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST " + request.target);
+    }
+    Result<obs::JsonValue> body = obs::ParseJson(request.body);
+    if (!body.ok()) {
+      return ErrorResponse(400,
+                           "invalid JSON: " + body.status().message());
+    }
+    if (body.value().Has("nodes")) {
+      const obs::JsonValue& nodes_spec = body.value().at("nodes");
+      if (!nodes_spec.is_array()) {
+        return ErrorResponse(400, "'nodes' must be an array");
+      }
+      std::vector<int> nodes;
+      nodes.reserve(nodes_spec.array().size());
+      for (const obs::JsonValue& node : nodes_spec.array()) {
+        if (!node.is_number()) {
+          return ErrorResponse(400, "'nodes' entries must be integers");
+        }
+        nodes.push_back(static_cast<int>(node.number()));
+      }
+      Result<ScoreResult> result = engine_->ScoreNodes(std::move(nodes));
+      if (!result.ok()) {
+        return ErrorResponse(StatusToHttp(result.status()),
+                             result.status().message());
+      }
+      HttpResponse response;
+      response.body = ScoreResultJson(result.value());
+      return response;
+    }
+    if (body.value().Has("graph")) {
+      Result<AttributedGraph> graph =
+          ParseInlineGraph(body.value().at("graph"));
+      if (!graph.ok()) {
+        return ErrorResponse(400, graph.status().message());
+      }
+      Result<ScoreResult> result =
+          engine_->ScoreGraph(std::move(graph).value());
+      if (!result.ok()) {
+        return ErrorResponse(StatusToHttp(result.status()),
+                             result.status().message());
+      }
+      HttpResponse response;
+      response.body = ScoreResultJson(result.value());
+      return response;
+    }
+    return ErrorResponse(400, "body needs 'nodes' or 'graph'");
+  }
+  return ErrorResponse(404, "no such endpoint: " + request.target);
+}
+
+int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
+  Result<std::unique_ptr<ScoringEngine>> engine =
+      BuildEngine(options.bundle_path, options.graph_path, options.engine);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  ScoringServer server(std::move(engine).value(), options.port);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // Machine-readable startup banner; check_serve.py parses the port.
+  std::printf("vgod_serve listening on 127.0.0.1:%d (detector=%s nodes=%d "
+              "threads=%d max_batch=%d max_delay_us=%d)\n",
+              server.port(), server.engine().detector().name().c_str(),
+              server.engine().graph().num_nodes(),
+              options.engine.num_threads, options.engine.max_batch,
+              options.engine.max_delay_us);
+  std::fflush(stdout);
+
+  while (!stop->load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  VGOD_LOG(Info) << "shutdown requested; draining in-flight work";
+  server.Stop();
+  std::printf("vgod_serve drained and stopped (served %lld requests, %lld "
+              "score calls)\n",
+              static_cast<long long>(server.engine().requests_served()),
+              static_cast<long long>(server.engine().score_calls()));
+  return 0;
+}
+
+}  // namespace vgod::serve

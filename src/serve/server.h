@@ -1,0 +1,68 @@
+#ifndef VGOD_SERVE_SERVER_H_
+#define VGOD_SERVE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "core/status.h"
+#include "serve/engine.h"
+#include "serve/http.h"
+
+namespace vgod::serve {
+
+/// Everything vgod_serve (and `vgod_cli serve`) needs to stand up a
+/// scoring server.
+struct ServerOptions {
+  /// Model bundle to load (bundle.h). Legacy vgod-params files are
+  /// rejected here because they don't name their detector.
+  std::string bundle_path;
+  /// Resident graph to serve (datasets::io format).
+  std::string graph_path;
+  /// 0 picks an ephemeral port; see ScoringServer::port().
+  int port = 8080;
+  EngineConfig engine;
+};
+
+/// Builds a ScoringEngine from a bundle + graph file (the batch side of
+/// ServerOptions, reusable without the HTTP front end).
+Result<std::unique_ptr<ScoringEngine>> BuildEngine(
+    const std::string& bundle_path, const std::string& graph_path,
+    const EngineConfig& config);
+
+/// The HTTP scoring server: a ScoringEngine behind the endpoints
+/// documented in docs/SERVING.md —
+///   POST /score    {"nodes":[...]} or {"graph":{...}} -> scores JSON
+///   GET  /healthz  liveness + model identity
+///   GET  /metrics  the vgod::obs metrics registry as JSON
+class ScoringServer {
+ public:
+  ScoringServer(std::unique_ptr<ScoringEngine> engine, int port);
+  ~ScoringServer();
+
+  /// Starts the engine's worker pool and the HTTP listener.
+  Status Start();
+
+  /// Graceful shutdown: stops the listener, drains the engine. Idempotent.
+  void Stop();
+
+  int port() const { return http_ == nullptr ? 0 : http_->port(); }
+  ScoringEngine& engine() { return *engine_; }
+
+ private:
+  HttpResponse Handle(const HttpRequest& request);
+
+  std::unique_ptr<ScoringEngine> engine_;
+  std::unique_ptr<HttpServer> http_;
+  int requested_port_;
+};
+
+/// CLI entry point shared by vgod_serve and `vgod_cli serve`: builds the
+/// engine, starts the server, prints the bound port, and blocks until
+/// `*stop` becomes true (typically flipped by a SIGINT/SIGTERM handler).
+/// Returns a process exit code.
+int RunServer(const ServerOptions& options, const std::atomic<bool>* stop);
+
+}  // namespace vgod::serve
+
+#endif  // VGOD_SERVE_SERVER_H_

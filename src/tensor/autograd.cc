@@ -7,7 +7,10 @@
 namespace vgod {
 namespace {
 
-bool g_grad_enabled = true;
+// Per-thread so the serving worker pool can hold NoGradGuard on several
+// threads at once without racing (and without disabling grad for a
+// training thread in the same process).
+thread_local bool g_grad_enabled = true;
 
 }  // namespace
 

@@ -67,6 +67,24 @@ TEST(MetricsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
               1e-9);
 }
 
+TEST(MetricsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_EQ(HistogramQuantile(empty, 0.5), 0.0);
+
+  Histogram hist({1.0, 10.0, 100.0});
+  // 10 observations in (1, 10]: every quantile lands in that bucket and
+  // interpolates across it linearly.
+  for (int i = 0; i < 10; ++i) hist.Observe(5.0);
+  EXPECT_NEAR(HistogramQuantile(hist, 0.5), 1.0 + 0.5 * 9.0, 1e-9);
+  EXPECT_NEAR(HistogramQuantile(hist, 1.0), 10.0, 1e-9);
+  EXPECT_LE(HistogramQuantile(hist, 0.1), HistogramQuantile(hist, 0.9));
+
+  // Overflow observations clamp to the last finite bound.
+  Histogram overflow({1.0});
+  overflow.Observe(50.0);
+  EXPECT_EQ(HistogramQuantile(overflow, 0.99), 1.0);
+}
+
 TEST(MetricsTest, HistogramConcurrentObserveCountsEveryValue) {
   Histogram hist(DefaultLatencyBounds());
   constexpr int kThreads = 4;

@@ -1,0 +1,576 @@
+// Tests for the serving subsystem: model bundles (round-trip and loud
+// failure on corrupt/mismatched files), the micro-batching scoring
+// engine, registry thread-safety, and a concurrent-client smoke test
+// against a live HTTP scoring server.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/rng.h"
+#include "datasets/registry.h"
+#include "datasets/synthetic.h"
+#include "detectors/bundle.h"
+#include "detectors/registry.h"
+#include "detectors/serialize.h"
+#include "detectors/simple.h"
+#include "detectors/vbm.h"
+#include "detectors/vgod.h"
+#include "serve/engine.h"
+#include "serve/http.h"
+#include "serve/server.h"
+
+namespace vgod {
+namespace {
+
+using namespace ::vgod::detectors;  // NOLINT: test-local convenience.
+
+AttributedGraph TestGraph(int n = 80, uint64_t seed = 1) {
+  datasets::SyntheticGraphSpec spec;
+  spec.num_nodes = n;
+  spec.num_communities = 4;
+  spec.avg_degree = 4.0;
+  spec.attribute_dim = 12;
+  spec.topic_dims_per_community = 3;
+  Rng rng(seed);
+  return datasets::GeneratePlantedPartition(spec, &rng);
+}
+
+VbmConfig TinyVbm() {
+  VbmConfig config;
+  config.hidden_dim = 8;
+  config.epochs = 3;
+  return config;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Model bundles.
+
+TEST(BundleTest, VbmRoundTripIsBitIdentical) {
+  AttributedGraph graph = TestGraph();
+  Vbm trained(TinyVbm());
+  ASSERT_TRUE(trained.Fit(graph).ok());
+  const DetectorOutput expected = trained.Score(graph);
+
+  Result<ModelBundle> bundle = trained.ExportBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle.value().detector, "VBM");
+
+  const std::string path = TempPath("vbm_roundtrip.vgodb");
+  ASSERT_TRUE(SaveBundle(bundle.value(), path).ok());
+  Result<ModelBundle> loaded = LoadBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  Result<std::unique_ptr<OutlierDetector>> restored =
+      MakeDetectorFromBundle(loaded.value());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const DetectorOutput got = restored.value()->Score(graph);
+  ASSERT_EQ(got.score.size(), expected.score.size());
+  for (size_t i = 0; i < expected.score.size(); ++i) {
+    EXPECT_EQ(got.score[i], expected.score[i]) << "node " << i;
+  }
+}
+
+TEST(BundleTest, VgodRoundTripPreservesComponents) {
+  AttributedGraph graph = TestGraph();
+  VgodConfig config;
+  config.vbm = TinyVbm();
+  config.arm.hidden_dim = 8;
+  config.arm.epochs = 3;
+  Vgod trained(config);
+  ASSERT_TRUE(trained.Fit(graph).ok());
+  const DetectorOutput expected = trained.Score(graph);
+
+  Result<ModelBundle> bundle = trained.ExportBundle();
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  const std::string path = TempPath("vgod_roundtrip.vgodb");
+  ASSERT_TRUE(SaveBundle(bundle.value(), path).ok());
+  Result<ModelBundle> loaded = LoadBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Result<std::unique_ptr<OutlierDetector>> restored =
+      MakeDetectorFromBundle(loaded.value());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  const DetectorOutput got = restored.value()->Score(graph);
+  ASSERT_TRUE(got.has_components());
+  for (size_t i = 0; i < expected.score.size(); ++i) {
+    EXPECT_EQ(got.score[i], expected.score[i]);
+    EXPECT_EQ(got.structural_score[i], expected.structural_score[i]);
+    EXPECT_EQ(got.contextual_score[i], expected.contextual_score[i]);
+  }
+}
+
+TEST(BundleTest, LoadRejectsBadMagic) {
+  const std::string path = TempPath("bad_magic.vgodb");
+  std::ofstream(path) << "definitely not a bundle";
+  Result<ModelBundle> loaded = LoadBundle(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(BundleTest, LoadRejectsCorruptPayload) {
+  AttributedGraph graph = TestGraph();
+  Vbm trained(TinyVbm());
+  ASSERT_TRUE(trained.Fit(graph).ok());
+  Result<ModelBundle> bundle = trained.ExportBundle();
+  ASSERT_TRUE(bundle.ok());
+  const std::string path = TempPath("corrupt.vgodb");
+  ASSERT_TRUE(SaveBundle(bundle.value(), path).ok());
+
+  // Flip one byte in the middle of the parameter payload; the checksum
+  // must catch it.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x5a;
+  std::ofstream(path, std::ios::binary) << bytes;
+
+  Result<ModelBundle> loaded = LoadBundle(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(BundleTest, LoadRejectsTruncatedFile) {
+  AttributedGraph graph = TestGraph();
+  Vbm trained(TinyVbm());
+  ASSERT_TRUE(trained.Fit(graph).ok());
+  Result<ModelBundle> bundle = trained.ExportBundle();
+  ASSERT_TRUE(bundle.ok());
+  const std::string path = TempPath("truncated.vgodb");
+  ASSERT_TRUE(SaveBundle(bundle.value(), path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary)
+      << bytes.substr(0, bytes.size() * 2 / 3);
+
+  Result<ModelBundle> loaded = LoadBundle(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(BundleTest, RestoreRejectsShapeMismatch) {
+  AttributedGraph graph = TestGraph();
+  Vbm trained(TinyVbm());
+  ASSERT_TRUE(trained.Fit(graph).ok());
+  Result<ModelBundle> bundle = trained.ExportBundle();
+  ASSERT_TRUE(bundle.ok());
+
+  // Swap in a parameter tensor with the wrong shape.
+  ModelBundle tampered = bundle.value();
+  ASSERT_FALSE(tampered.params.empty());
+  tampered.params[0] = Tensor::Zeros(3, 3);
+  Result<std::unique_ptr<OutlierDetector>> restored =
+      MakeDetectorFromBundle(tampered);
+  EXPECT_FALSE(restored.ok());
+}
+
+TEST(BundleTest, RestoreRejectsWrongDetectorName) {
+  AttributedGraph graph = TestGraph();
+  Vbm trained(TinyVbm());
+  ASSERT_TRUE(trained.Fit(graph).ok());
+  Result<ModelBundle> bundle = trained.ExportBundle();
+  ASSERT_TRUE(bundle.ok());
+
+  Vgod other;
+  EXPECT_FALSE(other.RestoreFromBundle(bundle.value()).ok());
+}
+
+TEST(BundleTest, LoadFallsBackToLegacyParameterList) {
+  AttributedGraph graph = TestGraph();
+  Vbm trained(TinyVbm());
+  ASSERT_TRUE(trained.Fit(graph).ok());
+  const std::string path = TempPath("legacy.params");
+  ASSERT_TRUE(trained.Save(path).ok());
+
+  // The legacy text format loads as an anonymous bundle: parameters only.
+  Result<ModelBundle> loaded = LoadBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().detector.empty());
+  EXPECT_FALSE(loaded.value().params.empty());
+
+  // Anonymous bundles cannot name their detector, so the registry path
+  // must refuse them rather than guess.
+  EXPECT_FALSE(MakeDetectorFromBundle(loaded.value()).ok());
+
+  // The caller that does know the architecture can still restore.
+  Vbm manual(TinyVbm());
+  ASSERT_TRUE(manual.Load(path).ok());
+  const DetectorOutput expected = trained.Score(graph);
+  const DetectorOutput got = manual.Score(graph);
+  for (size_t i = 0; i < expected.score.size(); ++i) {
+    EXPECT_EQ(got.score[i], expected.score[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scoring engine.
+
+using serve::ScoringEngine;
+
+std::unique_ptr<ScoringEngine> MakeDegNormEngine(const AttributedGraph& graph,
+                                                 serve::EngineConfig config) {
+  auto detector = std::make_unique<DegNorm>();
+  VGOD_CHECK(detector->Fit(graph).ok());
+  return std::make_unique<ScoringEngine>(std::move(detector), graph, config);
+}
+
+TEST(ScoringEngineTest, ServedScoresMatchInProcessScore) {
+  AttributedGraph graph = TestGraph();
+  DegNorm reference;
+  ASSERT_TRUE(reference.Fit(graph).ok());
+  const DetectorOutput expected = reference.Score(graph);
+
+  serve::EngineConfig config;
+  config.num_threads = 2;
+  auto engine = MakeDegNormEngine(graph, config);
+  ASSERT_TRUE(engine->Start().ok());
+  Result<serve::ScoreResult> result = engine->ScoreNodes({0, 5, 17});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().score[0], expected.score[0]);
+  EXPECT_EQ(result.value().score[1], expected.score[5]);
+  EXPECT_EQ(result.value().score[2], expected.score[17]);
+  engine->Shutdown();
+}
+
+TEST(ScoringEngineTest, BatcherFlushesOnSize) {
+  AttributedGraph graph = TestGraph();
+  serve::EngineConfig config;
+  config.num_threads = 1;
+  config.max_batch = 3;
+  config.max_delay_us = 10'000'000;  // Effectively never; size must flush.
+  auto engine = MakeDegNormEngine(graph, config);
+  ASSERT_TRUE(engine->Start().ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<Result<serve::ScoreResult>>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(engine->SubmitNodes({i}));
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  const double elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+
+  EXPECT_EQ(engine->score_calls(), 1);  // One Score() answered all three.
+  EXPECT_LT(elapsed_s, 5.0);  // Flushed on size, not the 10s deadline.
+  engine->Shutdown();
+}
+
+TEST(ScoringEngineTest, BatcherFlushesOnDeadline) {
+  AttributedGraph graph = TestGraph();
+  serve::EngineConfig config;
+  config.num_threads = 1;
+  config.max_batch = 100;  // Unreachable; the deadline must flush.
+  config.max_delay_us = 30'000;
+  auto engine = MakeDegNormEngine(graph, config);
+  ASSERT_TRUE(engine->Start().ok());
+
+  std::vector<std::future<Result<serve::ScoreResult>>> futures;
+  futures.push_back(engine->SubmitNodes({1}));
+  futures.push_back(engine->SubmitNodes({2}));
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  EXPECT_EQ(engine->score_calls(), 1);
+  engine->Shutdown();
+}
+
+TEST(ScoringEngineTest, RejectsInvalidNodeIdsWithoutPoisoningBatch) {
+  AttributedGraph graph = TestGraph();
+  auto engine = MakeDegNormEngine(graph, {});
+  ASSERT_TRUE(engine->Start().ok());
+
+  Result<serve::ScoreResult> bad = engine->ScoreNodes({-1});
+  EXPECT_FALSE(bad.ok());
+  Result<serve::ScoreResult> too_big =
+      engine->ScoreNodes({graph.num_nodes()});
+  EXPECT_FALSE(too_big.ok());
+  Result<serve::ScoreResult> good = engine->ScoreNodes({0});
+  EXPECT_TRUE(good.ok());
+  engine->Shutdown();
+}
+
+TEST(ScoringEngineTest, SubgraphScoringMatchesAndValidatesSchema) {
+  AttributedGraph graph = TestGraph();
+  DegNorm reference;
+  ASSERT_TRUE(reference.Fit(graph).ok());
+  const DetectorOutput expected = reference.Score(graph);
+
+  auto engine = MakeDegNormEngine(graph, {});
+  ASSERT_TRUE(engine->Start().ok());
+
+  Result<serve::ScoreResult> result = engine->ScoreGraph(graph);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().score.size(), expected.score.size());
+  for (size_t i = 0; i < expected.score.size(); ++i) {
+    EXPECT_EQ(result.value().score[i], expected.score[i]);
+  }
+
+  // A subgraph with a different attribute schema must be rejected, not
+  // crash a kernel assertion.
+  AttributedGraph mismatched = TestGraph(40, 9);
+  mismatched.SetAttributes(Tensor::Zeros(40, 5));
+  Result<serve::ScoreResult> rejected =
+      engine->ScoreGraph(std::move(mismatched));
+  EXPECT_FALSE(rejected.ok());
+  engine->Shutdown();
+}
+
+// A detector whose Score() blocks until the test releases it — used to
+// deterministically fill the bounded queue.
+class BlockingDetector : public OutlierDetector {
+ public:
+  std::string name() const override { return "Blocking"; }
+  Status Fit(const AttributedGraph&) override { return Status::Ok(); }
+
+  DetectorOutput Score(const AttributedGraph& graph) const override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return tokens_ > 0; });
+      --tokens_;
+    }
+    DetectorOutput out;
+    out.score.assign(graph.num_nodes(), 1.0);
+    return out;
+  }
+
+  void WaitForScoreEntry(int n) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [this, n] { return entered_ >= n; });
+  }
+
+  void Release(int n) const {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tokens_ += n;
+    }
+    release_cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::condition_variable release_cv_;
+  mutable int entered_ = 0;
+  mutable int tokens_ = 0;
+};
+
+TEST(ScoringEngineTest, FullQueueShedsLoad) {
+  AttributedGraph graph = TestGraph();
+  auto blocking = std::make_unique<BlockingDetector>();
+  const BlockingDetector* control = blocking.get();
+  serve::EngineConfig config;
+  config.num_threads = 1;
+  config.max_batch = 1;
+  config.max_queue = 1;
+  ScoringEngine engine(std::move(blocking), graph, config);
+  ASSERT_TRUE(engine.Start().ok());
+
+  // First request occupies the worker (blocked inside Score)...
+  std::future<Result<serve::ScoreResult>> first = engine.SubmitNodes({0});
+  control->WaitForScoreEntry(1);
+  // ...second fills the queue; third must be shed with an error, fast.
+  std::future<Result<serve::ScoreResult>> second = engine.SubmitNodes({1});
+  Result<serve::ScoreResult> shed = engine.SubmitNodes({2}).get();
+  EXPECT_FALSE(shed.ok());
+
+  control->Release(2);
+  EXPECT_TRUE(first.get().ok());
+  EXPECT_TRUE(second.get().ok());
+  engine.Shutdown();
+}
+
+TEST(ScoringEngineTest, ShutdownDrainsInFlightWork) {
+  AttributedGraph graph = TestGraph();
+  serve::EngineConfig config;
+  config.num_threads = 2;
+  config.max_batch = 4;
+  auto engine = MakeDegNormEngine(graph, config);
+  ASSERT_TRUE(engine->Start().ok());
+
+  std::vector<std::future<Result<serve::ScoreResult>>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(engine->SubmitNodes({i}));
+  engine->Shutdown();
+  // Every accepted request resolved (successfully or with a drain error);
+  // none may be abandoned.
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+  Result<serve::ScoreResult> after = engine->ScoreNodes({0});
+  EXPECT_FALSE(after.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Registry thread-safety.
+
+TEST(RegistryThreadSafetyTest, ConcurrentRegisterAndMake) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, &failures]() {
+      const std::string det_name = "test-det-" + std::to_string(t);
+      RegisterDetector(det_name, [](const DetectorOptions&) {
+        return Result<std::unique_ptr<OutlierDetector>>(
+            std::make_unique<DegNorm>());
+      });
+      datasets::RegisterDataset(
+          "test-ds-" + std::to_string(t),
+          [](double, uint64_t) {
+            return Result<datasets::Dataset>(
+                Status::FailedPrecondition("test dataset"));
+          });
+      for (int i = 0; i < 20; ++i) {
+        Result<std::unique_ptr<OutlierDetector>> made =
+            MakeDetector(i % 2 == 0 ? "DegNorm" : det_name);
+        if (!made.ok()) failures.fetch_add(1);
+        if (RegisteredDetectorNames().empty()) failures.fetch_add(1);
+        if (datasets::RegisteredDatasetNames().empty()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const std::vector<std::string> names = RegisteredDetectorNames();
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string expected = "test-det-" + std::to_string(t);
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live HTTP server smoke test with concurrent clients.
+
+// Minimal loopback HTTP/1.1 client for the smoke test.
+Result<std::pair<int, std::string>> HttpRoundTrip(int port,
+                                                  const std::string& method,
+                                                  const std::string& target,
+                                                  const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect() failed");
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IoError("send() failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t space = response.find(' ');
+  if (space == std::string::npos) return Status::IoError("malformed response");
+  const int status = std::atoi(response.c_str() + space + 1);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::IoError("missing header terminator");
+  }
+  return std::make_pair(status, response.substr(header_end + 4));
+}
+
+TEST(ScoringServerTest, ConcurrentClientsAgainstLiveServer) {
+  AttributedGraph graph = TestGraph();
+  auto engine = MakeDegNormEngine(graph, {});
+  DegNorm reference;
+  ASSERT_TRUE(reference.Fit(graph).ok());
+  const DetectorOutput expected = reference.Score(graph);
+
+  serve::ScoringServer server(std::move(engine), /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+
+  constexpr int kClients = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      const std::string body =
+          "{\"nodes\":[" + std::to_string(c) + "," +
+          std::to_string(c + 10) + "]}";
+      for (int i = 0; i < 5; ++i) {
+        Result<std::pair<int, std::string>> reply =
+            HttpRoundTrip(port, "POST", "/score", body);
+        if (!reply.ok() || reply.value().first != 200 ||
+            reply.value().second.find("\"scores\"") == std::string::npos) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // The served score for node c must be the in-process value.
+        char formatted[64];
+        std::snprintf(formatted, sizeof(formatted), "%.17g",
+                      expected.score[c]);
+        if (reply.value().second.find(formatted) == std::string::npos) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  Result<std::pair<int, std::string>> health =
+      HttpRoundTrip(port, "GET", "/healthz", "");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().first, 200);
+  EXPECT_NE(health.value().second.find("\"DegNorm\""), std::string::npos);
+
+  Result<std::pair<int, std::string>> metrics =
+      HttpRoundTrip(port, "GET", "/metrics", "");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value().first, 200);
+  EXPECT_NE(metrics.value().second.find("serve.requests.total"),
+            std::string::npos);
+
+  Result<std::pair<int, std::string>> missing =
+      HttpRoundTrip(port, "GET", "/nope", "");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().first, 404);
+
+  Result<std::pair<int, std::string>> bad_body =
+      HttpRoundTrip(port, "POST", "/score", "{\"nodes\":[99999]}");
+  ASSERT_TRUE(bad_body.ok());
+  EXPECT_NE(bad_body.value().first, 200);
+
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace vgod

@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""End-to-end validator for the vgod serving stack.
+
+Drives the full deployment loop documented in docs/SERVING.md:
+
+  1. `vgod_cli generate` builds a small injected graph.
+  2. `vgod_cli detect --save-bundle` trains a detector and exports a model
+     bundle (plus a per-node score file, the ground truth for step 4).
+  3. `vgod_serve` boots on an ephemeral port; the banner is parsed for the
+     bound port.
+  4. Concurrent HTTP clients hit POST /score; responses must match the
+     training-time scores. GET /healthz and GET /metrics are validated
+     (the serve.* counters and latency histograms must have moved), and a
+     malformed request must produce a 4xx, not a crash.
+  5. SIGTERM must drain and exit 0.
+  6. `serve_loadgen --json` runs two-plus thread x batch configurations;
+     the JSON report must carry sane p50/p99/throughput numbers.
+
+Run directly (`python3 tools/check_serve.py --cli build/tools/vgod_cli
+--serve build/tools/vgod_serve --loadgen build/bench/serve_loadgen`) or
+via ctest (registered as check_serve).
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+ERRORS = []
+
+BANNER_RE = re.compile(r"listening on 127\.0\.0\.1:(\d+)")
+
+
+def fail(message):
+    ERRORS.append(message)
+    print(f"FAIL: {message}", file=sys.stderr)
+
+
+def check(condition, message):
+    if not condition:
+        fail(message)
+    return condition
+
+
+def run(cmd, env_extra=None):
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    print("+", " ".join(str(c) for c in cmd))
+    proc = subprocess.run(
+        [str(c) for c in cmd], capture_output=True, text=True, env=env,
+        timeout=480)
+    if proc.returncode != 0:
+        fail(f"command failed ({proc.returncode}): {' '.join(map(str, cmd))}\n"
+             f"stdout: {proc.stdout[-2000:]}\nstderr: {proc.stderr[-2000:]}")
+    return proc
+
+
+def http(port, method, path, body=None, timeout=30):
+    """Returns (status, parsed-json-or-None)."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body.encode() if body is not None else None,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return reply.status, json.loads(reply.read().decode())
+    except urllib.error.HTTPError as error:
+        try:
+            payload = json.loads(error.read().decode())
+        except Exception:
+            payload = None
+        return error.code, payload
+
+
+def start_server(serve_bin, bundle, graph):
+    proc = subprocess.Popen(
+        [str(serve_bin), f"--bundle={bundle}", f"--graph={graph}",
+         "--port=0", "--threads=2", "--max-batch=4", "--max-delay-us=500"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.monotonic() + 60
+    port = None
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = BANNER_RE.search(line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        proc.kill()
+        fail(f"vgod_serve never printed its port; output: {''.join(lines)}")
+    return proc, port
+
+
+def check_serving(cli, serve_bin, workdir):
+    graph = workdir / "serve.graph"
+    bundle = workdir / "model.vgodb"
+    scores = workdir / "scores.tsv"
+
+    run([cli, "generate", "--dataset=cora", "--scale=0.1", "--seed=7",
+         "--inject=standard", f"--output={graph}"])
+    run([cli, "detect", f"--graph={graph}", "--detector=VBM",
+         "--epoch-scale=0.05", "--seed=7", f"--save-bundle={bundle}",
+         f"--output={scores}"])
+    if not check(bundle.exists(), "detect --save-bundle wrote no bundle"):
+        return
+    with open(bundle, "rb") as f:
+        check(f.read(8) == b"VGODBNDL", "bundle file lacks the VGODBNDL magic")
+
+    expected = {}
+    for line in scores.read_text().splitlines():
+        node, value = line.split("\t")
+        expected[int(node)] = float(value)
+    check(len(expected) > 0, "detect wrote an empty score file")
+
+    proc, port = start_server(serve_bin, bundle, graph)
+    if port is None:
+        return
+    try:
+        status, health = http(port, "GET", "/healthz")
+        check(status == 200, f"/healthz returned {status}")
+        check(health and health.get("status") == "ok",
+              f"/healthz payload unexpected: {health}")
+        check(health and health.get("detector") == "VBM",
+              f"/healthz reported detector {health and health.get('detector')}")
+        check(health and health.get("nodes") == len(expected),
+              "/healthz node count disagrees with the score file")
+
+        # Concurrent clients: served scores must match the training-time
+        # score file (written with %g at ~6 significant digits).
+        nodes = sorted(expected)[:8]
+        results = [None] * 4
+
+        def client(slot):
+            results[slot] = http(
+                port, "POST", "/score", json.dumps({"nodes": nodes}))
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(len(results))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for slot, reply in enumerate(results):
+            if not check(reply is not None and reply[0] == 200,
+                         f"concurrent client {slot} failed: {reply}"):
+                continue
+            payload = reply[1]
+            if not check(payload and payload.get("nodes") == nodes,
+                         f"client {slot}: /score echoed wrong nodes"):
+                continue
+            for node, got in zip(payload["nodes"], payload["scores"]):
+                want = expected[node]
+                tolerance = max(1e-9, abs(want) * 1e-4)
+                check(abs(got - want) <= tolerance,
+                      f"served score for node {node} is {got}, "
+                      f"training-time score was {want}")
+
+        # Malformed requests degrade to errors, not crashes.
+        status, _ = http(port, "POST", "/score", '{"nodes":[999999]}')
+        check(400 <= status < 500, f"out-of-range node returned {status}")
+        status, _ = http(port, "POST", "/score", "this is not json")
+        check(400 <= status < 500, f"non-JSON body returned {status}")
+        status, _ = http(port, "GET", "/nope")
+        check(status == 404, f"unknown path returned {status}")
+
+        status, metrics = http(port, "GET", "/metrics")
+        check(status == 200, f"/metrics returned {status}")
+        if check(isinstance(metrics, dict) and
+                 {"counters", "gauges", "histograms"} <= set(metrics),
+                 f"/metrics envelope malformed: {metrics and list(metrics)}"):
+            counters = metrics["counters"]
+            check(counters.get("serve.requests.total", 0) >= 4,
+                  "serve.requests.total did not count the clients")
+            check(counters.get("serve.requests.completed", 0) >= 4,
+                  "serve.requests.completed did not move")
+            check(counters.get("serve.http.requests", 0) >= 4,
+                  "serve.http.requests did not move")
+            check("serve.queue.depth" in metrics["gauges"],
+                  "serve.queue.depth gauge missing")
+            latency = metrics["histograms"].get(
+                "serve.request.latency.seconds")
+            check(latency is not None and latency.get("count", 0) >= 4,
+                  "serve.request.latency.seconds histogram did not move")
+            batch = metrics["histograms"].get("serve.batch.size")
+            check(batch is not None and batch.get("count", 0) >= 1,
+                  "serve.batch.size histogram did not move")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("vgod_serve did not exit within 60s of SIGTERM")
+    check(proc.returncode == 0,
+          f"vgod_serve exited {proc.returncode} after SIGTERM")
+    tail = proc.stdout.read()
+    check("drained and stopped" in tail,
+          f"vgod_serve did not report a clean drain; tail: {tail[-500:]}")
+
+
+def check_loadgen(loadgen, workdir):
+    report_path = workdir / "loadgen.json"
+    run([loadgen, "--clients=4", "--requests=8", f"--json={report_path}"],
+        env_extra={"VGOD_BENCH_SCALE": "0.1",
+                   "VGOD_BENCH_EPOCH_SCALE": "0.05"})
+    if not check(report_path.exists(), "serve_loadgen wrote no JSON report"):
+        return
+    report = json.loads(report_path.read_text())
+    check(report.get("benchmark") == "serve_loadgen",
+          "loadgen report is missing its benchmark tag")
+    configs = report.get("configs", [])
+    if not check(len(configs) >= 2,
+                 f"loadgen must cover >= 2 configs, got {len(configs)}"):
+        return
+    combos = {(c.get("threads"), c.get("max_batch")) for c in configs}
+    check(len(combos) >= 2, "loadgen configs are not distinct")
+    check(len({c.get("threads") for c in configs}) >= 2,
+          "loadgen must vary the thread count")
+    check(len({c.get("max_batch") for c in configs}) >= 2,
+          "loadgen must vary the batch size")
+    for config in configs:
+        tag = f"t{config.get('threads')}b{config.get('max_batch')}"
+        check(config.get("requests", 0) > 0, f"{tag}: no requests recorded")
+        check(0 < config.get("score_calls", 0) <= config.get("requests", 0),
+              f"{tag}: score_calls outside (0, requests]")
+        p50, p99 = config.get("p50_ms", -1), config.get("p99_ms", -1)
+        check(0 < p50 <= p99, f"{tag}: bad latency quantiles p50={p50} "
+                              f"p99={p99}")
+        check(config.get("throughput_rps", 0) > 0, f"{tag}: zero throughput")
+        check(config.get("engine_p50_ms", -1) >= 0,
+              f"{tag}: engine histogram p50 missing")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", required=True, help="path to vgod_cli")
+    parser.add_argument("--serve", required=True, help="path to vgod_serve")
+    parser.add_argument("--loadgen", required=True,
+                        help="path to serve_loadgen")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="vgod_serve_check_") as tmp:
+        workdir = Path(tmp)
+        check_serving(Path(args.cli), Path(args.serve), workdir)
+        check_loadgen(Path(args.loadgen), workdir)
+
+    if ERRORS:
+        print(f"\ncheck_serve: {len(ERRORS)} failure(s)", file=sys.stderr)
+        return 1
+    print("check_serve: all serving checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

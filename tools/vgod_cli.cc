@@ -8,15 +8,23 @@
 //            [--telemetry_out=train.jsonl] [--metrics_out=metrics.json]
 //            [--trace] [--trace_out=trace.json]
 //   vgod_cli eval --graph=g.graph --scores=scores.tsv
+//   vgod_cli export-bundle --model=prefix --detector=VGOD --output=m.vgodb
+//   vgod_cli serve --bundle=m.vgodb --graph=g.graph [--port=8080]
+//            [--threads=2] [--max-batch=8] [--max-delay-us=1000]
 //
 // `generate` writes a simulated benchmark dataset (optionally with
-// injected outliers); `detect` trains a detector and prints/stores scores;
-// `eval` computes AUC of a score file against the graph's stored labels.
+// injected outliers); `detect` trains a detector and prints/stores scores
+// (--save-bundle exports the deployable model bundle of docs/SERVING.md);
+// `eval` computes AUC of a score file against the graph's stored labels;
+// `export-bundle` converts a legacy text model (--save-model) into a
+// bundle; `serve` runs the scoring server in-process (same as vgod_serve).
 // Observability (see docs/OBSERVABILITY.md): --telemetry_out streams one
 // JSONL record per training epoch, --metrics_out dumps the process metric
 // registry, --trace/--trace_out (or the VGOD_TRACE env var) capture Chrome
 // trace_event JSON viewable in chrome://tracing.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <numeric>
@@ -24,13 +32,17 @@
 #include "core/args.h"
 #include "datasets/io.h"
 #include "datasets/registry.h"
+#include "detectors/arm.h"
+#include "detectors/bundle.h"
 #include "detectors/registry.h"
+#include "detectors/vbm.h"
 #include "detectors/vgod.h"
 #include "eval/metrics.h"
 #include "injection/injection.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/trace.h"
+#include "serve/server.h"
 
 namespace vgod {
 namespace {
@@ -41,17 +53,25 @@ int Fail(const Status& status) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: vgod_cli <generate|detect|eval> [--options]\n"
-               "  generate --dataset=NAME --output=PATH [--scale=F] "
-               "[--seed=N] [--inject=MODE]\n"
-               "  detect   --graph=PATH [--detector=VGOD] [--self-loop] "
-               "[--row-normalize]\n"
-               "           [--seed=N] [--epoch-scale=F] [--output=PATH] "
-               "[--top=K] [--save-model=PREFIX]\n"
-               "           [--telemetry_out=PATH] [--metrics_out=PATH] "
-               "[--trace] [--trace_out=PATH]\n"
-               "  eval     --graph=PATH --scores=PATH\n");
+  std::fprintf(
+      stderr,
+      "usage: vgod_cli <generate|detect|eval|export-bundle|serve> "
+      "[--options]\n"
+      "  generate      --dataset=NAME --output=PATH [--scale=F] "
+      "[--seed=N] [--inject=MODE]\n"
+      "  detect        --graph=PATH [--detector=VGOD] [--self-loop] "
+      "[--row-normalize]\n"
+      "                [--seed=N] [--epoch-scale=F] [--output=PATH] "
+      "[--top=K] [--save-model=PREFIX]\n"
+      "                [--save-bundle=PATH] [--telemetry_out=PATH] "
+      "[--metrics_out=PATH]\n"
+      "                [--trace] [--trace_out=PATH]\n"
+      "  eval          --graph=PATH --scores=PATH\n"
+      "  export-bundle --model=PREFIX --detector=NAME --output=PATH "
+      "[--self-loop] [--row-normalize]\n"
+      "  serve         --bundle=PATH --graph=PATH [--port=N] "
+      "[--threads=N] [--max-batch=N]\n"
+      "                [--max-delay-us=N] [--max-queue=N]\n");
   return 2;
 }
 
@@ -116,8 +136,8 @@ int RunDetect(const ArgParser& args) {
   Status valid = args.Validate({"graph", "detector", "self-loop",
                                 "row-normalize", "seed", "epoch-scale",
                                 "output", "top", "save-model",
-                                "telemetry_out", "metrics_out", "trace",
-                                "trace_out"});
+                                "save-bundle", "telemetry_out",
+                                "metrics_out", "trace", "trace_out"});
   if (!valid.ok()) return Fail(valid);
   const std::string graph_path = args.GetString("graph", "");
   if (graph_path.empty()) return Usage();
@@ -210,6 +230,17 @@ int RunDetect(const ArgParser& args) {
     std::printf("saved model to %s.{vbm,arm}\n", model_prefix.c_str());
   }
 
+  const std::string bundle_path = args.GetString("save-bundle", "");
+  if (!bundle_path.empty()) {
+    Result<detectors::ModelBundle> bundle =
+        detector.value()->ExportBundle();
+    if (!bundle.ok()) return Fail(bundle.status());
+    Status saved = detectors::SaveBundle(bundle.value(), bundle_path);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("saved bundle to %s (%zu parameter tensors)\n",
+                bundle_path.c_str(), bundle.value().params.size());
+  }
+
   const int top = static_cast<int>(args.GetInt("top", 10));
   std::vector<int> order(out.score.size());
   std::iota(order.begin(), order.end(), 0);
@@ -252,6 +283,78 @@ int RunEval(const ArgParser& args) {
   return 0;
 }
 
+int RunExportBundle(const ArgParser& args) {
+  Status valid = args.Validate(
+      {"model", "detector", "output", "self-loop", "row-normalize"});
+  if (!valid.ok()) return Fail(valid);
+  const std::string model = args.GetString("model", "");
+  const std::string output = args.GetString("output", "");
+  const std::string name = args.GetString("detector", "VGOD");
+  if (model.empty() || output.empty()) return Usage();
+
+  detectors::DetectorOptions options;
+  options.self_loop = args.GetBool("self-loop");
+  options.row_normalize_attributes = args.GetBool("row-normalize");
+  Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+      detectors::MakeDetector(name, options);
+  if (!detector.ok()) return Fail(detector.status());
+
+  // Read the legacy text checkpoint through the detector's own Load so the
+  // module stack is rebuilt from the stored shapes.
+  Status loaded = Status::Ok();
+  if (auto* vgod = dynamic_cast<detectors::Vgod*>(detector.value().get())) {
+    loaded = vgod->Load(model);
+  } else if (auto* vbm =
+                 dynamic_cast<detectors::Vbm*>(detector.value().get())) {
+    loaded = vbm->Load(model);
+  } else if (auto* arm =
+                 dynamic_cast<detectors::Arm*>(detector.value().get())) {
+    loaded = arm->Load(model);
+  } else {
+    return Fail(Status::InvalidArgument(
+        "export-bundle supports detector=VGOD|VBM|ARM, got " + name));
+  }
+  if (!loaded.ok()) return Fail(loaded);
+
+  Result<detectors::ModelBundle> bundle =
+      detector.value()->ExportBundle();
+  if (!bundle.ok()) return Fail(bundle.status());
+  Status saved = detectors::SaveBundle(bundle.value(), output);
+  if (!saved.ok()) return Fail(saved);
+  std::printf("exported %s model %s to bundle %s (%zu parameter tensors)\n",
+              name.c_str(), model.c_str(), output.c_str(),
+              bundle.value().params.size());
+  return 0;
+}
+
+std::atomic<bool> g_serve_stop{false};
+
+void HandleServeSignal(int) {
+  g_serve_stop.store(true, std::memory_order_relaxed);
+}
+
+int RunServe(const ArgParser& args) {
+  Status valid = args.Validate({"bundle", "graph", "port", "threads",
+                                "max-batch", "max-delay-us", "max-queue"});
+  if (!valid.ok()) return Fail(valid);
+  serve::ServerOptions options;
+  options.bundle_path = args.GetString("bundle", "");
+  options.graph_path = args.GetString("graph", "");
+  if (options.bundle_path.empty() || options.graph_path.empty()) {
+    return Usage();
+  }
+  options.port = static_cast<int>(args.GetInt("port", 8080));
+  options.engine.num_threads = static_cast<int>(args.GetInt("threads", 2));
+  options.engine.max_batch = static_cast<int>(args.GetInt("max-batch", 8));
+  options.engine.max_delay_us =
+      static_cast<int>(args.GetInt("max-delay-us", 1000));
+  options.engine.max_queue =
+      static_cast<int>(args.GetInt("max-queue", 1024));
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  return serve::RunServer(options, &g_serve_stop);
+}
+
 int Main(int argc, const char* const* argv) {
   Result<ArgParser> args = ArgParser::Parse(argc, argv);
   if (!args.ok()) return Fail(args.status());
@@ -260,6 +363,8 @@ int Main(int argc, const char* const* argv) {
   if (command == "generate") return RunGenerate(args.value());
   if (command == "detect") return RunDetect(args.value());
   if (command == "eval") return RunEval(args.value());
+  if (command == "export-bundle") return RunExportBundle(args.value());
+  if (command == "serve") return RunServe(args.value());
   return Usage();
 }
 

@@ -1,0 +1,66 @@
+// vgod_serve — the standalone scoring server.
+//
+//   vgod_serve --bundle=model.vgodb --graph=g.graph [--port=8080]
+//              [--threads=2] [--max-batch=8] [--max-delay-us=1000]
+//              [--max-queue=1024]
+//
+// Loads a model bundle (exported by `vgod_cli detect --save-bundle` or
+// `vgod_cli export-bundle`) and the resident graph, then serves
+// POST /score, GET /healthz, and GET /metrics over HTTP/1.1 on loopback
+// until SIGINT/SIGTERM, draining in-flight work before exiting. See
+// docs/SERVING.md.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+
+#include "core/args.h"
+#include "serve/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vgod;
+
+  Result<ArgParser> args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  Status valid = args.value().Validate({"bundle", "graph", "port", "threads",
+                                        "max-batch", "max-delay-us",
+                                        "max-queue"});
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+
+  serve::ServerOptions options;
+  options.bundle_path = args.value().GetString("bundle", "");
+  options.graph_path = args.value().GetString("graph", "");
+  if (options.bundle_path.empty() || options.graph_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: vgod_serve --bundle=PATH --graph=PATH [--port=N]\n"
+                 "                  [--threads=N] [--max-batch=N]\n"
+                 "                  [--max-delay-us=N] [--max-queue=N]\n");
+    return 2;
+  }
+  options.port = static_cast<int>(args.value().GetInt("port", 8080));
+  options.engine.num_threads =
+      static_cast<int>(args.value().GetInt("threads", 2));
+  options.engine.max_batch =
+      static_cast<int>(args.value().GetInt("max-batch", 8));
+  options.engine.max_delay_us =
+      static_cast<int>(args.value().GetInt("max-delay-us", 1000));
+  options.engine.max_queue =
+      static_cast<int>(args.value().GetInt("max-queue", 1024));
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  return serve::RunServer(options, &g_stop);
+}
