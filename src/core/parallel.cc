@@ -1,0 +1,260 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/check.h"
+
+namespace vgod::par {
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// True while the current thread is inside a ParallelFor chunk body;
+/// nested ParallelFor calls run inline instead of deadlocking on the pool.
+thread_local bool t_in_parallel_region = false;
+
+/// One ParallelFor dispatch: a static chunk decomposition of [begin, end)
+/// that workers and the caller claim by atomic increment. Which thread
+/// runs which chunk is scheduling noise; the chunk boundaries (and so the
+/// result of every partition-independent kernel) are not. Heap-owned via
+/// shared_ptr so a straggler worker that wakes after the region completed
+/// only ever touches live memory (it then claims nothing and leaves).
+struct Job {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk_size = 0;
+  int64_t num_chunks = 0;
+  std::atomic<int64_t> next_chunk{0};
+  int64_t done_chunks = 0;  // Guarded by the pool mutex.
+};
+
+class Pool {
+ public:
+  explicit Pool(int num_threads) : num_threads_(num_threads) {
+    workers_.reserve(num_threads_ - 1);
+    for (int i = 0; i < num_threads_ - 1; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `job` to completion with the caller participating. The pool
+  /// mutex is only held for job handoff; chunk bodies run unlocked.
+  void Run(const std::shared_ptr<Job>& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    RunChunks(*job);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&job] { return job->done_chunks == job->num_chunks; });
+    job_ = nullptr;
+  }
+
+  std::atomic<int64_t> regions{0};
+  std::atomic<int64_t> serial_regions{0};
+  std::atomic<int64_t> tasks{0};
+  std::atomic<int64_t> idle_ns{0};
+  std::atomic<int64_t> busy_ns{0};
+
+  /// At most one region runs on the pool at a time; concurrent callers
+  /// (e.g. serve workers scoring different batches) fall back to inline
+  /// execution, which keeps batch-level x kernel-level parallelism from
+  /// oversubscribing the machine.
+  std::mutex region_mu;
+
+ private:
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        const int64_t wait_start = NowNs();
+        work_cv_.wait(lock, [&] {
+          return stopping_ ||
+                 (job_ != nullptr && generation_ != seen_generation);
+        });
+        idle_ns.fetch_add(NowNs() - wait_start, std::memory_order_relaxed);
+        if (stopping_) return;
+        seen_generation = generation_;
+        job = job_;
+      }
+      RunChunks(*job);
+    }
+  }
+
+  /// Claims and executes chunks until `job` has none left, then reports
+  /// the ones it ran. Runs on workers and on the dispatching caller.
+  void RunChunks(Job& job) {
+    int64_t ran = 0;
+    const int64_t enter = NowNs();
+    t_in_parallel_region = true;
+    for (;;) {
+      const int64_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.num_chunks) break;
+      const int64_t lo = job.begin + c * job.chunk_size;
+      const int64_t hi = std::min(job.end, lo + job.chunk_size);
+      (*job.fn)(lo, hi);
+      ++ran;
+    }
+    t_in_parallel_region = false;
+    busy_ns.fetch_add(NowNs() - enter, std::memory_order_relaxed);
+    if (ran == 0) return;
+    tasks.fetch_add(ran, std::memory_order_relaxed);
+    bool complete = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job.done_chunks += ran;
+      complete = job.done_chunks == job.num_chunks;
+    }
+    if (complete) done_cv_.notify_all();
+  }
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;
+  uint64_t generation_ = 0;
+  bool stopping_ = false;
+};
+
+std::mutex& PoolMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+/// The global pool, created on first use and replaced by SetNumThreads.
+/// Held by shared_ptr so a ParallelFor that raced a SetNumThreads keeps
+/// its pool alive until the region finishes.
+std::shared_ptr<Pool>& PoolSlot() {
+  static std::shared_ptr<Pool>* pool = new std::shared_ptr<Pool>();
+  return *pool;
+}
+
+int ClampThreads(int num_threads) {
+  if (num_threads < 1) return 1;
+  return std::min(num_threads, kMaxThreads);
+}
+
+std::shared_ptr<Pool> GetPool() {
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  std::shared_ptr<Pool>& pool = PoolSlot();
+  if (pool == nullptr) pool = std::make_shared<Pool>(DefaultNumThreads());
+  return pool;
+}
+
+}  // namespace
+
+int DefaultNumThreads() {
+  const char* env = std::getenv("VGOD_NUM_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return ClampThreads(parsed);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return ClampThreads(hardware == 0 ? 1 : static_cast<int>(hardware));
+}
+
+int NumThreads() { return GetPool()->num_threads(); }
+
+void SetNumThreads(int num_threads) {
+  num_threads = ClampThreads(num_threads);
+  std::shared_ptr<Pool> retired;  // Joined by ~Pool once unreferenced.
+  {
+    std::lock_guard<std::mutex> lock(PoolMutex());
+    std::shared_ptr<Pool>& pool = PoolSlot();
+    if (pool != nullptr && pool->num_threads() == num_threads) return;
+    retired = std::move(pool);
+    pool = std::make_shared<Pool>(num_threads);
+  }
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  VGOD_CHECK_GT(grain, 0);
+  const int64_t range = end - begin;
+  std::shared_ptr<Pool> pool = GetPool();
+  const int threads = pool->num_threads();
+
+  // Static decomposition, a pure function of (range, threads, grain):
+  // ceil-split the range into at most `threads` chunks of >= grain.
+  const int64_t wanted =
+      std::min<int64_t>(threads, (range + grain - 1) / grain);
+  if (wanted <= 1 || t_in_parallel_region) {
+    pool->serial_regions.fetch_add(1, std::memory_order_relaxed);
+    fn(begin, end);
+    return;
+  }
+
+  std::unique_lock<std::mutex> region(pool->region_mu, std::try_to_lock);
+  if (!region.owns_lock()) {
+    // Another region is in flight (concurrent scoring threads); run inline
+    // rather than queueing kernel work behind someone else's kernel.
+    pool->serial_regions.fetch_add(1, std::memory_order_relaxed);
+    fn(begin, end);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->begin = begin;
+  job->end = end;
+  job->chunk_size = (range + wanted - 1) / wanted;
+  job->num_chunks = (range + job->chunk_size - 1) / job->chunk_size;
+  pool->regions.fetch_add(1, std::memory_order_relaxed);
+  pool->Run(job);
+}
+
+PoolStats Stats() {
+  std::shared_ptr<Pool> pool;
+  {
+    std::lock_guard<std::mutex> lock(PoolMutex());
+    pool = PoolSlot();
+  }
+  PoolStats stats;
+  if (pool == nullptr) {
+    stats.threads = 0;  // Pool not started yet; no kernel ran ParallelFor.
+    return stats;
+  }
+  stats.threads = pool->num_threads();
+  stats.regions = pool->regions.load(std::memory_order_relaxed);
+  stats.serial_regions = pool->serial_regions.load(std::memory_order_relaxed);
+  stats.tasks = pool->tasks.load(std::memory_order_relaxed);
+  stats.idle_ns = pool->idle_ns.load(std::memory_order_relaxed);
+  stats.busy_ns = pool->busy_ns.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace vgod::par

@@ -1,0 +1,65 @@
+#ifndef VGOD_CORE_PARALLEL_H_
+#define VGOD_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace vgod::par {
+
+/// Deterministic intra-op parallelism for the tensor/GNN kernels
+/// (docs/PARALLELISM.md).
+///
+/// The contract every caller relies on: ParallelFor decomposes [begin, end)
+/// into contiguous chunks whose *boundaries* are a pure function of
+/// (range, num_threads, grain), and every parallelized kernel in this
+/// library only uses ParallelFor for partition-independent work — each
+/// output element is produced by exactly one chunk, computed by the same
+/// serial inner loop regardless of how the range was split. Consequently
+/// kernel outputs are bit-identical across thread counts (including the
+/// fully serial VGOD_NUM_THREADS=1 fallback), across runs, and across
+/// which worker happens to claim which chunk.
+
+/// Cumulative pool statistics, all monotonic except `threads`. Exported as
+/// `par.pool.*` gauges by obs::MetricsRegistry::ToJson().
+struct PoolStats {
+  int threads = 1;          // Current configured pool width.
+  int64_t regions = 0;      // ParallelFor calls dispatched to the pool.
+  int64_t serial_regions = 0;  // ParallelFor calls run inline (serial).
+  int64_t tasks = 0;        // Chunks executed by pool dispatch.
+  int64_t idle_ns = 0;      // Worker time blocked waiting for work.
+  int64_t busy_ns = 0;      // Worker + caller time inside chunk bodies.
+};
+
+/// Number of threads the global pool is configured with (>= 1). First call
+/// initializes from VGOD_NUM_THREADS (unset/0 => hardware_concurrency,
+/// clamped to [1, 256]); 1 means every ParallelFor runs serially inline.
+int NumThreads();
+
+/// The pool width VGOD_NUM_THREADS / hardware_concurrency would pick now,
+/// without mutating the pool (what NumThreads() returns on first use).
+int DefaultNumThreads();
+
+/// Rebuilds the global pool with `num_threads` workers (clamped to
+/// [1, 256]). Not safe to call concurrently with in-flight ParallelFor
+/// calls from other threads; intended for process startup (--num_threads
+/// flags), ScoringEngine::Start, and tests.
+void SetNumThreads(int num_threads);
+
+/// Runs fn(chunk_begin, chunk_end) over a static partition of
+/// [begin, end) into contiguous chunks of at least `grain` iterations
+/// (except possibly the last). Chunks run concurrently on the global pool;
+/// the caller participates and the call returns only when every chunk
+/// finished. Runs inline (one chunk, caller thread) when the range is
+/// small, the pool is width 1, the call is nested inside another
+/// ParallelFor chunk, or the pool is busy with another region — all of
+/// which are safe because parallelized kernels are partition-independent
+/// (see file comment).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Snapshot of the pool counters (threads reflects the live pool).
+PoolStats Stats();
+
+}  // namespace vgod::par
+
+#endif  // VGOD_CORE_PARALLEL_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/parallel.h"
 #include "graph/graph_ops.h"
 #include "obs/metrics.h"
 #include "tensor/kernels.h"
@@ -10,6 +11,33 @@
 namespace vgod::ag {
 
 using ::vgod::internal::AutogradNode;
+
+namespace {
+
+// Parallelism in this file follows the determinism contract of
+// core/parallel.h. Forward passes are destination-row-parallel over the
+// forward CSR (each output row is one serial iteration). Backward passes
+// of the scatter form "gh[col(e)] += ..." are rewritten as gathers over
+// the transpose CSR: each destination row accumulates its incoming edges
+// in ascending forward-slot order — exactly the order the serial scatter
+// used — so gradients are bit-identical for every thread count. A
+// per-thread-scratch merge would instead group partial sums by thread,
+// making the result depend on how many threads ran.
+
+/// Node grain sized so a chunk covers ~16k scalar ops when each node costs
+/// about `row_work`.
+int64_t NodeGrain(int64_t row_work) {
+  return std::max<int64_t>(1, (int64_t{1} << 14) /
+                                  std::max<int64_t>(1, row_work));
+}
+
+int64_t AvgRowWork(const AttributedGraph& graph, int d) {
+  const int n = graph.num_nodes();
+  if (n == 0) return 1;
+  return graph.num_directed_edges() * d / n;
+}
+
+}  // namespace
 
 Variable Spmm(std::shared_ptr<const AttributedGraph> graph,
               std::vector<float> edge_weights, const Variable& h) {
@@ -21,21 +49,29 @@ Variable Spmm(std::shared_ptr<const AttributedGraph> graph,
       std::move(out), {h},
       [graph = std::move(graph), weights = std::move(edge_weights),
        d](AutogradNode& self) {
-        // Backward of out[i] += w * h[j] is gh[j] += w * g[i].
+        // Backward of out[i] += w * h[j] is gh[j] += w * g[i]: a scatter
+        // over destinations j, executed as a transpose-CSR gather so each
+        // gh row sums its contributions in forward-slot order.
         const int n = graph->num_nodes();
         Tensor gh = Tensor::Zeros(n, d);
-        const auto& row_ptr = graph->row_ptr();
-        const auto& col_idx = graph->col_idx();
+        const graph_ops::CsrTranspose t =
+            graph_ops::BuildCsrTranspose(*graph);
         const float* g = self.grad.data();
         float* dst = gh.data();
-        for (int i = 0; i < n; ++i) {
-          const float* grow = g + static_cast<size_t>(i) * d;
-          for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
-            const float w = weights.empty() ? 1.0f : weights[e];
-            float* hrow = dst + static_cast<size_t>(col_idx[e]) * d;
-            for (int c = 0; c < d; ++c) hrow[c] += w * grow[c];
-          }
-        }
+        par::ParallelFor(
+            0, n, NodeGrain(AvgRowWork(*graph, d)),
+            [&](int64_t lo, int64_t hi) {
+              for (int64_t j = lo; j < hi; ++j) {
+                float* hrow = dst + static_cast<size_t>(j) * d;
+                for (int64_t s = t.row_ptr[j]; s < t.row_ptr[j + 1]; ++s) {
+                  const float w =
+                      weights.empty() ? 1.0f : weights[t.edge[s]];
+                  const float* grow =
+                      g + static_cast<size_t>(t.src[s]) * d;
+                  for (int c = 0; c < d; ++c) hrow[c] += w * grow[c];
+                }
+              }
+            });
         self.inputs[0]->AccumulateGrad(gh);
       },
       "Spmm");
@@ -52,20 +88,24 @@ Variable NeighborMean(std::shared_ptr<const AttributedGraph> graph,
       [graph = std::move(graph), d](AutogradNode& self) {
         const int n = graph->num_nodes();
         Tensor gh = Tensor::Zeros(n, d);
-        const auto& row_ptr = graph->row_ptr();
-        const auto& col_idx = graph->col_idx();
+        const graph_ops::CsrTranspose t =
+            graph_ops::BuildCsrTranspose(*graph);
         const float* g = self.grad.data();
         float* dst = gh.data();
-        for (int i = 0; i < n; ++i) {
-          const int deg = graph->Degree(i);
-          if (deg == 0) continue;
-          const float inv = 1.0f / static_cast<float>(deg);
-          const float* grow = g + static_cast<size_t>(i) * d;
-          for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
-            float* hrow = dst + static_cast<size_t>(col_idx[e]) * d;
-            for (int c = 0; c < d; ++c) hrow[c] += inv * grow[c];
-          }
-        }
+        par::ParallelFor(
+            0, n, NodeGrain(AvgRowWork(*graph, d)),
+            [&](int64_t lo, int64_t hi) {
+              for (int64_t j = lo; j < hi; ++j) {
+                float* hrow = dst + static_cast<size_t>(j) * d;
+                for (int64_t s = t.row_ptr[j]; s < t.row_ptr[j + 1]; ++s) {
+                  const int i = t.src[s];
+                  const float inv =
+                      1.0f / static_cast<float>(graph->Degree(i));
+                  const float* grow = g + static_cast<size_t>(i) * d;
+                  for (int c = 0; c < d; ++c) hrow[c] += inv * grow[c];
+                }
+              }
+            });
         self.inputs[0]->AccumulateGrad(gh);
       },
       "NeighborMean");
@@ -84,28 +124,33 @@ Variable NeighborVarianceScore(std::shared_ptr<const AttributedGraph> graph,
       [graph = std::move(graph), hv, mean, d](AutogradNode& self) {
         // o_i = (1/|N_i|) sum_{j in N_i} ||h_j - mean_i||^2. The dependence
         // of mean_i on h_j folds into d o_i / d h_j = (2/|N_i|)(h_j - mean_i)
-        // (the cross term through the mean cancels).
+        // (the cross term through the mean cancels). Scatter over j,
+        // executed as a transpose gather (see file comment).
         const int n = graph->num_nodes();
         Tensor gh = Tensor::Zeros(n, d);
-        const auto& row_ptr = graph->row_ptr();
-        const auto& col_idx = graph->col_idx();
+        const graph_ops::CsrTranspose t =
+            graph_ops::BuildCsrTranspose(*graph);
         const float* g = self.grad.data();
         const float* src = hv.data();
         const float* mu = mean.data();
         float* dst = gh.data();
-        for (int i = 0; i < n; ++i) {
-          const int deg = graph->Degree(i);
-          if (deg == 0) continue;
-          const float coeff = 2.0f * g[i] / static_cast<float>(deg);
-          const float* mrow = mu + static_cast<size_t>(i) * d;
-          for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
-            const float* hrow = src + static_cast<size_t>(col_idx[e]) * d;
-            float* grow = dst + static_cast<size_t>(col_idx[e]) * d;
-            for (int c = 0; c < d; ++c) {
-              grow[c] += coeff * (hrow[c] - mrow[c]);
-            }
-          }
-        }
+        par::ParallelFor(
+            0, n, NodeGrain(AvgRowWork(*graph, d)),
+            [&](int64_t lo, int64_t hi) {
+              for (int64_t j = lo; j < hi; ++j) {
+                float* grow = dst + static_cast<size_t>(j) * d;
+                const float* hrow = src + static_cast<size_t>(j) * d;
+                for (int64_t s = t.row_ptr[j]; s < t.row_ptr[j + 1]; ++s) {
+                  const int i = t.src[s];
+                  const float coeff =
+                      2.0f * g[i] / static_cast<float>(graph->Degree(i));
+                  const float* mrow = mu + static_cast<size_t>(i) * d;
+                  for (int c = 0; c < d; ++c) {
+                    grow[c] += coeff * (hrow[c] - mrow[c]);
+                  }
+                }
+              }
+            });
         self.inputs[0]->AccumulateGrad(gh);
       },
       "NeighborVarianceScore");
@@ -144,32 +189,40 @@ Variable GatAggregate(std::shared_ptr<const AttributedGraph> graph,
   state->attention.resize(graph->num_directed_edges());
   state->pre_activation.resize(graph->num_directed_edges());
 
+  // Row-parallel: each destination i owns its edge slots [row_ptr[i],
+  // row_ptr[i+1]) exclusively, so the softmax groups never overlap.
   Tensor out = Tensor::Zeros(n, d);
-  for (int i = 0; i < n; ++i) {
-    const int64_t begin = row_ptr[i], end = row_ptr[i + 1];
-    if (begin == end) continue;
-    // Edge scores with a per-group max shift for a stable softmax.
-    float max_score = -std::numeric_limits<float>::infinity();
-    for (int64_t e = begin; e < end; ++e) {
-      const float z = pv.At(i, 0) + qv.At(col_idx[e], 0);
-      state->pre_activation[e] = z;
-      const float activated = z > 0.0f ? z : negative_slope * z;
-      state->attention[e] = activated;
-      max_score = std::max(max_score, activated);
-    }
-    float denom = 0.0f;
-    for (int64_t e = begin; e < end; ++e) {
-      state->attention[e] = std::exp(state->attention[e] - max_score);
-      denom += state->attention[e];
-    }
-    float* orow = out.data() + static_cast<size_t>(i) * d;
-    for (int64_t e = begin; e < end; ++e) {
-      state->attention[e] /= denom;
-      const float alpha = state->attention[e];
-      const float* srow = sv.data() + static_cast<size_t>(col_idx[e]) * d;
-      for (int c = 0; c < d; ++c) orow[c] += alpha * srow[c];
-    }
-  }
+  par::ParallelFor(
+      0, n, NodeGrain(AvgRowWork(*graph, d)),
+      [&](int64_t lo_i, int64_t hi_i) {
+        for (int64_t i = lo_i; i < hi_i; ++i) {
+          const int64_t begin = row_ptr[i], end = row_ptr[i + 1];
+          if (begin == end) continue;
+          // Edge scores with a per-group max shift for a stable softmax.
+          float max_score = -std::numeric_limits<float>::infinity();
+          for (int64_t e = begin; e < end; ++e) {
+            const float z =
+                pv.At(static_cast<int>(i), 0) + qv.At(col_idx[e], 0);
+            state->pre_activation[e] = z;
+            const float activated = z > 0.0f ? z : negative_slope * z;
+            state->attention[e] = activated;
+            max_score = std::max(max_score, activated);
+          }
+          float denom = 0.0f;
+          for (int64_t e = begin; e < end; ++e) {
+            state->attention[e] = std::exp(state->attention[e] - max_score);
+            denom += state->attention[e];
+          }
+          float* orow = out.data() + static_cast<size_t>(i) * d;
+          for (int64_t e = begin; e < end; ++e) {
+            state->attention[e] /= denom;
+            const float alpha = state->attention[e];
+            const float* srow =
+                sv.data() + static_cast<size_t>(col_idx[e]) * d;
+            for (int c = 0; c < d; ++c) orow[c] += alpha * srow[c];
+          }
+        }
+      });
 
   return Variable::FromOp(
       std::move(out), {s, p, q},
@@ -185,37 +238,70 @@ Variable GatAggregate(std::shared_ptr<const AttributedGraph> graph,
         Tensor gs = Tensor::Zeros(num_nodes, d);
         Tensor gp = Tensor::Zeros(num_nodes, 1);
         Tensor gq = Tensor::Zeros(num_nodes, 1);
-        std::vector<float> dalpha(state->attention.size());
-        for (int i = 0; i < num_nodes; ++i) {
-          const int64_t begin = rows[i], end = rows[i + 1];
-          if (begin == end) continue;
-          const float* grow = g + static_cast<size_t>(i) * d;
-          // d out_i / d alpha_ij = g_i . s_j; d out_i / d s_j = alpha g_i.
-          double weighted_sum = 0.0;  // sum_k alpha_ik * dalpha_ik
-          for (int64_t e = begin; e < end; ++e) {
-            const float* srow =
-                sv.data() + static_cast<size_t>(cols[e]) * d;
-            double dot = 0.0;
-            for (int c = 0; c < d; ++c) dot += grow[c] * srow[c];
-            dalpha[e] = static_cast<float>(dot);
-            weighted_sum += state->attention[e] * dot;
-            if (need_s) {
-              float* srcg = gs.data() + static_cast<size_t>(cols[e]) * d;
-              const float alpha = state->attention[e];
-              for (int c = 0; c < d; ++c) srcg[c] += alpha * grow[c];
-            }
-          }
-          if (!need_p && !need_q) continue;
-          for (int64_t e = begin; e < end; ++e) {
-            // Softmax backward within group i, then LeakyReLU backward.
-            const float de = state->attention[e] *
-                             (dalpha[e] - static_cast<float>(weighted_sum));
-            const float slope =
-                state->pre_activation[e] > 0.0f ? 1.0f : negative_slope;
-            const float dz = de * slope;
-            if (need_p) gp.data()[i] += dz;
-            if (need_q) gq.data()[cols[e]] += dz;
-          }
+        // Pass 1 (row-parallel over destinations i): softmax + LeakyReLU
+        // backward per attention group. dz[e] lives on edge slots owned by
+        // exactly one i; gp[i] is row-local.
+        std::vector<float> dz(state->attention.size(), 0.0f);
+        par::ParallelFor(
+            0, num_nodes, NodeGrain(AvgRowWork(*graph, d)),
+            [&](int64_t lo_i, int64_t hi_i) {
+              std::vector<float> dalpha;
+              for (int64_t i = lo_i; i < hi_i; ++i) {
+                const int64_t begin = rows[i], end = rows[i + 1];
+                if (begin == end) continue;
+                const float* grow = g + static_cast<size_t>(i) * d;
+                // d out_i / d alpha_ij = g_i . s_j.
+                dalpha.assign(end - begin, 0.0f);
+                double weighted_sum = 0.0;  // sum_k alpha_ik * dalpha_ik
+                for (int64_t e = begin; e < end; ++e) {
+                  const float* srow =
+                      sv.data() + static_cast<size_t>(cols[e]) * d;
+                  double dot = 0.0;
+                  for (int c = 0; c < d; ++c) dot += grow[c] * srow[c];
+                  dalpha[e - begin] = static_cast<float>(dot);
+                  weighted_sum += state->attention[e] * dot;
+                }
+                if (!need_p && !need_q) continue;
+                for (int64_t e = begin; e < end; ++e) {
+                  // Softmax backward within group i, then LeakyReLU.
+                  const float de =
+                      state->attention[e] *
+                      (dalpha[e - begin] -
+                       static_cast<float>(weighted_sum));
+                  const float slope = state->pre_activation[e] > 0.0f
+                                          ? 1.0f
+                                          : negative_slope;
+                  dz[e] = de * slope;
+                  if (need_p) gp.data()[i] += dz[e];
+                }
+              }
+            });
+        // Pass 2 (transpose gather over sources j): d out_i / d s_j =
+        // alpha_ij g_i and d z_ij / d q_j = 1, both scatters over j in the
+        // forward CSR, gathered here in forward-slot order per j.
+        if (need_s || need_q) {
+          const graph_ops::CsrTranspose t =
+              graph_ops::BuildCsrTranspose(*graph);
+          par::ParallelFor(
+              0, num_nodes, NodeGrain(AvgRowWork(*graph, d)),
+              [&](int64_t lo_j, int64_t hi_j) {
+                for (int64_t j = lo_j; j < hi_j; ++j) {
+                  float* srcg = gs.data() + static_cast<size_t>(j) * d;
+                  for (int64_t slot = t.row_ptr[j]; slot < t.row_ptr[j + 1];
+                       ++slot) {
+                    const int64_t e = t.edge[slot];
+                    const int i = t.src[slot];
+                    if (need_s) {
+                      const float alpha = state->attention[e];
+                      const float* grow = g + static_cast<size_t>(i) * d;
+                      for (int c = 0; c < d; ++c) {
+                        srcg[c] += alpha * grow[c];
+                      }
+                    }
+                    if (need_q) gq.data()[j] += dz[e];
+                  }
+                }
+              });
         }
         if (need_s) self.inputs[0]->AccumulateGrad(gs);
         if (need_p) self.inputs[1]->AccumulateGrad(gp);

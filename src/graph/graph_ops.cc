@@ -3,8 +3,20 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/parallel.h"
 
 namespace vgod::graph_ops {
+namespace {
+
+/// Row grain for per-node parallel loops: enough nodes per chunk that one
+/// chunk covers ~16k scalar ops given `row_work` per node. Pure function
+/// of the shape (see core/parallel.h determinism contract).
+int64_t NodeGrain(int64_t row_work) {
+  return std::max<int64_t>(1, (int64_t{1} << 14) /
+                                  std::max<int64_t>(1, row_work));
+}
+
+}  // namespace
 
 Tensor DegreeVector(const AttributedGraph& graph) {
   Tensor out(graph.num_nodes(), 1);
@@ -46,28 +58,59 @@ Tensor Spmm(const AttributedGraph& graph,
   float* dst = out.data();
   const auto& row_ptr = graph.row_ptr();
   const auto& col_idx = graph.col_idx();
+  // Row-parallel gather: each destination row is produced by one chunk in
+  // the serial edge order, so results match the serial kernel bit for bit.
+  const int64_t avg_work =
+      n == 0 ? 1 : (graph.num_directed_edges() * d) / std::max(n, 1);
+  par::ParallelFor(0, n, NodeGrain(avg_work), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* orow = dst + static_cast<size_t>(i) * d;
+      for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+        const float w = edge_weights.empty() ? 1.0f : edge_weights[e];
+        const float* hrow = src + static_cast<size_t>(col_idx[e]) * d;
+        for (int j = 0; j < d; ++j) orow[j] += w * hrow[j];
+      }
+    }
+  });
+  return out;
+}
+
+CsrTranspose BuildCsrTranspose(const AttributedGraph& graph) {
+  const int n = graph.num_nodes();
+  const auto& row_ptr = graph.row_ptr();
+  const auto& col_idx = graph.col_idx();
+  const int64_t num_edges = graph.num_directed_edges();
+  CsrTranspose t;
+  t.row_ptr.assign(n + 1, 0);
+  t.src.resize(num_edges);
+  t.edge.resize(num_edges);
+  for (int64_t e = 0; e < num_edges; ++e) ++t.row_ptr[col_idx[e] + 1];
+  for (int i = 0; i < n; ++i) t.row_ptr[i + 1] += t.row_ptr[i];
+  std::vector<int64_t> cursor(t.row_ptr.begin(), t.row_ptr.end() - 1);
   for (int i = 0; i < n; ++i) {
-    float* orow = dst + static_cast<size_t>(i) * d;
     for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
-      const float w = edge_weights.empty() ? 1.0f : edge_weights[e];
-      const float* hrow = src + static_cast<size_t>(col_idx[e]) * d;
-      for (int j = 0; j < d; ++j) orow[j] += w * hrow[j];
+      const int64_t pos = cursor[col_idx[e]]++;
+      t.src[pos] = static_cast<int32_t>(i);
+      t.edge[pos] = e;
     }
   }
-  return out;
+  return t;
 }
 
 Tensor NeighborMean(const AttributedGraph& graph, const Tensor& h) {
   Tensor sum = Spmm(graph, {}, h);
   const int n = graph.num_nodes();
   const int d = h.cols();
-  for (int i = 0; i < n; ++i) {
-    const int deg = graph.Degree(i);
-    if (deg == 0) continue;
-    const float inv = 1.0f / static_cast<float>(deg);
-    float* row = sum.data() + static_cast<size_t>(i) * d;
-    for (int j = 0; j < d; ++j) row[j] *= inv;
-  }
+  float* data = sum.data();
+  par::ParallelFor(0, n, NodeGrain(d), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int deg = graph.Degree(static_cast<int>(i));
+      if (deg == 0) continue;
+      const float inv = 1.0f / static_cast<float>(deg);
+      float* row = data + static_cast<size_t>(i) * d;
+      for (int j = 0; j < d; ++j) row[j] *= inv;
+    }
+  });
   return sum;
 }
 
@@ -79,20 +122,25 @@ Tensor NeighborVarianceScore(const AttributedGraph& graph, const Tensor& h) {
   Tensor out = Tensor::Zeros(n, 1);
   const float* src = h.data();
   const float* mu = mean.data();
-  for (int i = 0; i < n; ++i) {
-    const auto neighbors = graph.Neighbors(i);
-    if (neighbors.empty()) continue;
-    const float* mrow = mu + static_cast<size_t>(i) * d;
-    double acc = 0.0;
-    for (int32_t j : neighbors) {
-      const float* hrow = src + static_cast<size_t>(j) * d;
-      for (int c = 0; c < d; ++c) {
-        const double diff = static_cast<double>(hrow[c]) - mrow[c];
-        acc += diff * diff;
+  float* dst = out.data();
+  const int64_t avg_work =
+      n == 0 ? 1 : (graph.num_directed_edges() * d) / std::max(n, 1);
+  par::ParallelFor(0, n, NodeGrain(avg_work), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const auto neighbors = graph.Neighbors(static_cast<int>(i));
+      if (neighbors.empty()) continue;
+      const float* mrow = mu + static_cast<size_t>(i) * d;
+      double acc = 0.0;
+      for (int32_t j : neighbors) {
+        const float* hrow = src + static_cast<size_t>(j) * d;
+        for (int c = 0; c < d; ++c) {
+          const double diff = static_cast<double>(hrow[c]) - mrow[c];
+          acc += diff * diff;
+        }
       }
+      dst[i] = static_cast<float>(acc / neighbors.size());
     }
-    out.SetAt(i, 0, static_cast<float>(acc / neighbors.size()));
-  }
+  });
   return out;
 }
 

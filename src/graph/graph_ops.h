@@ -23,6 +23,24 @@ std::vector<float> GcnNormWeights(const AttributedGraph& graph);
 Tensor Spmm(const AttributedGraph& graph,
             const std::vector<float>& edge_weights, const Tensor& h);
 
+/// CSR of the reversed edges, remembering where each incoming edge lives
+/// in the forward CSR. For destination j, slots [row_ptr[j], row_ptr[j+1])
+/// list its incoming edges ordered by *forward* edge slot — i.e. by
+/// ascending source row, the exact order a serial scatter over the forward
+/// CSR would touch j. The parallel backward kernels in gnn/graph_autograd
+/// gather over this structure so per-destination float accumulation order
+/// (and therefore every gradient bit) is independent of the thread count
+/// (docs/PARALLELISM.md).
+struct CsrTranspose {
+  std::vector<int64_t> row_ptr;  // Size num_nodes + 1.
+  std::vector<int32_t> src;      // Source node of each incoming edge.
+  std::vector<int64_t> edge;     // Forward-CSR slot of that edge.
+};
+
+/// Builds the transpose index in O(V + E) (counting sort by destination,
+/// filled in ascending forward-slot order).
+CsrTranspose BuildCsrTranspose(const AttributedGraph& graph);
+
 /// Mean of neighbor rows (paper Eq. 7, the MeanConv layer). Nodes with no
 /// neighbors get a zero row.
 Tensor NeighborMean(const AttributedGraph& graph, const Tensor& h);

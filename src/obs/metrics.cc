@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <fstream>
 
+#include "core/parallel.h"
 #include "obs/json.h"
 
 namespace vgod::obs {
+namespace {
+
+/// Pull-model export of the vgod::par pool counters: every metrics dump
+/// refreshes the par.pool.* gauges from the pool's own atomics, so the
+/// JSON reflects the pool without the hot ParallelFor path ever touching
+/// the registry. threads == 0 means no kernel has used the pool yet.
+void PublishPoolGauges() {
+  const par::PoolStats stats = par::Stats();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("par.pool.threads")
+      ->Set(static_cast<double>(stats.threads));
+  registry.GetGauge("par.pool.regions")
+      ->Set(static_cast<double>(stats.regions));
+  registry.GetGauge("par.pool.serial_regions")
+      ->Set(static_cast<double>(stats.serial_regions));
+  registry.GetGauge("par.pool.tasks")->Set(static_cast<double>(stats.tasks));
+  registry.GetGauge("par.pool.idle_seconds")
+      ->Set(static_cast<double>(stats.idle_ns) * 1e-9);
+  registry.GetGauge("par.pool.busy_seconds")
+      ->Set(static_cast<double>(stats.busy_ns) * 1e-9);
+}
+
+}  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
@@ -102,6 +126,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::ToJson() const {
+  PublishPoolGauges();  // Before taking mu_: GetGauge locks it too.
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;

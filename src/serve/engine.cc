@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -31,6 +32,8 @@ ScoringEngine::ScoringEngine(
       config_(config) {
   VGOD_CHECK(detector_ != nullptr) << "ScoringEngine needs a detector";
   VGOD_CHECK(config_.num_threads > 0) << "num_threads must be positive";
+  VGOD_CHECK(config_.intra_op_threads >= 0)
+      << "intra_op_threads must be >= 0 (0 = leave the global pool alone)";
   VGOD_CHECK(config_.max_batch > 0) << "max_batch must be positive";
   VGOD_CHECK(config_.max_queue > 0) << "max_queue must be positive";
 }
@@ -41,6 +44,11 @@ Status ScoringEngine::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return Status::FailedPrecondition("engine already started");
   if (stopping_) return Status::FailedPrecondition("engine was shut down");
+  // Size the kernel pool before any worker can touch it: Score() calls
+  // from the pool below run parallel kernels on the global vgod::par pool.
+  if (config_.intra_op_threads > 0) {
+    par::SetNumThreads(config_.intra_op_threads);
+  }
   started_ = true;
   workers_.reserve(config_.num_threads);
   for (int i = 0; i < config_.num_threads; ++i) {
@@ -148,16 +156,6 @@ Result<ScoreResult> ScoringEngine::ScoreGraph(AttributedGraph graph) {
   return SubmitGraph(std::move(graph)).get();
 }
 
-int64_t ScoringEngine::score_calls() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return score_calls_;
-}
-
-int64_t ScoringEngine::requests_served() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return requests_served_;
-}
-
 void ScoringEngine::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -218,8 +216,7 @@ void ScoringEngine::FinishRequest(Pending* pending,
                          SecondsSince(pending->enqueued));
   VGOD_COUNTER_INC("serve.requests.completed");
   pending->promise.set_value(std::move(result));
-  std::lock_guard<std::mutex> lock(mu_);
-  ++requests_served_;
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
@@ -234,10 +231,7 @@ void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
   detectors::DetectorOutput out = detector_->Score(graph_);
   VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds",
                          SecondsSince(score_start));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++score_calls_;
-  }
+  score_calls_.fetch_add(1, std::memory_order_relaxed);
 
   for (Pending& pending : batch) {
     ScoreResult result;
@@ -264,10 +258,7 @@ void ScoringEngine::ExecuteSubgraph(Pending pending) {
   detectors::DetectorOutput out = detector_->Score(*pending.subgraph);
   VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds",
                          SecondsSince(score_start));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++score_calls_;
-  }
+  score_calls_.fetch_add(1, std::memory_order_relaxed);
 
   ScoreResult result;
   result.nodes.resize(pending.subgraph->num_nodes());

@@ -1,6 +1,7 @@
 #ifndef VGOD_SERVE_ENGINE_H_
 #define VGOD_SERVE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -16,10 +17,18 @@
 
 namespace vgod::serve {
 
-/// Batching/threading knobs of the scoring engine (docs/SERVING.md).
+/// Batching/threading knobs of the scoring engine (docs/SERVING.md,
+/// docs/PARALLELISM.md for how the two thread pools compose).
 struct EngineConfig {
   /// Worker threads executing detector Score() calls.
   int num_threads = 2;
+  /// Intra-op kernel threads (vgod::par pool width) applied at Start().
+  /// 0 leaves the global pool as configured (VGOD_NUM_THREADS or
+  /// hardware_concurrency). Pick num_threads * intra_op_threads <= cores:
+  /// the kernel pool runs one region at a time and concurrent scoring
+  /// threads fall back to serial kernels, so batch-level and kernel-level
+  /// parallelism never oversubscribe.
+  int intra_op_threads = 0;
   /// A batch flushes when it holds this many node-scoring requests...
   int max_batch = 8;
   /// ...or when its oldest request has waited this long, whichever first.
@@ -88,9 +97,13 @@ class ScoringEngine {
   const EngineConfig& config() const { return config_; }
 
   /// Detector Score() invocations so far (== flushed batches).
-  int64_t score_calls() const;
+  int64_t score_calls() const {
+    return score_calls_.load(std::memory_order_relaxed);
+  }
   /// Requests answered so far (successfully or not).
-  int64_t requests_served() const;
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Pending {
@@ -116,8 +129,10 @@ class ScoringEngine {
   std::vector<std::thread> workers_;
   bool started_ = false;
   bool stopping_ = false;
-  int64_t score_calls_ = 0;
-  int64_t requests_served_ = 0;
+  // Atomics, not mutex-guarded ints: bumped from every pool worker on the
+  // request hot path, where taking mu_ would contend with the batch queue.
+  std::atomic<int64_t> score_calls_{0};
+  std::atomic<int64_t> requests_served_{0};
 };
 
 }  // namespace vgod::serve

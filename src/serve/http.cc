@@ -112,10 +112,10 @@ void HttpServer::Stop() {
     // Wake blocked reads; the connection threads notice stopping_ and exit.
     for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> connections;
@@ -128,7 +128,9 @@ void HttpServer::Stop() {
 
 void HttpServer::AcceptLoop() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;  // Stop() already retired the socket.
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) return;

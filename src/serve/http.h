@@ -1,6 +1,7 @@
 #ifndef VGOD_SERVE_HTTP_H_
 #define VGOD_SERVE_HTTP_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -61,7 +62,9 @@ class HttpServer {
   void ServeConnection(int fd);
 
   Handler handler_;
-  int listen_fd_ = -1;
+  // Atomic: Stop() retires the fd while AcceptLoop() is passing it
+  // to accept() on its own thread.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::thread accept_thread_;
   std::mutex mu_;

@@ -3,10 +3,30 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/parallel.h"
 #include "obs/metrics.h"
 
 namespace vgod::kernels {
 namespace {
+
+// Parallelization here is row-parallel (or flat-index-parallel for
+// elementwise ops): every output element is produced by exactly one
+// ParallelFor chunk running the same serial inner loop as the
+// single-threaded kernel, so outputs are bit-identical across thread
+// counts (docs/PARALLELISM.md). Scalar reductions (SumAll & friends) stay
+// serial: splitting their single double accumulator would change the
+// float summation order.
+
+/// Minimum flat elements per elementwise chunk — below this the dispatch
+/// overhead beats the memory-bound loop.
+constexpr int64_t kElementGrain = 1 << 14;
+
+/// Row grain so one chunk covers at least ~kElementGrain scalar ops for a
+/// per-row cost of `row_work`. Pure function of the shape, so the chunk
+/// decomposition never depends on runtime load.
+int64_t RowGrain(int64_t row_work) {
+  return std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, row_work));
+}
 
 /// Op-level accounting for the dense matmul family (the library's hot
 /// kernels): flop/byte estimates shared across the three variants; each
@@ -26,8 +46,10 @@ Tensor ElementwiseUnary(const Tensor& a, Fn fn) {
   Tensor out(a.rows(), a.cols());
   const float* in = a.data();
   float* dst = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) dst[i] = fn(in[i]);
+  par::ParallelFor(0, a.size(), kElementGrain,
+                   [&](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) dst[i] = fn(in[i]);
+                   });
   return out;
 }
 
@@ -38,8 +60,12 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, Fn fn) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* dst = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) dst[i] = fn(pa[i], pb[i]);
+  par::ParallelFor(0, a.size(), kElementGrain,
+                   [&](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) {
+                       dst[i] = fn(pa[i], pb[i]);
+                     }
+                   });
   return out;
 }
 
@@ -56,16 +82,22 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   float* pc = out.data();
   // i-k-j loop order: the inner j loop is a contiguous saxpy that the
   // compiler auto-vectorizes; this is the hot kernel of the whole library.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* crow = pc + static_cast<size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float aval = arow[kk];
-      if (aval == 0.0f) continue;  // Attribute matrices are often sparse.
-      const float* brow = pb + static_cast<size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  // Row-parallel: each output row is one serial i-iteration, so the split
+  // never changes the summation order.
+  par::ParallelFor(
+      0, m, RowGrain(static_cast<int64_t>(k) * n),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float* arow = pa + static_cast<size_t>(i) * k;
+          float* crow = pc + static_cast<size_t>(i) * n;
+          for (int kk = 0; kk < k; ++kk) {
+            const float aval = arow[kk];
+            if (aval == 0.0f) continue;  // Attributes are often sparse.
+            const float* brow = pb + static_cast<size_t>(kk) * n;
+            for (int j = 0; j < n; ++j) crow[j] += aval * brow[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -78,16 +110,20 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* crow = pc + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<size_t>(j) * k;
-      double acc = 0.0;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = static_cast<float>(acc);
-    }
-  }
+  par::ParallelFor(
+      0, m, RowGrain(static_cast<int64_t>(k) * n),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float* arow = pa + static_cast<size_t>(i) * k;
+          float* crow = pc + static_cast<size_t>(i) * n;
+          for (int j = 0; j < n; ++j) {
+            const float* brow = pb + static_cast<size_t>(j) * k;
+            double acc = 0.0;
+            for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            crow[j] = static_cast<float>(acc);
+          }
+        }
+      });
   return out;
 }
 
@@ -100,24 +136,39 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = pa + static_cast<size_t>(kk) * m;
-    const float* brow = pb + static_cast<size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float aval = arow[i];
-      if (aval == 0.0f) continue;
-      float* crow = pc + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  // Split over output rows (columns of A); kk stays the outer loop inside
+  // each chunk, so each C[i][j] accumulates in ascending-kk order exactly
+  // as the serial kernel does.
+  par::ParallelFor(
+      0, m, RowGrain(static_cast<int64_t>(k) * n),
+      [&](int64_t lo, int64_t hi) {
+        for (int kk = 0; kk < k; ++kk) {
+          const float* arow = pa + static_cast<size_t>(kk) * m;
+          const float* brow = pb + static_cast<size_t>(kk) * n;
+          for (int64_t i = lo; i < hi; ++i) {
+            const float aval = arow[i];
+            if (aval == 0.0f) continue;
+            float* crow = pc + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j) crow[j] += aval * brow[j];
+          }
+        }
+      });
   return out;
 }
 
 Tensor Transpose(const Tensor& a) {
   Tensor out(a.cols(), a.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < a.cols(); ++j) out.SetAt(j, i, a.At(i, j));
-  }
+  const float* src = a.data();
+  float* dst = out.data();
+  const int rows = a.rows(), cols = a.cols();
+  par::ParallelFor(0, rows, RowGrain(cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        dst[static_cast<size_t>(j) * rows + i] =
+            src[static_cast<size_t>(i) * cols + j];
+      }
+    }
+  });
   return out;
 }
 
@@ -144,10 +195,13 @@ Tensor AddRowVector(const Tensor& a, const Tensor& row) {
   const float* pa = a.data();
   const float* pr = row.data();
   float* dst = out.data();
-  for (int i = 0; i < a.rows(); ++i) {
-    const size_t base = static_cast<size_t>(i) * a.cols();
-    for (int j = 0; j < a.cols(); ++j) dst[base + j] = pa[base + j] + pr[j];
-  }
+  const int cols = a.cols();
+  par::ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const size_t base = static_cast<size_t>(i) * cols;
+      for (int j = 0; j < cols; ++j) dst[base + j] = pa[base + j] + pr[j];
+    }
+  });
   return out;
 }
 
@@ -155,22 +209,28 @@ void AddInPlace(Tensor* dst, const Tensor& src) {
   VGOD_CHECK(dst->SameShape(src));
   float* pd = dst->data();
   const float* ps = src.data();
-  const int64_t n = dst->size();
-  for (int64_t i = 0; i < n; ++i) pd[i] += ps[i];
+  par::ParallelFor(0, dst->size(), kElementGrain,
+                   [&](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) pd[i] += ps[i];
+                   });
 }
 
 void AxpyInPlace(Tensor* dst, float s, const Tensor& src) {
   VGOD_CHECK(dst->SameShape(src));
   float* pd = dst->data();
   const float* ps = src.data();
-  const int64_t n = dst->size();
-  for (int64_t i = 0; i < n; ++i) pd[i] += s * ps[i];
+  par::ParallelFor(0, dst->size(), kElementGrain,
+                   [&](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) pd[i] += s * ps[i];
+                   });
 }
 
 void ScaleInPlace(Tensor* dst, float s) {
   float* pd = dst->data();
-  const int64_t n = dst->size();
-  for (int64_t i = 0; i < n; ++i) pd[i] *= s;
+  par::ParallelFor(0, dst->size(), kElementGrain,
+                   [&](int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) pd[i] *= s;
+                   });
 }
 
 Tensor Relu(const Tensor& a) {
@@ -221,12 +281,16 @@ Tensor SumAll(const Tensor& a) {
 Tensor RowSums(const Tensor& a) {
   Tensor out(a.rows(), 1);
   const float* p = a.data();
-  for (int i = 0; i < a.rows(); ++i) {
-    double acc = 0.0;
-    const size_t base = static_cast<size_t>(i) * a.cols();
-    for (int j = 0; j < a.cols(); ++j) acc += p[base + j];
-    out.SetAt(i, 0, static_cast<float>(acc));
-  }
+  float* dst = out.data();
+  const int cols = a.cols();
+  par::ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      double acc = 0.0;
+      const size_t base = static_cast<size_t>(i) * cols;
+      for (int j = 0; j < cols; ++j) acc += p[base + j];
+      dst[i] = static_cast<float>(acc);
+    }
+  });
   return out;
 }
 
@@ -234,24 +298,33 @@ Tensor ColSums(const Tensor& a) {
   Tensor out = Tensor::Zeros(1, a.cols());
   const float* p = a.data();
   float* dst = out.data();
-  for (int i = 0; i < a.rows(); ++i) {
-    const size_t base = static_cast<size_t>(i) * a.cols();
-    for (int j = 0; j < a.cols(); ++j) dst[j] += p[base + j];
-  }
+  const int rows = a.rows(), cols = a.cols();
+  // Column-parallel: each chunk owns a column range and scans every row,
+  // so each dst[j] accumulates in ascending-row order like the serial loop.
+  par::ParallelFor(0, cols, RowGrain(rows), [&](int64_t lo, int64_t hi) {
+    for (int i = 0; i < rows; ++i) {
+      const size_t base = static_cast<size_t>(i) * cols;
+      for (int64_t j = lo; j < hi; ++j) dst[j] += p[base + j];
+    }
+  });
   return out;
 }
 
 Tensor RowNorms(const Tensor& a) {
   Tensor out(a.rows(), 1);
   const float* p = a.data();
-  for (int i = 0; i < a.rows(); ++i) {
-    double acc = 0.0;
-    const size_t base = static_cast<size_t>(i) * a.cols();
-    for (int j = 0; j < a.cols(); ++j) {
-      acc += static_cast<double>(p[base + j]) * p[base + j];
+  float* dst = out.data();
+  const int cols = a.cols();
+  par::ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      double acc = 0.0;
+      const size_t base = static_cast<size_t>(i) * cols;
+      for (int j = 0; j < cols; ++j) {
+        acc += static_cast<double>(p[base + j]) * p[base + j];
+      }
+      dst[i] = static_cast<float>(std::sqrt(acc));
     }
-    out.SetAt(i, 0, static_cast<float>(std::sqrt(acc)));
-  }
+  });
   return out;
 }
 
@@ -259,16 +332,19 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
   Tensor out(a.rows(), a.cols());
   const float* p = a.data();
   float* dst = out.data();
-  for (int i = 0; i < a.rows(); ++i) {
-    const size_t base = static_cast<size_t>(i) * a.cols();
-    double acc = 0.0;
-    for (int j = 0; j < a.cols(); ++j) {
-      acc += static_cast<double>(p[base + j]) * p[base + j];
+  const int cols = a.cols();
+  par::ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const size_t base = static_cast<size_t>(i) * cols;
+      double acc = 0.0;
+      for (int j = 0; j < cols; ++j) {
+        acc += static_cast<double>(p[base + j]) * p[base + j];
+      }
+      const float inv =
+          1.0f / std::max(static_cast<float>(std::sqrt(acc)), eps);
+      for (int j = 0; j < cols; ++j) dst[base + j] = p[base + j] * inv;
     }
-    const float inv =
-        1.0f / std::max(static_cast<float>(std::sqrt(acc)), eps);
-    for (int j = 0; j < a.cols(); ++j) dst[base + j] = p[base + j] * inv;
-  }
+  });
   return out;
 }
 
@@ -277,15 +353,19 @@ Tensor RowSquaredDistance(const Tensor& a, const Tensor& b) {
   Tensor out(a.rows(), 1);
   const float* pa = a.data();
   const float* pb = b.data();
-  for (int i = 0; i < a.rows(); ++i) {
-    const size_t base = static_cast<size_t>(i) * a.cols();
-    double acc = 0.0;
-    for (int j = 0; j < a.cols(); ++j) {
-      const double d = static_cast<double>(pa[base + j]) - pb[base + j];
-      acc += d * d;
+  float* dst = out.data();
+  const int cols = a.cols();
+  par::ParallelFor(0, a.rows(), RowGrain(cols), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const size_t base = static_cast<size_t>(i) * cols;
+      double acc = 0.0;
+      for (int j = 0; j < cols; ++j) {
+        const double d = static_cast<double>(pa[base + j]) - pb[base + j];
+        acc += d * d;
+      }
+      dst[i] = static_cast<float>(acc);
     }
-    out.SetAt(i, 0, static_cast<float>(acc));
-  }
+  });
   return out;
 }
 

@@ -5,6 +5,7 @@
 // shape changes, mixed constants/parameters).
 #include <gtest/gtest.h>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "tensor/functional.h"
 #include "tensor/gradcheck.h"
@@ -42,10 +43,8 @@ Variable RandomBinary(const Variable& a, const Variable& b, Rng* rng) {
   }
 }
 
-class AutogradFuzzTest : public ::testing::TestWithParam<uint64_t> {};
-
-TEST_P(AutogradFuzzTest, RandomChainGradientsMatchNumeric) {
-  Rng rng(GetParam());
+void RunRandomChainGradCheck(uint64_t seed) {
+  Rng rng(seed);
   const int rows = 2 + static_cast<int>(rng.UniformInt(4));
   const int cols = 2 + static_cast<int>(rng.UniformInt(4));
   const int inner = 2 + static_cast<int>(rng.UniformInt(4));
@@ -81,13 +80,35 @@ TEST_P(AutogradFuzzTest, RandomChainGradientsMatchNumeric) {
         }
       },
       params, /*epsilon=*/1e-3, /*tolerance=*/8e-2);
-  EXPECT_TRUE(result.ok) << "seed " << GetParam() << ": " << result.detail
+  EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.detail
                          << " (max rel err " << result.max_relative_error
                          << ")";
 }
 
+class AutogradFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutogradFuzzTest, RandomChainGradientsMatchNumeric) {
+  RunRandomChainGradCheck(GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzTest,
                          ::testing::Range<uint64_t>(100, 140));
+
+// Same programs, evaluated with the vgod::par pool active: the analytic
+// gradients must still match finite differences when every kernel inside
+// the loss runs multithreaded (docs/PARALLELISM.md).
+class AutogradFuzzPoolTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override { par::SetNumThreads(4); }
+  void TearDown() override { par::SetNumThreads(par::DefaultNumThreads()); }
+};
+
+TEST_P(AutogradFuzzPoolTest, RandomChainGradientsMatchNumericUnderPool) {
+  RunRandomChainGradCheck(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzPoolTest,
+                         ::testing::Range<uint64_t>(100, 116));
 
 }  // namespace
 }  // namespace vgod

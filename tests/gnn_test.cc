@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "gnn/graph_autograd.h"
 #include "gnn/layers.h"
@@ -142,6 +143,75 @@ TEST(GraphAutogradGradTest, NeighborVarianceOnDirectedNegativeGraph) {
 }
 
 TEST(GraphAutogradGradTest, GatAggregate) {
+  auto g = TestGraph(/*self_loops=*/true);
+  Rng rng(9);
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(6, 3, 0, 1, &rng)),
+      Variable::Parameter(Tensor::RandomNormal(6, 1, 0, 1, &rng)),
+      Variable::Parameter(Tensor::RandomNormal(6, 1, 0, 1, &rng))};
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& p) {
+        return ag::MeanAll(
+            ag::Square(ag::GatAggregate(g, p[0], p[1], p[2])));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// --- graph autograd ops: gradcheck with the vgod::par pool active ---
+//
+// The CSR backwards are rewritten as transpose-CSR gathers when the pool
+// is on (docs/PARALLELISM.md); re-run the finite-difference checks with a
+// pool width that does not divide the 6-node test graphs.
+
+class PooledGradTest : public ::testing::Test {
+ protected:
+  void SetUp() override { par::SetNumThreads(4); }
+  void TearDown() override { par::SetNumThreads(par::DefaultNumThreads()); }
+};
+
+TEST_F(PooledGradTest, SpmmUnderPool) {
+  auto g = TestGraph();
+  Rng rng(4);
+  std::vector<float> weights(g->num_directed_edges());
+  for (float& w : weights) w = static_cast<float>(rng.Uniform(0.1, 1.0));
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(6, 3, 0, 1, &rng))};
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& p) {
+        return ag::MeanAll(ag::Square(ag::Spmm(g, weights, p[0])));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST_F(PooledGradTest, NeighborMeanUnderPool) {
+  auto g = TestGraph();
+  Rng rng(6);
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(6, 3, 0, 1, &rng))};
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& p) {
+        return ag::MeanAll(ag::Square(ag::NeighborMean(g, p[0])));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST_F(PooledGradTest, NeighborVarianceScoreUnderPool) {
+  auto g = TestGraph();
+  Rng rng(7);
+  std::vector<Variable> params = {
+      Variable::Parameter(Tensor::RandomNormal(6, 3, 0, 1, &rng))};
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& p) {
+        return ag::MeanAll(ag::NeighborVarianceScore(g, p[0]));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST_F(PooledGradTest, GatAggregateUnderPool) {
   auto g = TestGraph(/*self_loops=*/true);
   Rng rng(9);
   std::vector<Variable> params = {

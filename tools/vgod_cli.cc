@@ -4,13 +4,14 @@
 //            [--inject=none|standard|structural|contextual|edge-replace]
 //   vgod_cli detect --graph=g.graph --detector=VGOD [--self-loop]
 //            [--row-normalize] [--seed=7] [--epoch-scale=1]
-//            [--output=scores.tsv] [--top=10] [--save-model=prefix]
-//            [--telemetry_out=train.jsonl] [--metrics_out=metrics.json]
-//            [--trace] [--trace_out=trace.json]
+//            [--num_threads=N] [--output=scores.tsv] [--top=10]
+//            [--save-model=prefix] [--telemetry_out=train.jsonl]
+//            [--metrics_out=metrics.json] [--trace] [--trace_out=trace.json]
 //   vgod_cli eval --graph=g.graph --scores=scores.tsv
 //   vgod_cli export-bundle --model=prefix --detector=VGOD --output=m.vgodb
 //   vgod_cli serve --bundle=m.vgodb --graph=g.graph [--port=8080]
-//            [--threads=2] [--max-batch=8] [--max-delay-us=1000]
+//            [--threads=2] [--num_threads=N] [--max-batch=8]
+//            [--max-delay-us=1000]
 //
 // `generate` writes a simulated benchmark dataset (optionally with
 // injected outliers); `detect` trains a detector and prints/stores scores
@@ -30,6 +31,7 @@
 #include <numeric>
 
 #include "core/args.h"
+#include "core/parallel.h"
 #include "datasets/io.h"
 #include "datasets/registry.h"
 #include "detectors/arm.h"
@@ -61,17 +63,19 @@ int Usage() {
       "[--seed=N] [--inject=MODE]\n"
       "  detect        --graph=PATH [--detector=VGOD] [--self-loop] "
       "[--row-normalize]\n"
-      "                [--seed=N] [--epoch-scale=F] [--output=PATH] "
-      "[--top=K] [--save-model=PREFIX]\n"
-      "                [--save-bundle=PATH] [--telemetry_out=PATH] "
-      "[--metrics_out=PATH]\n"
-      "                [--trace] [--trace_out=PATH]\n"
+      "                [--seed=N] [--epoch-scale=F] [--num_threads=N] "
+      "[--output=PATH]\n"
+      "                [--top=K] [--save-model=PREFIX] "
+      "[--save-bundle=PATH]\n"
+      "                [--telemetry_out=PATH] [--metrics_out=PATH] "
+      "[--trace] [--trace_out=PATH]\n"
       "  eval          --graph=PATH --scores=PATH\n"
       "  export-bundle --model=PREFIX --detector=NAME --output=PATH "
       "[--self-loop] [--row-normalize]\n"
       "  serve         --bundle=PATH --graph=PATH [--port=N] "
-      "[--threads=N] [--max-batch=N]\n"
-      "                [--max-delay-us=N] [--max-queue=N]\n");
+      "[--threads=N] [--num_threads=N]\n"
+      "                [--max-batch=N] [--max-delay-us=N] "
+      "[--max-queue=N]\n");
   return 2;
 }
 
@@ -135,12 +139,19 @@ int RunGenerate(const ArgParser& args) {
 int RunDetect(const ArgParser& args) {
   Status valid = args.Validate({"graph", "detector", "self-loop",
                                 "row-normalize", "seed", "epoch-scale",
-                                "output", "top", "save-model",
-                                "save-bundle", "telemetry_out",
-                                "metrics_out", "trace", "trace_out"});
+                                "num_threads", "output", "top",
+                                "save-model", "save-bundle",
+                                "telemetry_out", "metrics_out", "trace",
+                                "trace_out"});
   if (!valid.ok()) return Fail(valid);
   const std::string graph_path = args.GetString("graph", "");
   if (graph_path.empty()) return Usage();
+
+  // Size the kernel pool before any Fit/Score work touches it. 0 keeps the
+  // VGOD_NUM_THREADS / hardware default; scores are bit-identical either
+  // way (docs/PARALLELISM.md).
+  const int num_threads = static_cast<int>(args.GetInt("num_threads", 0));
+  if (num_threads > 0) par::SetNumThreads(num_threads);
 
   obs::InitTraceFromEnv();
   const std::string trace_path =
@@ -335,7 +346,8 @@ void HandleServeSignal(int) {
 
 int RunServe(const ArgParser& args) {
   Status valid = args.Validate({"bundle", "graph", "port", "threads",
-                                "max-batch", "max-delay-us", "max-queue"});
+                                "num_threads", "max-batch", "max-delay-us",
+                                "max-queue"});
   if (!valid.ok()) return Fail(valid);
   serve::ServerOptions options;
   options.bundle_path = args.GetString("bundle", "");
@@ -345,6 +357,8 @@ int RunServe(const ArgParser& args) {
   }
   options.port = static_cast<int>(args.GetInt("port", 8080));
   options.engine.num_threads = static_cast<int>(args.GetInt("threads", 2));
+  options.engine.intra_op_threads =
+      static_cast<int>(args.GetInt("num_threads", 0));
   options.engine.max_batch = static_cast<int>(args.GetInt("max-batch", 8));
   options.engine.max_delay_us =
       static_cast<int>(args.GetInt("max-delay-us", 1000));

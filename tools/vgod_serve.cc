@@ -1,8 +1,8 @@
 // vgod_serve — the standalone scoring server.
 //
 //   vgod_serve --bundle=model.vgodb --graph=g.graph [--port=8080]
-//              [--threads=2] [--max-batch=8] [--max-delay-us=1000]
-//              [--max-queue=1024]
+//              [--threads=2] [--num_threads=N] [--max-batch=8]
+//              [--max-delay-us=1000] [--max-queue=1024]
 //
 // Loads a model bundle (exported by `vgod_cli detect --save-bundle` or
 // `vgod_cli export-bundle`) and the resident graph, then serves
@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   Status valid = args.value().Validate({"bundle", "graph", "port", "threads",
-                                        "max-batch", "max-delay-us",
-                                        "max-queue"});
+                                        "num_threads", "max-batch",
+                                        "max-delay-us", "max-queue"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
     return 2;
@@ -46,13 +46,18 @@ int main(int argc, char** argv) {
   if (options.bundle_path.empty() || options.graph_path.empty()) {
     std::fprintf(stderr,
                  "usage: vgod_serve --bundle=PATH --graph=PATH [--port=N]\n"
-                 "                  [--threads=N] [--max-batch=N]\n"
-                 "                  [--max-delay-us=N] [--max-queue=N]\n");
+                 "                  [--threads=N] [--num_threads=N]\n"
+                 "                  [--max-batch=N] [--max-delay-us=N]\n"
+                 "                  [--max-queue=N]\n");
     return 2;
   }
   options.port = static_cast<int>(args.value().GetInt("port", 8080));
   options.engine.num_threads =
       static_cast<int>(args.value().GetInt("threads", 2));
+  // Intra-op kernel pool width, applied by the engine at Start(). 0 keeps
+  // the VGOD_NUM_THREADS / hardware default (docs/PARALLELISM.md).
+  options.engine.intra_op_threads =
+      static_cast<int>(args.value().GetInt("num_threads", 0));
   options.engine.max_batch =
       static_cast<int>(args.value().GetInt("max-batch", 8));
   options.engine.max_delay_us =
