@@ -1,0 +1,171 @@
+#include "core/faultinject.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "core/logging.h"
+
+namespace vgod::faults {
+namespace {
+
+enum class Action { kFail, kNan };
+
+struct SiteRule {
+  Action action = Action::kFail;
+  int64_t from_hit = 1;  // 1-based hit number at which injection starts.
+  int64_t hits = 0;
+  int64_t triggers = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteRule> sites;
+};
+
+std::atomic<bool> g_enabled{false};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Status ParseRule(const std::string& token, std::string* site,
+                 SiteRule* rule) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("fault rule needs 'site=action': '" +
+                                   token + "'");
+  }
+  *site = token.substr(0, eq);
+  std::string action = token.substr(eq + 1);
+  int64_t from_hit = 1;
+  if (const size_t at = action.find('@'); at != std::string::npos) {
+    const std::string count = action.substr(at + 1);
+    action = action.substr(0, at);
+    const auto [end, ec] = std::from_chars(
+        count.data(), count.data() + count.size(), from_hit);
+    if (ec != std::errc() || end != count.data() + count.size() ||
+        from_hit < 1) {
+      return Status::InvalidArgument(
+          "fault rule '@N' needs a positive hit number: '" + token + "'");
+    }
+  }
+  if (action == "fail") {
+    rule->action = Action::kFail;
+  } else if (action == "nan") {
+    rule->action = Action::kNan;
+  } else {
+    return Status::InvalidArgument(
+        "fault action must be 'fail' or 'nan': '" + token + "'");
+  }
+  rule->from_hit = from_hit;
+  return Status::Ok();
+}
+
+/// Counts the hit and reports whether the armed `action` fires on it.
+bool HitSite(const char* site, Action action) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end() || it->second.action != action) {
+    return false;
+  }
+  SiteRule& rule = it->second;
+  ++rule.hits;
+  if (rule.hits < rule.from_hit) return false;
+  ++rule.triggers;
+  return true;
+}
+
+/// Reads VGOD_FAULTS exactly once, before the first rule lookup.
+void InitFromEnvOnce() {
+  static const bool initialized = [] {
+    const char* spec = std::getenv("VGOD_FAULTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      const Status armed = Arm(spec);
+      if (!armed.ok()) {
+        VGOD_LOG(Warning) << "ignoring bad VGOD_FAULTS: "
+                          << armed.ToString();
+      }
+    }
+    return true;
+  }();
+  (void)initialized;
+}
+
+}  // namespace
+
+bool Enabled() {
+  InitFromEnvOnce();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+Status Arm(const std::string& spec) {
+  std::map<std::string, SiteRule> sites;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find_first_of(",;", begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (token.empty()) continue;
+    std::string site;
+    SiteRule rule;
+    VGOD_RETURN_IF_ERROR(ParseRule(token, &site, &rule));
+    sites[site] = rule;
+  }
+
+  Registry& registry = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.sites = std::move(sites);
+    g_enabled.store(!registry.sites.empty(), std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+void Disarm() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites.clear();
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool ShouldFail(const char* site) {
+  if (!Enabled()) return false;
+  return HitSite(site, Action::kFail);
+}
+
+bool ShouldInjectNan(const char* site) {
+  if (!Enabled()) return false;
+  return HitSite(site, Action::kNan);
+}
+
+double MaybeNan(const char* site, double value) {
+  return ShouldInjectNan(site)
+             ? std::numeric_limits<double>::quiet_NaN()
+             : value;
+}
+
+int64_t TriggerCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::string> ArmedSites() {
+  std::vector<std::string> names;
+  if (!Enabled()) return names;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  names.reserve(registry.sites.size());
+  for (const auto& [name, rule] : registry.sites) names.push_back(name);
+  return names;
+}
+
+}  // namespace vgod::faults

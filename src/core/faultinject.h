@@ -1,0 +1,61 @@
+#ifndef VGOD_CORE_FAULTINJECT_H_
+#define VGOD_CORE_FAULTINJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vgod::faults {
+
+/// Deterministic fault injection for the untrusted-input degradation paths
+/// (docs/ROBUSTNESS.md). A handful of named sites in IO and scoring code
+/// consult this module; when a site is armed it forces the failure the
+/// robustness machinery must absorb — an IO short-read/failure or an
+/// injected NaN — so tests can exercise every error branch on demand.
+///
+/// Armed via the VGOD_FAULTS environment variable (mirroring VGOD_TRACE)
+/// or programmatically with Arm(). The spec is a comma/semicolon separated
+/// list of `site=action` rules:
+///
+///   VGOD_FAULTS="bundle.read=fail"        every hit of the site fails
+///   VGOD_FAULTS="bundle.read=fail@3"      hits 1-2 succeed, 3+ fail
+///   VGOD_FAULTS="serve.score=nan"         every hit injects a NaN
+///   VGOD_FAULTS="vbm.loss=nan@2,dataset.read=fail"
+///
+/// The disarmed fast path is one relaxed atomic load, so leaving the
+/// probes compiled into production builds costs nothing measurable.
+/// Everything here is thread-safe.
+
+/// True when any fault rule is armed. Reads VGOD_FAULTS once, lazily, on
+/// first call (from any entry point below).
+bool Enabled();
+
+/// Parses `spec` and replaces the armed rule set. Empty spec == Disarm().
+Status Arm(const std::string& spec);
+
+/// Clears every rule and trigger counter.
+void Disarm();
+
+/// True when the `site` hit that this call represents must fail (site
+/// armed with `fail` and the per-site hit counter has reached its
+/// threshold). Each call counts as one hit of the site.
+bool ShouldFail(const char* site);
+
+/// True when this hit of `site` must produce a NaN (`nan` rules).
+bool ShouldInjectNan(const char* site);
+
+/// Convenience: `value`, or a quiet NaN when this hit of `site` is armed
+/// for NaN injection.
+double MaybeNan(const char* site, double value);
+
+/// How many times `site` actually injected a failure/NaN so far.
+int64_t TriggerCount(const std::string& site);
+
+/// The armed site names (for startup logging).
+std::vector<std::string> ArmedSites();
+
+}  // namespace vgod::faults
+
+#endif  // VGOD_CORE_FAULTINJECT_H_

@@ -1,9 +1,21 @@
 #include "datasets/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
+#include "core/faultinject.h"
+
 namespace vgod::datasets {
+namespace {
+
+// Header dimensions a real dataset never reaches; a hostile or corrupt
+// header must fail here instead of sizing a giant allocation.
+constexpr int64_t kMaxNodes = 100'000'000;
+constexpr int64_t kMaxAttributeDim = 1'000'000;
+constexpr int64_t kMaxCells = int64_t{1} << 31;  // n * d bound.
+
+}  // namespace
 
 Status SaveGraph(const AttributedGraph& graph, const std::string& path) {
   std::ofstream out(path);
@@ -35,30 +47,57 @@ Status SaveGraph(const AttributedGraph& graph, const std::string& path) {
 Result<AttributedGraph> LoadGraph(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
-
-  std::string magic;
-  int n = 0, d = 0, has_comm = 0, has_labels = 0;
-  in >> magic >> n >> d >> has_comm >> has_labels;
-  if (magic != "vgod-graph" || n < 0 || d < 0) {
-    return Status::InvalidArgument("not a vgod-graph file: " + path);
+  // "dataset.read=fail" (faultinject.h) simulates the open succeeding and
+  // the read failing (disappearing NFS mount, truncated download, ...).
+  if (faults::ShouldFail("dataset.read")) {
+    return Status::IoError("injected dataset read failure: " + path);
   }
 
-  Tensor attrs(n, d);
+  std::string magic;
+  int64_t n = 0, d = 0;
+  int has_comm = 0, has_labels = 0;
+  in >> magic >> n >> d >> has_comm >> has_labels;
+  if (!in || magic != "vgod-graph" || n < 0 || d < 0) {
+    return Status::InvalidArgument("not a vgod-graph file: " + path);
+  }
+  // The header sizes the attribute allocation, so it is the file's most
+  // dangerous field: cap it before trusting it.
+  if (n > kMaxNodes || d > kMaxAttributeDim || n * d > kMaxCells) {
+    return Status::InvalidArgument(
+        "implausible vgod-graph header (" + std::to_string(n) + " nodes x " +
+        std::to_string(d) + " attributes): " + path);
+  }
+
+  Tensor attrs(static_cast<int>(n), static_cast<int>(d));
   std::vector<int> communities;
   std::vector<uint8_t> labels;
   if (has_comm) communities.resize(n);
   if (has_labels) labels.resize(n);
-  for (int i = 0; i < n; ++i) {
+  for (int64_t i = 0; i < n; ++i) {
     if (has_comm) in >> communities[i];
     if (has_labels) {
       int label = 0;
       in >> label;
       labels[i] = static_cast<uint8_t>(label);
     }
-    for (int j = 0; j < d; ++j) {
+    for (int64_t j = 0; j < d; ++j) {
       float value = 0.0f;
       in >> value;
-      attrs.SetAt(i, j, value);
+      if (std::isfinite(value)) {
+        attrs.SetAt(static_cast<int>(i), static_cast<int>(j), value);
+      } else {
+        // Some standard libraries parse "nan"/"inf" tokens (others fail
+        // extraction, caught below); either way a non-finite value must
+        // not poison every downstream kernel and score.
+        return Status::InvalidArgument(
+            "non-finite attribute for node " + std::to_string(i) + " in " +
+            path);
+      }
+    }
+    if (!in) {
+      return Status::InvalidArgument(
+          "truncated or malformed node table at node " + std::to_string(i) +
+          " in " + path);
     }
   }
   std::string sentinel;
@@ -66,9 +105,12 @@ Result<AttributedGraph> LoadGraph(const std::string& path) {
   if (sentinel != "edges") {
     return Status::InvalidArgument("missing edges sentinel in " + path);
   }
-  GraphBuilder builder(n);
+  GraphBuilder builder(static_cast<int>(n));
   int u = 0, v = 0;
   while (in >> u >> v) builder.AddEdge(u, v);
+  if (!in.eof() && in.fail()) {
+    return Status::InvalidArgument("malformed edge list in " + path);
+  }
   builder.SetAttributes(std::move(attrs));
   if (has_comm) builder.SetCommunities(std::move(communities));
   if (has_labels) builder.SetOutlierLabels(std::move(labels));

@@ -1,5 +1,7 @@
 #include "detectors/arm.h"
 
+#include "core/faultinject.h"
+#include "detectors/divergence.h"
 #include "detectors/serialize.h"
 #include "graph/graph_ops.h"
 #include "obs/trace.h"
@@ -73,6 +75,7 @@ Status Arm::Fit(const AttributedGraph& graph) {
   Variable target = Variable::Constant(attributes);
 
   Adam optimizer(Parameters(), config_.lr);
+  DivergenceGuard guard(Parameters());
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     VGOD_TRACE_SPAN("arm/epoch");
     Variable reconstructed = Reconstruct(message_graph, attributes);
@@ -82,8 +85,18 @@ Status Arm::Fit(const AttributedGraph& graph) {
     optimizer.ZeroGrad();
     loss.Backward();
     optimizer.Step();
-    run.EndEpoch(epoch + 1, loss.value().ScalarValue(),
-                 optimizer.GradNorm());
+    // "arm.loss=nan" (faultinject.h) simulates a diverged fit on demand.
+    const double epoch_loss =
+        faults::MaybeNan("arm.loss", loss.value().ScalarValue());
+    const obs::EpochRecord record =
+        run.EndEpoch(epoch + 1, epoch_loss, optimizer.GradNorm());
+    const Status healthy = guard.Check(record);
+    if (!healthy.ok()) {
+      // Parameters are already rolled back to the last finite epoch.
+      train_stats_.epochs = guard.last_good_epoch();
+      train_stats_.train_seconds = run.TotalSeconds();
+      return healthy;
+    }
   }
   train_stats_.epochs = config_.epochs;
   train_stats_.train_seconds = run.TotalSeconds();
@@ -165,10 +178,23 @@ Status Arm::RestoreFromBundle(const ModelBundle& bundle) {
                                    bundle.detector + "', not " + name());
   }
   if (bundle.config.is_object()) {
-    config_.hidden_dim = static_cast<int>(
-        ConfigNumber(bundle.config, "hidden_dim", config_.hidden_dim));
-    config_.num_layers = static_cast<int>(
-        ConfigNumber(bundle.config, "num_layers", config_.num_layers));
+    // Untrusted config: range-check before the double -> int casts (UB out
+    // of range) and before BuildModules allocates num_layers hidden^2
+    // tensors from these values.
+    const double hidden =
+        ConfigNumber(bundle.config, "hidden_dim", config_.hidden_dim);
+    if (!(hidden >= 1.0 && hidden <= 65536.0)) {
+      return Status::InvalidArgument(
+          "bundle hidden_dim out of range [1, 65536]");
+    }
+    const double layers =
+        ConfigNumber(bundle.config, "num_layers", config_.num_layers);
+    if (!(layers >= 0.0 && layers <= 64.0)) {
+      return Status::InvalidArgument(
+          "bundle num_layers out of range [0, 64]");
+    }
+    config_.hidden_dim = static_cast<int>(hidden);
+    config_.num_layers = static_cast<int>(layers);
     config_.row_normalize_attributes =
         ConfigBool(bundle.config, "row_normalize_attributes",
                    config_.row_normalize_attributes);

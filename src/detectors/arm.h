@@ -62,6 +62,10 @@ class Arm : public OutlierDetector {
   Result<ModelBundle> ExportBundle() const override;
   Status RestoreFromBundle(const ModelBundle& bundle) override;
 
+  int expected_attribute_dim() const override {
+    return in_transform_.has_value() ? in_transform_->in_features() : -1;
+  }
+
  private:
   /// Rebuilds the module stack from the tensor shapes + current config and
   /// installs `tensors`.

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "core/faultinject.h"
 #include "detectors/serialize.h"
 
 namespace vgod::detectors {
@@ -38,6 +39,9 @@ void WriteScalar(std::ofstream* out, Fnv1a* sum, T value) {
 }
 
 bool ReadRaw(std::ifstream* in, Fnv1a* sum, void* data, size_t len) {
+  // "bundle.read=fail[@N]" (faultinject.h) forces the Nth read to come up
+  // short, exercising every truncation branch of LoadBundle on demand.
+  if (faults::ShouldFail("bundle.read")) return false;
   in->read(static_cast<char*>(data), static_cast<std::streamsize>(len));
   if (in->gcount() != static_cast<std::streamsize>(len)) return false;
   if (sum != nullptr) sum->Update(data, len);

@@ -61,6 +61,13 @@ class OutlierDetector {
   /// graph (paper Table II, "Inductive Inference" column).
   virtual bool supports_inductive() const { return true; }
 
+  /// The attribute width a fitted (or bundle-restored) model requires of
+  /// any graph it scores, or -1 when unknown (unfitted, or the detector is
+  /// schema-free). The serving layer checks the resident graph against
+  /// this at startup — a mismatch would otherwise only surface as a shape
+  /// CHECK deep inside the first Score() kernel.
+  virtual int expected_attribute_dim() const { return -1; }
+
   /// Whether this detector can round-trip through a model bundle
   /// (bundle.h) — the deployment artifact vgod::serve loads.
   virtual bool supports_bundles() const { return false; }

@@ -1,0 +1,53 @@
+#include "detectors/divergence.h"
+
+#include <cmath>
+#include <string>
+
+#include "core/logging.h"
+#include "obs/metrics.h"
+
+namespace vgod::detectors {
+
+DivergenceGuard::DivergenceGuard(std::vector<Variable> params)
+    : params_(std::move(params)) {}
+
+Status DivergenceGuard::Check(const obs::EpochRecord& record) {
+  const bool loss_ok = std::isfinite(record.loss);
+  const bool grad_ok = std::isfinite(record.grad_norm);
+  if (loss_ok && grad_ok) {
+    if (snapshot_.empty()) {
+      snapshot_.reserve(params_.size());
+      for (const Variable& param : params_) {
+        snapshot_.push_back(param.value().Clone());
+      }
+    } else {
+      for (size_t i = 0; i < params_.size(); ++i) {
+        snapshot_[i].CopyFrom(params_[i].value());
+      }
+    }
+    last_good_epoch_ = record.epoch;
+    return Status::Ok();
+  }
+
+  VGOD_COUNTER_INC("train.divergence");
+  const std::string quantity =
+      !loss_ok ? "loss=" + std::to_string(record.loss)
+               : "grad_norm=" + std::to_string(record.grad_norm);
+  std::string message = record.detector + " training diverged at epoch " +
+                        std::to_string(record.epoch) + "/" +
+                        std::to_string(record.planned_epochs) + " (" +
+                        quantity + ")";
+  if (last_good_epoch_ > 0) {
+    for (size_t i = 0; i < params_.size(); ++i) {
+      params_[i].SetValue(snapshot_[i]);
+    }
+    message += "; parameters rolled back to epoch " +
+               std::to_string(last_good_epoch_);
+  } else {
+    message += "; no finite epoch to roll back to";
+  }
+  VGOD_LOG(Warning) << message;
+  return Status::Internal(message);
+}
+
+}  // namespace vgod::detectors

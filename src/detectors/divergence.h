@@ -1,0 +1,55 @@
+#ifndef VGOD_DETECTORS_DIVERGENCE_H_
+#define VGOD_DETECTORS_DIVERGENCE_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "obs/monitor.h"
+#include "tensor/autograd.h"
+
+namespace vgod::detectors {
+
+/// Watches a training loop's per-epoch telemetry for divergence (the
+/// non-finite loss or gradient norm that unsupervised detectors are prone
+/// to — BOND/PyGOD both report it across seeds) and keeps the model
+/// recoverable: after every finite epoch it snapshots the parameters, and
+/// on the first non-finite epoch it rolls the parameters back to that
+/// snapshot and reports a structured error.
+///
+/// Usage, inside Fit() right after obs::TrainingRun::EndEpoch:
+///
+///   DivergenceGuard guard(Parameters());
+///   for (...) {
+///     ...optimizer step...
+///     const obs::EpochRecord record = run.EndEpoch(epoch + 1, loss, norm);
+///     VGOD_RETURN_IF_ERROR(guard.Check(record));
+///   }
+///
+/// When Check returns an error the Fit should return it as-is: the caller
+/// gets a clear Status while the detector holds the last-good-epoch
+/// parameters, so it can still Score (or export a bundle) from the final
+/// healthy state instead of garbage.
+class DivergenceGuard {
+ public:
+  /// `params` are the live training parameters (shared autograd nodes, so
+  /// the guard sees every optimizer step and can write rollbacks back).
+  explicit DivergenceGuard(std::vector<Variable> params);
+
+  /// Finite loss and grad norm: snapshots the parameters, returns OK.
+  /// Non-finite: restores the last snapshot (when one exists), bumps the
+  /// train.divergence counter, and returns Internal naming the detector,
+  /// epoch, offending quantity, and the epoch rolled back to.
+  Status Check(const obs::EpochRecord& record);
+
+  /// The latest epoch whose parameters are snapshotted (0 = none yet).
+  int last_good_epoch() const { return last_good_epoch_; }
+
+ private:
+  std::vector<Variable> params_;
+  std::vector<Tensor> snapshot_;
+  int last_good_epoch_ = 0;
+};
+
+}  // namespace vgod::detectors
+
+#endif  // VGOD_DETECTORS_DIVERGENCE_H_

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/faultinject.h"
+#include "detectors/divergence.h"
 #include "detectors/serialize.h"
 #include "gnn/graph_autograd.h"
 #include "graph/graph_ops.h"
@@ -157,6 +159,7 @@ Status Vbm::Fit(const AttributedGraph& graph) {
       config_.self_loop ? graph.WithSelfLoops() : graph);
 
   Adam optimizer(transform_->Parameters(), config_.lr);
+  DivergenceGuard guard(transform_->Parameters());
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     VGOD_TRACE_SPAN("vbm/epoch");
     double epoch_loss = 0.0;
@@ -182,7 +185,19 @@ Status Vbm::Fit(const AttributedGraph& graph) {
       epoch_loss = loss.value().ScalarValue();
     }
 
-    run.EndEpoch(epoch + 1, epoch_loss, optimizer.GradNorm());
+    // "vbm.loss=nan" (faultinject.h) simulates the diverged fit the guard
+    // below must absorb.
+    epoch_loss = faults::MaybeNan("vbm.loss", epoch_loss);
+    const obs::EpochRecord record =
+        run.EndEpoch(epoch + 1, epoch_loss, optimizer.GradNorm());
+    const Status healthy = guard.Check(record);
+    if (!healthy.ok()) {
+      // The guard already rolled the transform back to the last finite
+      // epoch, so this model can still Score; report how far it got.
+      train_stats_.epochs = guard.last_good_epoch();
+      train_stats_.train_seconds = run.TotalSeconds();
+      return healthy;
+    }
     if (run.wants_scores()) {
       run.ProbeScores(epoch + 1, CurrentScores(graph));
     }
@@ -253,8 +268,16 @@ Status Vbm::RestoreFromBundle(const ModelBundle& bundle) {
                                    bundle.detector + "', not " + name());
   }
   if (bundle.config.is_object()) {
-    config_.hidden_dim = static_cast<int>(
-        ConfigNumber(bundle.config, "hidden_dim", config_.hidden_dim));
+    // The config travels inside the (untrusted) bundle file: validate the
+    // range before the double -> int cast, which is UB out of range, and
+    // before any allocation sized by it.
+    const double hidden =
+        ConfigNumber(bundle.config, "hidden_dim", config_.hidden_dim);
+    if (!(hidden >= 1.0 && hidden <= 65536.0)) {
+      return Status::InvalidArgument(
+          "bundle hidden_dim out of range [1, 65536]");
+    }
+    config_.hidden_dim = static_cast<int>(hidden);
     config_.self_loop =
         ConfigBool(bundle.config, "self_loop", config_.self_loop);
     config_.row_normalize_attributes =

@@ -72,6 +72,10 @@ class Vbm : public OutlierDetector {
   Result<ModelBundle> ExportBundle() const override;
   Status RestoreFromBundle(const ModelBundle& bundle) override;
 
+  int expected_attribute_dim() const override {
+    return transform_.has_value() ? transform_->in_features() : -1;
+  }
+
  private:
   /// Rebuilds the transform from the tensor shapes and installs `tensors`.
   Status RestoreParameters(const std::vector<Tensor>& tensors);

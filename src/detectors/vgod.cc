@@ -57,6 +57,17 @@ DetectorOutput Vgod::Score(const AttributedGraph& graph) const {
   DetectorOutput out;
   out.structural_score = vbm_.Score(graph).score;
   out.contextual_score = arm_.Score(graph).score;
+  // A diverged component can emit non-finite scores, which the rank
+  // normalizer rejects (NaN breaks its sort) and mean-std would silently
+  // smear over every node. Combine the raw vectors instead so the NaN
+  // reaches the caller's NonFiniteCheck — the serving engine turns it into
+  // an error response rather than a dead process or poisoned JSON.
+  if (!eval::NonFiniteCheck(out.structural_score, "structural").ok() ||
+      !eval::NonFiniteCheck(out.contextual_score, "contextual").ok()) {
+    out.score =
+        eval::CombineScores(out.structural_score, out.contextual_score);
+    return out;
+  }
   switch (config_.combination) {
     case ScoreCombination::kMeanStd:
       out.score =
@@ -125,12 +136,15 @@ Status Vgod::RestoreFromBundle(const ModelBundle& bundle) {
   if (!bundle.config.is_object()) {
     return Status::InvalidArgument("VGOD bundle is missing its config");
   }
-  const auto vbm_params = static_cast<size_t>(
-      ConfigNumber(bundle.config, "vbm_params", -1.0));
-  if (vbm_params > bundle.params.size()) {
+  // Untrusted split point: validate as a double first — casting a NaN or
+  // out-of-range value to size_t is UB, not just a wrong answer.
+  const double split = ConfigNumber(bundle.config, "vbm_params", -1.0);
+  if (!(split >= 0.0 &&
+        split <= static_cast<double>(bundle.params.size()))) {
     return Status::InvalidArgument("VGOD bundle has a corrupt vbm_params "
                                    "split");
   }
+  const auto vbm_params = static_cast<size_t>(split);
   Result<ScoreCombination> combination = ParseScoreCombination(ConfigString(
       bundle.config, "combination",
       ScoreCombinationName(config_.combination)));

@@ -61,6 +61,12 @@ class Vgod : public OutlierDetector {
   Result<ModelBundle> ExportBundle() const override;
   Status RestoreFromBundle(const ModelBundle& bundle) override;
 
+  /// Both components train on the same attribute schema; the VBM's is
+  /// authoritative.
+  int expected_attribute_dim() const override {
+    return vbm_.expected_attribute_dim();
+  }
+
  private:
   VgodConfig config_;
   Vbm vbm_;

@@ -2,15 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "core/check.h"
 
 namespace vgod::eval {
 
-double Auc(const std::vector<double>& scores,
-           const std::vector<uint8_t>& labels) {
-  VGOD_CHECK_EQ(scores.size(), labels.size());
+Status NonFiniteCheck(const std::vector<double>& scores,
+                      const std::string& context) {
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!std::isfinite(scores[i])) {
+      return Status::InvalidArgument(
+          context + ": non-finite score " + std::to_string(scores[i]) +
+          " at index " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<double> TryAuc(const std::vector<double>& scores,
+                      const std::vector<uint8_t>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument(
+        "AUC needs one label per score: " + std::to_string(scores.size()) +
+        " scores vs " + std::to_string(labels.size()) + " labels");
+  }
+  VGOD_RETURN_IF_ERROR(NonFiniteCheck(scores, "AUC"));
   const size_t n = scores.size();
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -35,11 +53,22 @@ double Auc(const std::vector<double>& scores,
     }
     i = j;
   }
-  VGOD_CHECK_GT(num_positive, 0) << "AUC needs at least one positive";
-  VGOD_CHECK_GT(num_negative, 0) << "AUC needs at least one negative";
+  if (num_positive == 0) {
+    return Status::InvalidArgument("AUC needs at least one positive");
+  }
+  if (num_negative == 0) {
+    return Status::InvalidArgument("AUC needs at least one negative");
+  }
   const double u = positive_rank_sum -
                    static_cast<double>(num_positive) * (num_positive + 1) / 2.0;
   return u / (static_cast<double>(num_positive) * num_negative);
+}
+
+double Auc(const std::vector<double>& scores,
+           const std::vector<uint8_t>& labels) {
+  Result<double> auc = TryAuc(scores, labels);
+  VGOD_CHECK(auc.ok()) << auc.status().message();
+  return auc.value();
 }
 
 double AucSubset(const std::vector<double>& scores,
@@ -64,8 +93,18 @@ double AucSubset(const std::vector<double>& scores,
 }
 
 double AucGap(double structural_auc, double contextual_auc) {
-  VGOD_CHECK_GT(structural_auc, 0.0);
-  VGOD_CHECK_GT(contextual_auc, 0.0);
+  // Total over the whole domain (a degenerate AUC of exactly 0 is rare but
+  // legitimate and must not kill a bench run): invalid inputs poison the
+  // gap with NaN, a single zero AUC is infinitely unbalanced, and two zero
+  // AUCs are (vacuously) balanced.
+  if (!std::isfinite(structural_auc) || !std::isfinite(contextual_auc) ||
+      structural_auc < 0.0 || contextual_auc < 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (structural_auc == 0.0 && contextual_auc == 0.0) return 1.0;
+  if (structural_auc == 0.0 || contextual_auc == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
   return std::max(structural_auc / contextual_auc,
                   contextual_auc / structural_auc);
 }
@@ -98,8 +137,12 @@ std::vector<double> SumToUnitNormalize(const std::vector<double>& scores) {
   return out;
 }
 
-std::vector<double> RankNormalize(const std::vector<double>& scores) {
-  VGOD_CHECK(!scores.empty());
+Result<std::vector<double>> TryRankNormalize(
+    const std::vector<double>& scores) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("rank-normalize needs a non-empty vector");
+  }
+  VGOD_RETURN_IF_ERROR(NonFiniteCheck(scores, "rank-normalize"));
   const size_t n = scores.size();
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -115,6 +158,12 @@ std::vector<double> RankNormalize(const std::vector<double>& scores) {
     i = j;
   }
   return out;
+}
+
+std::vector<double> RankNormalize(const std::vector<double>& scores) {
+  Result<std::vector<double>> ranked = TryRankNormalize(scores);
+  VGOD_CHECK(ranked.ok()) << ranked.status().message();
+  return std::move(ranked).value();
 }
 
 std::vector<double> CombineScores(const std::vector<double>& a,

@@ -2,15 +2,34 @@
 #define VGOD_EVAL_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/status.h"
+
 namespace vgod::eval {
+
+/// OK when every score is finite; InvalidArgument naming the first
+/// offending index and value otherwise. Rank-based code here (Auc,
+/// RankNormalize) sorts scores, and a NaN breaks std::sort's strict weak
+/// ordering — undefined behavior — so callers holding untrusted or
+/// detector-produced scores must gate on this (or use the Try* variants,
+/// which do it for them). `context` prefixes the error message.
+Status NonFiniteCheck(const std::vector<double>& scores,
+                      const std::string& context);
 
 /// Area under the ROC curve (paper Eq. 21) computed by the rank statistic;
 /// tied scores contribute 0.5 per pair (average-rank handling). Requires at
 /// least one positive (label 1) and one negative (label 0).
+/// Aborts on non-finite scores, size mismatch, or a single-class label
+/// vector — trusted-input convenience over TryAuc.
 double Auc(const std::vector<double>& scores,
            const std::vector<uint8_t>& labels);
+
+/// Auc for untrusted inputs: InvalidArgument on size mismatch, non-finite
+/// scores, or labels lacking a positive or a negative; never aborts.
+Result<double> TryAuc(const std::vector<double>& scores,
+                      const std::vector<uint8_t>& labels);
 
 /// The paper's AUC(V_L, O) (§VI-A3): AUC with positives = nodes marked in
 /// `subset`, negatives = nodes that are normal under `all_outliers`
@@ -20,7 +39,11 @@ double AucSubset(const std::vector<double>& scores,
                  const std::vector<uint8_t>& subset);
 
 /// AucGap (paper Eq. 22): max of the two ratios of the per-type AUCs.
-/// >= 1 by construction; 1 means perfectly balanced detection.
+/// >= 1 for valid inputs; 1 means perfectly balanced detection. Total over
+/// its domain so degenerate runs never kill a bench binary: both AUCs zero
+/// -> 1.0 (equally absent detection is balanced), exactly one zero ->
+/// +infinity (maximally unbalanced), any negative or non-finite input ->
+/// quiet NaN.
 double AucGap(double structural_auc, double contextual_auc);
 
 /// Mean-std (z-score) normalization (paper Eq. 19). Constant score vectors
@@ -34,8 +57,14 @@ std::vector<double> SumToUnitNormalize(const std::vector<double>& scores);
 /// Fractional-rank normalization (extension beyond the paper's Appendix A
 /// combiners): each score maps to its average rank divided by n, in
 /// (0, 1]. Fully scale-free — immune to heavy-tailed score distributions
-/// that stretch mean-std z-scores.
+/// that stretch mean-std z-scores. Aborts on empty or non-finite input;
+/// TryRankNormalize is the untrusted-input variant.
 std::vector<double> RankNormalize(const std::vector<double>& scores);
+
+/// RankNormalize for untrusted inputs: InvalidArgument on an empty vector
+/// or non-finite scores; never aborts.
+Result<std::vector<double>> TryRankNormalize(
+    const std::vector<double>& scores);
 
 /// Elementwise a + weight * b (the paper's score combinations: weight=1
 /// after normalization for mean-std and sum-to-unit, or a raw fixed weight

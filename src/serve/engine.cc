@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "core/faultinject.h"
 #include "core/parallel.h"
+#include "eval/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,6 +22,35 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// Runs the detector and validates every emitted score vector before any
+/// request sees it. Unsupervised detectors routinely diverge or emit
+/// degenerate scores, so the serving layer treats the score vector as
+/// untrusted: a non-finite value turns into a structured Internal error
+/// (-> HTTP 500) instead of NaNs in response JSON or sort UB downstream.
+/// The "serve.score" fault site lets tests force the degenerate case.
+Result<detectors::DetectorOutput> GuardedScore(
+    const detectors::OutlierDetector& detector,
+    const AttributedGraph& graph) {
+  detectors::DetectorOutput out = detector.Score(graph);
+  if (faults::Enabled() && !out.score.empty()) {
+    out.score[0] = faults::MaybeNan("serve.score", out.score[0]);
+  }
+  Status finite = eval::NonFiniteCheck(out.score, "detector score");
+  if (finite.ok()) {
+    finite = eval::NonFiniteCheck(out.structural_score, "structural score");
+  }
+  if (finite.ok()) {
+    finite = eval::NonFiniteCheck(out.contextual_score, "contextual score");
+  }
+  if (!finite.ok()) {
+    VGOD_COUNTER_INC("serve.errors.nonfinite_scores");
+    return Status::Internal("detector '" + detector.name() +
+                            "' produced an unusable score vector (" +
+                            finite.message() + ")");
+  }
+  return out;
 }
 
 }  // namespace
@@ -228,10 +259,18 @@ void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
     batch_size->Observe(static_cast<double>(batch.size()));
   }
   const auto score_start = std::chrono::steady_clock::now();
-  detectors::DetectorOutput out = detector_->Score(graph_);
+  Result<detectors::DetectorOutput> guarded =
+      GuardedScore(*detector_, graph_);
   VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds",
                          SecondsSince(score_start));
   score_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (!guarded.ok()) {
+    for (Pending& pending : batch) {
+      FinishRequest(&pending, guarded.status());
+    }
+    return;
+  }
+  const detectors::DetectorOutput& out = guarded.value();
 
   for (Pending& pending : batch) {
     ScoreResult result;
@@ -255,10 +294,16 @@ void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
 void ScoringEngine::ExecuteSubgraph(Pending pending) {
   VGOD_TRACE_SPAN("serve/subgraph");
   const auto score_start = std::chrono::steady_clock::now();
-  detectors::DetectorOutput out = detector_->Score(*pending.subgraph);
+  Result<detectors::DetectorOutput> guarded =
+      GuardedScore(*detector_, *pending.subgraph);
   VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds",
                          SecondsSince(score_start));
   score_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (!guarded.ok()) {
+    FinishRequest(&pending, guarded.status());
+    return;
+  }
+  detectors::DetectorOutput out = std::move(guarded).value();
 
   ScoreResult result;
   result.nodes.resize(pending.subgraph->num_nodes());

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 
 #include "core/logging.h"
@@ -39,13 +40,37 @@ bool SendAll(int fd, const std::string& data) {
   while (sent < data.size()) {
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                              MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // Signal mid-write; resume.
     if (n <= 0) return false;
     sent += static_cast<size_t>(n);
   }
   return true;
 }
 
+/// Sends a bodyless error response and counts it; used for requests the
+/// transport rejects before the handler can see them.
+void SendEarlyError(int fd, int status) {
+  CountHttpError(status);
+  SendAll(fd, "HTTP/1.1 " + std::to_string(status) + " " +
+              HttpStatusReason(status) +
+              "\r\ncontent-length: 0\r\nconnection: close\r\n\r\n");
+}
+
 }  // namespace
+
+void CountHttpError(int status) {
+  const char* name = nullptr;
+  switch (status) {
+    case 400: name = "serve.errors.bad_request"; break;
+    case 404: name = "serve.errors.not_found"; break;
+    case 405: name = "serve.errors.method_not_allowed"; break;
+    case 413: name = "serve.errors.payload_too_large"; break;
+    case 500: name = "serve.errors.internal"; break;
+    case 503: name = "serve.errors.unavailable"; break;
+    default:  name = "serve.errors.other"; break;
+  }
+  obs::MetricsRegistry::Global().GetCounter(name)->Increment();
+}
 
 const char* HttpStatusReason(int status) {
   switch (status) {
@@ -168,8 +193,7 @@ void HttpServer::ServeConnection(int fd) {
     size_t header_end = std::string::npos;
     while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
       if (buffer.size() > kMaxHeaderBytes) {
-        SendAll(fd, "HTTP/1.1 413 Payload Too Large\r\ncontent-length: 0"
-                    "\r\nconnection: close\r\n\r\n");
+        SendEarlyError(fd, 413);
         close_connection = true;
         break;
       }
@@ -198,8 +222,7 @@ void HttpServer::ServeConnection(int fd) {
       const size_t sp2 =
           sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
       if (sp2 == std::string::npos) {
-        SendAll(fd, "HTTP/1.1 400 Bad Request\r\ncontent-length: 0"
-                    "\r\nconnection: close\r\n\r\n");
+        SendEarlyError(fd, 400);
         break;
       }
       request.method = request_line.substr(0, sp1);
@@ -220,16 +243,30 @@ void HttpServer::ServeConnection(int fd) {
     }
     buffer.erase(0, header_end + 4);
 
-    // Read the body per content-length.
+    // Read the body per content-length. The value is attacker-controlled:
+    // only a digits-only token that consumes the whole header value is a
+    // length (RFC 9110 §8.6); anything else ("123abc", "-1", "1e9", empty)
+    // is malformed and gets 400. 413 is reserved for well-formed lengths
+    // beyond the body cap.
     size_t content_length = 0;
     if (auto it = request.headers.find("content-length");
         it != request.headers.end()) {
-      char* end = nullptr;
-      const unsigned long long parsed =
-          std::strtoull(it->second.c_str(), &end, 10);
-      if (end == it->second.c_str() || parsed > kMaxBodyBytes) {
-        SendAll(fd, "HTTP/1.1 413 Payload Too Large\r\ncontent-length: 0"
-                    "\r\nconnection: close\r\n\r\n");
+      const std::string& token = it->second;
+      unsigned long long parsed = 0;
+      const auto [end, ec] = std::from_chars(
+          token.data(), token.data() + token.size(), parsed);
+      if (ec == std::errc::result_out_of_range &&
+          end == token.data() + token.size()) {
+        // Digits-only but beyond unsigned long long: a length, just absurd.
+        SendEarlyError(fd, 413);
+        break;
+      }
+      if (ec != std::errc() || end != token.data() + token.size()) {
+        SendEarlyError(fd, 400);
+        break;
+      }
+      if (parsed > kMaxBodyBytes) {
+        SendEarlyError(fd, 413);
         break;
       }
       content_length = static_cast<size_t>(parsed);

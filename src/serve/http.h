@@ -31,6 +31,14 @@ struct HttpResponse {
 /// Maps an HTTP status code to its reason phrase ("OK", "Not Found", ...).
 const char* HttpStatusReason(int status);
 
+/// Bumps the per-failure-class serve.errors.* counter for an error
+/// response `status` (400 -> serve.errors.bad_request, 413 ->
+/// serve.errors.payload_too_large, ... — docs/ROBUSTNESS.md). Both the
+/// transport (parse-level rejects) and the request handler route every
+/// error response through this, so /metrics accounts for each class of
+/// hostile input the server absorbed.
+void CountHttpError(int status);
+
 /// Minimal HTTP/1.1 server: an accept-loop thread plus one thread per
 /// connection, with keep-alive. This is deliberately small — request
 /// parsing sufficient for the JSON scoring API, not a general web server.

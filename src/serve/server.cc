@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "core/faultinject.h"
 #include "core/logging.h"
 #include "datasets/io.h"
 #include "detectors/bundle.h"
@@ -45,6 +46,7 @@ std::string ScoreResultJson(const ScoreResult& result) {
 }
 
 HttpResponse ErrorResponse(int status, const std::string& message) {
+  CountHttpError(status);
   HttpResponse response;
   response.status = status;
   response.body = "{\"error\":";
@@ -148,6 +150,16 @@ Result<std::unique_ptr<ScoringEngine>> BuildEngine(
   if (!graph.value().has_attributes()) {
     return Status::FailedPrecondition("resident graph has no attributes");
   }
+  // A well-formed bundle paired with the wrong graph would pass restore
+  // and then abort in a kernel shape CHECK on the first Score; refuse the
+  // pairing up front instead.
+  const int expected = detector.value()->expected_attribute_dim();
+  if (expected > 0 && expected != graph.value().attribute_dim()) {
+    return Status::FailedPrecondition(
+        "bundle expects attribute dim " + std::to_string(expected) +
+        " but resident graph " + graph_path + " has " +
+        std::to_string(graph.value().attribute_dim()));
+  }
 
   return std::make_unique<ScoringEngine>(std::move(detector).value(),
                                          std::move(graph).value(), config);
@@ -246,6 +258,15 @@ HttpResponse ScoringServer::Handle(const HttpRequest& request) {
 }
 
 int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
+  if (faults::Enabled()) {
+    std::string armed;
+    for (const std::string& site : faults::ArmedSites()) {
+      if (!armed.empty()) armed += ", ";
+      armed += site;
+    }
+    VGOD_LOG(Warning) << "VGOD_FAULTS armed (" << armed
+                      << ") — this process injects failures on purpose";
+  }
   Result<std::unique_ptr<ScoringEngine>> engine =
       BuildEngine(options.bundle_path, options.graph_path, options.engine);
   if (!engine.ok()) {

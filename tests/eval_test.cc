@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/rng.h"
 #include "eval/metrics.h"
@@ -86,6 +87,51 @@ TEST(AucGapTest, SymmetricAndBoundedBelow) {
   EXPECT_GE(ev::AucGap(0.513, 0.964), 1.0);
 }
 
+TEST(AucGapTest, TotalOverDegenerateInputs) {
+  // A legitimately-zero AUC used to abort a whole bench run; the function
+  // is now total: both zero is (vacuously) balanced, one zero is
+  // infinitely unbalanced, and garbage inputs poison the gap with NaN
+  // instead of killing the process.
+  EXPECT_DOUBLE_EQ(ev::AucGap(0.0, 0.0), 1.0);
+  EXPECT_TRUE(std::isinf(ev::AucGap(0.5, 0.0)));
+  EXPECT_TRUE(std::isinf(ev::AucGap(0.0, 0.5)));
+  EXPECT_TRUE(std::isnan(ev::AucGap(-0.1, 0.5)));
+  EXPECT_TRUE(std::isnan(ev::AucGap(std::nan(""), 0.5)));
+  EXPECT_TRUE(
+      std::isnan(ev::AucGap(0.5, std::numeric_limits<double>::infinity())));
+}
+
+TEST(NonFiniteCheckTest, AcceptsFiniteAndNamesTheOffender) {
+  EXPECT_TRUE(ev::NonFiniteCheck({0.0, -1.5, 1e12}, "scores").ok());
+  EXPECT_TRUE(ev::NonFiniteCheck({}, "scores").ok());
+  const Status bad = ev::NonFiniteCheck({1.0, std::nan(""), 2.0}, "scores");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("scores"), std::string::npos);
+  EXPECT_NE(bad.message().find("index 1"), std::string::npos);
+}
+
+TEST(TryAucTest, MatchesAucOnValidInput) {
+  Result<double> auc = ev::TryAuc({0.8, 0.3, 0.5, 0.1}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.75);
+}
+
+TEST(TryAucTest, ErrorsInsteadOfAborting) {
+  // NaN scores: the pre-fix comparator fed NaN to std::sort-style pair
+  // counting (UB); now an error.
+  EXPECT_FALSE(ev::TryAuc({std::nan(""), 1.0}, {1, 0}).ok());
+  EXPECT_FALSE(
+      ev::TryAuc({std::numeric_limits<double>::infinity(), 1.0}, {1, 0})
+          .ok());
+  EXPECT_FALSE(ev::TryAuc({1.0, 2.0, 3.0}, {1, 0}).ok());  // Size mismatch.
+  EXPECT_FALSE(ev::TryAuc({1.0, 2.0}, {1, 1}).ok());       // No negative.
+  EXPECT_FALSE(ev::TryAuc({1.0, 2.0}, {0, 0}).ok());       // No positive.
+}
+
+TEST(AucDeathTest, NonFiniteScoresAbortWithContext) {
+  EXPECT_DEATH(ev::Auc({std::nan(""), 1.0}, {1, 0}), "non-finite");
+}
+
 TEST(MeanStdNormalizeTest, ZeroMeanUnitStd) {
   std::vector<double> normalized =
       ev::MeanStdNormalize({1.0, 2.0, 3.0, 4.0, 5.0});
@@ -144,6 +190,22 @@ TEST(RankNormalizeTest, ScaleFree) {
   std::vector<double> a = {1.0, 100.0, 3.0, 2.0};
   std::vector<double> b = {0.01, 1e9, 0.03, 0.02};  // Same ordering.
   EXPECT_EQ(ev::RankNormalize(a), ev::RankNormalize(b));
+}
+
+TEST(RankNormalizeTest, TryVariantErrorsOnNonFiniteOrEmpty) {
+  // A NaN in the comparator's input made the sort UB before the fix.
+  EXPECT_FALSE(ev::TryRankNormalize({1.0, std::nan("")}).ok());
+  EXPECT_FALSE(
+      ev::TryRankNormalize({-std::numeric_limits<double>::infinity()}).ok());
+  EXPECT_FALSE(ev::TryRankNormalize({}).ok());
+  Result<std::vector<double>> ranks = ev::TryRankNormalize({10.0, 30.0});
+  ASSERT_TRUE(ranks.ok());
+  EXPECT_DOUBLE_EQ(ranks.value()[0], 0.5);
+  EXPECT_DOUBLE_EQ(ranks.value()[1], 1.0);
+}
+
+TEST(RankNormalizeDeathTest, NonFiniteScoresAbortWithContext) {
+  EXPECT_DEATH(ev::RankNormalize({std::nan("")}), "non-finite");
 }
 
 TEST(CombineScoresTest, WeightedSum) {

@@ -505,6 +505,93 @@ Result<std::pair<int, std::string>> HttpRoundTrip(int port,
   return std::make_pair(status, response.substr(header_end + 4));
 }
 
+// Sends `request` verbatim (no header fix-ups) and returns the status
+// code — for exercising the transport with malformed headers that
+// HttpRoundTrip could never produce.
+Result<int> RawHttpStatus(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect() failed");
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IoError("send() failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t space = response.find(' ');
+  if (space == std::string::npos) return Status::IoError("malformed response");
+  return std::atoi(response.c_str() + space + 1);
+}
+
+std::string RawRequestWithContentLength(const std::string& length_token) {
+  return "POST /score HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n"
+         "Content-Length: " +
+         length_token + "\r\n\r\n";
+}
+
+TEST(ScoringServerTest, MalformedContentLengthGetsCleanHttpErrors) {
+  AttributedGraph graph = TestGraph();
+  auto engine = MakeDegNormEngine(graph, {});
+  serve::ScoringServer server(std::move(engine), /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  // Trailing garbage after the digits: the pre-fix parser (atoi-style)
+  // accepted "123abc" as 123; now the full token must validate.
+  Result<int> trailing =
+      RawHttpStatus(port, RawRequestWithContentLength("123abc"));
+  ASSERT_TRUE(trailing.ok()) << trailing.status().ToString();
+  EXPECT_EQ(trailing.value(), 400);
+
+  Result<int> negative =
+      RawHttpStatus(port, RawRequestWithContentLength("-5"));
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative.value(), 400);
+
+  Result<int> empty = RawHttpStatus(port, RawRequestWithContentLength(""));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value(), 400);
+
+  // Well-formed but absurd lengths are "too large", not "bad request" —
+  // including values that overflow the parser's integer type.
+  Result<int> oversized =
+      RawHttpStatus(port, RawRequestWithContentLength("99999999999"));
+  ASSERT_TRUE(oversized.ok());
+  EXPECT_EQ(oversized.value(), 413);
+
+  Result<int> overflow = RawHttpStatus(
+      port, RawRequestWithContentLength("99999999999999999999999999"));
+  ASSERT_TRUE(overflow.ok());
+  EXPECT_EQ(overflow.value(), 413);
+
+  // None of the rejections may take the server down.
+  Result<std::pair<int, std::string>> health =
+      HttpRoundTrip(port, "GET", "/healthz", "");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().first, 200);
+
+  server.Stop();
+}
+
 TEST(ScoringServerTest, ConcurrentClientsAgainstLiveServer) {
   AttributedGraph graph = TestGraph();
   auto engine = MakeDegNormEngine(graph, {});

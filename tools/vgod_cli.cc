@@ -190,6 +190,10 @@ int RunDetect(const ArgParser& args) {
     VGOD_TRACE_SPAN("cli/score");
     out = detector.value()->Score(graph.value());
   }
+  // Rank/sort code below (and eval::Auc) cannot digest NaN scores; fail
+  // with a clear message instead of UB or a CHECK abort.
+  Status finite = eval::NonFiniteCheck(out.score, detector_name + " scores");
+  if (!finite.ok()) return Fail(finite);
   std::printf("%s fitted in %.2fs (%d epochs)\n", detector_name.c_str(),
               detector.value()->train_stats().train_seconds,
               detector.value()->train_stats().epochs);
@@ -212,8 +216,16 @@ int RunDetect(const ArgParser& args) {
   }
 
   if (graph.value().has_outlier_labels()) {
-    std::printf("AUC against stored labels: %.4f\n",
-                eval::Auc(out.score, graph.value().outlier_labels()));
+    Result<double> auc =
+        eval::TryAuc(out.score, graph.value().outlier_labels());
+    if (auc.ok()) {
+      std::printf("AUC against stored labels: %.4f\n", auc.value());
+    } else {
+      // Scores were already validated; this is a label pathology (e.g. a
+      // single-class graph). Still worth the scores, not worth dying for.
+      std::fprintf(stderr, "warning: AUC unavailable: %s\n",
+                   auc.status().message().c_str());
+    }
   }
 
   const std::string score_path = args.GetString("output", "");
@@ -289,8 +301,17 @@ int RunEval(const ArgParser& args) {
     }
     scores[node] = score;
   }
-  std::printf("AUC: %.4f\n", eval::Auc(scores,
-                                       graph.value().outlier_labels()));
+  // The loop above stops on the first token it cannot parse; silently
+  // evaluating a half-read file would report a confident, wrong AUC.
+  if (!score_file.eof() && score_file.fail()) {
+    return Fail(Status::InvalidArgument(
+        "malformed score file (expected 'node<TAB>score' rows): " +
+        score_path));
+  }
+  Result<double> auc =
+      eval::TryAuc(scores, graph.value().outlier_labels());
+  if (!auc.ok()) return Fail(auc.status());
+  std::printf("AUC: %.4f\n", auc.value());
   return 0;
 }
 
