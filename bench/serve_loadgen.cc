@@ -19,6 +19,7 @@
 #include <fstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -33,6 +34,11 @@
 namespace vgod::bench {
 namespace {
 
+struct StageQuantiles {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
 struct ConfigResult {
   int threads = 0;
   int max_batch = 0;
@@ -44,7 +50,21 @@ struct ConfigResult {
   double throughput_rps = 0.0;
   double engine_p50_ms = 0.0;
   double engine_p99_ms = 0.0;
+  // Per-stage quantiles from the serve.stage.* histograms — where the
+  // engine-side latency actually went for this configuration.
+  StageQuantiles queue_wait;
+  StageQuantiles batch_assembly;
+  StageQuantiles score;
 };
+
+StageQuantiles StageFromRegistry(const char* name) {
+  obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      name, obs::DefaultLatencyBounds());
+  StageQuantiles out;
+  out.p50_ms = obs::HistogramQuantile(*histogram, 0.5) * 1e3;
+  out.p99_ms = obs::HistogramQuantile(*histogram, 0.99) * 1e3;
+  return out;
+}
 
 double PercentileMs(std::vector<double>* sorted_ms, double q) {
   if (sorted_ms->empty()) return 0.0;
@@ -110,6 +130,9 @@ ConfigResult RunConfig(const detectors::ModelBundle& bundle,
       "serve.request.latency.seconds", obs::DefaultLatencyBounds());
   out.engine_p50_ms = obs::HistogramQuantile(*latency, 0.5) * 1e3;
   out.engine_p99_ms = obs::HistogramQuantile(*latency, 0.99) * 1e3;
+  out.queue_wait = StageFromRegistry("serve.stage.queue_wait.seconds");
+  out.batch_assembly = StageFromRegistry("serve.stage.batch_assembly.seconds");
+  out.score = StageFromRegistry("serve.stage.score.seconds");
 
   engine.Shutdown();
 
@@ -164,7 +187,22 @@ std::string ResultsJson(const UnodCase& unod_case, int clients,
     obs::AppendJsonNumber(&out, r.engine_p50_ms);
     out.append(",\"engine_p99_ms\":");
     obs::AppendJsonNumber(&out, r.engine_p99_ms);
-    out.push_back('}');
+    out.append(",\"stages\":{");
+    const std::pair<const char*, const StageQuantiles*> stages[] = {
+        {"queue_wait", &r.queue_wait},
+        {"batch_assembly", &r.batch_assembly},
+        {"score", &r.score}};
+    for (size_t s = 0; s < 3; ++s) {
+      if (s > 0) out.push_back(',');
+      out.push_back('"');
+      out.append(stages[s].first);
+      out.append("\":{\"p50_ms\":");
+      obs::AppendJsonNumber(&out, stages[s].second->p50_ms);
+      out.append(",\"p99_ms\":");
+      obs::AppendJsonNumber(&out, stages[s].second->p99_ms);
+      out.append("}");
+    }
+    out.append("}}");
   }
   out.append("]}");
   return out;
@@ -226,6 +264,10 @@ int Main(int argc, char** argv) {
     RecordManifestResult(unod_case.name, "VBM", tag + ".p99_ms", r.p99_ms);
     RecordManifestResult(unod_case.name, "VBM", tag + ".throughput_rps",
                          r.throughput_rps);
+    RecordManifestResult(unod_case.name, "VBM", tag + ".queue_wait_p99_ms",
+                         r.queue_wait.p99_ms);
+    RecordManifestResult(unod_case.name, "VBM", tag + ".score_p99_ms",
+                         r.score.p99_ms);
     results.push_back(r);
   }
 

@@ -31,6 +31,33 @@ void PublishPoolGauges() {
 
 }  // namespace
 
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  if (out.empty()) return "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '"': out.append("\\\""); break;
+      case '\n': out.append("\\n"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
@@ -174,6 +201,77 @@ std::string MetricsRegistry::ToJson() const {
     out.append("]}");
   }
   out.append("}}");
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  PublishPoolGauges();  // Before taking mu_: GetGauge locks it too.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+
+  const auto header = [&out](const std::string& name, const char* type,
+                             const std::string& sanitized) {
+    out.append("# HELP ");
+    out.append(sanitized);
+    out.append(" vgod metric ");
+    out.append(name);  // The original (pre-sanitization) registry name.
+    out.append("\n# TYPE ");
+    out.append(sanitized);
+    out.push_back(' ');
+    out.append(type);
+    out.push_back('\n');
+  };
+  const auto value = [&out](double v) {
+    std::string text;
+    AppendJsonNumber(&text, v);
+    out.append(text);
+    out.push_back('\n');
+  };
+
+  for (const auto& [name, counter] : counters_) {
+    const std::string sanitized = SanitizeMetricName(name);
+    header(name, "counter", sanitized);
+    out.append(sanitized);
+    out.push_back(' ');
+    value(static_cast<double>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string sanitized = SanitizeMetricName(name);
+    header(name, "gauge", sanitized);
+    out.append(sanitized);
+    out.push_back(' ');
+    value(gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string sanitized = SanitizeMetricName(name);
+    header(name, "histogram", sanitized);
+    const std::vector<int64_t> counts = histogram->BucketCounts();
+    const std::vector<double>& bounds = histogram->bounds();
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      std::string le;
+      AppendJsonNumber(&le, bounds[i]);
+      out.append(sanitized);
+      out.append("_bucket{le=\"");
+      out.append(EscapeLabelValue(le));
+      out.append("\"} ");
+      value(static_cast<double>(cumulative));
+    }
+    cumulative += counts[bounds.size()];
+    out.append(sanitized);
+    out.append("_bucket{le=\"+Inf\"} ");
+    value(static_cast<double>(cumulative));
+    out.append(sanitized);
+    out.append("_sum ");
+    value(histogram->Sum());
+    // _count repeats the +Inf cumulative rather than re-reading the
+    // histogram's count atomic: an Observe() racing the scrape could
+    // otherwise make the two disagree within one exposition.
+    out.append(sanitized);
+    out.append("_count ");
+    value(static_cast<double>(cumulative));
+  }
   return out;
 }
 

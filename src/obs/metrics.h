@@ -64,6 +64,16 @@ class Histogram {
 /// of 10 with a 1-3 split per decade.
 const std::vector<double>& DefaultLatencyBounds();
 
+/// Maps an arbitrary registry name onto the Prometheus metric-name
+/// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every other character becomes '_'
+/// and a leading digit gets a '_' prefix ("serve.requests.total" ->
+/// "serve_requests_total").
+std::string SanitizeMetricName(const std::string& name);
+
+/// Escapes a Prometheus label value: backslash, double quote, and
+/// newline become \\, \", and \n.
+std::string EscapeLabelValue(const std::string& value);
+
 /// Estimate of the value at quantile `q` (in [0, 1]) by linear
 /// interpolation inside the owning bucket — how the serving layer turns
 /// its latency histograms into p50/p99 numbers. Observations in the
@@ -88,6 +98,14 @@ class MetricsRegistry {
   /// sorted order (deterministic output for golden tests).
   std::string ToJson() const;
   Status WriteJson(const std::string& path) const;
+
+  /// Prometheus text exposition format (version 0.0.4): one `# HELP` +
+  /// `# TYPE` block per metric with the name sanitized by
+  /// SanitizeMetricName. Histograms render as cumulative `_bucket{le=...}`
+  /// series ending in `le="+Inf"` plus `_sum` and `_count`, so a standard
+  /// scraper pointed at `GET /metrics?format=prometheus` understands the
+  /// same registry the JSON export carries.
+  std::string ToPrometheus() const;
 
   /// Zeroes every metric value; registrations (and cached pointers) stay
   /// valid. Intended for tests and for per-run bench manifests.

@@ -82,14 +82,9 @@ uint32_t TraceThreadId() {
   return id;
 }
 
-void RecordCompleteEvent(std::string name, int64_t ts_us, int64_t dur_us) {
-  if (!TraceEnabled()) return;
-  TraceEvent event;
-  event.name = std::move(name);
-  event.tid = TraceThreadId();
-  event.ts_us = ts_us;
-  event.dur_us = dur_us;
+namespace {
 
+void RecordEvent(TraceEvent event) {
   Ring& ring = GetRing();
   std::lock_guard<std::mutex> lock(ring.mu);
   if (ring.events.size() < kRingCapacity) {
@@ -99,6 +94,29 @@ void RecordCompleteEvent(std::string name, int64_t ts_us, int64_t dur_us) {
   }
   ring.next = (ring.next + 1) % kRingCapacity;
   ++ring.total;
+}
+
+}  // namespace
+
+void RecordCompleteEvent(std::string name, int64_t ts_us, int64_t dur_us) {
+  if (!TraceEnabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.tid = TraceThreadId();
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  RecordEvent(std::move(event));
+}
+
+void RecordFlowEvent(std::string name, uint64_t flow_id, bool finish) {
+  if (!TraceEnabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.ph = finish ? 'f' : 's';
+  event.tid = TraceThreadId();
+  event.ts_us = TraceNowMicros();
+  event.flow_id = flow_id;
+  RecordEvent(std::move(event));
 }
 
 std::vector<TraceEvent> SnapshotTraceEvents() {
@@ -141,12 +159,22 @@ std::string TraceToJson() {
     if (i > 0) out.push_back(',');
     out.append("{\"name\":");
     AppendJsonString(&out, events[i].name);
-    out.append(",\"cat\":\"vgod\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    out.append(",\"cat\":\"vgod\",\"ph\":\"");
+    out.push_back(events[i].ph);
+    out.append("\",\"pid\":1,\"tid\":");
     AppendJsonNumber(&out, static_cast<double>(events[i].tid));
     out.append(",\"ts\":");
     AppendJsonNumber(&out, static_cast<double>(events[i].ts_us));
-    out.append(",\"dur\":");
-    AppendJsonNumber(&out, static_cast<double>(events[i].dur_us));
+    if (events[i].ph == 'X') {
+      out.append(",\"dur\":");
+      AppendJsonNumber(&out, static_cast<double>(events[i].dur_us));
+    } else {
+      // Flow events carry the binding id instead of a duration; the
+      // finish additionally binds to the enclosing slice ("bp":"e").
+      out.append(",\"id\":");
+      AppendJsonNumber(&out, static_cast<double>(events[i].flow_id));
+      if (events[i].ph == 'f') out.append(",\"bp\":\"e\"");
+    }
     out.push_back('}');
   }
   out.append("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":");

@@ -9,13 +9,18 @@
 
 namespace vgod::obs {
 
-/// One completed ("ph":"X") span, timestamped in microseconds since the
-/// process trace epoch.
+/// One trace event, timestamped in microseconds since the process trace
+/// epoch. `ph` follows the Chrome trace_event phases this ring records:
+/// 'X' complete span, 's' flow start, 'f' flow finish. Flow events carry
+/// `flow_id` (the serving layer uses the request id) and tie a span on
+/// one thread to a span on another in the viewer.
 struct TraceEvent {
   std::string name;
+  char ph = 'X';
   uint32_t tid = 0;
   int64_t ts_us = 0;
   int64_t dur_us = 0;
+  uint64_t flow_id = 0;
 };
 
 /// Global on/off switch. When off, VGOD_TRACE_SPAN costs one relaxed
@@ -41,6 +46,14 @@ uint32_t TraceThreadId();
 /// Appends a completed span to the in-process ring buffer (oldest events
 /// are overwritten past the capacity). No-op when tracing is disabled.
 void RecordCompleteEvent(std::string name, int64_t ts_us, int64_t dur_us);
+
+/// Appends a flow event at the current timestamp on the calling thread:
+/// `finish` false records the flow start ("ph":"s"), true the finish
+/// ("ph":"f", binding to the enclosing slice). Record the start inside a
+/// span on the producing thread and the finish inside a span on the
+/// consuming thread with the same `flow_id`, and trace viewers draw an
+/// arrow between the two. No-op when tracing is disabled.
+void RecordFlowEvent(std::string name, uint64_t flow_id, bool finish);
 
 /// Events currently buffered, oldest first. Number dropped by ring
 /// wrap-around is reported by TraceDroppedCount().

@@ -7,6 +7,7 @@
 #include "eval/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/access_log.h"
 
 namespace vgod::serve {
 namespace {
@@ -22,6 +23,39 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+double SecondsBetween(std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Publishes the engine atomics as serve.engine.* gauges. Gauge Set() is
+/// a relaxed atomic store on a cached pointer, cheap enough to call on
+/// every update so /metrics (both formats) always agrees with the
+/// in-process EngineStats.
+void PublishEngineStats(const EngineStats& stats) {
+  static obs::Gauge* batches = obs::MetricsRegistry::Global().GetGauge(
+      "serve.engine.batches_flushed");
+  static obs::Gauge* served = obs::MetricsRegistry::Global().GetGauge(
+      "serve.engine.requests_served");
+  static obs::Gauge* shed =
+      obs::MetricsRegistry::Global().GetGauge("serve.engine.shed");
+  batches->Set(static_cast<double>(stats.batches_flushed));
+  served->Set(static_cast<double>(stats.requests_served));
+  shed->Set(static_cast<double>(stats.shed));
+}
+
+/// Records one request's engine-side stage breakdown into the
+/// serve.stage.* histograms and closes its cross-thread trace flow
+/// (the "f" end of the arrow the accept thread started at Submit).
+void ObserveStages(const StageTiming& timing) {
+  VGOD_HISTOGRAM_OBSERVE("serve.stage.queue_wait.seconds",
+                         timing.queue_wait_seconds);
+  VGOD_HISTOGRAM_OBSERVE("serve.stage.batch_assembly.seconds",
+                         timing.batch_assembly_seconds);
+  VGOD_HISTOGRAM_OBSERVE("serve.stage.score.seconds", timing.score_seconds);
+  obs::RecordFlowEvent("serve/request", timing.request_id, /*finish=*/true);
 }
 
 /// Runs the detector and validates every emitted score vector before any
@@ -110,18 +144,30 @@ void ScoringEngine::Shutdown() {
   }
 }
 
+EngineStats ScoringEngine::stats() const {
+  EngineStats stats;
+  stats.batches_flushed = score_calls_.load(std::memory_order_relaxed);
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.shed = shed_count_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 std::future<Result<ScoreResult>> ScoringEngine::Submit(Pending pending) {
   pending.enqueued = std::chrono::steady_clock::now();
+  if (pending.request_id == 0) pending.request_id = NextRequestId();
+  const uint64_t request_id = pending.request_id;
   std::future<Result<ScoreResult>> future = pending.promise.get_future();
   VGOD_COUNTER_INC("serve.requests.total");
 
   Status rejected = Status::Ok();
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ || !started_) {
       rejected = Status::FailedPrecondition("engine is not accepting work");
     } else if (static_cast<int>(queue_.size()) >= config_.max_queue) {
       rejected = Status::OutOfRange("scoring queue is full");
+      shed = true;
     } else {
       queue_.push_back(std::move(pending));
       obs::MetricsRegistry::Global()
@@ -131,16 +177,24 @@ std::future<Result<ScoreResult>> ScoringEngine::Submit(Pending pending) {
   }
   if (!rejected.ok()) {
     VGOD_COUNTER_INC("serve.requests.rejected");
+    if (shed) {
+      shed_count_.fetch_add(1, std::memory_order_relaxed);
+      PublishEngineStats(stats());
+    }
     // `pending` still owns the promise only in the rejection path.
     pending.promise.set_value(rejected);
     return future;
   }
+  // Flow start on the submitting (accept) thread; the batch worker that
+  // executes the request records the matching finish, tying the two
+  // threads' spans together in the trace viewer.
+  obs::RecordFlowEvent("serve/request", request_id, /*finish=*/false);
   cv_.notify_one();
   return future;
 }
 
 std::future<Result<ScoreResult>> ScoringEngine::SubmitNodes(
-    std::vector<int> nodes) {
+    std::vector<int> nodes, uint64_t request_id) {
   Pending pending;
   // Validate ids up front so a bad request cannot poison a whole batch.
   for (int node : nodes) {
@@ -155,11 +209,12 @@ std::future<Result<ScoreResult>> ScoringEngine::SubmitNodes(
     }
   }
   pending.nodes = std::move(nodes);
+  pending.request_id = request_id;
   return Submit(std::move(pending));
 }
 
 std::future<Result<ScoreResult>> ScoringEngine::SubmitGraph(
-    AttributedGraph graph) {
+    AttributedGraph graph, uint64_t request_id) {
   // The detector's weights are bound to the training attribute schema; a
   // mismatched subgraph would abort deep inside a kernel VGOD_CHECK, so
   // reject it here instead (inductive scoring requires the same schema).
@@ -176,15 +231,18 @@ std::future<Result<ScoreResult>> ScoringEngine::SubmitGraph(
   Pending pending;
   pending.subgraph =
       std::make_shared<const AttributedGraph>(std::move(graph));
+  pending.request_id = request_id;
   return Submit(std::move(pending));
 }
 
-Result<ScoreResult> ScoringEngine::ScoreNodes(std::vector<int> nodes) {
-  return SubmitNodes(std::move(nodes)).get();
+Result<ScoreResult> ScoringEngine::ScoreNodes(std::vector<int> nodes,
+                                              uint64_t request_id) {
+  return SubmitNodes(std::move(nodes), request_id).get();
 }
 
-Result<ScoreResult> ScoringEngine::ScoreGraph(AttributedGraph graph) {
-  return SubmitGraph(std::move(graph)).get();
+Result<ScoreResult> ScoringEngine::ScoreGraph(AttributedGraph graph,
+                                              uint64_t request_id) {
+  return SubmitGraph(std::move(graph), request_id).get();
 }
 
 void ScoringEngine::WorkerLoop() {
@@ -198,6 +256,7 @@ void ScoringEngine::WorkerLoop() {
 
     Pending first = std::move(queue_.front());
     queue_.pop_front();
+    first.dequeued = std::chrono::steady_clock::now();
 
     if (first.subgraph != nullptr) {
       obs::MetricsRegistry::Global()
@@ -222,6 +281,7 @@ void ScoringEngine::WorkerLoop() {
         if (queue_.front().subgraph != nullptr) break;
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+        batch.back().dequeued = std::chrono::steady_clock::now();
         continue;
       }
       if (stopping_) break;
@@ -248,6 +308,24 @@ void ScoringEngine::FinishRequest(Pending* pending,
   VGOD_COUNTER_INC("serve.requests.completed");
   pending->promise.set_value(std::move(result));
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+  PublishEngineStats(stats());
+}
+
+/// Engine-side stage breakdown for one request of a flushed batch:
+/// queue wait (enqueue -> picked by a worker), batch assembly (picked ->
+/// batch flush), and the shared Score() call.
+StageTiming ScoringEngine::TimingFor(
+    const Pending& pending, std::chrono::steady_clock::time_point score_start,
+    double score_seconds, int batch_size) {
+  StageTiming timing;
+  timing.request_id = pending.request_id;
+  timing.queue_wait_seconds =
+      SecondsBetween(pending.enqueued, pending.dequeued);
+  timing.batch_assembly_seconds =
+      SecondsBetween(pending.dequeued, score_start);
+  timing.score_seconds = score_seconds;
+  timing.batch_size = batch_size;
+  return timing;
 }
 
 void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
@@ -261,11 +339,13 @@ void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
   const auto score_start = std::chrono::steady_clock::now();
   Result<detectors::DetectorOutput> guarded =
       GuardedScore(*detector_, graph_);
-  VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds",
-                         SecondsSince(score_start));
+  const double score_seconds = SecondsSince(score_start);
+  VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds", score_seconds);
   score_calls_.fetch_add(1, std::memory_order_relaxed);
   if (!guarded.ok()) {
     for (Pending& pending : batch) {
+      ObserveStages(TimingFor(pending, score_start, score_seconds,
+                              static_cast<int>(batch.size())));
       FinishRequest(&pending, guarded.status());
     }
     return;
@@ -274,6 +354,9 @@ void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
 
   for (Pending& pending : batch) {
     ScoreResult result;
+    result.timing = TimingFor(pending, score_start, score_seconds,
+                              static_cast<int>(batch.size()));
+    ObserveStages(result.timing);
     result.nodes = std::move(pending.nodes);
     result.score.reserve(result.nodes.size());
     for (int node : result.nodes) {
@@ -296,9 +379,12 @@ void ScoringEngine::ExecuteSubgraph(Pending pending) {
   const auto score_start = std::chrono::steady_clock::now();
   Result<detectors::DetectorOutput> guarded =
       GuardedScore(*detector_, *pending.subgraph);
-  VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds",
-                         SecondsSince(score_start));
+  const double score_seconds = SecondsSince(score_start);
+  VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds", score_seconds);
   score_calls_.fetch_add(1, std::memory_order_relaxed);
+  const StageTiming timing =
+      TimingFor(pending, score_start, score_seconds, /*batch_size=*/1);
+  ObserveStages(timing);
   if (!guarded.ok()) {
     FinishRequest(&pending, guarded.status());
     return;
@@ -306,6 +392,7 @@ void ScoringEngine::ExecuteSubgraph(Pending pending) {
   detectors::DetectorOutput out = std::move(guarded).value();
 
   ScoreResult result;
+  result.timing = timing;
   result.nodes.resize(pending.subgraph->num_nodes());
   for (int i = 0; i < pending.subgraph->num_nodes(); ++i) {
     result.nodes[i] = i;

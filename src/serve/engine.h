@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -38,6 +39,22 @@ struct EngineConfig {
   int max_queue = 1024;
 };
 
+/// Per-request stage timing filled in by the engine as the request moves
+/// accept thread -> bounded queue -> batch worker. The HTTP layer adds
+/// parse/serialize on top (docs/OBSERVABILITY.md "Request lifecycle").
+struct StageTiming {
+  uint64_t request_id = 0;
+  /// Submit() enqueue -> a worker picking the request out of the queue.
+  double queue_wait_seconds = 0.0;
+  /// Picked -> batch flush (waiting for the batch to fill or its
+  /// deadline; 0 for subgraph requests, which never coalesce).
+  double batch_assembly_seconds = 0.0;
+  /// The detector Score() call that answered the request.
+  double score_seconds = 0.0;
+  /// Requests answered by the same Score() call (1 for subgraphs).
+  int batch_size = 0;
+};
+
 /// Scores for the nodes a request asked about, row-aligned with `nodes`.
 /// Component scores are present when the detector separates them.
 struct ScoreResult {
@@ -45,6 +62,15 @@ struct ScoreResult {
   std::vector<double> score;
   std::vector<double> structural;
   std::vector<double> contextual;
+  StageTiming timing;
+};
+
+/// In-process engine counters, also exported as serve.engine.* gauges on
+/// every registry scrape path (/metrics JSON and Prometheus alike).
+struct EngineStats {
+  int64_t batches_flushed = 0;   // Detector Score() invocations.
+  int64_t requests_served = 0;   // Requests answered (ok or error).
+  int64_t shed = 0;              // Queue-full load-shedding rejections.
 };
 
 /// Owns a fitted detector and a resident graph behind a fixed worker pool
@@ -83,14 +109,20 @@ class ScoringEngine {
   /// Enqueues a node-scoring request against the resident graph. The
   /// returned future resolves when its batch executes. Fails fast (error
   /// future) on invalid node ids, a full queue, or a stopped engine.
-  std::future<Result<ScoreResult>> SubmitNodes(std::vector<int> nodes);
+  /// `request_id` tags the request's StageTiming, access-log line, and
+  /// trace flow events; 0 lets the engine assign one (NextRequestId).
+  std::future<Result<ScoreResult>> SubmitNodes(std::vector<int> nodes,
+                                               uint64_t request_id = 0);
 
   /// Enqueues a request to score `graph` (scores every node of it).
-  std::future<Result<ScoreResult>> SubmitGraph(AttributedGraph graph);
+  std::future<Result<ScoreResult>> SubmitGraph(AttributedGraph graph,
+                                               uint64_t request_id = 0);
 
   /// Blocking conveniences over the Submit calls.
-  Result<ScoreResult> ScoreNodes(std::vector<int> nodes);
-  Result<ScoreResult> ScoreGraph(AttributedGraph graph);
+  Result<ScoreResult> ScoreNodes(std::vector<int> nodes,
+                                 uint64_t request_id = 0);
+  Result<ScoreResult> ScoreGraph(AttributedGraph graph,
+                                 uint64_t request_id = 0);
 
   const detectors::OutlierDetector& detector() const { return *detector_; }
   const AttributedGraph& graph() const { return graph_; }
@@ -104,16 +136,24 @@ class ScoringEngine {
   int64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  /// All engine counters in one read (mirrors the serve.engine.* gauges).
+  EngineStats stats() const;
 
  private:
   struct Pending {
     std::vector<int> nodes;                             // Node request.
     std::shared_ptr<const AttributedGraph> subgraph;    // Subgraph request.
     std::promise<Result<ScoreResult>> promise;
+    uint64_t request_id = 0;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point dequeued;
   };
 
   std::future<Result<ScoreResult>> Submit(Pending pending);
+  static StageTiming TimingFor(
+      const Pending& pending,
+      std::chrono::steady_clock::time_point score_start, double score_seconds,
+      int batch_size);
   void WorkerLoop();
   void ExecuteBatch(std::vector<Pending> batch);
   void ExecuteSubgraph(Pending pending);
@@ -133,6 +173,7 @@ class ScoringEngine {
   // request hot path, where taking mu_ would contend with the batch queue.
   std::atomic<int64_t> score_calls_{0};
   std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> shed_count_{0};
 };
 
 }  // namespace vgod::serve

@@ -1,0 +1,43 @@
+#include "serve/forensics.h"
+
+#include <algorithm>
+
+namespace vgod::serve {
+
+SlowRequestTracker::SlowRequestTracker(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SlowRequestTracker::Record(const AccessRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slowest_.size() >= capacity_ &&
+      record.total_us <= slowest_.back().total_us) {
+    return;  // Faster than everything retained; nothing to do.
+  }
+  const auto at = std::upper_bound(
+      slowest_.begin(), slowest_.end(), record,
+      [](const AccessRecord& a, const AccessRecord& b) {
+        return a.total_us > b.total_us;
+      });
+  slowest_.insert(at, record);
+  if (slowest_.size() > capacity_) slowest_.pop_back();
+}
+
+std::vector<AccessRecord> SlowRequestTracker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slowest_;
+}
+
+std::string SlowRequestTracker::ToJson() const {
+  const std::vector<AccessRecord> records = Snapshot();
+  std::string out = "{\"capacity\":" + std::to_string(capacity_) +
+                    ",\"count\":" + std::to_string(records.size()) +
+                    ",\"slowest\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(AccessRecordToJson(records[i]));
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace vgod::serve

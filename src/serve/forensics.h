@@ -1,0 +1,41 @@
+#ifndef VGOD_SERVE_FORENSICS_H_
+#define VGOD_SERVE_FORENSICS_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/access_log.h"
+
+namespace vgod::serve {
+
+/// Tail-request forensics: retains the K slowest requests (by total
+/// latency) with their full stage breakdown, so GET /debug/slow can show
+/// where a live server's tail went without a trace capture. Cheap enough
+/// to always be on — one mutexed compare per request, and only requests
+/// slower than the current K-th ever replace an entry.
+class SlowRequestTracker {
+ public:
+  explicit SlowRequestTracker(size_t capacity = 16);
+
+  void Record(const AccessRecord& record);
+
+  /// Retained records, slowest first.
+  std::vector<AccessRecord> Snapshot() const;
+
+  /// {"capacity":K,"count":n,"slowest":[<AccessRecordToJson>...]} with
+  /// entries slowest-first — the /debug/slow response body.
+  std::string ToJson() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<AccessRecord> slowest_;  // Sorted descending by total_us.
+};
+
+}  // namespace vgod::serve
+
+#endif  // VGOD_SERVE_FORENSICS_H_

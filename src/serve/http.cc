@@ -51,6 +51,7 @@ bool SendAll(int fd, const std::string& data) {
 /// transport rejects before the handler can see them.
 void SendEarlyError(int fd, int status) {
   CountHttpError(status);
+  CountStatusClass(status);
   SendAll(fd, "HTTP/1.1 " + std::to_string(status) + " " +
               HttpStatusReason(status) +
               "\r\ncontent-length: 0\r\nconnection: close\r\n\r\n");
@@ -58,16 +59,82 @@ void SendEarlyError(int fd, int status) {
 
 }  // namespace
 
-void CountHttpError(int status) {
-  const char* name = nullptr;
+HttpResponse HttpResponse::Json(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Prometheus(std::string body) {
+  HttpResponse response;
+  response.status = 200;
+  // The version tag tells Prometheus scrapers this is text exposition
+  // format 0.0.4 rather than protobuf.
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = std::move(body);
+  return response;
+}
+
+void SplitTarget(const std::string& target, std::string* path,
+                 std::string* query) {
+  const size_t q = target.find('?');
+  if (q == std::string::npos) {
+    *path = target;
+    query->clear();
+    return;
+  }
+  *path = target.substr(0, q);
+  *query = target.substr(q + 1);
+}
+
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t begin = 0;
+  while (begin <= query.size()) {
+    size_t end = query.find('&', begin);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(begin, end - begin);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (eq == std::string::npos && pair == key) return "";
+    begin = end + 1;
+  }
+  return "";
+}
+
+const char* HttpErrorClass(int status) {
   switch (status) {
-    case 400: name = "serve.errors.bad_request"; break;
-    case 404: name = "serve.errors.not_found"; break;
-    case 405: name = "serve.errors.method_not_allowed"; break;
-    case 413: name = "serve.errors.payload_too_large"; break;
-    case 500: name = "serve.errors.internal"; break;
-    case 503: name = "serve.errors.unavailable"; break;
-    default:  name = "serve.errors.other"; break;
+    case 400: return "bad_request";
+    case 404: return "not_found";
+    case 405: return "method_not_allowed";
+    case 413: return "payload_too_large";
+    case 500: return "internal";
+    case 503: return "unavailable";
+    default:  return "other";
+  }
+}
+
+void CountHttpError(int status) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve.errors." + std::string(HttpErrorClass(status)))
+      ->Increment();
+}
+
+void CountStatusClass(int status) {
+  const char* name = nullptr;
+  if (status >= 200 && status < 300) {
+    name = "serve.http.status.2xx";
+  } else if (status >= 300 && status < 400) {
+    name = "serve.http.status.3xx";
+  } else if (status >= 400 && status < 500) {
+    name = "serve.http.status.4xx";
+  } else if (status >= 500 && status < 600) {
+    name = "serve.http.status.5xx";
+  } else {
+    name = "serve.http.status.other";
   }
   obs::MetricsRegistry::Global().GetCounter(name)->Increment();
 }
@@ -296,6 +363,7 @@ void HttpServer::ServeConnection(int fd) {
 
     VGOD_COUNTER_INC("serve.http.requests");
     const HttpResponse response = handler_(request);
+    CountStatusClass(response.status);
 
     std::string wire = "HTTP/1.1 " + std::to_string(response.status) + " " +
                        HttpStatusReason(response.status) + "\r\n";

@@ -26,10 +26,31 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+
+  /// The one place response content types are chosen: every JSON
+  /// endpoint builds through Json(), the Prometheus exposition through
+  /// Prometheus() (text/plain; version=0.0.4 per the exposition spec).
+  static HttpResponse Json(int status, std::string body);
+  static HttpResponse Prometheus(std::string body);
 };
+
+/// Splits a request target at the first '?' into path and query
+/// ("/metrics?format=prometheus" -> {"/metrics", "format=prometheus"}).
+void SplitTarget(const std::string& target, std::string* path,
+                 std::string* query);
+
+/// Value of `key` in an application/x-www-form-urlencoded query string
+/// ("a=1&b=2"), or "" when absent. No percent-decoding — the serving
+/// API's parameter values never need it.
+std::string QueryParam(const std::string& query, const std::string& key);
 
 /// Maps an HTTP status code to its reason phrase ("OK", "Not Found", ...).
 const char* HttpStatusReason(int status);
+
+/// Failure-class name for an error status (400 -> "bad_request", 413 ->
+/// "payload_too_large", ... — docs/ROBUSTNESS.md), shared by the
+/// serve.errors.* counters and the access log's error_class field.
+const char* HttpErrorClass(int status);
 
 /// Bumps the per-failure-class serve.errors.* counter for an error
 /// response `status` (400 -> serve.errors.bad_request, 413 ->
@@ -38,6 +59,11 @@ const char* HttpStatusReason(int status);
 /// error response through this, so /metrics accounts for each class of
 /// hostile input the server absorbed.
 void CountHttpError(int status);
+
+/// Bumps the per-outcome serve.http.status.{2xx,3xx,4xx,5xx,other}
+/// counter; the transport calls this for every response it writes,
+/// including pre-handler rejects.
+void CountStatusClass(int status);
 
 /// Minimal HTTP/1.1 server: an accept-loop thread plus one thread per
 /// connection, with keep-alive. This is deliberately small — request

@@ -11,9 +11,30 @@
 #include "detectors/registry.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/access_log.h"
 
 namespace vgod::serve {
 namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int64_t SecondsToMicros(double seconds) {
+  return static_cast<int64_t>(seconds * 1e6);
+}
+
+/// Copies the engine's stage breakdown into the request's access record
+/// (seconds -> integer microseconds, the log's unit).
+void RecordEngineTiming(const StageTiming& timing, AccessRecord* record) {
+  record->batch_size = timing.batch_size;
+  record->queue_wait_us = SecondsToMicros(timing.queue_wait_seconds);
+  record->batch_assembly_us = SecondsToMicros(timing.batch_assembly_seconds);
+  record->score_us = SecondsToMicros(timing.score_seconds);
+}
 
 void AppendScoreArray(std::string* out, const char* key,
                       const std::vector<double>& values) {
@@ -28,7 +49,9 @@ void AppendScoreArray(std::string* out, const char* key,
 }
 
 std::string ScoreResultJson(const ScoreResult& result) {
-  std::string out = "{\"nodes\":[";
+  std::string out =
+      "{\"request_id\":" + std::to_string(result.timing.request_id) +
+      ",\"nodes\":[";
   for (size_t i = 0; i < result.nodes.size(); ++i) {
     if (i > 0) out.push_back(',');
     out += std::to_string(result.nodes[i]);
@@ -69,6 +92,26 @@ int StatusToHttp(const Status& status) {
     default:
       return 500;
   }
+}
+
+/// Error response for a failed engine call; flags queue-full rejections
+/// as load shedding in the access record.
+HttpResponse ScoreError(const Status& status, AccessRecord* record) {
+  const int http = StatusToHttp(status);
+  record->shed =
+      http == 503 && status.message().find("queue") != std::string::npos;
+  return ErrorResponse(http, status.message());
+}
+
+/// Serializes a successful score result, timing the serialize stage.
+HttpResponse SerializeResult(const ScoreResult& result,
+                             AccessRecord* record) {
+  const auto serialize_start = std::chrono::steady_clock::now();
+  HttpResponse response = HttpResponse::Json(200, ScoreResultJson(result));
+  record->serialize_us = MicrosSince(serialize_start);
+  VGOD_HISTOGRAM_OBSERVE("serve.stage.serialize.seconds",
+                         record->serialize_us * 1e-6);
+  return response;
 }
 
 /// Parses the inline-subgraph request body:
@@ -165,8 +208,11 @@ Result<std::unique_ptr<ScoringEngine>> BuildEngine(
                                          std::move(graph).value(), config);
 }
 
-ScoringServer::ScoringServer(std::unique_ptr<ScoringEngine> engine, int port)
-    : engine_(std::move(engine)), requested_port_(port) {}
+ScoringServer::ScoringServer(std::unique_ptr<ScoringEngine> engine, int port,
+                             int slow_ring)
+    : engine_(std::move(engine)),
+      requested_port_(port),
+      slow_(slow_ring < 1 ? 1 : static_cast<size_t>(slow_ring)) {}
 
 ScoringServer::~ScoringServer() { Stop(); }
 
@@ -184,33 +230,73 @@ void ScoringServer::Stop() {
 }
 
 HttpResponse ScoringServer::Handle(const HttpRequest& request) {
-  if (request.target == "/healthz") {
-    if (request.method != "GET") {
-      return ErrorResponse(405, "use GET " + request.target);
-    }
-    HttpResponse response;
-    response.body = "{\"status\":\"ok\",\"detector\":";
-    obs::AppendJsonString(&response.body, engine_->detector().name());
-    response.body += ",\"nodes\":" +
-                     std::to_string(engine_->graph().num_nodes()) +
-                     ",\"threads\":" +
-                     std::to_string(engine_->config().num_threads) + "}";
-    return response;
+  VGOD_TRACE_SPAN("serve/http");
+  const auto start = std::chrono::steady_clock::now();
+
+  std::string path;
+  std::string query;
+  SplitTarget(request.target, &path, &query);
+
+  AccessRecord record;
+  record.request_id = NextRequestId();
+  record.path = path;
+
+  HttpResponse response = Dispatch(request, path, query, &record);
+
+  record.status = response.status;
+  if (response.status < 200 || response.status >= 300) {
+    record.error_class = HttpErrorClass(response.status);
   }
-  if (request.target == "/metrics") {
+  record.total_us = MicrosSince(start);
+  if (AccessLog* log = AccessLog::FromEnv()) log->Record(record);
+  slow_.Record(record);
+  return response;
+}
+
+HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
+                                     const std::string& path,
+                                     const std::string& query,
+                                     AccessRecord* record) {
+  if (path == "/healthz") {
     if (request.method != "GET") {
-      return ErrorResponse(405, "use GET " + request.target);
+      return ErrorResponse(405, "use GET " + path);
     }
-    HttpResponse response;
-    response.body = obs::MetricsRegistry::Global().ToJson();
-    return response;
+    std::string body = "{\"status\":\"ok\",\"detector\":";
+    obs::AppendJsonString(&body, engine_->detector().name());
+    body += ",\"nodes\":" + std::to_string(engine_->graph().num_nodes()) +
+            ",\"threads\":" +
+            std::to_string(engine_->config().num_threads) + "}";
+    return HttpResponse::Json(200, std::move(body));
   }
-  if (request.target == "/score") {
+  if (path == "/metrics") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET " + path);
+    }
+    const std::string format = QueryParam(query, "format");
+    if (format == "prometheus") {
+      return HttpResponse::Prometheus(
+          obs::MetricsRegistry::Global().ToPrometheus());
+    }
+    if (!format.empty() && format != "json") {
+      return ErrorResponse(400, "unknown metrics format '" + format +
+                                    "' (want json or prometheus)");
+    }
+    return HttpResponse::Json(200, obs::MetricsRegistry::Global().ToJson());
+  }
+  if (path == "/debug/slow") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET " + path);
+    }
+    return HttpResponse::Json(200, slow_.ToJson());
+  }
+  if (path == "/score") {
     if (request.method != "POST") {
-      return ErrorResponse(405, "use POST " + request.target);
+      return ErrorResponse(405, "use POST " + path);
     }
+    const auto parse_start = std::chrono::steady_clock::now();
     Result<obs::JsonValue> body = obs::ParseJson(request.body);
     if (!body.ok()) {
+      record->parse_us = MicrosSince(parse_start);
       return ErrorResponse(400,
                            "invalid JSON: " + body.status().message());
     }
@@ -227,14 +313,17 @@ HttpResponse ScoringServer::Handle(const HttpRequest& request) {
         }
         nodes.push_back(static_cast<int>(node.number()));
       }
-      Result<ScoreResult> result = engine_->ScoreNodes(std::move(nodes));
+      record->num_nodes = static_cast<int>(nodes.size());
+      record->parse_us = MicrosSince(parse_start);
+      VGOD_HISTOGRAM_OBSERVE("serve.stage.parse.seconds",
+                             record->parse_us * 1e-6);
+      Result<ScoreResult> result =
+          engine_->ScoreNodes(std::move(nodes), record->request_id);
       if (!result.ok()) {
-        return ErrorResponse(StatusToHttp(result.status()),
-                             result.status().message());
+        return ScoreError(result.status(), record);
       }
-      HttpResponse response;
-      response.body = ScoreResultJson(result.value());
-      return response;
+      RecordEngineTiming(result.value().timing, record);
+      return SerializeResult(result.value(), record);
     }
     if (body.value().Has("graph")) {
       Result<AttributedGraph> graph =
@@ -242,22 +331,25 @@ HttpResponse ScoringServer::Handle(const HttpRequest& request) {
       if (!graph.ok()) {
         return ErrorResponse(400, graph.status().message());
       }
+      record->num_nodes = graph.value().num_nodes();
+      record->parse_us = MicrosSince(parse_start);
+      VGOD_HISTOGRAM_OBSERVE("serve.stage.parse.seconds",
+                             record->parse_us * 1e-6);
       Result<ScoreResult> result =
-          engine_->ScoreGraph(std::move(graph).value());
+          engine_->ScoreGraph(std::move(graph).value(), record->request_id);
       if (!result.ok()) {
-        return ErrorResponse(StatusToHttp(result.status()),
-                             result.status().message());
+        return ScoreError(result.status(), record);
       }
-      HttpResponse response;
-      response.body = ScoreResultJson(result.value());
-      return response;
+      RecordEngineTiming(result.value().timing, record);
+      return SerializeResult(result.value(), record);
     }
     return ErrorResponse(400, "body needs 'nodes' or 'graph'");
   }
-  return ErrorResponse(404, "no such endpoint: " + request.target);
+  return ErrorResponse(404, "no such endpoint: " + path);
 }
 
 int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
+  obs::InitTraceFromEnv();
   if (faults::Enabled()) {
     std::string armed;
     for (const std::string& site : faults::ArmedSites()) {
@@ -273,7 +365,11 @@ int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  ScoringServer server(std::move(engine).value(), options.port);
+  ScoringServer server(std::move(engine).value(), options.port,
+                       options.slow_ring);
+  if (AccessLog::FromEnv() != nullptr) {
+    VGOD_LOG(Info) << "access log enabled (VGOD_ACCESS_LOG)";
+  }
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
@@ -297,6 +393,14 @@ int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
               "score calls)\n",
               static_cast<long long>(server.engine().requests_served()),
               static_cast<long long>(server.engine().score_calls()));
+  if (obs::TraceEnabled() && !obs::TraceEnvPath().empty()) {
+    Status written = obs::WriteTrace(obs::TraceEnvPath());
+    if (written.ok()) {
+      VGOD_LOG(Info) << "wrote trace to " << obs::TraceEnvPath();
+    } else {
+      VGOD_LOG(Warning) << "trace export failed: " << written.ToString();
+    }
+  }
   return 0;
 }
 

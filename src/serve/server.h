@@ -7,6 +7,7 @@
 
 #include "core/status.h"
 #include "serve/engine.h"
+#include "serve/forensics.h"
 #include "serve/http.h"
 
 namespace vgod::serve {
@@ -21,6 +22,8 @@ struct ServerOptions {
   std::string graph_path;
   /// 0 picks an ephemeral port; see ScoringServer::port().
   int port = 8080;
+  /// Capacity of the slowest-request forensics ring behind GET /debug/slow.
+  int slow_ring = 16;
   EngineConfig engine;
 };
 
@@ -32,12 +35,20 @@ Result<std::unique_ptr<ScoringEngine>> BuildEngine(
 
 /// The HTTP scoring server: a ScoringEngine behind the endpoints
 /// documented in docs/SERVING.md —
-///   POST /score    {"nodes":[...]} or {"graph":{...}} -> scores JSON
-///   GET  /healthz  liveness + model identity
-///   GET  /metrics  the vgod::obs metrics registry as JSON
+///   POST /score       {"nodes":[...]} or {"graph":{...}} -> scores JSON
+///   GET  /healthz     liveness + model identity
+///   GET  /metrics     the vgod::obs metrics registry as JSON
+///                     (?format=prometheus for text exposition 0.0.4)
+///   GET  /debug/slow  the K slowest requests with stage breakdowns
+///
+/// Every request gets a monotonic request id at dispatch; the id threads
+/// through the engine's StageTiming, the /score response body, the
+/// structured access log (VGOD_ACCESS_LOG), the slow-request ring, and the
+/// trace ring's flow events (docs/OBSERVABILITY.md "Request lifecycle").
 class ScoringServer {
  public:
-  ScoringServer(std::unique_ptr<ScoringEngine> engine, int port);
+  ScoringServer(std::unique_ptr<ScoringEngine> engine, int port,
+                int slow_ring = 16);
   ~ScoringServer();
 
   /// Starts the engine's worker pool and the HTTP listener.
@@ -48,13 +59,17 @@ class ScoringServer {
 
   int port() const { return http_ == nullptr ? 0 : http_->port(); }
   ScoringEngine& engine() { return *engine_; }
+  const SlowRequestTracker& slow_requests() const { return slow_; }
 
  private:
   HttpResponse Handle(const HttpRequest& request);
+  HttpResponse Dispatch(const HttpRequest& request, const std::string& path,
+                        const std::string& query, AccessRecord* record);
 
   std::unique_ptr<ScoringEngine> engine_;
   std::unique_ptr<HttpServer> http_;
   int requested_port_;
+  SlowRequestTracker slow_;
 };
 
 /// CLI entry point shared by vgod_serve and `vgod_cli serve`: builds the

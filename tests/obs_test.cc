@@ -132,6 +132,110 @@ TEST(MetricsTest, RegistryJsonRoundTrips) {
   EXPECT_EQ(buckets[2].at("count").number(), 1.0);
 }
 
+TEST(PrometheusTest, SanitizeMetricNameMapsToGrammar) {
+  EXPECT_EQ(SanitizeMetricName("serve.requests.total"),
+            "serve_requests_total");
+  EXPECT_EQ(SanitizeMetricName("already_fine:name"), "already_fine:name");
+  EXPECT_EQ(SanitizeMetricName("has spaces/and-dashes"),
+            "has_spaces_and_dashes");
+  EXPECT_EQ(SanitizeMetricName("9starts_with_digit"), "_9starts_with_digit");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+}
+
+TEST(PrometheusTest, EscapeLabelValueEscapesSpecials) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeLabelValue("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(EscapeLabelValue("new\nline"), "new\\nline");
+}
+
+// Pulls every exposition line that starts with `prefix` (sanitized name).
+std::vector<std::string> LinesWithPrefix(const std::string& text,
+                                         const std::string& prefix) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.rfind(prefix, 0) == 0) out.push_back(line);
+  }
+  return out;
+}
+
+TEST(PrometheusTest, CounterAndGaugeExposition) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.prom.counter")->Reset();
+  registry.GetCounter("test.prom.counter")->Add(7);
+  registry.GetGauge("test.prom.gauge")->Set(1.5);
+
+  const std::string text = registry.ToPrometheus();
+  EXPECT_NE(text.find("# HELP test_prom_counter vgod metric test.prom.counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("\ntest_prom_counter 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("\ntest_prom_gauge 1.5\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram* hist = registry.GetHistogram("test.prom.hist", {0.1, 1.0, 10.0});
+  hist->Reset();
+  hist->Observe(0.05);
+  hist->Observe(0.5);
+  hist->Observe(5.0);
+  hist->Observe(50.0);  // Overflow.
+
+  const std::string text = registry.ToPrometheus();
+  const std::vector<std::string> buckets =
+      LinesWithPrefix(text, "test_prom_hist_bucket");
+  ASSERT_EQ(buckets.size(), 4u);  // Three bounds + +Inf.
+  // Cumulative counts, monotonically non-decreasing, +Inf last.
+  double prev = -1.0;
+  for (const std::string& line : buckets) {
+    const double count = std::stod(line.substr(line.rfind(' ')));
+    EXPECT_GE(count, prev);
+    prev = count;
+  }
+  EXPECT_NE(buckets.back().find("le=\"+Inf\""), std::string::npos);
+  EXPECT_EQ(prev, 4.0);
+
+  const std::vector<std::string> count_lines =
+      LinesWithPrefix(text, "test_prom_hist_count");
+  ASSERT_EQ(count_lines.size(), 1u);
+  // The +Inf bucket and _count must agree — scrapers cross-check them.
+  EXPECT_EQ(std::stod(count_lines[0].substr(count_lines[0].rfind(' '))),
+            4.0);
+  const std::vector<std::string> sum_lines =
+      LinesWithPrefix(text, "test_prom_hist_sum");
+  ASSERT_EQ(sum_lines.size(), 1u);
+  EXPECT_NEAR(std::stod(sum_lines[0].substr(sum_lines[0].rfind(' '))),
+              0.05 + 0.5 + 5.0 + 50.0, 1e-9);
+}
+
+TEST(PrometheusTest, EveryMetricHasHelpAndTypeLines) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.prom.help_check")->Increment();
+  const std::string text = registry.ToPrometheus();
+  std::istringstream stream(text);
+  std::string line;
+  std::string last_type_for;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      if (line.rfind("# TYPE ", 0) == 0) {
+        last_type_for = line.substr(7, line.find(' ', 7) - 7);
+      }
+      continue;
+    }
+    // A sample line: its metric name must extend the last # TYPE name
+    // (exactly, or with the _bucket/_sum/_count histogram suffixes).
+    const size_t name_end = line.find_first_of(" {");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string name = line.substr(0, name_end);
+    EXPECT_EQ(name.rfind(last_type_for, 0), 0u) << line;
+  }
+}
+
 // --- json ---
 
 TEST(JsonTest, DumpParseRoundTrip) {
@@ -224,6 +328,36 @@ TEST_F(TraceTest, TraceJsonIsChromeTraceEventFormat) {
   EXPECT_EQ(events[0].at("dur").number(), 5.0);
   EXPECT_TRUE(events[0].Has("pid"));
   EXPECT_TRUE(events[0].Has("tid"));
+}
+
+TEST_F(TraceTest, FlowEventsCarryPhaseAndId) {
+  RecordFlowEvent("serve/request", 42, /*finish=*/false);
+  RecordFlowEvent("serve/request", 42, /*finish=*/true);
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ph, 's');
+  EXPECT_EQ(events[1].ph, 'f');
+  EXPECT_EQ(events[0].flow_id, 42u);
+  EXPECT_EQ(events[1].flow_id, 42u);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+
+  Result<JsonValue> parsed = ParseJson(TraceToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue::Array& json = parsed.value().at("traceEvents").array();
+  ASSERT_EQ(json.size(), 2u);
+  EXPECT_EQ(json[0].at("ph").string_value(), "s");
+  EXPECT_EQ(json[0].at("id").number(), 42.0);
+  EXPECT_FALSE(json[0].Has("dur"));  // Flow events are instantaneous.
+  EXPECT_EQ(json[1].at("ph").string_value(), "f");
+  // Finishes bind to the enclosing slice so the arrow lands on the span
+  // that consumed the request.
+  EXPECT_EQ(json[1].at("bp").string_value(), "e");
+}
+
+TEST_F(TraceTest, FlowEventsAreNoOpsWhenDisabled) {
+  SetTraceEnabled(false);
+  RecordFlowEvent("serve/request", 7, false);
+  EXPECT_EQ(TraceEventCount(), 0u);
 }
 
 TEST_F(TraceTest, WriteTraceProducesReadableFile) {

@@ -14,12 +14,17 @@
 #include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/rng.h"
 #include "datasets/registry.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/access_log.h"
+#include "serve/forensics.h"
 #include "datasets/synthetic.h"
 #include "detectors/bundle.h"
 #include "detectors/registry.h"
@@ -370,6 +375,48 @@ class BlockingDetector : public OutlierDetector {
   mutable int tokens_ = 0;
 };
 
+TEST(ScoringEngineTest, StageTimingThreadsThroughRequests) {
+  AttributedGraph graph = TestGraph();
+  serve::EngineConfig config;
+  config.num_threads = 1;
+  auto engine = MakeDegNormEngine(graph, config);
+  ASSERT_TRUE(engine->Start().ok());
+
+  // Caller-supplied id is echoed back through the timing record.
+  Result<serve::ScoreResult> tagged = engine->ScoreNodes({0, 1}, 12345);
+  ASSERT_TRUE(tagged.ok()) << tagged.status().ToString();
+  EXPECT_EQ(tagged.value().timing.request_id, 12345u);
+  EXPECT_GE(tagged.value().timing.batch_size, 1);
+  EXPECT_GE(tagged.value().timing.queue_wait_seconds, 0.0);
+  EXPECT_GE(tagged.value().timing.batch_assembly_seconds, 0.0);
+  EXPECT_GT(tagged.value().timing.score_seconds, 0.0);
+
+  // With no caller id the engine assigns a nonzero one.
+  Result<serve::ScoreResult> assigned = engine->ScoreNodes({2});
+  ASSERT_TRUE(assigned.ok());
+  EXPECT_GT(assigned.value().timing.request_id, 0u);
+
+  // Subgraph requests time the same stages with batch_size 1.
+  Result<serve::ScoreResult> subgraph = engine->ScoreGraph(graph, 777);
+  ASSERT_TRUE(subgraph.ok());
+  EXPECT_EQ(subgraph.value().timing.request_id, 777u);
+  EXPECT_EQ(subgraph.value().timing.batch_size, 1);
+
+  // The stage histograms saw every request.
+  obs::Histogram* queue_wait = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.stage.queue_wait.seconds", obs::DefaultLatencyBounds());
+  obs::Histogram* score = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.stage.score.seconds", obs::DefaultLatencyBounds());
+  EXPECT_GE(queue_wait->Count(), 3);
+  EXPECT_GE(score->Count(), 3);
+  engine->Shutdown();
+
+  serve::EngineStats stats = engine->stats();
+  EXPECT_GE(stats.requests_served, 3);
+  EXPECT_GE(stats.batches_flushed, 1);
+  EXPECT_EQ(stats.shed, 0);
+}
+
 TEST(ScoringEngineTest, FullQueueShedsLoad) {
   AttributedGraph graph = TestGraph();
   auto blocking = std::make_unique<BlockingDetector>();
@@ -588,6 +635,252 @@ TEST(ScoringServerTest, MalformedContentLengthGetsCleanHttpErrors) {
       HttpRoundTrip(port, "GET", "/healthz", "");
   ASSERT_TRUE(health.ok());
   EXPECT_EQ(health.value().first, 200);
+
+  server.Stop();
+}
+
+// Like HttpRoundTrip but returns the raw response (status line + headers
+// + body) so tests can assert on headers like content-type.
+Result<std::string> HttpRoundTripRaw(int port, const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect() failed");
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IoError("send() failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Access log + slow-request forensics.
+
+TEST(AccessLogTest, RequestIdsAreMonotonicAndNonZero) {
+  uint64_t prev = serve::NextRequestId();
+  EXPECT_GT(prev, 0u);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t next = serve::NextRequestId();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(AccessLogTest, RecordJsonRoundTrips) {
+  serve::AccessRecord record;
+  record.request_id = 9;
+  record.path = "/score";
+  record.status = 503;
+  record.num_nodes = 4;
+  record.batch_size = 2;
+  record.shed = true;
+  record.error_class = "unavailable";
+  record.parse_us = 10;
+  record.queue_wait_us = 20;
+  record.batch_assembly_us = 30;
+  record.score_us = 40;
+  record.serialize_us = 50;
+  record.total_us = 160;
+
+  Result<obs::JsonValue> parsed =
+      obs::ParseJson(serve::AccessRecordToJson(record));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& root = parsed.value();
+  EXPECT_EQ(root.at("id").number(), 9.0);
+  EXPECT_EQ(root.at("path").string_value(), "/score");
+  EXPECT_EQ(root.at("status").number(), 503.0);
+  EXPECT_EQ(root.at("nodes").number(), 4.0);
+  EXPECT_EQ(root.at("batch_size").number(), 2.0);
+  EXPECT_TRUE(root.at("shed").boolean());
+  EXPECT_EQ(root.at("error_class").string_value(), "unavailable");
+  EXPECT_EQ(root.at("queue_wait_us").number(), 20.0);
+  EXPECT_EQ(root.at("total_us").number(), 160.0);
+}
+
+TEST(AccessLogTest, WritesOneParsableJsonLinePerRecord) {
+  const std::string path = TempPath("access_log_test.jsonl");
+  std::remove(path.c_str());
+  Result<std::unique_ptr<serve::AccessLog>> log = serve::AccessLog::Open(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  for (int i = 1; i <= 3; ++i) {
+    serve::AccessRecord record;
+    record.request_id = static_cast<uint64_t>(i);
+    record.path = "/score";
+    record.total_us = i * 100;
+    log.value()->Record(record);
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    Result<obs::JsonValue> parsed = obs::ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << "line " << lines << ": " << line;
+    EXPECT_EQ(parsed.value().at("id").number(), static_cast<double>(lines));
+  }
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+TEST(AccessLogTest, OpenRejectsUnwritablePath) {
+  EXPECT_FALSE(serve::AccessLog::Open("/nonexistent-dir/access.log").ok());
+}
+
+TEST(SlowRequestTrackerTest, KeepsKSlowestSorted) {
+  serve::SlowRequestTracker tracker(3);
+  for (int total : {50, 10, 90, 30, 70, 20}) {
+    serve::AccessRecord record;
+    record.request_id = static_cast<uint64_t>(total);
+    record.total_us = total;
+    tracker.Record(record);
+  }
+  const std::vector<serve::AccessRecord> slowest = tracker.Snapshot();
+  ASSERT_EQ(slowest.size(), 3u);
+  EXPECT_EQ(slowest[0].total_us, 90);
+  EXPECT_EQ(slowest[1].total_us, 70);
+  EXPECT_EQ(slowest[2].total_us, 50);
+
+  Result<obs::JsonValue> parsed = obs::ParseJson(tracker.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().at("capacity").number(), 3.0);
+  EXPECT_EQ(parsed.value().at("count").number(), 3.0);
+  EXPECT_EQ(parsed.value().at("slowest").array().size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped observability against a live server.
+
+TEST(ScoringServerTest, MetricsExpositionFormatsAgree) {
+  AttributedGraph graph = TestGraph();
+  auto engine = MakeDegNormEngine(graph, {});
+  serve::ScoringServer server(std::move(engine), /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  // Drive a couple of scoring requests so the stage histograms fill.
+  for (int i = 0; i < 3; ++i) {
+    Result<std::pair<int, std::string>> reply =
+        HttpRoundTrip(port, "POST", "/score", "{\"nodes\":[1,2]}");
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply.value().first, 200);
+    // Every /score response carries its request id.
+    EXPECT_NE(reply.value().second.find("\"request_id\":"),
+              std::string::npos);
+  }
+
+  // JSON scrape, then Prometheus scrape. serve.requests.total only moves
+  // on /score, so the two scrapes must agree on it.
+  Result<std::pair<int, std::string>> json_reply =
+      HttpRoundTrip(port, "GET", "/metrics", "");
+  ASSERT_TRUE(json_reply.ok());
+  ASSERT_EQ(json_reply.value().first, 200);
+  Result<obs::JsonValue> json = obs::ParseJson(json_reply.value().second);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  const double requests_total =
+      json.value().at("counters").at("serve.requests.total").number();
+  EXPECT_GE(requests_total, 3.0);
+
+  Result<std::string> prom_raw =
+      HttpRoundTripRaw(port, "GET", "/metrics?format=prometheus", "");
+  ASSERT_TRUE(prom_raw.ok());
+  const std::string& prom = prom_raw.value();
+  EXPECT_NE(prom.find(" 200 "), std::string::npos);
+  // Satellite: content types come from one construction site each.
+  EXPECT_NE(prom.find("content-type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE serve_requests_total counter"),
+            std::string::npos);
+  std::string expected_line = "\nserve_requests_total ";
+  {
+    std::string count;
+    obs::AppendJsonNumber(&count, requests_total);
+    expected_line += count + "\n";
+  }
+  EXPECT_NE(prom.find(expected_line), std::string::npos) << prom;
+  // Stage histograms appear in exposition form.
+  EXPECT_NE(prom.find("serve_stage_score_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  Result<std::string> json_raw = HttpRoundTripRaw(port, "GET", "/metrics", "");
+  ASSERT_TRUE(json_raw.ok());
+  EXPECT_NE(json_raw.value().find("content-type: application/json"),
+            std::string::npos);
+
+  Result<std::pair<int, std::string>> bad_format =
+      HttpRoundTrip(port, "GET", "/metrics?format=xml", "");
+  ASSERT_TRUE(bad_format.ok());
+  EXPECT_EQ(bad_format.value().first, 400);
+
+  server.Stop();
+}
+
+TEST(ScoringServerTest, DebugSlowReturnsStageBreakdowns) {
+  AttributedGraph graph = TestGraph();
+  auto engine = MakeDegNormEngine(graph, {});
+  serve::ScoringServer server(std::move(engine), /*port=*/0, /*slow_ring=*/4);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  for (int i = 0; i < 6; ++i) {
+    Result<std::pair<int, std::string>> reply =
+        HttpRoundTrip(port, "POST", "/score", "{\"nodes\":[0]}");
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply.value().first, 200);
+  }
+
+  Result<std::pair<int, std::string>> slow =
+      HttpRoundTrip(port, "GET", "/debug/slow", "");
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(slow.value().first, 200);
+  Result<obs::JsonValue> parsed = obs::ParseJson(slow.value().second);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& root = parsed.value();
+  EXPECT_EQ(root.at("capacity").number(), 4.0);
+  const obs::JsonValue::Array& slowest = root.at("slowest").array();
+  ASSERT_GE(slowest.size(), 1u);
+  ASSERT_LE(slowest.size(), 4u);
+  int64_t prev_total = std::numeric_limits<int64_t>::max();
+  for (const obs::JsonValue& entry : slowest) {
+    EXPECT_GT(entry.at("id").number(), 0.0);
+    EXPECT_EQ(entry.at("path").string_value(), "/score");
+    const int64_t total = static_cast<int64_t>(entry.at("total_us").number());
+    EXPECT_GT(total, 0);
+    EXPECT_LE(total, prev_total);  // Slowest first.
+    prev_total = total;
+    // The stage fields decompose the total.
+    const double stage_sum = entry.at("queue_wait_us").number() +
+                             entry.at("batch_assembly_us").number() +
+                             entry.at("score_us").number() +
+                             entry.at("parse_us").number() +
+                             entry.at("serialize_us").number();
+    EXPECT_LE(stage_sum, static_cast<double>(total) + 1.0);
+  }
 
   server.Stop();
 }

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh serve_loadgen numbers vs committed bands.
+
+Runs `serve_loadgen` at a reduced, deterministic scale with
+VGOD_BENCH_MANIFEST set, then compares every metric the manifest records
+(`t{threads}b{batch}.p50_ms`, `.p99_ms`, `.throughput_rps`,
+`.queue_wait_p99_ms`, `.score_p99_ms`) against the tolerance bands
+committed in bench/baselines.json. The bands are deliberately wide —
+they catch order-of-magnitude regressions (a serialization stall, a lost
+batching path, a histogram that stopped filling), not machine-to-machine
+jitter. Structural invariants are checked unconditionally:
+
+  * p50 <= p99 for end-to-end and per-stage latency,
+  * batch amortization (requests / score calls) within [1, max_batch],
+  * every baseline metric present in the fresh manifest.
+
+Run directly (`python3 tools/check_bench.py --loadgen build/bench/serve_loadgen
+--baselines bench/baselines.json`) or via ctest (registered as check_bench
+with the `bench` label).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ERRORS = []
+
+
+def fail(message):
+    ERRORS.append(message)
+    print(f"FAIL: {message}", file=sys.stderr)
+
+
+def check(condition, message):
+    if not condition:
+        fail(message)
+    return condition
+
+
+def run_loadgen(loadgen, baselines, workdir):
+    manifest_path = workdir / "manifest.json"
+    report_path = workdir / "report.json"
+    env = dict(os.environ)
+    env.update(baselines.get("env", {}))
+    env["VGOD_BENCH_MANIFEST"] = str(manifest_path)
+    cmd = [str(loadgen), "--clients=4", "--requests=8",
+           f"--json={report_path}"]
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env,
+                          timeout=480)
+    if proc.returncode != 0:
+        fail(f"serve_loadgen exited {proc.returncode}\n"
+             f"stdout: {proc.stdout[-2000:]}\nstderr: {proc.stderr[-2000:]}")
+        return None, None
+    if not check(manifest_path.exists(), "loadgen wrote no manifest"):
+        return None, None
+    if not check(report_path.exists(), "loadgen wrote no JSON report"):
+        return None, None
+    return (json.loads(manifest_path.read_text()),
+            json.loads(report_path.read_text()))
+
+
+def manifest_metrics(manifest):
+    """Flattens manifest results to {metric: value}."""
+    out = {}
+    for result in manifest.get("results", []):
+        out[result["metric"]] = result["value"]
+    return out
+
+
+def check_bands(metrics, baselines):
+    bands = baselines.get("metrics", {})
+    if not check(bands, "baselines.json declares no metric bands"):
+        return
+    for metric, band in sorted(bands.items()):
+        if not check(metric in metrics,
+                     f"manifest is missing baseline metric {metric}"):
+            continue
+        value = metrics[metric]
+        lo, hi = band["min"], band["max"]
+        check(lo <= value <= hi,
+              f"{metric} = {value} outside committed band [{lo}, {hi}]")
+    extra = sorted(set(metrics) - set(bands))
+    if extra:
+        print(f"note: {len(extra)} manifest metric(s) without bands: "
+              f"{', '.join(extra)}")
+
+
+def check_invariants(report):
+    configs = report.get("configs", [])
+    if not check(configs, "loadgen report has no configs"):
+        return
+    for config in configs:
+        tag = f"t{config.get('threads')}b{config.get('max_batch')}"
+        requests = config.get("requests", 0)
+        score_calls = config.get("score_calls", 0)
+        if check(0 < score_calls <= requests,
+                 f"{tag}: score_calls {score_calls} outside (0, {requests}]"):
+            amortization = requests / score_calls
+            check(1.0 <= amortization <= config.get("max_batch", 1) + 1e-9,
+                  f"{tag}: batch amortization {amortization:.2f} outside "
+                  f"[1, {config.get('max_batch')}]")
+        check(0 < config.get("p50_ms", -1) <= config.get("p99_ms", -1),
+              f"{tag}: latency quantiles inverted or non-positive")
+        for stage, quantiles in (config.get("stages") or {}).items():
+            check(0 <= quantiles.get("p50_ms", -1)
+                  <= quantiles.get("p99_ms", -1),
+                  f"{tag}: stage {stage} quantiles inverted")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--loadgen", required=True,
+                        help="path to serve_loadgen")
+    parser.add_argument("--baselines", required=True,
+                        help="path to bench/baselines.json")
+    args = parser.parse_args()
+
+    baselines = json.loads(Path(args.baselines).read_text())
+    with tempfile.TemporaryDirectory(prefix="vgod_check_bench_") as tmp:
+        manifest, report = run_loadgen(Path(args.loadgen), baselines,
+                                       Path(tmp))
+    if manifest is not None:
+        check_bands(manifest_metrics(manifest), baselines)
+    if report is not None:
+        check_invariants(report)
+
+    if ERRORS:
+        print(f"\ncheck_bench: {len(ERRORS)} failure(s)", file=sys.stderr)
+        return 1
+    print("check_bench: fresh bench numbers are inside the committed bands")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,17 @@ Drives the full deployment loop documented in docs/SERVING.md:
      training-time scores. GET /healthz and GET /metrics are validated
      (the serve.* counters and latency histograms must have moved), and a
      malformed request must produce a 4xx, not a crash.
-  5. SIGTERM must drain and exit 0.
-  6. `serve_loadgen --json` runs two-plus thread x batch configurations;
-     the JSON report must carry sane p50/p99/throughput numbers.
+  5. Request-scoped observability: every /score response's request_id
+     must appear in the VGOD_ACCESS_LOG JSON log (one well-formed line
+     per request, ids strictly increasing), the serve.stage.* histograms
+     must be populated with sums consistent with end-to-end latency,
+     GET /metrics?format=prometheus must pass exposition-format rules
+     and agree with the JSON export, and GET /debug/slow must return
+     stage breakdowns for the slowest requests.
+  6. SIGTERM must drain and exit 0.
+  7. `serve_loadgen --json` runs two-plus thread x batch configurations;
+     the JSON report must carry sane p50/p99/throughput numbers plus
+     per-stage quantiles.
 
 Run directly (`python3 tools/check_serve.py --cli build/tools/vgod_cli
 --serve build/tools/vgod_serve --loadgen build/bench/serve_loadgen`) or
@@ -84,11 +92,26 @@ def http(port, method, path, body=None, timeout=30):
         return error.code, payload
 
 
-def start_server(serve_bin, bundle, graph):
+def http_text(port, path, timeout=30):
+    """Returns (status, content-type, body-text) without JSON parsing."""
+    request = urllib.request.Request(f"http://127.0.0.1:{port}{path}")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return (reply.status, reply.headers.get("Content-Type", ""),
+                    reply.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type", ""), ""
+
+
+def start_server(serve_bin, bundle, graph, access_log=None):
+    env = dict(os.environ)
+    if access_log is not None:
+        env["VGOD_ACCESS_LOG"] = str(access_log)
     proc = subprocess.Popen(
         [str(serve_bin), f"--bundle={bundle}", f"--graph={graph}",
-         "--port=0", "--threads=2", "--max-batch=4", "--max-delay-us=500"],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+         "--port=0", "--threads=2", "--max-batch=4", "--max-delay-us=500",
+         "--slow-ring=8"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
     deadline = time.monotonic() + 60
     port = None
     lines = []
@@ -105,6 +128,132 @@ def start_server(serve_bin, bundle, graph):
         proc.kill()
         fail(f"vgod_serve never printed its port; output: {''.join(lines)}")
     return proc, port
+
+
+PROM_SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{le="([^"]*)"\})? (\S+)$')
+
+
+def check_prometheus(port, json_metrics):
+    """Validates GET /metrics?format=prometheus: exposition-format rules
+    (promtool-style) and agreement with the JSON export."""
+    status, ctype, _ = http_text(port, "/metrics?format=xml")
+    check(status == 400, f"unknown metrics format returned {status}")
+
+    status, ctype, text = http_text(port, "/metrics?format=prometheus")
+    if not check(status == 200,
+                 f"/metrics?format=prometheus returned {status}"):
+        return
+    check(ctype.startswith("text/plain") and "version=0.0.4" in ctype,
+          f"prometheus content type is {ctype!r}")
+
+    types = {}
+    samples = {}
+    buckets = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if check(len(parts) == 4 and
+                     parts[3] in ("counter", "gauge", "histogram"),
+                     f"malformed TYPE line: {line}"):
+                types[parts[2]] = parts[3]
+            continue
+        match = PROM_SAMPLE_RE.match(line)
+        if not check(match, f"unparsable exposition line: {line!r}"):
+            continue
+        name, le, value = match.groups()
+        if le is not None:
+            buckets.setdefault(name, []).append((le, float(value)))
+        else:
+            samples[name] = float(value)
+
+    # Every sample belongs to a declared metric family.
+    for name in samples:
+        base = re.sub(r"_(sum|count)$", "", name)
+        check(name in types or base in types,
+              f"sample {name} has no # TYPE declaration")
+
+    # Histogram rules: cumulative non-decreasing buckets ending at +Inf,
+    # with the +Inf bucket equal to _count.
+    for name, series in buckets.items():
+        base = re.sub(r"_bucket$", "", name)
+        check(types.get(base) == "histogram",
+              f"{name} series not declared as a histogram")
+        values = [v for _, v in series]
+        check(values == sorted(values),
+              f"{name} buckets are not cumulative: {series}")
+        check(series[-1][0] == "+Inf", f"{name} does not end at le=+Inf")
+        count = samples.get(f"{base}_count")
+        check(count is not None and count == series[-1][1],
+              f"{name}: +Inf bucket {series[-1][1]} != _count {count}")
+        check(f"{base}_sum" in samples, f"{base} has no _sum sample")
+
+    # The two exports must agree on counters that only /score moves
+    # (scrape-order-insensitive, unlike serve.http.requests).
+    if isinstance(json_metrics, dict):
+        for json_name in ("serve.requests.total", "serve.requests.completed"):
+            want = json_metrics["counters"].get(json_name)
+            prom_name = json_name.replace(".", "_")
+            check(samples.get(prom_name) == want,
+                  f"{prom_name} is {samples.get(prom_name)} in prometheus "
+                  f"but {json_name} is {want} in JSON")
+        for stage in ("queue_wait", "batch_assembly", "score"):
+            prom = f"serve_stage_{stage}_seconds_count"
+            check(samples.get(prom, 0) >= 4,
+                  f"{prom} missing or empty in prometheus export")
+
+
+def check_access_log(access_log, seen_request_ids):
+    """The access log must hold one well-formed JSON line per request with
+    strictly increasing ids, covering every /score response we saw."""
+    if not check(access_log.exists(), "VGOD_ACCESS_LOG wrote no file"):
+        return
+    records = []
+    for index, line in enumerate(access_log.read_text().splitlines(), 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            fail(f"access log line {index} is not JSON ({error}): {line!r}")
+    if not check(records, "access log is empty"):
+        return
+    ids = [r.get("id", 0) for r in records]
+    check(all(i > 0 for i in ids), "access log has non-positive request ids")
+    # Ids come from one monotonic counter, so they are unique; concurrent
+    # requests may *complete* (and log) out of order, so file order is only
+    # checked for uniqueness, not sortedness.
+    check(len(set(ids)) == len(ids),
+          f"access log request ids are not unique: {sorted(ids)}")
+    check(max(ids) - min(ids) + 1 >= len(ids),
+          "access log ids are denser than a monotonic counter allows")
+    required = {"id", "path", "status", "nodes", "batch_size", "shed",
+                "error_class", "parse_us", "queue_wait_us",
+                "batch_assembly_us", "score_us", "serialize_us", "total_us"}
+    for record in records:
+        check(required <= set(record),
+              f"access log record lacks fields: {record}")
+    logged = set(ids)
+    for request_id in seen_request_ids:
+        check(request_id in logged,
+              f"/score response request_id {request_id} never appeared "
+              f"in the access log")
+    scored = [r for r in records
+              if r.get("path") == "/score" and r.get("status") == 200]
+    check(len(scored) >= len(seen_request_ids),
+          "access log has fewer successful /score lines than clients saw")
+    for record in scored:
+        check(record.get("total_us", 0) > 0,
+              f"successful /score line has no total latency: {record}")
+        check(record.get("score_us", 0) > 0,
+              f"successful /score line has no score stage: {record}")
+        stage_sum = sum(record.get(k, 0) for k in
+                        ("parse_us", "queue_wait_us", "batch_assembly_us",
+                         "score_us", "serialize_us"))
+        check(stage_sum <= record.get("total_us", 0) + 1000,
+              f"stage micros exceed total latency: {record}")
 
 
 def check_serving(cli, serve_bin, workdir):
@@ -128,9 +277,11 @@ def check_serving(cli, serve_bin, workdir):
         expected[int(node)] = float(value)
     check(len(expected) > 0, "detect wrote an empty score file")
 
-    proc, port = start_server(serve_bin, bundle, graph)
+    access_log = workdir / "access.jsonl"
+    proc, port = start_server(serve_bin, bundle, graph, access_log)
     if port is None:
         return
+    seen_request_ids = []
     try:
         status, health = http(port, "GET", "/healthz")
         check(status == 200, f"/healthz returned {status}")
@@ -164,6 +315,9 @@ def check_serving(cli, serve_bin, workdir):
             if not check(payload and payload.get("nodes") == nodes,
                          f"client {slot}: /score echoed wrong nodes"):
                 continue
+            if check(payload.get("request_id", 0) > 0,
+                     f"client {slot}: /score response carries no request_id"):
+                seen_request_ids.append(payload["request_id"])
             for node, got in zip(payload["nodes"], payload["scores"]):
                 want = expected[node]
                 tolerance = max(1e-9, abs(want) * 1e-4)
@@ -200,6 +354,40 @@ def check_serving(cli, serve_bin, workdir):
             batch = metrics["histograms"].get("serve.batch.size")
             check(batch is not None and batch.get("count", 0) >= 1,
                   "serve.batch.size histogram did not move")
+
+            # Stage histograms: every stage populated, and the engine-side
+            # stages decompose (a subset of) the end-to-end latency.
+            stage_sum = 0.0
+            for stage in ("queue_wait", "batch_assembly", "score", "parse",
+                          "serialize"):
+                hist = metrics["histograms"].get(
+                    f"serve.stage.{stage}.seconds")
+                if check(hist is not None and hist.get("count", 0) >= 4,
+                         f"serve.stage.{stage}.seconds did not move"):
+                    if stage in ("queue_wait", "batch_assembly", "score"):
+                        stage_sum += hist.get("sum", 0.0)
+            latency_sum = latency.get("sum", 0.0) if latency else 0.0
+            check(stage_sum <= latency_sum * 1.01 + 1e-6,
+                  f"engine stage sums ({stage_sum}) exceed end-to-end "
+                  f"latency sum ({latency_sum})")
+
+        check_prometheus(port, metrics)
+
+        status, slow = http(port, "GET", "/debug/slow")
+        check(status == 200, f"/debug/slow returned {status}")
+        if check(isinstance(slow, dict) and slow.get("count", 0) >= 1,
+                 f"/debug/slow returned no entries: {slow}"):
+            entries = slow.get("slowest", [])
+            totals = [e.get("total_us", 0) for e in entries]
+            check(totals == sorted(totals, reverse=True),
+                  "/debug/slow entries are not slowest-first")
+            for entry in entries:
+                check(entry.get("id", 0) > 0,
+                      "/debug/slow entry lacks a request id")
+                check(all(k in entry for k in
+                          ("parse_us", "queue_wait_us", "batch_assembly_us",
+                           "score_us", "serialize_us", "total_us")),
+                      f"/debug/slow entry lacks stage fields: {entry}")
     finally:
         proc.send_signal(signal.SIGTERM)
         try:
@@ -212,6 +400,7 @@ def check_serving(cli, serve_bin, workdir):
     tail = proc.stdout.read()
     check("drained and stopped" in tail,
           f"vgod_serve did not report a clean drain; tail: {tail[-500:]}")
+    check_access_log(access_log, seen_request_ids)
 
 
 def check_loadgen(loadgen, workdir):
@@ -245,6 +434,15 @@ def check_loadgen(loadgen, workdir):
         check(config.get("throughput_rps", 0) > 0, f"{tag}: zero throughput")
         check(config.get("engine_p50_ms", -1) >= 0,
               f"{tag}: engine histogram p50 missing")
+        stages = config.get("stages")
+        if check(isinstance(stages, dict) and
+                 {"queue_wait", "batch_assembly", "score"} <= set(stages),
+                 f"{tag}: report lacks per-stage quantiles"):
+            for stage_name, quantiles in stages.items():
+                s50 = quantiles.get("p50_ms", -1)
+                s99 = quantiles.get("p99_ms", -1)
+                check(0 <= s50 <= s99,
+                      f"{tag}: {stage_name} quantiles bad p50={s50} p99={s99}")
 
 
 def main():

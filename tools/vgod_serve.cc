@@ -2,13 +2,15 @@
 //
 //   vgod_serve --bundle=model.vgodb --graph=g.graph [--port=8080]
 //              [--threads=2] [--num_threads=N] [--max-batch=8]
-//              [--max-delay-us=1000] [--max-queue=1024]
+//              [--max-delay-us=1000] [--max-queue=1024] [--slow-ring=16]
 //
 // Loads a model bundle (exported by `vgod_cli detect --save-bundle` or
 // `vgod_cli export-bundle`) and the resident graph, then serves
-// POST /score, GET /healthz, and GET /metrics over HTTP/1.1 on loopback
-// until SIGINT/SIGTERM, draining in-flight work before exiting. See
-// docs/SERVING.md.
+// POST /score, GET /healthz, GET /metrics (?format=prometheus for text
+// exposition), and GET /debug/slow over HTTP/1.1 on loopback until
+// SIGINT/SIGTERM, draining in-flight work before exiting. Set
+// VGOD_ACCESS_LOG=PATH (or "-" for stderr) for a structured JSON access
+// log, one line per request. See docs/SERVING.md.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -34,7 +36,8 @@ int main(int argc, char** argv) {
   }
   Status valid = args.value().Validate({"bundle", "graph", "port", "threads",
                                         "num_threads", "max-batch",
-                                        "max-delay-us", "max-queue"});
+                                        "max-delay-us", "max-queue",
+                                        "slow-ring"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
     return 2;
@@ -48,7 +51,8 @@ int main(int argc, char** argv) {
                  "usage: vgod_serve --bundle=PATH --graph=PATH [--port=N]\n"
                  "                  [--threads=N] [--num_threads=N]\n"
                  "                  [--max-batch=N] [--max-delay-us=N]\n"
-                 "                  [--max-queue=N]\n");
+                 "                  [--max-queue=N] [--slow-ring=N]\n"
+                 "env:   VGOD_ACCESS_LOG=PATH|-  JSON access log\n");
     return 2;
   }
   options.port = static_cast<int>(args.value().GetInt("port", 8080));
@@ -64,6 +68,8 @@ int main(int argc, char** argv) {
       static_cast<int>(args.value().GetInt("max-delay-us", 1000));
   options.engine.max_queue =
       static_cast<int>(args.value().GetInt("max-queue", 1024));
+  options.slow_ring =
+      static_cast<int>(args.value().GetInt("slow-ring", 16));
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
