@@ -38,7 +38,19 @@ ManifestState& Manifest() {
   return *state;
 }
 
-const char* ManifestPath() { return std::getenv("VGOD_BENCH_MANIFEST"); }
+std::string& DefaultManifestPathStorage() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+/// VGOD_BENCH_MANIFEST when set, else the binary's registered default
+/// (SetDefaultManifestPath), else nullptr.
+const char* ManifestPath() {
+  const char* env = std::getenv("VGOD_BENCH_MANIFEST");
+  if (env != nullptr && env[0] != '\0') return env;
+  const std::string& fallback = DefaultManifestPathStorage();
+  return fallback.empty() ? nullptr : fallback.c_str();
+}
 
 /// {"artifact":...,"scale":...,"seed":...,"epoch_scale":...,
 ///  "results":[{dataset,detector,metric,value}...],
@@ -208,6 +220,10 @@ void RecordManifestResult(const std::string& dataset,
   ManifestState& state = Manifest();
   std::lock_guard<std::mutex> lock(state.mutex);
   state.results.push_back(ManifestResult{dataset, detector, metric, value});
+}
+
+void SetDefaultManifestPath(const std::string& path) {
+  DefaultManifestPathStorage() = path;
 }
 
 bool WriteManifest() {

@@ -79,8 +79,14 @@ void RecordManifestResult(const std::string& dataset,
                           const std::string& metric, double value);
 
 /// Writes the manifest JSON now instead of at exit (mainly for tests).
-/// Returns false when VGOD_BENCH_MANIFEST is unset or the write fails.
+/// Returns false when no manifest path is configured or the write fails.
 bool WriteManifest();
+
+/// Default manifest destination used when VGOD_BENCH_MANIFEST is unset,
+/// so benches that promise an artifact (BENCH_kernels.json,
+/// BENCH_efficiency.json) always emit one. Call before PrintBanner (which
+/// registers the at-exit writer); the environment variable still wins.
+void SetDefaultManifestPath(const std::string& path);
 
 }  // namespace vgod::bench
 

@@ -14,6 +14,7 @@ namespace vgod {
 namespace {
 
 void Run() {
+  bench::SetDefaultManifestPath("BENCH_efficiency.json");
   bench::PrintBanner("Fig 7 + Table VII",
                      "training time per epoch and inference time (seconds)");
 

@@ -5,7 +5,8 @@
 //
 // `micro_kernels --sweep` instead runs the vgod::par thread-count sweep:
 // each hot kernel timed at 1/2/4/8 pool threads, reporting GFLOP/s and
-// speedup vs 1 thread, recorded into the VGOD_BENCH_MANIFEST JSON
+// speedup vs 1 thread, recorded into a JSON manifest — BENCH_kernels.json
+// in the working directory unless VGOD_BENCH_MANIFEST overrides it
 // (docs/PARALLELISM.md). All other arguments go to google-benchmark.
 #include <benchmark/benchmark.h>
 
@@ -158,6 +159,7 @@ double BestSeconds(const std::function<void()>& fn, int reps) {
 }  // namespace
 
 int RunThreadSweep() {
+  bench::SetDefaultManifestPath("BENCH_kernels.json");
   bench::PrintBanner("BENCH_kernels",
                      "kernel GFLOP/s vs vgod::par thread count "
                      "(docs/PARALLELISM.md)");

@@ -46,9 +46,20 @@ struct Job {
 class Pool {
  public:
   explicit Pool(int num_threads) : num_threads_(num_threads) {
-    workers_.reserve(num_threads_ - 1);
-    for (int i = 0; i < num_threads_ - 1; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+    const int worker_count = num_threads_ - 1;
+    if (worker_count > 0) {
+      worker_busy_ns_ =
+          std::make_unique<std::atomic<int64_t>[]>(worker_count);
+      worker_idle_ns_ =
+          std::make_unique<std::atomic<int64_t>[]>(worker_count);
+      for (int i = 0; i < worker_count; ++i) {
+        worker_busy_ns_[i].store(0, std::memory_order_relaxed);
+        worker_idle_ns_[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    workers_.reserve(worker_count);
+    for (int i = 0; i < worker_count; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
     }
   }
 
@@ -72,7 +83,7 @@ class Pool {
       ++generation_;
     }
     work_cv_.notify_all();
-    RunChunks(*job);
+    RunChunks(*job, -1);
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock,
                   [&job] { return job->done_chunks == job->num_chunks; });
@@ -81,9 +92,18 @@ class Pool {
 
   std::atomic<int64_t> regions{0};
   std::atomic<int64_t> serial_regions{0};
+  std::atomic<int64_t> inline_overflow{0};
+  std::atomic<int64_t> pending_regions{0};
   std::atomic<int64_t> tasks{0};
   std::atomic<int64_t> idle_ns{0};
   std::atomic<int64_t> busy_ns{0};
+
+  int64_t WorkerBusyNs(int worker) const {
+    return worker_busy_ns_[worker].load(std::memory_order_relaxed);
+  }
+  int64_t WorkerIdleNs(int worker) const {
+    return worker_idle_ns_[worker].load(std::memory_order_relaxed);
+  }
 
   /// At most one region runs on the pool at a time; concurrent callers
   /// (e.g. serve workers scoring different batches) fall back to inline
@@ -92,7 +112,7 @@ class Pool {
   std::mutex region_mu;
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop(int worker) {
     uint64_t seen_generation = 0;
     for (;;) {
       std::shared_ptr<Job> job;
@@ -103,18 +123,21 @@ class Pool {
           return stopping_ ||
                  (job_ != nullptr && generation_ != seen_generation);
         });
-        idle_ns.fetch_add(NowNs() - wait_start, std::memory_order_relaxed);
+        const int64_t waited = NowNs() - wait_start;
+        idle_ns.fetch_add(waited, std::memory_order_relaxed);
+        worker_idle_ns_[worker].fetch_add(waited, std::memory_order_relaxed);
         if (stopping_) return;
         seen_generation = generation_;
         job = job_;
       }
-      RunChunks(*job);
+      RunChunks(*job, worker);
     }
   }
 
   /// Claims and executes chunks until `job` has none left, then reports
-  /// the ones it ran. Runs on workers and on the dispatching caller.
-  void RunChunks(Job& job) {
+  /// the ones it ran. Runs on workers and on the dispatching caller
+  /// (`worker` == -1 for the caller).
+  void RunChunks(Job& job, int worker) {
     int64_t ran = 0;
     const int64_t enter = NowNs();
     t_in_parallel_region = true;
@@ -127,7 +150,11 @@ class Pool {
       ++ran;
     }
     t_in_parallel_region = false;
-    busy_ns.fetch_add(NowNs() - enter, std::memory_order_relaxed);
+    const int64_t active = NowNs() - enter;
+    busy_ns.fetch_add(active, std::memory_order_relaxed);
+    if (worker >= 0) {
+      worker_busy_ns_[worker].fetch_add(active, std::memory_order_relaxed);
+    }
     if (ran == 0) return;
     tasks.fetch_add(ran, std::memory_order_relaxed);
     bool complete = false;
@@ -140,6 +167,8 @@ class Pool {
   }
 
   const int num_threads_;
+  std::unique_ptr<std::atomic<int64_t>[]> worker_busy_ns_;
+  std::unique_ptr<std::atomic<int64_t>[]> worker_idle_ns_;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;
@@ -218,12 +247,18 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
     return;
   }
 
+  // Depth of pool-worthy regions in flight right now (dispatched or about
+  // to fall back inline) — the "queue depth" the par.pool.pending_regions
+  // gauge reports, even though nothing actually queues.
+  pool->pending_regions.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> region(pool->region_mu, std::try_to_lock);
   if (!region.owns_lock()) {
     // Another region is in flight (concurrent scoring threads); run inline
     // rather than queueing kernel work behind someone else's kernel.
     pool->serial_regions.fetch_add(1, std::memory_order_relaxed);
+    pool->inline_overflow.fetch_add(1, std::memory_order_relaxed);
     fn(begin, end);
+    pool->pending_regions.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
 
@@ -235,6 +270,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   job->num_chunks = (range + job->chunk_size - 1) / job->chunk_size;
   pool->regions.fetch_add(1, std::memory_order_relaxed);
   pool->Run(job);
+  pool->pending_regions.fetch_sub(1, std::memory_order_relaxed);
 }
 
 PoolStats Stats() {
@@ -251,9 +287,20 @@ PoolStats Stats() {
   stats.threads = pool->num_threads();
   stats.regions = pool->regions.load(std::memory_order_relaxed);
   stats.serial_regions = pool->serial_regions.load(std::memory_order_relaxed);
+  stats.inline_overflow =
+      pool->inline_overflow.load(std::memory_order_relaxed);
+  stats.pending_regions =
+      pool->pending_regions.load(std::memory_order_relaxed);
   stats.tasks = pool->tasks.load(std::memory_order_relaxed);
   stats.idle_ns = pool->idle_ns.load(std::memory_order_relaxed);
   stats.busy_ns = pool->busy_ns.load(std::memory_order_relaxed);
+  const int worker_count = pool->num_threads() - 1;
+  stats.worker_busy_ns.reserve(worker_count);
+  stats.worker_idle_ns.reserve(worker_count);
+  for (int i = 0; i < worker_count; ++i) {
+    stats.worker_busy_ns.push_back(pool->WorkerBusyNs(i));
+    stats.worker_idle_ns.push_back(pool->WorkerIdleNs(i));
+  }
   return stats;
 }
 

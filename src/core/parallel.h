@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace vgod::par {
 
@@ -25,9 +26,21 @@ struct PoolStats {
   int threads = 1;          // Current configured pool width.
   int64_t regions = 0;      // ParallelFor calls dispatched to the pool.
   int64_t serial_regions = 0;  // ParallelFor calls run inline (serial).
+  int64_t inline_overflow = 0;  // Inline fallbacks because the pool was
+                                // busy with another region (a subset of
+                                // serial_regions).
+  int64_t pending_regions = 0;  // Instantaneous: regions currently
+                                // dispatched or contending for the pool
+                                // (the region "queue depth"; not
+                                // monotonic).
   int64_t tasks = 0;        // Chunks executed by pool dispatch.
   int64_t idle_ns = 0;      // Worker time blocked waiting for work.
   int64_t busy_ns = 0;      // Worker + caller time inside chunk bodies.
+  // Per pool-worker-thread active/idle split (size threads - 1; the
+  // dispatching caller's chunk time is in busy_ns only). Exported as
+  // par.pool.worker.N.{busy,idle}_seconds gauges.
+  std::vector<int64_t> worker_busy_ns;
+  std::vector<int64_t> worker_idle_ns;
 };
 
 /// Number of threads the global pool is configured with (>= 1). First call

@@ -4,6 +4,7 @@
 #include "detectors/divergence.h"
 #include "detectors/serialize.h"
 #include "graph/graph_ops.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "tensor/optimizer.h"
 
@@ -58,6 +59,7 @@ void Arm::BuildModules(int input_dim, Rng* rng) {
 }
 
 Status Arm::Fit(const AttributedGraph& graph) {
+  VGOD_PROFILE_MEMORY_PHASE("detector/arm_fit");
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("ARM requires node attributes");
   }
@@ -104,6 +106,7 @@ Status Arm::Fit(const AttributedGraph& graph) {
 }
 
 DetectorOutput Arm::Score(const AttributedGraph& graph) const {
+  VGOD_PROFILE_SCOPE("detector/arm_score");
   NoGradGuard no_grad;
   const Tensor attributes =
       PrepareAttributes(graph, config_.row_normalize_attributes);

@@ -1,6 +1,7 @@
 #include "detectors/dominant.h"
 
 #include "graph/graph_ops.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "tensor/optimizer.h"
 
@@ -21,6 +22,7 @@ Dominant::Forward Dominant::RunForward(
 }
 
 Status Dominant::Fit(const AttributedGraph& graph) {
+  VGOD_PROFILE_MEMORY_PHASE("detector/dominant_fit");
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("Dominant requires node attributes");
   }
@@ -68,6 +70,7 @@ Status Dominant::Fit(const AttributedGraph& graph) {
 }
 
 DetectorOutput Dominant::Score(const AttributedGraph& graph) const {
+  VGOD_PROFILE_SCOPE("detector/dominant_score");
   NoGradGuard no_grad;
   auto message_graph =
       std::make_shared<const AttributedGraph>(graph.WithSelfLoops());

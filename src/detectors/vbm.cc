@@ -10,6 +10,7 @@
 #include "gnn/graph_autograd.h"
 #include "graph/graph_ops.h"
 #include "graph/sampling.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "tensor/functional.h"
 
@@ -144,6 +145,7 @@ double Vbm::RunMiniBatchEpoch(const AttributedGraph& graph,
 }
 
 Status Vbm::Fit(const AttributedGraph& graph) {
+  VGOD_PROFILE_MEMORY_PHASE("detector/vbm_fit");
   if (!graph.has_attributes()) {
     return Status::FailedPrecondition("VBM requires node attributes");
   }
@@ -208,6 +210,7 @@ Status Vbm::Fit(const AttributedGraph& graph) {
 }
 
 DetectorOutput Vbm::Score(const AttributedGraph& graph) const {
+  VGOD_PROFILE_SCOPE("detector/vbm_score");
   DetectorOutput out;
   out.score = CurrentScores(graph);
   out.structural_score = out.score;

@@ -2,6 +2,7 @@
 
 #include "core/stopwatch.h"
 #include "eval/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace vgod::detectors {
@@ -34,6 +35,7 @@ Vgod::Vgod(VgodConfig config)
 
 Status Vgod::Fit(const AttributedGraph& graph) {
   VGOD_TRACE_SPAN("vgod/fit");
+  VGOD_PROFILE_MEMORY_PHASE("detector/vgod_fit");
   Stopwatch watch;
   // Separate training with independent epoch budgets (paper Algorithm 1):
   // joint training over-trains one component before the other converges.
@@ -54,6 +56,7 @@ Status Vgod::Fit(const AttributedGraph& graph) {
 }
 
 DetectorOutput Vgod::Score(const AttributedGraph& graph) const {
+  VGOD_PROFILE_SCOPE("detector/vgod_score");
   DetectorOutput out;
   out.structural_score = vbm_.Score(graph).score;
   out.contextual_score = arm_.Score(graph).score;

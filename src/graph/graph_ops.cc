@@ -4,6 +4,7 @@
 
 #include "core/check.h"
 #include "core/parallel.h"
+#include "obs/profile.h"
 
 namespace vgod::graph_ops {
 namespace {
@@ -53,6 +54,11 @@ Tensor Spmm(const AttributedGraph& graph,
   }
   const int n = graph.num_nodes();
   const int d = h.cols();
+  VGOD_PROFILE_SCOPE("graph/spmm");
+  obs::ProfileAddBytes(
+      (2 * static_cast<int64_t>(n) * d +
+       graph.num_directed_edges() * (d + 3)) *
+      static_cast<int64_t>(sizeof(float)));
   Tensor out = Tensor::Zeros(n, d);
   const float* src = h.data();
   float* dst = out.data();
@@ -76,6 +82,7 @@ Tensor Spmm(const AttributedGraph& graph,
 }
 
 CsrTranspose BuildCsrTranspose(const AttributedGraph& graph) {
+  VGOD_PROFILE_SCOPE("graph/build_csr_transpose");
   const int n = graph.num_nodes();
   const auto& row_ptr = graph.row_ptr();
   const auto& col_idx = graph.col_idx();
@@ -98,6 +105,7 @@ CsrTranspose BuildCsrTranspose(const AttributedGraph& graph) {
 }
 
 Tensor NeighborMean(const AttributedGraph& graph, const Tensor& h) {
+  VGOD_PROFILE_SCOPE("graph/neighbor_mean");
   Tensor sum = Spmm(graph, {}, h);
   const int n = graph.num_nodes();
   const int d = h.cols();
@@ -118,6 +126,7 @@ Tensor NeighborVarianceScore(const AttributedGraph& graph, const Tensor& h) {
   VGOD_CHECK_EQ(h.rows(), graph.num_nodes());
   const int n = graph.num_nodes();
   const int d = h.cols();
+  VGOD_PROFILE_SCOPE("graph/neighbor_variance_score");
   const Tensor mean = NeighborMean(graph, h);
   Tensor out = Tensor::Zeros(n, 1);
   const float* src = h.data();
@@ -145,6 +154,7 @@ Tensor NeighborVarianceScore(const AttributedGraph& graph, const Tensor& h) {
 }
 
 double EdgeHomophily(const AttributedGraph& graph) {
+  VGOD_PROFILE_SCOPE("graph/edge_homophily");
   VGOD_CHECK(graph.has_communities());
   const auto& labels = graph.communities();
   int64_t same = 0;
@@ -159,6 +169,7 @@ double EdgeHomophily(const AttributedGraph& graph) {
 }
 
 Tensor DenseAdjacency(const AttributedGraph& graph) {
+  VGOD_PROFILE_SCOPE("graph/dense_adjacency");
   const int n = graph.num_nodes();
   Tensor out = Tensor::Zeros(n, n);
   for (int u = 0; u < n; ++u) {
@@ -169,6 +180,7 @@ Tensor DenseAdjacency(const AttributedGraph& graph) {
 }
 
 Tensor RowNormalizeAttributes(const Tensor& attributes, float eps) {
+  VGOD_PROFILE_SCOPE("graph/row_normalize_attributes");
   Tensor out = attributes.Clone();
   for (int i = 0; i < out.rows(); ++i) {
     float* row = out.data() + static_cast<size_t>(i) * out.cols();

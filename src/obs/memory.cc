@@ -9,6 +9,10 @@ std::atomic<int64_t> g_live_bytes{0};
 std::atomic<int64_t> g_peak_bytes{0};
 std::atomic<int64_t> g_total_allocs{0};
 
+// Per-thread net-allocation window (see BeginThreadMemoryWindow).
+thread_local int64_t t_window_net = 0;
+thread_local int64_t t_window_peak = 0;
+
 }  // namespace
 
 void OnTensorAlloc(int64_t bytes) {
@@ -19,10 +23,13 @@ void OnTensorAlloc(int64_t bytes) {
   while (live > peak && !g_peak_bytes.compare_exchange_weak(
                             peak, live, std::memory_order_relaxed)) {
   }
+  t_window_net += bytes;
+  if (t_window_net > t_window_peak) t_window_peak = t_window_net;
 }
 
 void OnTensorFree(int64_t bytes) {
   g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  t_window_net -= bytes;
 }
 
 int64_t LiveTensorBytes() {
@@ -38,8 +45,23 @@ void ResetPeakTensorBytes() {
                      std::memory_order_relaxed);
 }
 
+void RaisePeakTensorBytes(int64_t floor_bytes) {
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (floor_bytes > peak && !g_peak_bytes.compare_exchange_weak(
+                                   peak, floor_bytes,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
 int64_t TotalTensorAllocs() {
   return g_total_allocs.load(std::memory_order_relaxed);
 }
+
+void BeginThreadMemoryWindow() {
+  t_window_net = 0;
+  t_window_peak = 0;
+}
+
+int64_t ThreadMemoryWindowPeak() { return t_window_peak; }
 
 }  // namespace vgod::obs

@@ -23,8 +23,20 @@ int64_t PeakTensorBytes();
 /// Rebases the high-water mark to the current live bytes.
 void ResetPeakTensorBytes();
 
+/// Raises the high-water mark to at least `floor_bytes` (max-merge).
+/// obs::MemoryPhase uses this to restore the enclosing phase's peak after
+/// windowing, so nested phases never lower what an outer reader sees.
+void RaisePeakTensorBytes(int64_t floor_bytes);
+
 /// Total allocations ever made (monotonic; feeds the metrics export).
 int64_t TotalTensorAllocs();
+
+/// Per-thread allocation window: the serving engine brackets each score
+/// call with Begin/Peak to attribute a request's peak live-tensor-bytes
+/// delta (allocations minus frees on the calling thread, high-water
+/// since Begin) into its forensics record. Thread-local, no atomics.
+void BeginThreadMemoryWindow();
+int64_t ThreadMemoryWindowPeak();
 
 }  // namespace vgod::obs
 

@@ -5,6 +5,7 @@
 
 #include "core/parallel.h"
 #include "obs/json.h"
+#include "obs/process_metrics.h"
 
 namespace vgod::obs {
 namespace {
@@ -27,6 +28,17 @@ void PublishPoolGauges() {
       ->Set(static_cast<double>(stats.idle_ns) * 1e-9);
   registry.GetGauge("par.pool.busy_seconds")
       ->Set(static_cast<double>(stats.busy_ns) * 1e-9);
+  registry.GetGauge("par.pool.inline_overflow")
+      ->Set(static_cast<double>(stats.inline_overflow));
+  registry.GetGauge("par.pool.pending_regions")
+      ->Set(static_cast<double>(stats.pending_regions));
+  for (size_t i = 0; i < stats.worker_busy_ns.size(); ++i) {
+    const std::string worker = "par.pool.worker." + std::to_string(i);
+    registry.GetGauge(worker + ".busy_seconds")
+        ->Set(static_cast<double>(stats.worker_busy_ns[i]) * 1e-9);
+    registry.GetGauge(worker + ".idle_seconds")
+        ->Set(static_cast<double>(stats.worker_idle_ns[i]) * 1e-9);
+  }
 }
 
 }  // namespace
@@ -154,6 +166,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 std::string MetricsRegistry::ToJson() const {
   PublishPoolGauges();  // Before taking mu_: GetGauge locks it too.
+  PublishProcessGauges();
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
@@ -206,6 +219,7 @@ std::string MetricsRegistry::ToJson() const {
 
 std::string MetricsRegistry::ToPrometheus() const {
   PublishPoolGauges();  // Before taking mu_: GetGauge locks it too.
+  PublishProcessGauges();
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
 

@@ -1,0 +1,101 @@
+#include "obs/process_metrics.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace vgod::obs {
+namespace {
+
+// Reads /proc/self/stat fields 14/15 (utime/stime, clock ticks) and 20
+// (num_threads). The comm field (2) can contain spaces, so parsing
+// resumes after the closing ')'.
+bool ReadProcStat(double* cpu_seconds, long* num_threads) {
+  std::FILE* file = std::fopen("/proc/self/stat", "r");
+  if (file == nullptr) return false;
+  char buffer[1024];
+  const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  if (read == 0) return false;
+  buffer[read] = '\0';
+  const char* after_comm = std::strrchr(buffer, ')');
+  if (after_comm == nullptr) return false;
+  // after_comm points at ')'; the next token is field 3 (state).
+  unsigned long long utime = 0;
+  unsigned long long stime = 0;
+  long threads = 0;
+  // Fields 3..13 are skipped (%*s for state, %*d for the rest).
+  const int matched = std::sscanf(
+      after_comm + 1,
+      " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu %*d %*d %*d "
+      "%*d %ld",
+      &utime, &stime, &threads);
+  if (matched != 3) return false;
+  const long ticks_per_second = ::sysconf(_SC_CLK_TCK);
+  if (ticks_per_second <= 0) return false;
+  *cpu_seconds = static_cast<double>(utime + stime) /
+                 static_cast<double>(ticks_per_second);
+  *num_threads = threads;
+  return true;
+}
+
+bool ReadResidentBytes(double* resident_bytes, double* virtual_bytes) {
+  std::FILE* file = std::fopen("/proc/self/statm", "r");
+  if (file == nullptr) return false;
+  unsigned long long total_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int matched =
+      std::fscanf(file, "%llu %llu", &total_pages, &resident_pages);
+  std::fclose(file);
+  if (matched != 2) return false;
+  const long page_size = ::sysconf(_SC_PAGESIZE);
+  if (page_size <= 0) return false;
+  *virtual_bytes =
+      static_cast<double>(total_pages) * static_cast<double>(page_size);
+  *resident_bytes =
+      static_cast<double>(resident_pages) * static_cast<double>(page_size);
+  return true;
+}
+
+long CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  long count = 0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++count;
+  }
+  ::closedir(dir);
+  // The opendir fd itself is counted; report the steady-state number.
+  return count > 0 ? count - 1 : count;
+}
+
+}  // namespace
+
+void PublishProcessGauges() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  double cpu_seconds = 0.0;
+  long num_threads = 0;
+  if (ReadProcStat(&cpu_seconds, &num_threads)) {
+    registry.GetGauge("process_cpu_seconds_total")->Set(cpu_seconds);
+    registry.GetGauge("process_threads")
+        ->Set(static_cast<double>(num_threads));
+  }
+  double resident_bytes = 0.0;
+  double virtual_bytes = 0.0;
+  if (ReadResidentBytes(&resident_bytes, &virtual_bytes)) {
+    registry.GetGauge("process_resident_memory_bytes")->Set(resident_bytes);
+    registry.GetGauge("process_virtual_memory_bytes")->Set(virtual_bytes);
+  }
+  const long open_fds = CountOpenFds();
+  if (open_fds >= 0) {
+    registry.GetGauge("process_open_fds")
+        ->Set(static_cast<double>(open_fds));
+  }
+}
+
+}  // namespace vgod::obs

@@ -1,0 +1,17 @@
+#ifndef VGOD_OBS_PROCESS_METRICS_H_
+#define VGOD_OBS_PROCESS_METRICS_H_
+
+namespace vgod::obs {
+
+/// Refreshes the standard process-level collector gauges from /proc —
+/// process_resident_memory_bytes, process_virtual_memory_bytes,
+/// process_cpu_seconds_total, process_threads, process_open_fds — so
+/// stock Grafana dashboards work against /metrics out of the box. Called
+/// by the registry exporters right before rendering; cheap (two small
+/// /proc reads and one directory scan). No-op on platforms without
+/// /proc/self.
+void PublishProcessGauges();
+
+}  // namespace vgod::obs
+
+#endif  // VGOD_OBS_PROCESS_METRICS_H_

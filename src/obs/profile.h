@@ -1,0 +1,173 @@
+#ifndef VGOD_OBS_PROFILE_H_
+#define VGOD_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/memory.h"
+
+namespace vgod::obs {
+
+/// Hierarchical compute profiler. Scoped regions (VGOD_PROFILE_SCOPE)
+/// maintain a thread-local call stack; each distinct stack path becomes a
+/// node in a per-thread call tree holding relaxed-atomic accumulators
+/// (inclusive ns, call count, bytes touched, peak tensor bytes).
+/// SnapshotProfile() merges the per-thread trees by path into one
+/// aggregate tree with deterministic (name-sorted) child order, from
+/// which ProfileToJson() / ProfileToFolded() derive the exports.
+///
+/// Cost model: disabled, a scope is one relaxed atomic load. Enabled, it
+/// is a thread-local lookup, a child search by pointer/strcmp over a
+/// handful of siblings, and two steady-clock reads — no locks on the hot
+/// path. Tree-structure mutation (first visit of a path) takes a
+/// per-thread mutex shared only with snapshotters, so the profiler stays
+/// TSan-clean, and it never reorders or partitions work, so profiled
+/// runs produce bit-identical numeric output.
+///
+/// Scope names must be string literals (or otherwise outlive the
+/// process); they are stored by pointer on the hot path.
+
+/// Aggregated snapshot node. `exclusive_ns` is inclusive minus the sum of
+/// child inclusive time (clamped at zero); the snapshot also raises each
+/// parent's inclusive time to at least the sum of its children so the
+/// tree invariant (sum of child inclusive <= parent inclusive) holds even
+/// when a window closes while scopes are still open.
+struct ProfileNode {
+  std::string name;
+  int64_t calls = 0;
+  int64_t inclusive_ns = 0;
+  int64_t exclusive_ns = 0;
+  int64_t bytes = 0;
+  int64_t peak_bytes = 0;
+  std::vector<ProfileNode> children;  // sorted by name
+};
+
+/// Global on/off switch. When off, VGOD_PROFILE_SCOPE costs one relaxed
+/// atomic load and nothing is recorded.
+bool ProfileEnabled();
+void SetProfileEnabled(bool enabled);
+
+/// Applies the VGOD_PROFILE environment variable: unset, "" or "0"
+/// leaves profiling off; anything else turns it on. A value containing a
+/// '/' or '.' (e.g. "out/profile.json") additionally becomes the export
+/// path reported by ProfileEnvPath().
+void InitProfileFromEnv();
+
+/// Export path parsed from VGOD_PROFILE by InitProfileFromEnv(), or "".
+std::string ProfileEnvPath();
+
+/// Zeroes every accumulator on every thread's tree. Node structure (and
+/// any pointers held by live scopes) stays valid, so this is safe to call
+/// while scopes are open — their time lands in the fresh window.
+void ClearProfile();
+
+/// Merges all per-thread trees into one aggregate tree. The root has an
+/// empty name and zero counters of its own; its children are the
+/// top-level regions. Safe to call from any thread at any time.
+ProfileNode SnapshotProfile();
+
+/// Deterministic JSON tree:
+///   {"name":"","calls":N,"inclusive_ns":N,"exclusive_ns":N,
+///    "bytes":N,"peak_bytes":N,"children":[...]}
+/// The zero-arg form snapshots first.
+std::string ProfileToJson(const ProfileNode& root);
+std::string ProfileToJson();
+
+/// Folded-stack export ("frame;frame;frame <exclusive_ns>" per line,
+/// sorted), directly consumable by flamegraph.pl or speedscope. The
+/// zero-arg form snapshots first.
+std::string ProfileToFolded(const ProfileNode& root);
+std::string ProfileToFolded();
+
+/// Writes ProfileToJson() when `path` ends in ".json", else the folded
+/// stacks.
+Status WriteProfile(const std::string& path);
+
+/// Attributes `bytes` of memory traffic to the innermost open scope on
+/// this thread. No-op when profiling is off or no scope is open.
+void ProfileAddBytes(int64_t bytes);
+
+namespace profile_internal {
+
+struct LiveNode;  // one call-tree node; defined in profile.cc
+
+int64_t ProfileNowNs();
+LiveNode* EnterScope(const char* name);
+void LeaveScope(LiveNode* node, int64_t start_ns);
+void MergePeakBytes(LiveNode* node, int64_t peak_bytes);
+
+}  // namespace profile_internal
+
+/// RAII profiling region. Prefer the VGOD_PROFILE_SCOPE macro.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) {
+    if (ProfileEnabled()) {
+      start_ns_ = profile_internal::ProfileNowNs();
+      node_ = profile_internal::EnterScope(name);
+    }
+  }
+  ~ProfileScope() {
+    if (node_ != nullptr) profile_internal::LeaveScope(node_, start_ns_);
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  bool active() const { return node_ != nullptr; }
+
+  /// Max-merges a tensor-memory high-water mark into this scope's node.
+  void MergePeakBytes(int64_t peak_bytes) {
+    if (node_ != nullptr) profile_internal::MergePeakBytes(node_, peak_bytes);
+  }
+
+ private:
+  profile_internal::LiveNode* node_ = nullptr;
+  int64_t start_ns_ = 0;
+};
+
+/// RAII profiling region that additionally windows the global tensor
+/// high-water mark (ResetPeakTensorBytes on entry, RaisePeakTensorBytes
+/// on exit) and attributes the phase peak to the scope's tree node. The
+/// enclosing peak is restored on exit, so outer accounting — e.g.
+/// TrainingRun's per-epoch peaks — still reads the true maximum. The
+/// global mark is only touched while profiling is enabled; phase peaks
+/// are meaningful for single-flow phases (training), not for concurrent
+/// scoring, which uses per-thread windows instead.
+class MemoryPhase {
+ public:
+  explicit MemoryPhase(const char* name) : scope_(name) {
+    if (scope_.active()) {
+      outer_peak_ = PeakTensorBytes();
+      ResetPeakTensorBytes();
+    }
+  }
+  ~MemoryPhase() {
+    if (scope_.active()) {
+      scope_.MergePeakBytes(PeakTensorBytes());
+      RaisePeakTensorBytes(outer_peak_);
+    }
+  }
+  MemoryPhase(const MemoryPhase&) = delete;
+  MemoryPhase& operator=(const MemoryPhase&) = delete;
+
+ private:
+  ProfileScope scope_;
+  int64_t outer_peak_ = 0;
+};
+
+}  // namespace vgod::obs
+
+#ifndef VGOD_OBS_CONCAT
+#define VGOD_OBS_CONCAT_INNER(a, b) a##b
+#define VGOD_OBS_CONCAT(a, b) VGOD_OBS_CONCAT_INNER(a, b)
+#endif
+#define VGOD_PROFILE_SCOPE(name)             \
+  ::vgod::obs::ProfileScope VGOD_OBS_CONCAT( \
+      vgod_profile_scope_, __LINE__)(name)
+#define VGOD_PROFILE_MEMORY_PHASE(name)      \
+  ::vgod::obs::MemoryPhase VGOD_OBS_CONCAT(  \
+      vgod_profile_phase_, __LINE__)(name)
+
+#endif  // VGOD_OBS_PROFILE_H_

@@ -26,6 +26,8 @@ std::string AccessRecordToJson(const AccessRecord& record) {
   out.append(",\"score_us\":" + std::to_string(record.score_us));
   out.append(",\"serialize_us\":" + std::to_string(record.serialize_us));
   out.append(",\"total_us\":" + std::to_string(record.total_us));
+  out.append(",\"tensor_peak_bytes\":" +
+             std::to_string(record.tensor_peak_bytes));
   out.push_back('}');
   return out;
 }

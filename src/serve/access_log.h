@@ -29,6 +29,10 @@ struct AccessRecord {
   int64_t score_us = 0;
   int64_t serialize_us = 0;
   int64_t total_us = 0;
+  /// Peak live tensor bytes allocated by the Score() call that answered
+  /// the request (net of frees, high-water on the scoring thread) — lets
+  /// /debug/slow correlate tail latency with memory pressure.
+  int64_t tensor_peak_bytes = 0;
 };
 
 /// One compact JSON object (no trailing newline) for the record — the

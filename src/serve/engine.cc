@@ -5,7 +5,9 @@
 #include "core/faultinject.h"
 #include "core/parallel.h"
 #include "eval/metrics.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "serve/access_log.h"
 
@@ -65,9 +67,17 @@ void ObserveStages(const StageTiming& timing) {
 /// (-> HTTP 500) instead of NaNs in response JSON or sort UB downstream.
 /// The "serve.score" fault site lets tests force the degenerate case.
 Result<detectors::DetectorOutput> GuardedScore(
-    const detectors::OutlierDetector& detector,
-    const AttributedGraph& graph) {
-  detectors::DetectorOutput out = detector.Score(graph);
+    const detectors::OutlierDetector& detector, const AttributedGraph& graph,
+    int64_t* tensor_peak_bytes) {
+  obs::BeginThreadMemoryWindow();
+  detectors::DetectorOutput out;
+  {
+    // The profiler region every /debug/profile attribution hangs off:
+    // detector and kernel scopes nest under serve/score on this thread.
+    VGOD_PROFILE_SCOPE("serve/score");
+    out = detector.Score(graph);
+  }
+  *tensor_peak_bytes = obs::ThreadMemoryWindowPeak();
   if (faults::Enabled() && !out.score.empty()) {
     out.score[0] = faults::MaybeNan("serve.score", out.score[0]);
   }
@@ -316,7 +326,7 @@ void ScoringEngine::FinishRequest(Pending* pending,
 /// batch flush), and the shared Score() call.
 StageTiming ScoringEngine::TimingFor(
     const Pending& pending, std::chrono::steady_clock::time_point score_start,
-    double score_seconds, int batch_size) {
+    double score_seconds, int batch_size, int64_t tensor_peak_bytes) {
   StageTiming timing;
   timing.request_id = pending.request_id;
   timing.queue_wait_seconds =
@@ -325,6 +335,7 @@ StageTiming ScoringEngine::TimingFor(
       SecondsBetween(pending.dequeued, score_start);
   timing.score_seconds = score_seconds;
   timing.batch_size = batch_size;
+  timing.tensor_peak_bytes = tensor_peak_bytes;
   return timing;
 }
 
@@ -337,15 +348,17 @@ void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
     batch_size->Observe(static_cast<double>(batch.size()));
   }
   const auto score_start = std::chrono::steady_clock::now();
+  int64_t tensor_peak_bytes = 0;
   Result<detectors::DetectorOutput> guarded =
-      GuardedScore(*detector_, graph_);
+      GuardedScore(*detector_, graph_, &tensor_peak_bytes);
   const double score_seconds = SecondsSince(score_start);
   VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds", score_seconds);
   score_calls_.fetch_add(1, std::memory_order_relaxed);
   if (!guarded.ok()) {
     for (Pending& pending : batch) {
       ObserveStages(TimingFor(pending, score_start, score_seconds,
-                              static_cast<int>(batch.size())));
+                              static_cast<int>(batch.size()),
+                              tensor_peak_bytes));
       FinishRequest(&pending, guarded.status());
     }
     return;
@@ -355,7 +368,8 @@ void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
   for (Pending& pending : batch) {
     ScoreResult result;
     result.timing = TimingFor(pending, score_start, score_seconds,
-                              static_cast<int>(batch.size()));
+                              static_cast<int>(batch.size()),
+                              tensor_peak_bytes);
     ObserveStages(result.timing);
     result.nodes = std::move(pending.nodes);
     result.score.reserve(result.nodes.size());
@@ -377,13 +391,14 @@ void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
 void ScoringEngine::ExecuteSubgraph(Pending pending) {
   VGOD_TRACE_SPAN("serve/subgraph");
   const auto score_start = std::chrono::steady_clock::now();
+  int64_t tensor_peak_bytes = 0;
   Result<detectors::DetectorOutput> guarded =
-      GuardedScore(*detector_, *pending.subgraph);
+      GuardedScore(*detector_, *pending.subgraph, &tensor_peak_bytes);
   const double score_seconds = SecondsSince(score_start);
   VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds", score_seconds);
   score_calls_.fetch_add(1, std::memory_order_relaxed);
-  const StageTiming timing =
-      TimingFor(pending, score_start, score_seconds, /*batch_size=*/1);
+  const StageTiming timing = TimingFor(pending, score_start, score_seconds,
+                                       /*batch_size=*/1, tensor_peak_bytes);
   ObserveStages(timing);
   if (!guarded.ok()) {
     FinishRequest(&pending, guarded.status());

@@ -53,6 +53,10 @@ struct StageTiming {
   double score_seconds = 0.0;
   /// Requests answered by the same Score() call (1 for subgraphs).
   int batch_size = 0;
+  /// High-water mark of net tensor allocations on the scoring thread
+  /// during the Score() call that answered this request (the request's
+  /// peak live-tensor-bytes delta; shared across a batch).
+  int64_t tensor_peak_bytes = 0;
 };
 
 /// Scores for the nodes a request asked about, row-aligned with `nodes`.
@@ -153,7 +157,7 @@ class ScoringEngine {
   static StageTiming TimingFor(
       const Pending& pending,
       std::chrono::steady_clock::time_point score_start, double score_seconds,
-      int batch_size);
+      int batch_size, int64_t tensor_peak_bytes);
   void WorkerLoop();
   void ExecuteBatch(std::vector<Pending> batch);
   void ExecuteSubgraph(Pending pending);

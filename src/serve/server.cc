@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "core/faultinject.h"
@@ -11,6 +12,7 @@
 #include "detectors/registry.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "serve/access_log.h"
 
@@ -31,6 +33,7 @@ int64_t SecondsToMicros(double seconds) {
 /// (seconds -> integer microseconds, the log's unit).
 void RecordEngineTiming(const StageTiming& timing, AccessRecord* record) {
   record->batch_size = timing.batch_size;
+  record->tensor_peak_bytes = timing.tensor_peak_bytes;
   record->queue_wait_us = SecondsToMicros(timing.queue_wait_seconds);
   record->batch_assembly_us = SecondsToMicros(timing.batch_assembly_seconds);
   record->score_us = SecondsToMicros(timing.score_seconds);
@@ -289,6 +292,52 @@ HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
     }
     return HttpResponse::Json(200, slow_.ToJson());
   }
+  if (path == "/debug/profile") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET " + path);
+    }
+    double seconds = 1.0;
+    const std::string seconds_param = QueryParam(query, "seconds");
+    if (!seconds_param.empty()) {
+      char* end = nullptr;
+      seconds = std::strtod(seconds_param.c_str(), &end);
+      if (end == seconds_param.c_str() || *end != '\0' || seconds <= 0.0 ||
+          seconds > 60.0) {
+        return ErrorResponse(
+            400, "'seconds' must be a number in (0, 60], got '" +
+                     seconds_param + "'");
+      }
+    }
+    const std::string format = QueryParam(query, "format");
+    if (!format.empty() && format != "json" && format != "folded") {
+      return ErrorResponse(400, "unknown profile format '" + format +
+                                    "' (want json or folded)");
+    }
+    // Windowed capture: clear the aggregate tree, enable collection for
+    // the requested wall-clock window (sleeping on this connection
+    // thread; scoring proceeds on the engine threads), then restore the
+    // previous enablement. Concurrent /debug/profile windows overlap
+    // benignly — they just observe each other's capture.
+    const bool was_enabled = obs::ProfileEnabled();
+    obs::ClearProfile();
+    obs::SetProfileEnabled(true);
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    obs::SetProfileEnabled(was_enabled);
+    const obs::ProfileNode tree = obs::SnapshotProfile();
+    if (format == "folded") {
+      HttpResponse response;
+      response.status = 200;
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = obs::ProfileToFolded(tree);
+      return response;
+    }
+    std::string body = "{\"seconds\":";
+    obs::AppendJsonNumber(&body, seconds);
+    body.append(",\"profile\":");
+    body.append(obs::ProfileToJson(tree));
+    body.push_back('}');
+    return HttpResponse::Json(200, std::move(body));
+  }
   if (path == "/score") {
     if (request.method != "POST") {
       return ErrorResponse(405, "use POST " + path);
@@ -350,6 +399,7 @@ HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
 
 int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
   obs::InitTraceFromEnv();
+  obs::InitProfileFromEnv();
   if (faults::Enabled()) {
     std::string armed;
     for (const std::string& site : faults::ArmedSites()) {

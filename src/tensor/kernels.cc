@@ -5,6 +5,7 @@
 
 #include "core/parallel.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace vgod::kernels {
 namespace {
@@ -35,14 +36,18 @@ int64_t RowGrain(int64_t row_work) {
 /// unmeasurable next to the O(mnk) loop itself.
 void CountMatMulWork(int64_t m, int64_t n, int64_t k) {
   VGOD_COUNTER_ADD("tensor.matmul.flops", 2 * m * n * k);
-  VGOD_COUNTER_ADD("tensor.matmul.bytes",
-                   (m * k + k * n + m * n) *
-                       static_cast<int64_t>(sizeof(float)));
+  const int64_t bytes =
+      (m * k + k * n + m * n) * static_cast<int64_t>(sizeof(float));
+  VGOD_COUNTER_ADD("tensor.matmul.bytes", bytes);
+  obs::ProfileAddBytes(bytes);
 }
 
-// Applies `fn` elementwise into a fresh tensor.
+// Applies `fn` elementwise into a fresh tensor. `scope` is the profiler
+// region name and must be a string literal.
 template <typename Fn>
-Tensor ElementwiseUnary(const Tensor& a, Fn fn) {
+Tensor ElementwiseUnary(const char* scope, const Tensor& a, Fn fn) {
+  VGOD_PROFILE_SCOPE(scope);
+  obs::ProfileAddBytes(2 * a.size() * static_cast<int64_t>(sizeof(float)));
   Tensor out(a.rows(), a.cols());
   const float* in = a.data();
   float* dst = out.data();
@@ -54,8 +59,11 @@ Tensor ElementwiseUnary(const Tensor& a, Fn fn) {
 }
 
 template <typename Fn>
-Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, Fn fn) {
+Tensor ElementwiseBinary(const char* scope, const Tensor& a, const Tensor& b,
+                         Fn fn) {
   VGOD_CHECK(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  VGOD_PROFILE_SCOPE(scope);
+  obs::ProfileAddBytes(3 * a.size() * static_cast<int64_t>(sizeof(float)));
   Tensor out(a.rows(), a.cols());
   const float* pa = a.data();
   const float* pb = b.data();
@@ -74,6 +82,7 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, Fn fn) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   VGOD_CHECK_EQ(a.cols(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.cols();
+  VGOD_PROFILE_SCOPE("kernel/matmul");
   VGOD_COUNTER_INC("tensor.matmul.calls");
   CountMatMulWork(m, n, k);
   Tensor out = Tensor::Zeros(m, n);
@@ -104,6 +113,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   VGOD_CHECK_EQ(a.cols(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.rows();
+  VGOD_PROFILE_SCOPE("kernel/matmul_nt");
   VGOD_COUNTER_INC("tensor.matmul_nt.calls");
   CountMatMulWork(m, n, k);
   Tensor out(m, n);
@@ -130,6 +140,7 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
 Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   VGOD_CHECK_EQ(a.rows(), b.rows());
   const int m = a.cols(), k = a.rows(), n = b.cols();
+  VGOD_PROFILE_SCOPE("kernel/matmul_tn");
   VGOD_COUNTER_INC("tensor.matmul_tn.calls");
   CountMatMulWork(m, n, k);
   Tensor out = Tensor::Zeros(m, n);
@@ -157,6 +168,8 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Transpose(const Tensor& a) {
+  VGOD_PROFILE_SCOPE("kernel/transpose");
+  obs::ProfileAddBytes(2 * a.size() * static_cast<int64_t>(sizeof(float)));
   Tensor out(a.cols(), a.rows());
   const float* src = a.data();
   float* dst = out.data();
@@ -173,24 +186,28 @@ Tensor Transpose(const Tensor& a) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(a, b, [](float x, float y) { return x + y; });
+  return ElementwiseBinary("kernel/add", a, b,
+                           [](float x, float y) { return x + y; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(a, b, [](float x, float y) { return x - y; });
+  return ElementwiseBinary("kernel/sub", a, b,
+                           [](float x, float y) { return x - y; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(a, b, [](float x, float y) { return x * y; });
+  return ElementwiseBinary("kernel/mul", a, b,
+                           [](float x, float y) { return x * y; });
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  return ElementwiseUnary(a, [s](float x) { return x * s; });
+  return ElementwiseUnary("kernel/scale", a, [s](float x) { return x * s; });
 }
 
 Tensor AddRowVector(const Tensor& a, const Tensor& row) {
   VGOD_CHECK_EQ(row.rows(), 1);
   VGOD_CHECK_EQ(row.cols(), a.cols());
+  VGOD_PROFILE_SCOPE("kernel/add_row_vector");
   Tensor out(a.rows(), a.cols());
   const float* pa = a.data();
   const float* pr = row.data();
@@ -207,6 +224,7 @@ Tensor AddRowVector(const Tensor& a, const Tensor& row) {
 
 void AddInPlace(Tensor* dst, const Tensor& src) {
   VGOD_CHECK(dst->SameShape(src));
+  VGOD_PROFILE_SCOPE("kernel/add_inplace");
   float* pd = dst->data();
   const float* ps = src.data();
   par::ParallelFor(0, dst->size(), kElementGrain,
@@ -217,6 +235,7 @@ void AddInPlace(Tensor* dst, const Tensor& src) {
 
 void AxpyInPlace(Tensor* dst, float s, const Tensor& src) {
   VGOD_CHECK(dst->SameShape(src));
+  VGOD_PROFILE_SCOPE("kernel/axpy_inplace");
   float* pd = dst->data();
   const float* ps = src.data();
   par::ParallelFor(0, dst->size(), kElementGrain,
@@ -226,6 +245,7 @@ void AxpyInPlace(Tensor* dst, float s, const Tensor& src) {
 }
 
 void ScaleInPlace(Tensor* dst, float s) {
+  VGOD_PROFILE_SCOPE("kernel/scale_inplace");
   float* pd = dst->data();
   par::ParallelFor(0, dst->size(), kElementGrain,
                    [&](int64_t lo, int64_t hi) {
@@ -234,16 +254,18 @@ void ScaleInPlace(Tensor* dst, float s) {
 }
 
 Tensor Relu(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return ElementwiseUnary("kernel/relu", a,
+                          [](float x) { return x > 0.0f ? x : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
   return ElementwiseUnary(
-      a, [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; });
+      "kernel/leaky_relu", a,
+      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) {
+  return ElementwiseUnary("kernel/sigmoid", a, [](float x) {
     // Numerically stable piecewise form.
     if (x >= 0.0f) {
       const float z = std::exp(-x);
@@ -255,22 +277,27 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor Tanh(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return std::tanh(x); });
+  return ElementwiseUnary("kernel/tanh", a,
+                          [](float x) { return std::tanh(x); });
 }
 
 Tensor Exp(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return std::exp(x); });
+  return ElementwiseUnary("kernel/exp", a,
+                          [](float x) { return std::exp(x); });
 }
 
 Tensor Square(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return x * x; });
+  return ElementwiseUnary("kernel/square", a,
+                          [](float x) { return x * x; });
 }
 
 Tensor Abs(const Tensor& a) {
-  return ElementwiseUnary(a, [](float x) { return std::fabs(x); });
+  return ElementwiseUnary("kernel/abs", a,
+                          [](float x) { return std::fabs(x); });
 }
 
 Tensor SumAll(const Tensor& a) {
+  VGOD_PROFILE_SCOPE("kernel/sum_all");
   double acc = 0.0;
   const float* p = a.data();
   const int64_t n = a.size();
@@ -279,6 +306,7 @@ Tensor SumAll(const Tensor& a) {
 }
 
 Tensor RowSums(const Tensor& a) {
+  VGOD_PROFILE_SCOPE("kernel/row_sums");
   Tensor out(a.rows(), 1);
   const float* p = a.data();
   float* dst = out.data();
@@ -295,6 +323,7 @@ Tensor RowSums(const Tensor& a) {
 }
 
 Tensor ColSums(const Tensor& a) {
+  VGOD_PROFILE_SCOPE("kernel/col_sums");
   Tensor out = Tensor::Zeros(1, a.cols());
   const float* p = a.data();
   float* dst = out.data();
@@ -311,6 +340,7 @@ Tensor ColSums(const Tensor& a) {
 }
 
 Tensor RowNorms(const Tensor& a) {
+  VGOD_PROFILE_SCOPE("kernel/row_norms");
   Tensor out(a.rows(), 1);
   const float* p = a.data();
   float* dst = out.data();
@@ -329,6 +359,7 @@ Tensor RowNorms(const Tensor& a) {
 }
 
 Tensor RowL2Normalize(const Tensor& a, float eps) {
+  VGOD_PROFILE_SCOPE("kernel/row_l2_normalize");
   Tensor out(a.rows(), a.cols());
   const float* p = a.data();
   float* dst = out.data();
@@ -350,6 +381,7 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
 
 Tensor RowSquaredDistance(const Tensor& a, const Tensor& b) {
   VGOD_CHECK(a.SameShape(b));
+  VGOD_PROFILE_SCOPE("kernel/row_squared_distance");
   Tensor out(a.rows(), 1);
   const float* pa = a.data();
   const float* pb = b.data();
@@ -375,6 +407,7 @@ double MeanValue(const Tensor& a) {
 }
 
 double StdValue(const Tensor& a) {
+  VGOD_PROFILE_SCOPE("kernel/std_value");
   const double mean = MeanValue(a);
   double acc = 0.0;
   const float* p = a.data();
@@ -388,6 +421,7 @@ double StdValue(const Tensor& a) {
 
 float MaxAbsDiff(const Tensor& a, const Tensor& b) {
   VGOD_CHECK(a.SameShape(b));
+  VGOD_PROFILE_SCOPE("kernel/max_abs_diff");
   float max_diff = 0.0f;
   const float* pa = a.data();
   const float* pb = b.data();

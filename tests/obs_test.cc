@@ -11,6 +11,7 @@
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace vgod::obs {
@@ -102,6 +103,82 @@ TEST(MetricsTest, HistogramConcurrentObserveCountsEveryValue) {
   int64_t bucket_total = 0;
   for (int64_t c : hist.BucketCounts()) bucket_total += c;
   EXPECT_EQ(bucket_total, hist.Count());
+}
+
+TEST(MetricsTest, HistogramQuantileEdgeCases) {
+  // No bounds at all: every quantile collapses to 0.
+  Histogram unbounded({});
+  EXPECT_EQ(HistogramQuantile(unbounded, 0.5), 0.0);
+  unbounded.Observe(3.0);  // lands in the only (overflow) bucket
+  EXPECT_EQ(HistogramQuantile(unbounded, 0.0), 0.0);
+  EXPECT_EQ(HistogramQuantile(unbounded, 0.5), 0.0);
+  EXPECT_EQ(HistogramQuantile(unbounded, 1.0), 0.0);
+
+  // Empty histogram with bounds: still 0, not the first bound.
+  Histogram empty({1.0, 2.0, 4.0});
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(HistogramQuantile(empty, q), 0.0) << "q=" << q;
+  }
+
+  // Single finite bucket: quantiles interpolate across [0, bound].
+  Histogram single({8.0});
+  for (int i = 0; i < 4; ++i) single.Observe(1.0);
+  EXPECT_NEAR(HistogramQuantile(single, 0.5), 4.0, 1e-9);
+  EXPECT_NEAR(HistogramQuantile(single, 1.0), 8.0, 1e-9);
+
+  // All mass in the +Inf overflow bucket: clamps to the last finite
+  // bound instead of inventing an infinite latency.
+  Histogram overflow({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) overflow.Observe(100.0);
+  EXPECT_EQ(HistogramQuantile(overflow, 0.01), 2.0);
+  EXPECT_EQ(HistogramQuantile(overflow, 0.99), 2.0);
+
+  // Out-of-range q is clamped, not UB.
+  EXPECT_EQ(HistogramQuantile(overflow, -0.5), 2.0);
+  EXPECT_EQ(HistogramQuantile(overflow, 1.5), 2.0);
+}
+
+TEST(MetricsTest, RegistryConcurrentWritersAndScrapers) {
+  // Hammer the registry from many writer threads (mixing pre-existing and
+  // freshly created names) while two scrapers render ToJson/ToPrometheus.
+  // Correctness here is "no lost counts, no torn registry"; under TSan
+  // (ctest -L threads) it is also a data-race gate for the pull-model
+  // gauge publication that the scrape path performs.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.mt.shared")->Reset();
+  constexpr int kThreads = 6;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t]() {
+      for (int i = 0; i < kIters; ++i) {
+        registry.GetCounter("test.mt.shared")->Increment();
+        registry.GetGauge("test.mt.gauge." + std::to_string(t))
+            ->Set(static_cast<double>(i));
+        registry
+            .GetHistogram("test.mt.hist." + std::to_string(t % 3),
+                          DefaultLatencyBounds())
+            ->Observe(1e-5 * (i % 13 + 1));
+      }
+    });
+  }
+  std::string json;
+  std::string prom;
+  std::thread json_scraper([&registry, &json]() {
+    for (int i = 0; i < 20; ++i) json = registry.ToJson();
+  });
+  std::thread prom_scraper([&registry, &prom]() {
+    for (int i = 0; i < 20; ++i) prom = registry.ToPrometheus();
+  });
+  for (std::thread& t : threads) t.join();
+  json_scraper.join();
+  prom_scraper.join();
+  EXPECT_EQ(registry.GetCounter("test.mt.shared")->Value(),
+            int64_t{kThreads} * kIters);
+  // Scrapes taken mid-write must still be parseable JSON.
+  json = registry.ToJson();
+  EXPECT_TRUE(ParseJson(json).ok());
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos);
 }
 
 TEST(MetricsTest, RegistryJsonRoundTrips) {
@@ -493,6 +570,218 @@ TEST(MonitorTest, TrainingRunEmitsFitAndEpochSpans) {
   ASSERT_EQ(names.size(), 2u);
   EXPECT_EQ(names[0], "SpanCheck/epoch");
   EXPECT_EQ(names[1], "SpanCheck/fit");
+}
+
+// --- profiler ---
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetProfileEnabled(true);
+    ClearProfile();
+  }
+  void TearDown() override {
+    SetProfileEnabled(false);
+    ClearProfile();
+  }
+
+  static const ProfileNode* Child(const ProfileNode& node,
+                                  const std::string& name) {
+    for (const ProfileNode& child : node.children) {
+      if (child.name == name) return &child;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(ProfileTest, DisabledScopesRecordNothing) {
+  SetProfileEnabled(false);
+  ClearProfile();
+  {
+    VGOD_PROFILE_SCOPE("test/ignored");
+    ProfileAddBytes(1 << 20);
+  }
+  const ProfileNode root = SnapshotProfile();
+  EXPECT_EQ(Child(root, "test/ignored"), nullptr);
+}
+
+TEST_F(ProfileTest, NestedScopesBuildTreeWithInvariant) {
+  {
+    VGOD_PROFILE_SCOPE("test/outer");
+    for (int i = 0; i < 3; ++i) {
+      VGOD_PROFILE_SCOPE("test/inner");
+      ProfileAddBytes(100);
+    }
+  }
+  const ProfileNode root = SnapshotProfile();
+  const ProfileNode* outer = Child(root, "test/outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->calls, 1);
+  const ProfileNode* inner = Child(*outer, "test/inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->calls, 3);
+  EXPECT_EQ(inner->bytes, 300);
+  // Tree invariant: children's inclusive time fits inside the parent's,
+  // and exclusive is the exact remainder.
+  EXPECT_LE(inner->inclusive_ns, outer->inclusive_ns);
+  EXPECT_EQ(outer->exclusive_ns, outer->inclusive_ns - inner->inclusive_ns);
+  EXPECT_GE(inner->inclusive_ns, 0);
+}
+
+TEST_F(ProfileTest, SiblingScopesStayDistinctAndNameSorted) {
+  {
+    VGOD_PROFILE_SCOPE("test/parent");
+    { VGOD_PROFILE_SCOPE("test/b"); }
+    { VGOD_PROFILE_SCOPE("test/a"); }
+    { VGOD_PROFILE_SCOPE("test/b"); }
+  }
+  const ProfileNode root = SnapshotProfile();
+  const ProfileNode* parent = Child(root, "test/parent");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_EQ(parent->children.size(), 2u);
+  EXPECT_EQ(parent->children[0].name, "test/a");  // sorted, not visit order
+  EXPECT_EQ(parent->children[1].name, "test/b");
+  EXPECT_EQ(parent->children[0].calls, 1);
+  EXPECT_EQ(parent->children[1].calls, 2);
+}
+
+TEST_F(ProfileTest, ClearProfileZeroesButKeepsShape) {
+  { VGOD_PROFILE_SCOPE("test/cleared"); }
+  ClearProfile();
+  const ProfileNode root = SnapshotProfile();
+  const ProfileNode* node = Child(root, "test/cleared");
+  ASSERT_NE(node, nullptr);  // structure survives for live scope pointers
+  EXPECT_EQ(node->calls, 0);
+  EXPECT_EQ(node->inclusive_ns, 0);
+}
+
+TEST_F(ProfileTest, FoldedExportEmitsStackLines) {
+  {
+    VGOD_PROFILE_SCOPE("test/root_scope");
+    VGOD_PROFILE_SCOPE("test/leaf");
+  }
+  const std::string folded = ProfileToFolded();
+  EXPECT_NE(folded.find("test/root_scope;test/leaf "), std::string::npos)
+      << folded;
+  // Every line is "frame(;frame)* <digits>".
+  std::istringstream lines(folded);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string count = line.substr(space + 1);
+    EXPECT_FALSE(count.empty());
+    EXPECT_EQ(count.find_first_not_of("0123456789"), std::string::npos)
+        << line;
+  }
+}
+
+TEST_F(ProfileTest, JsonExportParsesAndNestsChildren) {
+  {
+    VGOD_PROFILE_SCOPE("test/json_outer");
+    VGOD_PROFILE_SCOPE("test/json_inner");
+  }
+  Result<JsonValue> parsed = ParseJson(ProfileToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.at("children").is_array());
+  bool found = false;
+  for (const JsonValue& child : root.at("children").array()) {
+    if (child.at("name").string_value() != "test/json_outer") continue;
+    found = true;
+    EXPECT_EQ(child.at("calls").number(), 1.0);
+    ASSERT_EQ(child.at("children").array().size(), 1u);
+    EXPECT_EQ(child.at("children").array()[0].at("name").string_value(),
+              "test/json_inner");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ProfileTest, WriteProfilePicksFormatFromExtension) {
+  { VGOD_PROFILE_SCOPE("test/written"); }
+  const std::string json_path = "obs_profile_test.json";
+  const std::string folded_path = "obs_profile_test.folded";
+  ASSERT_TRUE(WriteProfile(json_path).ok());
+  ASSERT_TRUE(WriteProfile(folded_path).ok());
+  std::ifstream json_file(json_path);
+  std::stringstream json_text;
+  json_text << json_file.rdbuf();
+  EXPECT_TRUE(ParseJson(json_text.str()).ok());
+  std::ifstream folded_file(folded_path);
+  std::stringstream folded_text;
+  folded_text << folded_file.rdbuf();
+  // ClearProfile keeps zeroed nodes from earlier tests, so the file can
+  // hold other (count 0) stacks; ours must be among them.
+  EXPECT_NE(folded_text.str().find("test/written "), std::string::npos)
+      << folded_text.str();
+  std::remove(json_path.c_str());
+  std::remove(folded_path.c_str());
+}
+
+TEST_F(ProfileTest, MemoryPhaseAttributesPeakAndRestoresOuter) {
+  const int64_t baseline = LiveTensorBytes();
+  ResetPeakTensorBytes();
+  OnTensorAlloc(1000);
+  OnTensorFree(1000);  // outer peak: baseline + 1000
+  {
+    VGOD_PROFILE_MEMORY_PHASE("test/phase");
+    OnTensorAlloc(400);
+    OnTensorFree(400);
+  }
+  const ProfileNode root = SnapshotProfile();
+  const ProfileNode* phase = Child(root, "test/phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->peak_bytes, baseline + 400);
+  // The enclosing high-water mark is restored, not clobbered by the
+  // phase-local reset.
+  EXPECT_GE(PeakTensorBytes(), baseline + 1000);
+}
+
+TEST_F(ProfileTest, ThreadMemoryWindowTracksPerThreadPeak) {
+  BeginThreadMemoryWindow();
+  OnTensorAlloc(500);
+  OnTensorAlloc(300);
+  OnTensorFree(500);
+  OnTensorAlloc(100);
+  EXPECT_EQ(ThreadMemoryWindowPeak(), 800);
+  OnTensorFree(300);
+  OnTensorFree(100);
+  BeginThreadMemoryWindow();
+  EXPECT_EQ(ThreadMemoryWindowPeak(), 0);
+}
+
+TEST_F(ProfileTest, ConcurrentScopesAndSnapshotsAreClean) {
+  // Scoping threads race SnapshotProfile/ClearProfile calls; the test is
+  // primarily a TSan target (ctest -L threads) and secondarily checks
+  // that a quiesced snapshot sees every thread's tree.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([]() {
+      for (int i = 0; i < kIters; ++i) {
+        VGOD_PROFILE_SCOPE("test/mt_outer");
+        VGOD_PROFILE_SCOPE("test/mt_inner");
+        ProfileAddBytes(8);
+      }
+    });
+  }
+  std::thread snapshotter([]() {
+    for (int i = 0; i < 50; ++i) {
+      const ProfileNode root = SnapshotProfile();
+      (void)root;
+    }
+  });
+  for (std::thread& t : workers) t.join();
+  snapshotter.join();
+  const ProfileNode root = SnapshotProfile();
+  const ProfileNode* outer = Child(root, "test/mt_outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->calls, int64_t{kThreads} * kIters);
+  const ProfileNode* inner = Child(*outer, "test/mt_inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->bytes, int64_t{kThreads} * kIters * 8);
+  EXPECT_LE(inner->inclusive_ns, outer->inclusive_ns);
 }
 
 }  // namespace

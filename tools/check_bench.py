@@ -14,6 +14,13 @@ jitter. Structural invariants are checked unconditionally:
   * batch amortization (requests / score calls) within [1, max_batch],
   * every baseline metric present in the fresh manifest.
 
+With `--kernels build/bench/micro_kernels` the gate also runs the
+`--sweep` kernel grid and compares each kernel's single-thread GFLOP/s
+against the per-kernel bands in baselines.json's "kernels" section; the
+sweep is run without VGOD_BENCH_MANIFEST so the binary's always-emitted
+default manifest (BENCH_kernels.json in the working directory) is what
+gets validated.
+
 Run directly (`python3 tools/check_bench.py --loadgen build/bench/serve_loadgen
 --baselines bench/baselines.json`) or via ctest (registered as check_bench
 with the `bench` label).
@@ -72,6 +79,55 @@ def manifest_metrics(manifest):
     return out
 
 
+def kernel_metrics(manifest):
+    """Flattens sweep results to {"op.tN.metric": value}.
+
+    The kernel sweep records the same metric name ("gflops") for every
+    op, so the loadgen-style metric-only flattening would collide; key by
+    the full (dataset=op, detector=tN, metric) triple instead.
+    """
+    out = {}
+    for result in manifest.get("results", []):
+        key = f'{result["dataset"]}.{result["detector"]}.{result["metric"]}'
+        out[key] = result["value"]
+    return out
+
+
+def run_kernel_sweep(kernels, workdir):
+    """Runs `micro_kernels --sweep` and returns its default manifest."""
+    env = dict(os.environ)
+    env.pop("VGOD_BENCH_MANIFEST", None)  # exercise the default emit
+    cmd = [str(kernels), "--sweep"]
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env,
+                          cwd=workdir, timeout=480)
+    if proc.returncode != 0:
+        fail(f"micro_kernels --sweep exited {proc.returncode}\n"
+             f"stdout: {proc.stdout[-2000:]}\nstderr: {proc.stderr[-2000:]}")
+        return None
+    manifest_path = workdir / "BENCH_kernels.json"
+    if not check(manifest_path.exists(),
+                 "micro_kernels --sweep did not emit BENCH_kernels.json "
+                 "(the default manifest must be written even without "
+                 "VGOD_BENCH_MANIFEST)"):
+        return None
+    return json.loads(manifest_path.read_text())
+
+
+def check_kernel_bands(metrics, baselines):
+    bands = baselines.get("kernels", {})
+    if not check(bands, "baselines.json declares no kernel bands"):
+        return
+    for metric, band in sorted(bands.items()):
+        if not check(metric in metrics,
+                     f"kernel manifest is missing baseline metric {metric}"):
+            continue
+        value = metrics[metric]
+        lo, hi = band["min"], band["max"]
+        check(lo <= value <= hi,
+              f"{metric} = {value} outside committed band [{lo}, {hi}]")
+
+
 def check_bands(metrics, baselines):
     bands = baselines.get("metrics", {})
     if not check(bands, "baselines.json declares no metric bands"):
@@ -118,16 +174,23 @@ def main():
                         help="path to serve_loadgen")
     parser.add_argument("--baselines", required=True,
                         help="path to bench/baselines.json")
+    parser.add_argument("--kernels",
+                        help="path to micro_kernels; also runs the --sweep "
+                             "kernel grid against the 'kernels' bands")
     args = parser.parse_args()
 
     baselines = json.loads(Path(args.baselines).read_text())
     with tempfile.TemporaryDirectory(prefix="vgod_check_bench_") as tmp:
         manifest, report = run_loadgen(Path(args.loadgen), baselines,
                                        Path(tmp))
+        kernel_manifest = (run_kernel_sweep(Path(args.kernels), Path(tmp))
+                           if args.kernels else None)
     if manifest is not None:
         check_bands(manifest_metrics(manifest), baselines)
     if report is not None:
         check_invariants(report)
+    if kernel_manifest is not None:
+        check_kernel_bands(kernel_metrics(kernel_manifest), baselines)
 
     if ERRORS:
         print(f"\ncheck_bench: {len(ERRORS)} failure(s)", file=sys.stderr)

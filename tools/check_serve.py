@@ -231,7 +231,8 @@ def check_access_log(access_log, seen_request_ids):
           "access log ids are denser than a monotonic counter allows")
     required = {"id", "path", "status", "nodes", "batch_size", "shed",
                 "error_class", "parse_us", "queue_wait_us",
-                "batch_assembly_us", "score_us", "serialize_us", "total_us"}
+                "batch_assembly_us", "score_us", "serialize_us", "total_us",
+                "tensor_peak_bytes"}
     for record in records:
         check(required <= set(record),
               f"access log record lacks fields: {record}")

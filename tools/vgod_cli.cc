@@ -7,6 +7,7 @@
 //            [--num_threads=N] [--output=scores.tsv] [--top=10]
 //            [--save-model=prefix] [--telemetry_out=train.jsonl]
 //            [--metrics_out=metrics.json] [--trace] [--trace_out=trace.json]
+//            [--profile_out=profile.json|profile.folded]
 //   vgod_cli eval --graph=g.graph --scores=scores.tsv
 //   vgod_cli export-bundle --model=prefix --detector=VGOD --output=m.vgodb
 //   vgod_cli serve --bundle=m.vgodb --graph=g.graph [--port=8080]
@@ -22,7 +23,9 @@
 // Observability (see docs/OBSERVABILITY.md): --telemetry_out streams one
 // JSONL record per training epoch, --metrics_out dumps the process metric
 // registry, --trace/--trace_out (or the VGOD_TRACE env var) capture Chrome
-// trace_event JSON viewable in chrome://tracing.
+// trace_event JSON viewable in chrome://tracing, and --profile_out (or
+// VGOD_PROFILE=path) writes the hierarchical compute profile — JSON call
+// tree for *.json paths, collapsed flamegraph stacks otherwise.
 #include <algorithm>
 #include <atomic>
 #include <csignal>
@@ -43,6 +46,7 @@
 #include "injection/injection.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "serve/server.h"
 
@@ -69,6 +73,7 @@ int Usage() {
       "[--save-bundle=PATH]\n"
       "                [--telemetry_out=PATH] [--metrics_out=PATH] "
       "[--trace] [--trace_out=PATH]\n"
+      "                [--profile_out=PATH]\n"
       "  eval          --graph=PATH --scores=PATH\n"
       "  export-bundle --model=PREFIX --detector=NAME --output=PATH "
       "[--self-loop] [--row-normalize]\n"
@@ -142,7 +147,7 @@ int RunDetect(const ArgParser& args) {
                                 "num_threads", "output", "top",
                                 "save-model", "save-bundle",
                                 "telemetry_out", "metrics_out", "trace",
-                                "trace_out"});
+                                "trace_out", "profile_out"});
   if (!valid.ok()) return Fail(valid);
   const std::string graph_path = args.GetString("graph", "");
   if (graph_path.empty()) return Usage();
@@ -159,6 +164,10 @@ int RunDetect(const ArgParser& args) {
   if (args.GetBool("trace") || !trace_path.empty()) {
     obs::SetTraceEnabled(true);
   }
+  obs::InitProfileFromEnv();
+  const std::string profile_path =
+      args.GetString("profile_out", obs::ProfileEnvPath());
+  if (!profile_path.empty()) obs::SetProfileEnabled(true);
 
   Result<AttributedGraph> graph = datasets::LoadGraph(graph_path);
   if (!graph.ok()) return Fail(graph.status());
@@ -213,6 +222,11 @@ int RunDetect(const ArgParser& args) {
     if (!written.ok()) return Fail(written);
     std::printf("wrote %zu trace events to %s\n", obs::TraceEventCount(),
                 trace_path.c_str());
+  }
+  if (!profile_path.empty()) {
+    Status written = obs::WriteProfile(profile_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote profile to %s\n", profile_path.c_str());
   }
 
   if (graph.value().has_outlier_labels()) {
