@@ -9,6 +9,14 @@
 // quantiles from vgod::obs.
 //
 //   serve_loadgen [--clients=8] [--requests=40] [--json=PATH]
+//                 [--http] [--keep-alive]
+//
+// --http adds a phase that stands up a real ScoringServer on an ephemeral
+// loopback port and drives it over TCP in both connection modes — a fresh
+// connection per request and persistent HTTP/1.1 keep-alive — so the
+// manifest reports connect-bound and steady-state serving side by side.
+// --keep-alive is shorthand that also enables the HTTP phase. The default
+// in-process phase is unchanged (check_bench bands key off it).
 //
 // Honors the usual bench env knobs (VGOD_BENCH_SCALE / _SEED /
 // _EPOCH_SCALE); tools/check_serve.py runs this at a reduced scale and
@@ -30,6 +38,8 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
+#include "serve/http_client.h"
+#include "serve/server.h"
 
 namespace vgod::bench {
 namespace {
@@ -152,9 +162,80 @@ ConfigResult RunConfig(const detectors::ModelBundle& bundle,
   return out;
 }
 
+struct HttpModeResult {
+  std::string mode;  // "fresh" (connection per request) or "keepalive".
+  int64_t requests = 0;
+  int64_t errors = 0;
+  int64_t connections = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double throughput_rps = 0.0;
+};
+
+HttpModeResult RunHttpMode(int port, int num_nodes, bool keep_alive,
+                           int clients, int requests_per_client) {
+  HttpModeResult out;
+  out.mode = keep_alive ? "keepalive" : "fresh";
+
+  std::vector<std::vector<double>> latencies_ms(clients);
+  std::vector<int64_t> errors(clients, 0);
+  std::vector<int64_t> connections(clients, 0);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c]() {
+      serve::HttpClient client(port, keep_alive);
+      std::vector<double>& mine = latencies_ms[c];
+      mine.reserve(requests_per_client);
+      for (int r = 0; r < requests_per_client; ++r) {
+        std::string body = "{\"nodes\":[";
+        const int base = (c * 131 + r * 17) % num_nodes;
+        for (int k = 0; k < 4; ++k) {
+          if (k > 0) body.push_back(',');
+          body.append(std::to_string((base + k) % num_nodes));
+        }
+        body.append("]}");
+        const auto t0 = std::chrono::steady_clock::now();
+        Result<serve::HttpResponse> response = client.Post("/score", body);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!response.ok() || response.value().status != 200) {
+          ++errors[c];
+          continue;
+        }
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      connections[c] = client.connections_opened();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  std::vector<double> merged;
+  for (const std::vector<double>& per_client : latencies_ms) {
+    merged.insert(merged.end(), per_client.begin(), per_client.end());
+  }
+  for (int64_t e : errors) out.errors += e;
+  for (int64_t n : connections) out.connections += n;
+  out.requests = static_cast<int64_t>(merged.size());
+  double sum = 0.0;
+  for (double v : merged) sum += v;
+  out.mean_ms = merged.empty() ? 0.0 : sum / static_cast<double>(merged.size());
+  out.p99_ms = PercentileMs(&merged, 0.99);
+  out.p50_ms = PercentileMs(&merged, 0.50);
+  out.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(merged.size()) / wall_s : 0.0;
+  return out;
+}
+
 std::string ResultsJson(const UnodCase& unod_case, int clients,
                         int requests_per_client,
-                        const std::vector<ConfigResult>& results) {
+                        const std::vector<ConfigResult>& results,
+                        const std::vector<HttpModeResult>& http_results) {
   std::string out = "{\"benchmark\":\"serve_loadgen\",\"dataset\":";
   obs::AppendJsonString(&out, unod_case.name);
   out.append(",\"detector\":\"VBM\",\"nodes\":");
@@ -204,7 +285,33 @@ std::string ResultsJson(const UnodCase& unod_case, int clients,
     }
     out.append("}}");
   }
-  out.append("]}");
+  out.append("]");
+  if (!http_results.empty()) {
+    out.append(",\"http\":[");
+    for (size_t i = 0; i < http_results.size(); ++i) {
+      const HttpModeResult& h = http_results[i];
+      if (i > 0) out.push_back(',');
+      out.append("{\"mode\":");
+      obs::AppendJsonString(&out, h.mode);
+      out.append(",\"requests\":");
+      obs::AppendJsonNumber(&out, static_cast<double>(h.requests));
+      out.append(",\"errors\":");
+      obs::AppendJsonNumber(&out, static_cast<double>(h.errors));
+      out.append(",\"connections\":");
+      obs::AppendJsonNumber(&out, static_cast<double>(h.connections));
+      out.append(",\"p50_ms\":");
+      obs::AppendJsonNumber(&out, h.p50_ms);
+      out.append(",\"p99_ms\":");
+      obs::AppendJsonNumber(&out, h.p99_ms);
+      out.append(",\"mean_ms\":");
+      obs::AppendJsonNumber(&out, h.mean_ms);
+      out.append(",\"throughput_rps\":");
+      obs::AppendJsonNumber(&out, h.throughput_rps);
+      out.append("}");
+    }
+    out.append("]");
+  }
+  out.append("}");
   return out;
 }
 
@@ -214,7 +321,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
     return 2;
   }
-  Status valid = args.value().Validate({"clients", "requests", "json"});
+  Status valid = args.value().Validate(
+      {"clients", "requests", "json", "http", "keep-alive"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
     return 2;
@@ -224,6 +332,8 @@ int Main(int argc, char** argv) {
   const int requests_per_client =
       std::max<int>(1, static_cast<int>(args.value().GetInt("requests", 40)));
   const std::string json_path = args.value().GetString("json", "");
+  const bool http_phase =
+      args.value().GetBool("http") || args.value().GetBool("keep-alive");
 
   PrintBanner("serve_loadgen",
               "serving-path load benchmark: p50/p99 latency + throughput "
@@ -271,13 +381,58 @@ int Main(int argc, char** argv) {
     results.push_back(r);
   }
 
+  std::vector<HttpModeResult> http_results;
+  if (http_phase) {
+    // Stand up the real server (TCP + HTTP parse + dispatch) on the
+    // strongest in-process configuration and measure the transport tax in
+    // both connection modes.
+    detectors::DetectorOptions restore_options;
+    restore_options.seed = EnvSeed();
+    Result<std::unique_ptr<detectors::OutlierDetector>> restored =
+        detectors::MakeDetectorFromBundle(bundle.value(), restore_options);
+    VGOD_CHECK(restored.ok()) << restored.status().ToString();
+    serve::EngineConfig config;
+    config.num_threads = 4;
+    config.max_batch = 8;
+    config.max_delay_us = 500;
+    auto engine = std::make_unique<serve::ScoringEngine>(
+        std::move(restored.value()), unod_case.graph, config);
+    serve::ScoringServer server(std::move(engine), /*port=*/0);
+    VGOD_CHECK(server.Start().ok());
+    const int port = server.port();
+    std::printf("\nhttp phase on 127.0.0.1:%d (threads=4 max_batch=8)\n",
+                port);
+    std::printf("%10s %10s %10s %10s %12s %12s\n", "mode", "p50_ms",
+                "p99_ms", "mean_ms", "rps", "connections");
+    const int num_nodes = unod_case.graph.num_nodes();
+    for (const bool keep_alive : {false, true}) {
+      HttpModeResult h = RunHttpMode(port, num_nodes, keep_alive, clients,
+                                     requests_per_client);
+      std::printf("%10s %10.3f %10.3f %10.3f %12.1f %12lld\n",
+                  h.mode.c_str(), h.p50_ms, h.p99_ms, h.mean_ms,
+                  h.throughput_rps, static_cast<long long>(h.connections));
+      VGOD_CHECK(h.errors == 0)
+          << h.mode << " mode saw " << h.errors << " failed requests";
+      const std::string tag = "http." + h.mode;
+      RecordManifestResult(unod_case.name, "VBM", tag + ".p50_ms", h.p50_ms);
+      RecordManifestResult(unod_case.name, "VBM", tag + ".p99_ms", h.p99_ms);
+      RecordManifestResult(unod_case.name, "VBM", tag + ".throughput_rps",
+                           h.throughput_rps);
+      RecordManifestResult(unod_case.name, "VBM", tag + ".connections",
+                           static_cast<double>(h.connections));
+      http_results.push_back(h);
+    }
+    server.Stop();
+  }
+
   if (!json_path.empty()) {
     std::ofstream file(json_path);
     if (!file) {
       std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
       return 1;
     }
-    file << ResultsJson(unod_case, clients, requests_per_client, results)
+    file << ResultsJson(unod_case, clients, requests_per_client, results,
+                        http_results)
          << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }

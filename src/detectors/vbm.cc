@@ -34,6 +34,24 @@ Variable Vbm::Embed(const Tensor& attributes) const {
   return ag::RowL2Normalize(transform_->Forward(x));
 }
 
+Result<Tensor> Vbm::EmbedRows(const Tensor& attributes) const {
+  if (!transform_.has_value()) {
+    return Status::FailedPrecondition("VBM is not fitted");
+  }
+  if (attributes.cols() != transform_->in_features()) {
+    return Status::InvalidArgument(
+        "attribute dim " + std::to_string(attributes.cols()) +
+        " does not match the fitted model's " +
+        std::to_string(transform_->in_features()));
+  }
+  NoGradGuard no_grad;
+  const Tensor prepared =
+      config_.row_normalize_attributes
+          ? graph_ops::RowNormalizeAttributes(attributes)
+          : attributes;
+  return Embed(prepared).value().Clone();
+}
+
 std::vector<double> Vbm::CurrentScores(const AttributedGraph& graph) const {
   NoGradGuard no_grad;
   auto scoring_graph = std::make_shared<const AttributedGraph>(

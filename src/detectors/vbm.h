@@ -58,6 +58,14 @@ class Vbm : public OutlierDetector {
 
   const VbmConfig& config() const { return config_; }
 
+  /// Embedding rows (Eq. 6) for arbitrary attribute rows under the fitted
+  /// transform: h_i = L2Normalize(W x_i + b), applying the configured
+  /// row-normalization first. Row-local (row i of the output reads only
+  /// row i of the input), which is what makes the streaming path's
+  /// single-row re-embedding on attribute events exact
+  /// (stream::OnlineScorer). Fails when unfitted or on a width mismatch.
+  Result<Tensor> EmbedRows(const Tensor& attributes) const;
+
   /// Persists the trained feature transform (requires a prior Fit).
   Status Save(const std::string& path) const;
 

@@ -17,6 +17,50 @@ Result<AttributedGraph> AttributedGraph::FromEdgeList(
   return builder.Build();
 }
 
+Result<AttributedGraph> AttributedGraph::FromCsr(int num_nodes,
+                                                 std::vector<int64_t> row_ptr,
+                                                 std::vector<int32_t> col_idx,
+                                                 Tensor attributes) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("num_nodes must be non-negative");
+  }
+  if (static_cast<int>(row_ptr.size()) != num_nodes + 1 || row_ptr[0] != 0 ||
+      row_ptr[num_nodes] != static_cast<int64_t>(col_idx.size())) {
+    return Status::InvalidArgument("row_ptr does not frame col_idx");
+  }
+  for (int i = 0; i < num_nodes; ++i) {
+    if (row_ptr[i] > row_ptr[i + 1]) {
+      return Status::InvalidArgument("row_ptr must be monotone");
+    }
+    int32_t prev = -1;
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const int32_t v = col_idx[k];
+      if (v < 0 || v >= num_nodes) {
+        return Status::OutOfRange("col_idx entry " + std::to_string(v) +
+                                  " out of range [0," +
+                                  std::to_string(num_nodes) + ")");
+      }
+      if (v <= prev) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(i) +
+            " is not sorted / contains duplicates");
+      }
+      prev = v;
+    }
+  }
+  if (attributes.defined() && attributes.rows() != num_nodes) {
+    return Status::InvalidArgument(
+        "attribute rows (" + std::to_string(attributes.rows()) +
+        ") != num_nodes (" + std::to_string(num_nodes) + ")");
+  }
+  AttributedGraph graph;
+  graph.num_nodes_ = num_nodes;
+  graph.row_ptr_ = std::move(row_ptr);
+  graph.col_idx_ = std::move(col_idx);
+  graph.attributes_ = std::move(attributes);
+  return graph;
+}
+
 double AttributedGraph::AverageDegree() const {
   if (num_nodes_ == 0) return 0.0;
   return static_cast<double>(num_directed_edges()) / num_nodes_;

@@ -33,6 +33,16 @@ class AttributedGraph {
       int num_nodes, const std::vector<std::pair<int, int>>& edges,
       Tensor attributes, bool make_undirected = true);
 
+  /// Adopts pre-built CSR arrays in O(E): `row_ptr` must be monotone with
+  /// row_ptr[0] == 0 and row_ptr[n] == col_idx.size(), and each row of
+  /// `col_idx` must be sorted, duplicate-free, and in range. Used by the
+  /// streaming delta store, whose overlay merge already produces valid
+  /// rows; everything else should go through GraphBuilder.
+  static Result<AttributedGraph> FromCsr(int num_nodes,
+                                         std::vector<int64_t> row_ptr,
+                                         std::vector<int32_t> col_idx,
+                                         Tensor attributes);
+
   int num_nodes() const { return num_nodes_; }
 
   /// Number of stored (directed) edges. For an undirected graph this is

@@ -4,6 +4,8 @@
 
 #include "core/faultinject.h"
 #include "core/parallel.h"
+#include "detectors/vbm.h"
+#include "detectors/vgod.h"
 #include "eval/metrics.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
@@ -97,14 +99,76 @@ Result<detectors::DetectorOutput> GuardedScore(
   return out;
 }
 
+/// Derives the online scorer's embedding hook from the served detector.
+/// VBM (directly or inside VGOD) contributes its fitted Eq. 6 transform
+/// and self-loop setting; an unfitted VBM or any other detector falls
+/// back to identity embedding over raw attributes — the score definition
+/// (neighbor variance) is unchanged, only the feature space differs.
+stream::OnlineScorerConfig ScorerConfigFor(
+    const detectors::OutlierDetector& detector) {
+  stream::OnlineScorerConfig config;
+  const detectors::Vbm* vbm = dynamic_cast<const detectors::Vbm*>(&detector);
+  if (vbm == nullptr) {
+    if (const auto* vgod = dynamic_cast<const detectors::Vgod*>(&detector)) {
+      vbm = &vgod->vbm();
+    }
+  }
+  if (vbm != nullptr && vbm->expected_attribute_dim() > 0) {
+    config.include_self = vbm->config().self_loop;
+    // `vbm` points into the engine-owned detector, which outlives the
+    // engine-owned scorer holding this closure.
+    config.embed = [vbm](const Tensor& rows) { return vbm->EmbedRows(rows); };
+  }
+  return config;
+}
+
+/// Bumps stream.events.total plus the per-op counter for one applied
+/// event. Separate literal call sites so each VGOD_COUNTER_INC caches
+/// its registry pointer.
+void CountStreamEvent(stream::EventType type) {
+  VGOD_COUNTER_INC("stream.events.total");
+  switch (type) {
+    case stream::EventType::kAddEdge:
+      VGOD_COUNTER_INC("stream.events.add_edge");
+      break;
+    case stream::EventType::kRemoveEdge:
+      VGOD_COUNTER_INC("stream.events.remove_edge");
+      break;
+    case stream::EventType::kAddNode:
+      VGOD_COUNTER_INC("stream.events.add_node");
+      break;
+    case stream::EventType::kUpdateAttributes:
+      VGOD_COUNTER_INC("stream.events.update_attributes");
+      break;
+  }
+}
+
+/// Publishes the delta store's current shape as stream.* gauges.
+void PublishStreamGauges(const IngestResult& result) {
+  static obs::Gauge* nodes =
+      obs::MetricsRegistry::Global().GetGauge("stream.nodes");
+  static obs::Gauge* delta_ops =
+      obs::MetricsRegistry::Global().GetGauge("stream.delta.ops");
+  static obs::Gauge* overlay = obs::MetricsRegistry::Global().GetGauge(
+      "stream.delta.overlay_edges");
+  static obs::Gauge* compactions =
+      obs::MetricsRegistry::Global().GetGauge("stream.compactions");
+  nodes->Set(static_cast<double>(result.num_nodes));
+  delta_ops->Set(static_cast<double>(result.delta_ops));
+  overlay->Set(static_cast<double>(result.overlay_edges));
+  compactions->Set(static_cast<double>(result.compactions));
+}
+
 }  // namespace
 
 ScoringEngine::ScoringEngine(
     std::unique_ptr<detectors::OutlierDetector> detector,
     AttributedGraph graph, EngineConfig config)
     : detector_(std::move(detector)),
-      graph_(std::move(graph)),
+      boot_graph_(std::make_shared<const AttributedGraph>(std::move(graph))),
       config_(config) {
+  current_graph_ = boot_graph_;
+  resident_nodes_.store(boot_graph_->num_nodes(), std::memory_order_relaxed);
   VGOD_CHECK(detector_ != nullptr) << "ScoringEngine needs a detector";
   VGOD_CHECK(config_.num_threads > 0) << "num_threads must be positive";
   VGOD_CHECK(config_.intra_op_threads >= 0)
@@ -152,6 +216,158 @@ void ScoringEngine::Shutdown() {
     FinishRequest(&pending,
                   Status::FailedPrecondition("engine shut down"));
   }
+}
+
+Status ScoringEngine::EnableStreaming(StreamingOptions options) {
+  if (options.watchlist_k <= 0) {
+    return Status::InvalidArgument("watchlist_k must be positive");
+  }
+  if (options.compact_every < 0) {
+    return Status::InvalidArgument("compact_every must be >= 0");
+  }
+  if (options.max_events_per_batch <= 0) {
+    return Status::InvalidArgument("max_events_per_batch must be positive");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ || stopping_) {
+      return Status::FailedPrecondition(
+          "EnableStreaming must run before Start()");
+    }
+  }
+  std::lock_guard<std::mutex> stream_lock(stream_mu_);
+  if (store_ != nullptr) {
+    return Status::FailedPrecondition("streaming already enabled");
+  }
+  if (!boot_graph_->has_attributes()) {
+    return Status::FailedPrecondition(
+        "streaming requires an attributed resident graph");
+  }
+  stream_options_ = options;
+  auto store = std::make_unique<stream::DeltaGraphStore>(*boot_graph_);
+  Result<stream::OnlineScorer> scorer =
+      stream::OnlineScorer::Create(store.get(), ScorerConfigFor(*detector_));
+  if (!scorer.ok()) return scorer.status();
+  store_ = std::move(store);
+  scorer_.emplace(std::move(scorer).value());
+  return Status::Ok();
+}
+
+Result<IngestResult> ScoringEngine::Ingest(const stream::EventBatch& batch,
+                                           uint64_t request_id) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "streaming is not enabled on this engine (serve with --streaming)");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      return Status::FailedPrecondition("engine is not accepting work");
+    }
+  }
+  VGOD_TRACE_SPAN("stream/ingest");
+  const auto start = std::chrono::steady_clock::now();
+  IngestResult result;
+  result.request_id = request_id != 0 ? request_id : NextRequestId();
+
+  std::lock_guard<std::mutex> stream_lock(stream_mu_);
+  Status valid = store_->ValidateBatch(batch.events);
+  if (!valid.ok()) {
+    VGOD_COUNTER_INC("stream.ingest.rejected");
+    return valid;
+  }
+  // Interleave store and scorer per event (not store-then-replay): an
+  // attribute update's O(deg) fan-out must see the adjacency as of its
+  // position in the batch, not the post-batch adjacency.
+  for (const stream::GraphEvent& event : batch.events) {
+    store_->ApplyOne(event);
+    Result<int> touched = scorer_->ApplyOne(event);
+    if (!touched.ok()) {
+      // Embedder failure mid-batch: the store is ahead of the scorer.
+      // Resync before surfacing the error so the two cannot drift.
+      VGOD_COUNTER_INC("stream.ingest.rejected");
+      Status rebuilt = scorer_->Rebuild();
+      if (!rebuilt.ok()) return rebuilt;
+      return touched.status();
+    }
+    result.touched_nodes += touched.value();
+    VGOD_HISTOGRAM_OBSERVE("stream.touched_nodes.per_event",
+                           static_cast<double>(touched.value()));
+    CountStreamEvent(event.type);
+  }
+  result.events_applied = static_cast<int>(batch.events.size());
+
+  const bool auto_compact =
+      stream_options_.compact_every > 0 &&
+      store_->delta_ops() >= stream_options_.compact_every;
+  if (batch.compact || auto_compact) {
+    const auto compact_start = std::chrono::steady_clock::now();
+    compacting_.store(true, std::memory_order_release);
+    store_->Compact();
+    compacting_.store(false, std::memory_order_release);
+    result.compacted = true;
+    result.compact_seconds = SecondsSince(compact_start);
+    VGOD_HISTOGRAM_OBSERVE("stream.compaction.seconds",
+                           result.compact_seconds);
+  }
+
+  // Publish the post-batch snapshot (pays the materialization here, on
+  // the ingest request, so scoring workers only ever swap a pointer).
+  std::shared_ptr<const AttributedGraph> snapshot = store_->Snapshot();
+  {
+    std::lock_guard<std::mutex> graph_lock(graph_mu_);
+    current_graph_ = snapshot;
+  }
+  resident_nodes_.store(snapshot->num_nodes(), std::memory_order_release);
+
+  result.num_nodes = snapshot->num_nodes();
+  result.delta_ops = store_->delta_ops();
+  result.overlay_edges = store_->overlay_edges();
+  result.compactions = store_->compactions();
+  result.apply_seconds = SecondsSince(start);
+  VGOD_COUNTER_INC("stream.ingest.batches");
+  VGOD_HISTOGRAM_OBSERVE("stream.ingest.latency.seconds",
+                         result.apply_seconds);
+  PublishStreamGauges(result);
+  return result;
+}
+
+Result<std::vector<WatchlistEntry>> ScoringEngine::Watchlist(int k) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "streaming is not enabled on this engine (serve with --streaming)");
+  }
+  if (k <= 0) k = stream_options_.watchlist_k;
+  std::lock_guard<std::mutex> stream_lock(stream_mu_);
+  std::vector<WatchlistEntry> out;
+  for (const auto& [node, score] : scorer_->TopK(k)) {
+    out.push_back({node, score});
+  }
+  return out;
+}
+
+bool ScoringEngine::Ready(std::string* reason) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      *reason = "engine is draining";
+      return false;
+    }
+    if (!started_) {
+      *reason = "engine not started";
+      return false;
+    }
+  }
+  if (compacting_.load(std::memory_order_acquire)) {
+    *reason = "compaction snapshot swap in flight";
+    return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const AttributedGraph> ScoringEngine::CurrentGraph() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return current_graph_;
 }
 
 EngineStats ScoringEngine::stats() const {
@@ -207,12 +423,16 @@ std::future<Result<ScoreResult>> ScoringEngine::SubmitNodes(
     std::vector<int> nodes, uint64_t request_id) {
   Pending pending;
   // Validate ids up front so a bad request cannot poison a whole batch.
+  // Under streaming the bound is the latest published snapshot's node
+  // count, which only ever grows — a node valid here stays valid for
+  // whichever (same-or-newer) snapshot the batch worker scores.
+  const int resident = resident_nodes_.load(std::memory_order_acquire);
   for (int node : nodes) {
-    if (node < 0 || node >= graph_.num_nodes()) {
+    if (node < 0 || node >= resident) {
       std::promise<Result<ScoreResult>> broken;
       broken.set_value(Status::OutOfRange(
           "node " + std::to_string(node) + " outside resident graph (0.." +
-          std::to_string(graph_.num_nodes() - 1) + ")"));
+          std::to_string(resident - 1) + ")"));
       VGOD_COUNTER_INC("serve.requests.total");
       VGOD_COUNTER_INC("serve.requests.rejected");
       return broken.get_future();
@@ -228,12 +448,12 @@ std::future<Result<ScoreResult>> ScoringEngine::SubmitGraph(
   // The detector's weights are bound to the training attribute schema; a
   // mismatched subgraph would abort deep inside a kernel VGOD_CHECK, so
   // reject it here instead (inductive scoring requires the same schema).
-  if (graph.attribute_dim() != graph_.attribute_dim()) {
+  if (graph.attribute_dim() != boot_graph_->attribute_dim()) {
     std::promise<Result<ScoreResult>> broken;
     broken.set_value(Status::InvalidArgument(
         "subgraph attribute dim " + std::to_string(graph.attribute_dim()) +
         " does not match the served model's " +
-        std::to_string(graph_.attribute_dim())));
+        std::to_string(boot_graph_->attribute_dim())));
     VGOD_COUNTER_INC("serve.requests.total");
     VGOD_COUNTER_INC("serve.requests.rejected");
     return broken.get_future();
@@ -349,8 +569,13 @@ void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
   }
   const auto score_start = std::chrono::steady_clock::now();
   int64_t tensor_peak_bytes = 0;
+  // Pin the latest published snapshot for the whole batch. Under
+  // streaming this is how a batch never sees a half-mutated graph:
+  // ingest swaps the pointer atomically and old snapshots stay immutable
+  // for as long as anyone holds them.
+  const std::shared_ptr<const AttributedGraph> resident = CurrentGraph();
   Result<detectors::DetectorOutput> guarded =
-      GuardedScore(*detector_, graph_, &tensor_peak_bytes);
+      GuardedScore(*detector_, *resident, &tensor_peak_bytes);
   const double score_seconds = SecondsSince(score_start);
   VGOD_HISTOGRAM_OBSERVE("serve.score.latency.seconds", score_seconds);
   score_calls_.fetch_add(1, std::memory_order_relaxed);
@@ -372,6 +597,22 @@ void ScoringEngine::ExecuteBatch(std::vector<Pending> batch) {
                               tensor_peak_bytes);
     ObserveStages(result.timing);
     result.nodes = std::move(pending.nodes);
+    // Belt-and-braces under streaming: ids were validated against a
+    // snapshot no newer than the one scored, so this cannot fire unless
+    // that ordering invariant breaks — degrade to a 500, not UB.
+    bool in_range = true;
+    for (int node : result.nodes) {
+      if (static_cast<size_t>(node) >= out.score.size()) {
+        in_range = false;
+        break;
+      }
+    }
+    if (!in_range) {
+      FinishRequest(&pending, Status::Internal(
+                                  "scored snapshot is older than the "
+                                  "validated node ids"));
+      continue;
+    }
     result.score.reserve(result.nodes.size());
     for (int node : result.nodes) {
       result.score.push_back(out.score[node]);

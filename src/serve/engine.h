@@ -9,12 +9,17 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/status.h"
 #include "detectors/detector.h"
 #include "graph/graph.h"
+#include "stream/delta_graph.h"
+#include "stream/events.h"
+#include "stream/online_scorer.h"
 
 namespace vgod::serve {
 
@@ -57,6 +62,43 @@ struct StageTiming {
   /// during the Score() call that answered this request (the request's
   /// peak live-tensor-bytes delta; shared across a batch).
   int64_t tensor_peak_bytes = 0;
+};
+
+/// Streaming-ingest knobs (docs/STREAMING.md). Streaming is off by
+/// default; ScoringEngine::EnableStreaming turns it on before Start().
+struct StreamingOptions {
+  /// Watchlist size served by GET /debug/watchlist (?k= can ask smaller).
+  int watchlist_k = 10;
+  /// Auto-compaction threshold: when an ingest batch leaves at least this
+  /// many applied-but-uncompacted events in the delta overlay, the engine
+  /// compacts before answering. 0 disables auto-compaction (batches can
+  /// still request one explicitly with {"compact":true}).
+  int compact_every = 4096;
+  /// Per-request event cap (hostile-input bound, docs/ROBUSTNESS.md).
+  int max_events_per_batch = 4096;
+};
+
+/// What one accepted ingest batch did, echoed as the POST /ingest
+/// response body.
+struct IngestResult {
+  uint64_t request_id = 0;
+  int events_applied = 0;
+  /// Incremental score recomputations across the batch — the O(deg)
+  /// cost certificate (stream.touched_nodes.per_event histogram).
+  int touched_nodes = 0;
+  bool compacted = false;
+  int num_nodes = 0;
+  int64_t delta_ops = 0;       // Outstanding overlay events post-batch.
+  int64_t overlay_edges = 0;
+  int64_t compactions = 0;     // Lifetime compaction count.
+  double apply_seconds = 0.0;  // Whole batch: validate+apply+snapshot.
+  double compact_seconds = 0.0;
+};
+
+/// One watchlist row: a current top-k outlier by online score.
+struct WatchlistEntry {
+  int node = -1;
+  double score = 0.0;
 };
 
 /// Scores for the nodes a request asked about, row-aligned with `nodes`.
@@ -106,6 +148,39 @@ class ScoringEngine {
   /// Spawns the worker pool. Fails if already started or shut down.
   Status Start();
 
+  /// Turns on the streaming subsystem (src/stream/): a DeltaGraphStore
+  /// seeded from the resident graph plus an OnlineScorer whose embedder
+  /// is derived from the detector (VBM/VGOD use the fitted Eq. 6
+  /// transform; anything else scores raw attributes). Must run before
+  /// Start(). After this, Ingest() mutates the resident graph and /score
+  /// requests see the latest published snapshot.
+  Status EnableStreaming(StreamingOptions options = {});
+  bool streaming_enabled() const { return store_ != nullptr; }
+  const StreamingOptions& streaming_options() const {
+    return stream_options_;
+  }
+
+  /// Applies one pre-parsed event batch: all-or-nothing validation, then
+  /// per-event store+scorer updates, optional compaction, and a
+  /// copy-on-write snapshot swap that in-flight scoring never observes
+  /// half-done. Thread-safe (serialized on the stream mutex).
+  Result<IngestResult> Ingest(const stream::EventBatch& batch,
+                              uint64_t request_id = 0);
+
+  /// Current top-k online outliers, descending by score. `k` <= 0 uses
+  /// the configured watchlist_k. Fails when streaming is off.
+  Result<std::vector<WatchlistEntry>> Watchlist(int k = 0);
+
+  /// Readiness (distinct from liveness): false while not yet started,
+  /// draining, or a compaction snapshot swap is in flight, with a
+  /// human-readable reason. GET /healthz/ready maps false to 503.
+  bool Ready(std::string* reason) const;
+
+  /// The graph /score currently scores: the boot graph until streaming
+  /// ingest publishes a newer snapshot. Snapshots are immutable; holding
+  /// the returned pointer pins that version, nothing more.
+  std::shared_ptr<const AttributedGraph> CurrentGraph() const;
+
   /// Graceful shutdown: rejects new submissions, drains every queued
   /// request, joins the workers. Idempotent.
   void Shutdown();
@@ -129,7 +204,10 @@ class ScoringEngine {
                                  uint64_t request_id = 0);
 
   const detectors::OutlierDetector& detector() const { return *detector_; }
-  const AttributedGraph& graph() const { return graph_; }
+  /// The boot-time resident graph. Stable for the engine's lifetime even
+  /// under streaming (ingest publishes new snapshots via CurrentGraph();
+  /// it never mutates or retires this one).
+  const AttributedGraph& graph() const { return *boot_graph_; }
   const EngineConfig& config() const { return config_; }
 
   /// Detector Score() invocations so far (== flushed batches).
@@ -164,8 +242,24 @@ class ScoringEngine {
   void FinishRequest(Pending* pending, Result<ScoreResult> result);
 
   const std::unique_ptr<detectors::OutlierDetector> detector_;
-  const AttributedGraph graph_;
+  const std::shared_ptr<const AttributedGraph> boot_graph_;
   const EngineConfig config_;
+
+  // --- Streaming state (null/idle when streaming is off) ---
+  // Lock order: mu_ and stream_mu_ are never held together; stream_mu_
+  // may take graph_mu_; graph_mu_ is a leaf.
+  StreamingOptions stream_options_;
+  std::mutex stream_mu_;  // Serializes store_/scorer_ access.
+  std::unique_ptr<stream::DeltaGraphStore> store_;
+  std::optional<stream::OnlineScorer> scorer_;
+  mutable std::mutex graph_mu_;  // Guards current_graph_ only.
+  std::shared_ptr<const AttributedGraph> current_graph_;
+  /// True while a compaction snapshot swap is in flight (readiness gate).
+  std::atomic<bool> compacting_{false};
+  /// Monotone node count of the latest published snapshot; SubmitNodes
+  /// validates against this without touching the stream mutex. Safe
+  /// because streaming only ever grows the node set.
+  std::atomic<int> resident_nodes_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

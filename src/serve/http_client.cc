@@ -1,0 +1,212 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+namespace vgod::serve {
+namespace {
+
+// Mirrors the server-side body cap (http.cc kMaxBodyBytes): a response
+// larger than this is a protocol violation, not something to buffer.
+constexpr size_t kMaxResponseBytes = 64ull * 1024 * 1024;
+
+std::string LowerCopy(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(int port, bool keep_alive)
+    : port_(port), keep_alive_(keep_alive) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+Result<HttpResponse> HttpClient::Get(const std::string& target) {
+  return RoundTrip("GET", target, "");
+}
+
+Result<HttpResponse> HttpClient::Post(const std::string& target,
+                                      const std::string& body) {
+  return RoundTrip("POST", target, body);
+}
+
+Status HttpClient::Connect() {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket(): " +
+                               std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect(127.0.0.1:" + std::to_string(port_) +
+                               "): " + detail);
+  }
+  fd_ = fd;
+  ++connections_opened_;
+  return Status::Ok();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(const std::string& method,
+                                           const std::string& target,
+                                           const std::string& body) {
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "host: 127.0.0.1\r\n";
+  request += "content-length: " + std::to_string(body.size()) + "\r\n";
+  if (!keep_alive_) request += "connection: close\r\n";
+  request += "\r\n";
+  request += body;
+
+  const bool reused = keep_alive_ && fd_ >= 0;
+  bool stale = false;
+  Result<HttpResponse> response = Attempt(request, reused, &stale);
+  if (!response.ok() && stale) {
+    // The cached keep-alive connection died between requests; one fresh
+    // reconnect is transparent, further failures are real.
+    response = Attempt(request, /*reused=*/false, &stale);
+  }
+  return response;
+}
+
+Result<HttpResponse> HttpClient::Attempt(const std::string& request,
+                                         bool reused, bool* stale) {
+  *stale = false;
+  if (fd_ < 0) {
+    Status connected = Connect();
+    if (!connected.ok()) return connected;
+  }
+  if (!SendAll(fd_, request)) {
+    Close();
+    *stale = reused;
+    return Status::IoError("send(): " +
+                               std::string(std::strerror(errno)));
+  }
+
+  std::string buffer;
+  char chunk[8192];
+  size_t header_end = std::string::npos;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Close();
+      // A clean close before any bytes on a reused connection is the
+      // classic keep-alive race, not a server failure.
+      *stale = reused && buffer.empty() && n == 0;
+      return Status::IoError("connection closed mid-response");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.size() > kMaxResponseBytes) {
+      Close();
+      return Status::InvalidArgument("response headers exceed 64MB");
+    }
+  }
+
+  // Status line: "HTTP/1.1 <code> <reason>".
+  const size_t space = buffer.find(' ');
+  if (space == std::string::npos || space + 4 > header_end) {
+    Close();
+    return Status::InvalidArgument("malformed HTTP status line");
+  }
+  int status_code = 0;
+  const auto [end, ec] = std::from_chars(buffer.data() + space + 1,
+                                         buffer.data() + space + 4,
+                                         status_code);
+  if (ec != std::errc() || status_code < 100 || status_code > 599) {
+    Close();
+    return Status::InvalidArgument("malformed HTTP status code");
+  }
+
+  HttpResponse response;
+  response.status = status_code;
+  size_t content_length = 0;
+  bool server_closes = !keep_alive_;
+  const std::string headers =
+      LowerCopy(buffer.substr(0, header_end + 2));
+  size_t cursor = headers.find("\r\n") + 2;  // Skip the status line.
+  while (cursor < headers.size()) {
+    const size_t eol = headers.find("\r\n", cursor);
+    if (eol == std::string::npos || eol == cursor) break;
+    const std::string line = headers.substr(cursor, eol - cursor);
+    cursor = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    if (name == "content-length") {
+      unsigned long long parsed = 0;
+      const auto [vend, vec] = std::from_chars(
+          value.data(), value.data() + value.size(), parsed);
+      if (vec != std::errc() || vend != value.data() + value.size() ||
+          parsed > kMaxResponseBytes) {
+        Close();
+        return Status::InvalidArgument("malformed content-length");
+      }
+      content_length = static_cast<size_t>(parsed);
+    } else if (name == "content-type") {
+      response.content_type = value;
+    } else if (name == "connection" && value == "close") {
+      server_closes = true;
+    }
+  }
+
+  std::string body = buffer.substr(header_end + 4);
+  while (body.size() < content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Close();
+      return Status::IoError("connection closed mid-body");
+    }
+    body.append(chunk, static_cast<size_t>(n));
+  }
+  // Sequential request/response — anything past content-length would be
+  // protocol noise; drop it with the connection rather than desync.
+  if (body.size() > content_length) server_closes = true;
+  response.body = body.substr(0, content_length);
+
+  if (server_closes || !keep_alive_) Close();
+  return response;
+}
+
+}  // namespace vgod::serve

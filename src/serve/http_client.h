@@ -1,0 +1,61 @@
+#ifndef VGOD_SERVE_HTTP_CLIENT_H_
+#define VGOD_SERVE_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "serve/http.h"
+
+namespace vgod::serve {
+
+/// Minimal loopback HTTP/1.1 client, the counterpart of HttpServer for
+/// benchmarks and tests that want to exercise the real TCP + parse path
+/// instead of calling the engine in-process.
+///
+/// Two connection modes:
+///  - keep_alive=false: every request opens a fresh TCP connection and
+///    sends `connection: close` — the worst case the server must absorb.
+///  - keep_alive=true: one persistent connection reused across requests
+///    (HTTP/1.1 default semantics). A request that finds the cached
+///    connection dead (server restarted, idle timeout) reconnects once
+///    and retries transparently.
+///
+/// Not thread-safe: give each client thread its own HttpClient, which is
+/// also what makes per-connection reuse meaningful in a load generator.
+class HttpClient {
+ public:
+  HttpClient(int port, bool keep_alive);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  Result<HttpResponse> Get(const std::string& target);
+  Result<HttpResponse> Post(const std::string& target,
+                            const std::string& body);
+
+  /// TCP connections opened so far — keep-alive clients should show ~1,
+  /// fresh-connection clients one per request.
+  int64_t connections_opened() const { return connections_opened_; }
+
+ private:
+  Result<HttpResponse> RoundTrip(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body);
+  /// One attempt on the current (or a new) connection. Sets *stale when
+  /// the failure is a dead cached connection worth one retry.
+  Result<HttpResponse> Attempt(const std::string& request, bool reused,
+                               bool* stale);
+  Status Connect();
+  void Close();
+
+  int port_;
+  bool keep_alive_;
+  int fd_ = -1;
+  int64_t connections_opened_ = 0;
+};
+
+}  // namespace vgod::serve
+
+#endif  // VGOD_SERVE_HTTP_CLIENT_H_

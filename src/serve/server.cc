@@ -15,6 +15,7 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "serve/access_log.h"
+#include "stream/events.h"
 
 namespace vgod::serve {
 namespace {
@@ -68,6 +69,35 @@ std::string ScoreResultJson(const ScoreResult& result) {
     AppendScoreArray(&out, "contextual", result.contextual);
   }
   out.push_back('}');
+  return out;
+}
+
+std::string IngestResultJson(const IngestResult& result) {
+  std::string out =
+      "{\"request_id\":" + std::to_string(result.request_id) +
+      ",\"events_applied\":" + std::to_string(result.events_applied) +
+      ",\"touched_nodes\":" + std::to_string(result.touched_nodes) +
+      ",\"compacted\":" + (result.compacted ? "true" : "false") +
+      ",\"num_nodes\":" + std::to_string(result.num_nodes) +
+      ",\"delta_ops\":" + std::to_string(result.delta_ops) +
+      ",\"overlay_edges\":" + std::to_string(result.overlay_edges) +
+      ",\"compactions\":" + std::to_string(result.compactions) +
+      ",\"apply_us\":" +
+      std::to_string(SecondsToMicros(result.apply_seconds)) +
+      ",\"compact_us\":" +
+      std::to_string(SecondsToMicros(result.compact_seconds)) + "}";
+  return out;
+}
+
+std::string WatchlistJson(const std::vector<WatchlistEntry>& entries) {
+  std::string out = "{\"watchlist\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "{\"node\":" + std::to_string(entries[i].node) + ",\"score\":";
+    obs::AppendJsonNumber(&out, entries[i].score);
+    out.push_back('}');
+  }
+  out += "]}";
   return out;
 }
 
@@ -260,15 +290,39 @@ HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
                                      const std::string& path,
                                      const std::string& query,
                                      AccessRecord* record) {
-  if (path == "/healthz") {
+  if (path == "/healthz/live") {
     if (request.method != "GET") {
       return ErrorResponse(405, "use GET " + path);
     }
+    // Liveness: the process is up and serving HTTP. Never 503s — a
+    // draining or compacting server is alive, just not ready.
+    return HttpResponse::Json(200, "{\"status\":\"live\"}");
+  }
+  if (path == "/healthz/ready" || path == "/healthz") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET " + path);
+    }
+    std::string reason;
+    if (!engine_->Ready(&reason)) {
+      std::string body = "{\"status\":\"unready\",\"reason\":";
+      obs::AppendJsonString(&body, reason);
+      body.push_back('}');
+      CountHttpError(503);
+      return HttpResponse::Json(503, std::move(body));
+    }
+    if (path == "/healthz/ready") {
+      return HttpResponse::Json(200, "{\"status\":\"ready\"}");
+    }
     std::string body = "{\"status\":\"ok\",\"detector\":";
     obs::AppendJsonString(&body, engine_->detector().name());
-    body += ",\"nodes\":" + std::to_string(engine_->graph().num_nodes()) +
+    body += ",\"nodes\":" +
+            std::to_string(engine_->CurrentGraph()->num_nodes()) +
+            ",\"attribute_dim\":" +
+            std::to_string(engine_->CurrentGraph()->attribute_dim()) +
             ",\"threads\":" +
-            std::to_string(engine_->config().num_threads) + "}";
+            std::to_string(engine_->config().num_threads) +
+            ",\"streaming\":" +
+            (engine_->streaming_enabled() ? "true" : "false") + "}";
     return HttpResponse::Json(200, std::move(body));
   }
   if (path == "/metrics") {
@@ -285,6 +339,59 @@ HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
                                     "' (want json or prometheus)");
     }
     return HttpResponse::Json(200, obs::MetricsRegistry::Global().ToJson());
+  }
+  if (path == "/ingest") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST " + path);
+    }
+    const auto parse_start = std::chrono::steady_clock::now();
+    Result<obs::JsonValue> body = obs::ParseJson(request.body);
+    if (!body.ok()) {
+      record->parse_us = MicrosSince(parse_start);
+      return ErrorResponse(400, "invalid JSON: " + body.status().message());
+    }
+    Result<stream::EventBatch> batch = stream::ParseEventBatch(
+        body.value(),
+        static_cast<size_t>(
+            engine_->streaming_options().max_events_per_batch));
+    record->parse_us = MicrosSince(parse_start);
+    if (!batch.ok()) {
+      return ErrorResponse(400, batch.status().message());
+    }
+    record->num_nodes = static_cast<int>(batch.value().events.size());
+    VGOD_HISTOGRAM_OBSERVE("serve.stage.parse.seconds",
+                           record->parse_us * 1e-6);
+    Result<IngestResult> result =
+        engine_->Ingest(batch.value(), record->request_id);
+    if (!result.ok()) {
+      return ErrorResponse(StatusToHttp(result.status()),
+                           result.status().message());
+    }
+    return HttpResponse::Json(200, IngestResultJson(result.value()));
+  }
+  if (path == "/debug/watchlist") {
+    if (request.method != "GET") {
+      return ErrorResponse(405, "use GET " + path);
+    }
+    int k = 0;
+    const std::string k_param = QueryParam(query, "k");
+    if (!k_param.empty()) {
+      char* end = nullptr;
+      const long parsed = std::strtol(k_param.c_str(), &end, 10);
+      if (end == k_param.c_str() || *end != '\0' || parsed < 1 ||
+          parsed > 100000) {
+        return ErrorResponse(
+            400, "'k' must be an integer in [1, 100000], got '" + k_param +
+                     "'");
+      }
+      k = static_cast<int>(parsed);
+    }
+    Result<std::vector<WatchlistEntry>> entries = engine_->Watchlist(k);
+    if (!entries.ok()) {
+      return ErrorResponse(StatusToHttp(entries.status()),
+                           entries.status().message());
+    }
+    return HttpResponse::Json(200, WatchlistJson(entries.value()));
   }
   if (path == "/debug/slow") {
     if (request.method != "GET") {
@@ -415,6 +522,13 @@ int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
+  if (options.streaming) {
+    Status enabled = engine.value()->EnableStreaming(options.stream);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "error: %s\n", enabled.ToString().c_str());
+      return 1;
+    }
+  }
   ScoringServer server(std::move(engine).value(), options.port,
                        options.slow_ring);
   if (AccessLog::FromEnv() != nullptr) {
@@ -427,11 +541,12 @@ int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
   }
   // Machine-readable startup banner; check_serve.py parses the port.
   std::printf("vgod_serve listening on 127.0.0.1:%d (detector=%s nodes=%d "
-              "threads=%d max_batch=%d max_delay_us=%d)\n",
+              "threads=%d max_batch=%d max_delay_us=%d streaming=%s)\n",
               server.port(), server.engine().detector().name().c_str(),
               server.engine().graph().num_nodes(),
               options.engine.num_threads, options.engine.max_batch,
-              options.engine.max_delay_us);
+              options.engine.max_delay_us,
+              options.streaming ? "on" : "off");
   std::fflush(stdout);
 
   while (!stop->load(std::memory_order_relaxed)) {

@@ -25,6 +25,11 @@ struct ServerOptions {
   /// Capacity of the slowest-request forensics ring behind GET /debug/slow.
   int slow_ring = 16;
   EngineConfig engine;
+  /// Enables the streaming subsystem: POST /ingest mutates the resident
+  /// graph and /debug/watchlist serves the online top-k
+  /// (docs/STREAMING.md).
+  bool streaming = false;
+  StreamingOptions stream;
 };
 
 /// Builds a ScoringEngine from a bundle + graph file (the batch side of
@@ -36,10 +41,15 @@ Result<std::unique_ptr<ScoringEngine>> BuildEngine(
 /// The HTTP scoring server: a ScoringEngine behind the endpoints
 /// documented in docs/SERVING.md —
 ///   POST /score       {"nodes":[...]} or {"graph":{...}} -> scores JSON
-///   GET  /healthz     liveness + model identity
+///   POST /ingest      {"events":[...]} graph mutations (streaming mode)
+///   GET  /healthz     readiness + model identity (503 + reason while
+///                     draining or mid-compaction-swap)
+///   GET  /healthz/live   liveness only — 200 whenever the process serves
+///   GET  /healthz/ready  readiness probe, minimal body
 ///   GET  /metrics     the vgod::obs metrics registry as JSON
 ///                     (?format=prometheus for text exposition 0.0.4)
 ///   GET  /debug/slow  the K slowest requests with stage breakdowns
+///   GET  /debug/watchlist  current top-k online outliers (streaming)
 ///
 /// Every request gets a monotonic request id at dispatch; the id threads
 /// through the engine's StageTiming, the /score response body, the

@@ -1,0 +1,144 @@
+#include "stream/events.h"
+
+#include <utility>
+
+namespace vgod::stream {
+namespace {
+
+/// True when `value` is a JSON number representing an int (no fraction,
+/// in int range). Node ids on the wire must be exact integers.
+bool JsonInt(const obs::JsonValue& value, int* out) {
+  if (!value.is_number()) return false;
+  const double number = value.number();
+  const int as_int = static_cast<int>(number);
+  if (static_cast<double>(as_int) != number) return false;
+  *out = as_int;
+  return true;
+}
+
+Status ParseAttributeRow(const obs::JsonValue& spec, size_t index,
+                         std::vector<float>* out) {
+  if (!spec.is_array() || spec.array().empty()) {
+    return Status::InvalidArgument(
+        "event " + std::to_string(index) +
+        ": 'attributes' must be a non-empty number array");
+  }
+  out->reserve(spec.array().size());
+  for (const obs::JsonValue& value : spec.array()) {
+    if (!value.is_number()) {
+      return Status::InvalidArgument("event " + std::to_string(index) +
+                                     ": attributes must be numbers");
+    }
+    out->push_back(static_cast<float>(value.number()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kAddEdge: return "add_edge";
+    case EventType::kRemoveEdge: return "remove_edge";
+    case EventType::kAddNode: return "add_node";
+    case EventType::kUpdateAttributes: return "update_attributes";
+  }
+  return "unknown";
+}
+
+GraphEvent GraphEvent::AddEdge(int u, int v) {
+  GraphEvent event;
+  event.type = EventType::kAddEdge;
+  event.u = u;
+  event.v = v;
+  return event;
+}
+
+GraphEvent GraphEvent::RemoveEdge(int u, int v) {
+  GraphEvent event;
+  event.type = EventType::kRemoveEdge;
+  event.u = u;
+  event.v = v;
+  return event;
+}
+
+GraphEvent GraphEvent::AddNode(std::vector<float> attributes) {
+  GraphEvent event;
+  event.type = EventType::kAddNode;
+  event.attributes = std::move(attributes);
+  return event;
+}
+
+GraphEvent GraphEvent::UpdateAttributes(int node,
+                                        std::vector<float> attributes) {
+  GraphEvent event;
+  event.type = EventType::kUpdateAttributes;
+  event.node = node;
+  event.attributes = std::move(attributes);
+  return event;
+}
+
+Result<EventBatch> ParseEventBatch(const obs::JsonValue& body,
+                                   size_t max_events) {
+  if (!body.is_object()) {
+    return Status::InvalidArgument("ingest body must be a JSON object");
+  }
+  const obs::JsonValue& events_spec = body.at("events");
+  if (!events_spec.is_array()) {
+    return Status::InvalidArgument("ingest body needs an 'events' array");
+  }
+  if (events_spec.array().size() > max_events) {
+    return Status::InvalidArgument(
+        "event batch of " + std::to_string(events_spec.array().size()) +
+        " exceeds the per-request cap of " + std::to_string(max_events));
+  }
+
+  EventBatch batch;
+  const obs::JsonValue& compact = body.at("compact");
+  if (compact.is_bool()) batch.compact = compact.boolean();
+  else if (!compact.is_null()) {
+    return Status::InvalidArgument("'compact' must be a boolean");
+  }
+
+  batch.events.reserve(events_spec.array().size());
+  for (size_t i = 0; i < events_spec.array().size(); ++i) {
+    const obs::JsonValue& spec = events_spec.array()[i];
+    if (!spec.is_object() || !spec.at("op").is_string()) {
+      return Status::InvalidArgument(
+          "event " + std::to_string(i) +
+          ": must be an object with a string 'op'");
+    }
+    const std::string& op = spec.at("op").string_value();
+    GraphEvent event;
+    if (op == "add_edge" || op == "remove_edge") {
+      if (!JsonInt(spec.at("u"), &event.u) ||
+          !JsonInt(spec.at("v"), &event.v)) {
+        return Status::InvalidArgument("event " + std::to_string(i) + ": '" +
+                                       op + "' needs integer 'u' and 'v'");
+      }
+      event.type = op == "add_edge" ? EventType::kAddEdge
+                                    : EventType::kRemoveEdge;
+    } else if (op == "add_node") {
+      event.type = EventType::kAddNode;
+      VGOD_RETURN_IF_ERROR(
+          ParseAttributeRow(spec.at("attributes"), i, &event.attributes));
+    } else if (op == "update_attributes") {
+      event.type = EventType::kUpdateAttributes;
+      if (!JsonInt(spec.at("node"), &event.node)) {
+        return Status::InvalidArgument(
+            "event " + std::to_string(i) +
+            ": 'update_attributes' needs an integer 'node'");
+      }
+      VGOD_RETURN_IF_ERROR(
+          ParseAttributeRow(spec.at("attributes"), i, &event.attributes));
+    } else {
+      return Status::InvalidArgument(
+          "event " + std::to_string(i) + ": unknown op '" + op +
+          "' (want add_edge|remove_edge|add_node|update_attributes)");
+    }
+    batch.events.push_back(std::move(event));
+  }
+  return batch;
+}
+
+}  // namespace vgod::stream

@@ -1,0 +1,66 @@
+#ifndef VGOD_STREAM_EVENTS_H_
+#define VGOD_STREAM_EVENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/json.h"
+
+namespace vgod::stream {
+
+/// One mutation of the resident attributed graph. Edges are undirected
+/// (an add/remove touches both CSR directions, matching the dataset
+/// convention of graph.h); attribute events carry a full replacement row.
+enum class EventType {
+  kAddEdge,
+  kRemoveEdge,
+  kAddNode,
+  kUpdateAttributes,
+};
+
+/// Stable lower_snake name ("add_edge", ...), the wire format's "op"
+/// value and the stream.events.* metric suffix.
+const char* EventTypeName(EventType type);
+
+struct GraphEvent {
+  EventType type = EventType::kAddEdge;
+  /// Endpoints for kAddEdge / kRemoveEdge.
+  int u = -1;
+  int v = -1;
+  /// Target for kUpdateAttributes.
+  int node = -1;
+  /// Attribute row for kAddNode / kUpdateAttributes (width must match the
+  /// graph's attribute_dim; validated by DeltaGraphStore::ValidateBatch).
+  std::vector<float> attributes;
+
+  static GraphEvent AddEdge(int u, int v);
+  static GraphEvent RemoveEdge(int u, int v);
+  static GraphEvent AddNode(std::vector<float> attributes);
+  static GraphEvent UpdateAttributes(int node, std::vector<float> attributes);
+};
+
+/// A parsed POST /ingest body: the ordered event list plus the optional
+/// explicit-compaction flag ({"compact":true} forces a snapshot
+/// compaction after the batch applies, regardless of the delta size).
+struct EventBatch {
+  std::vector<GraphEvent> events;
+  bool compact = false;
+};
+
+/// Parses the wire format (docs/STREAMING.md):
+///   {"events":[{"op":"add_edge","u":0,"v":1},
+///              {"op":"remove_edge","u":0,"v":1},
+///              {"op":"add_node","attributes":[...]},
+///              {"op":"update_attributes","node":2,"attributes":[...]}],
+///    "compact":false}
+/// Purely syntactic — graph-level validity (ranges, duplicate edges,
+/// attribute widths) is checked by DeltaGraphStore::ValidateBatch so the
+/// error message can see the current graph. Batches beyond `max_events`
+/// are rejected up front (hostile-input cap, docs/ROBUSTNESS.md).
+Result<EventBatch> ParseEventBatch(const obs::JsonValue& body,
+                                   size_t max_events);
+
+}  // namespace vgod::stream
+
+#endif  // VGOD_STREAM_EVENTS_H_

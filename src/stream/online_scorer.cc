@@ -1,0 +1,191 @@
+#include "stream/online_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace vgod::stream {
+
+Result<OnlineScorer> OnlineScorer::Create(DeltaGraphStore* store,
+                                          OnlineScorerConfig config) {
+  VGOD_CHECK(store != nullptr);
+  OnlineScorer scorer(store, std::move(config));
+  VGOD_RETURN_IF_ERROR(scorer.Rebuild());
+  return scorer;
+}
+
+Result<Tensor> OnlineScorer::Embed(const Tensor& rows) const {
+  if (!config_.embed) return rows;
+  return config_.embed(rows);
+}
+
+Result<std::vector<double>> OnlineScorer::EmbedRow(
+    const std::vector<float>& row) const {
+  Tensor one(1, static_cast<int>(row.size()));
+  std::copy(row.begin(), row.end(), one.data());
+  Result<Tensor> embedded = Embed(one);
+  VGOD_RETURN_IF_ERROR(embedded.status());
+  const Tensor& h = embedded.value();
+  VGOD_CHECK_EQ(h.rows(), 1);
+  VGOD_CHECK_EQ(h.cols(), dim_);
+  return std::vector<double>(h.data(), h.data() + dim_);
+}
+
+Status OnlineScorer::Rebuild() {
+  std::shared_ptr<const AttributedGraph> snapshot = store_->Snapshot();
+  Result<Tensor> embedded = Embed(snapshot->attributes());
+  VGOD_RETURN_IF_ERROR(embedded.status());
+  const Tensor& h = embedded.value();
+  const int n = snapshot->num_nodes();
+  VGOD_CHECK_EQ(h.rows(), n);
+  dim_ = h.cols();
+
+  emb_.assign(h.data(), h.data() + static_cast<size_t>(n) * dim_);
+  normsq_.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* row = emb_.data() + static_cast<size_t>(i) * dim_;
+    double acc = 0.0;
+    for (int c = 0; c < dim_; ++c) acc += row[c] * row[c];
+    normsq_[i] = acc;
+  }
+
+  deg_.assign(n, 0);
+  sum_.assign(static_cast<size_t>(n) * dim_, 0.0);
+  q_.assign(n, 0.0);
+  score_.assign(n, 0.0);
+  ranked_.clear();
+  for (int i = 0; i < n; ++i) {
+    double* srow = sum_.data() + static_cast<size_t>(i) * dim_;
+    for (int32_t j : snapshot->Neighbors(i)) {
+      const double* hrow = emb_.data() + static_cast<size_t>(j) * dim_;
+      for (int c = 0; c < dim_; ++c) srow[c] += hrow[c];
+      q_[i] += normsq_[j];
+      ++deg_[i];
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    ranked_.emplace(0.0, i);  // Placeholder; RefreshScore repositions.
+    score_[i] = 0.0;
+    RefreshScore(i);
+  }
+  return Status::Ok();
+}
+
+int OnlineScorer::RefreshScore(int node) {
+  const int deg_eff = deg_[node] + (config_.include_self ? 1 : 0);
+  double next = 0.0;
+  if (deg_eff > 0) {
+    const double* srow = sum_.data() + static_cast<size_t>(node) * dim_;
+    const double* hrow = emb_.data() + static_cast<size_t>(node) * dim_;
+    double mean_normsq = 0.0;
+    for (int c = 0; c < dim_; ++c) {
+      const double s =
+          config_.include_self ? srow[c] + hrow[c] : srow[c];
+      const double mean = s / deg_eff;
+      mean_normsq += mean * mean;
+    }
+    const double q_eff =
+        config_.include_self ? q_[node] + normsq_[node] : q_[node];
+    next = std::max(0.0, q_eff / deg_eff - mean_normsq);
+  }
+  ranked_.erase({score_[node], node});
+  score_[node] = next;
+  ranked_.emplace(next, node);
+  return 1;
+}
+
+void OnlineScorer::AddNeighborTerm(int node, int neighbor, double sign) {
+  double* srow = sum_.data() + static_cast<size_t>(node) * dim_;
+  const double* hrow = emb_.data() + static_cast<size_t>(neighbor) * dim_;
+  for (int c = 0; c < dim_; ++c) srow[c] += sign * hrow[c];
+  q_[node] += sign * normsq_[neighbor];
+  deg_[node] += sign > 0 ? 1 : -1;
+}
+
+Result<int> OnlineScorer::ApplyOne(const GraphEvent& event) {
+  switch (event.type) {
+    case EventType::kAddEdge:
+    case EventType::kRemoveEdge: {
+      const double sign = event.type == EventType::kAddEdge ? 1.0 : -1.0;
+      VGOD_CHECK(event.u >= 0 && event.u < num_nodes() && event.v >= 0 &&
+                 event.v < num_nodes());
+      AddNeighborTerm(event.u, event.v, sign);
+      AddNeighborTerm(event.v, event.u, sign);
+      return RefreshScore(event.u) + RefreshScore(event.v);
+    }
+    case EventType::kAddNode: {
+      // Embed BEFORE touching state so a rejected row leaves the scorer
+      // unchanged (the engine only feeds pre-validated events, but the
+      // embedder is caller-supplied).
+      Result<std::vector<double>> h = EmbedRow(event.attributes);
+      VGOD_RETURN_IF_ERROR(h.status());
+      const int node = num_nodes();
+      double acc = 0.0;
+      for (double value : h.value()) acc += value * value;
+      emb_.insert(emb_.end(), h.value().begin(), h.value().end());
+      normsq_.push_back(acc);
+      deg_.push_back(0);
+      sum_.resize(sum_.size() + dim_, 0.0);
+      q_.push_back(0.0);
+      score_.push_back(0.0);
+      ranked_.emplace(0.0, node);
+      return RefreshScore(node);
+    }
+    case EventType::kUpdateAttributes: {
+      VGOD_CHECK(event.node >= 0 && event.node < num_nodes());
+      Result<std::vector<double>> embedded = EmbedRow(event.attributes);
+      VGOD_RETURN_IF_ERROR(embedded.status());
+      const std::vector<double>& fresh = embedded.value();
+      double* old = emb_.data() + static_cast<size_t>(event.node) * dim_;
+      std::vector<double> delta(dim_);
+      double fresh_normsq = 0.0;
+      for (int c = 0; c < dim_; ++c) {
+        delta[c] = fresh[c] - old[c];
+        fresh_normsq += fresh[c] * fresh[c];
+      }
+      const double dq = fresh_normsq - normsq_[event.node];
+      int touched = 0;
+      // The store already holds the new row, but adjacency is unchanged
+      // by attribute events, so this neighbor view matches event time.
+      for (int32_t j : store_->CurrentNeighbors(event.node)) {
+        double* srow = sum_.data() + static_cast<size_t>(j) * dim_;
+        for (int c = 0; c < dim_; ++c) srow[c] += delta[c];
+        q_[j] += dq;
+        touched += RefreshScore(j);
+      }
+      std::copy(fresh.begin(), fresh.end(), old);
+      normsq_[event.node] = fresh_normsq;
+      // Own score shifts too under include_self; refresh unconditionally
+      // (free when it doesn't change, and keeps the accounting simple).
+      touched += RefreshScore(event.node);
+      return touched;
+    }
+  }
+  return Status::Internal("unhandled event type");
+}
+
+double OnlineScorer::Score(int node) const {
+  VGOD_CHECK(node >= 0 && node < num_nodes());
+  return score_[node];
+}
+
+std::vector<float> OnlineScorer::Scores() const {
+  std::vector<float> out(score_.size());
+  for (size_t i = 0; i < score_.size(); ++i) {
+    out[i] = static_cast<float>(score_[i]);
+  }
+  return out;
+}
+
+std::vector<std::pair<int, double>> OnlineScorer::TopK(int k) const {
+  std::vector<std::pair<int, double>> out;
+  out.reserve(std::min<size_t>(std::max(k, 0), ranked_.size()));
+  for (auto it = ranked_.rbegin();
+       it != ranked_.rend() && static_cast<int>(out.size()) < k; ++it) {
+    out.emplace_back(it->second, it->first);
+  }
+  return out;
+}
+
+}  // namespace vgod::stream

@@ -1,0 +1,118 @@
+#ifndef VGOD_STREAM_ONLINE_SCORER_H_
+#define VGOD_STREAM_ONLINE_SCORER_H_
+
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "stream/delta_graph.h"
+#include "stream/events.h"
+#include "tensor/tensor.h"
+
+namespace vgod::stream {
+
+struct OnlineScorerConfig {
+  /// Maps attribute rows (m x d) to embedding rows (m x k). Row-local by
+  /// construction for VBM — h_i = L2Normalize(W x_i + b) reads only row i
+  /// — which is what makes single-row re-embedding on attribute events
+  /// sound. Unset means score raw attributes (identity embedding).
+  std::function<Result<Tensor>(const Tensor&)> embed;
+  /// Mirrors VbmConfig::self_loop (paper Eq. 13): fold node i's own
+  /// embedding into its neighbor statistics. The full-rescore path
+  /// realizes this via WithSelfLoops(); the incremental path adds the
+  /// h_i terms analytically at score time.
+  bool include_self = false;
+};
+
+/// Incremental NeighborVarianceScore (paper Eq. 7-9). Maintains, per node
+/// i over its current neighbors j ∈ N_i:
+///   deg_i,   S_i = Σ h_j   (double),   q_i = Σ ||h_j||²   (double)
+/// so that
+///   score_i = max(0, q_eff/deg_eff − ||S_eff/deg_eff||²)
+/// where the _eff terms optionally fold in h_i (include_self). This is
+/// the E[X²] − ||E[X]||² form of the paper's neighbor variance; each
+/// graph event updates only the O(deg) touched nodes instead of
+/// triggering a global rescore. A full ranking (std::set keyed by
+/// (score, node)) is maintained alongside, so the top-k outlier
+/// watchlist is O(log n) per touched node and O(k) to read.
+///
+/// Determinism caveat (docs/STREAMING.md): aggregates accumulate in
+/// double, while the from-scratch kernel computes the neighbor mean in
+/// float. Scores agree to ~1e-6 for unit-norm embeddings — inside the
+/// 1e-5 equivalence budget — but are not bit-identical, and a long
+/// delete-heavy event history can accumulate rounding that a compaction
+/// does NOT reset (compaction rebuilds the CSR, not the aggregates; call
+/// Rebuild() to resync exactly).
+///
+/// NOT internally synchronized — same contract as DeltaGraphStore.
+class OnlineScorer {
+ public:
+  /// Builds initial aggregates from the store's current snapshot.
+  /// Fails if the embedder rejects the attribute matrix.
+  static Result<OnlineScorer> Create(DeltaGraphStore* store,
+                                     OnlineScorerConfig config);
+
+  OnlineScorer(OnlineScorer&&) = default;
+  OnlineScorer& operator=(OnlineScorer&&) = default;
+
+  int num_nodes() const { return static_cast<int>(deg_.size()); }
+  int embedding_dim() const { return dim_; }
+
+  /// Updates aggregates for one event that the store has ALREADY applied
+  /// (call order per event: store->ApplyOne, then scorer->ApplyOne).
+  /// Returns the number of nodes whose score was recomputed — the O(deg)
+  /// cost certificate exported as the stream.touched_nodes.per_event
+  /// histogram. Fails (without corrupting state) if the embedder rejects
+  /// the event's attribute row.
+  Result<int> ApplyOne(const GraphEvent& event);
+
+  /// Current score of `node`.
+  double Score(int node) const;
+  /// All current scores, float-narrowed to match detector output.
+  std::vector<float> Scores() const;
+
+  /// Top `k` nodes by score, descending; ties break toward the higher
+  /// node id (std::set ordering on (score, node) pairs).
+  std::vector<std::pair<int, double>> TopK(int k) const;
+
+  /// Re-derives every aggregate from the store's current snapshot —
+  /// exact resync after long event histories. O(V·k + E·k).
+  Status Rebuild();
+
+ private:
+  OnlineScorer(DeltaGraphStore* store, OnlineScorerConfig config)
+      : store_(store), config_(std::move(config)) {}
+
+  /// Runs config_.embed (or identity) over `rows`.
+  Result<Tensor> Embed(const Tensor& rows) const;
+  /// Embeds one attribute row into out[0..dim_).
+  Result<std::vector<double>> EmbedRow(const std::vector<float>& row) const;
+  /// Recomputes score of `node` from aggregates and repositions it in the
+  /// ranking. Returns 1 (touched-node count contribution).
+  int RefreshScore(int node);
+  void AddNeighborTerm(int node, int neighbor, double sign);
+
+  DeltaGraphStore* store_;
+  OnlineScorerConfig config_;
+  int dim_ = 0;
+
+  /// Flattened n x dim_ embeddings (double: they feed double aggregates).
+  std::vector<double> emb_;
+  /// ||h_i||² per node.
+  std::vector<double> normsq_;
+  /// Neighbor count per node (excluding the analytic self term).
+  std::vector<int> deg_;
+  /// Flattened n x dim_ neighbor-sum aggregates.
+  std::vector<double> sum_;
+  /// Neighbor sum-of-squared-norms per node.
+  std::vector<double> q_;
+  std::vector<double> score_;
+  /// Full ranking; watchlist reads walk from rbegin.
+  std::set<std::pair<double, int>> ranked_;
+};
+
+}  // namespace vgod::stream
+
+#endif  // VGOD_STREAM_ONLINE_SCORER_H_

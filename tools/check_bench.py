@@ -21,6 +21,15 @@ sweep is run without VGOD_BENCH_MANIFEST so the binary's always-emitted
 default manifest (BENCH_kernels.json in the working directory) is what
 gets validated.
 
+With `--stream-loadgen build/bench/stream_loadgen` the gate also runs the
+streaming bench (mixed ingest+score traffic plus the 1x/4x scaling probe)
+and compares its manifest against the "stream" bands: ingest throughput,
+touched-nodes-per-event, score tail latency, and the per-event-cost
+scaling ratio that pins the incremental scorer to O(deg) rather than
+O(n) work per event. Structural stream invariants (quantile ordering,
+exactly-two-endpoints touched by edge toggles at both scales) are
+checked unconditionally when the report is present.
+
 Run directly (`python3 tools/check_bench.py --loadgen build/bench/serve_loadgen
 --baselines bench/baselines.json`) or via ctest (registered as check_bench
 with the `bench` label).
@@ -114,6 +123,66 @@ def run_kernel_sweep(kernels, workdir):
     return json.loads(manifest_path.read_text())
 
 
+def run_stream_loadgen(stream_loadgen, baselines, workdir):
+    """Runs stream_loadgen at a reduced scale and returns (manifest, report)."""
+    manifest_path = workdir / "stream_manifest.json"
+    report_path = workdir / "stream_report.json"
+    env = dict(os.environ)
+    env.update(baselines.get("env", {}))
+    env["VGOD_BENCH_MANIFEST"] = str(manifest_path)
+    cmd = [str(stream_loadgen), "--batches=8", "--batch-size=16",
+           "--requests=30", "--scale-nodes=1000", "--scale-events=2000",
+           f"--json={report_path}"]
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env,
+                          timeout=480)
+    if proc.returncode != 0:
+        fail(f"stream_loadgen exited {proc.returncode}\n"
+             f"stdout: {proc.stdout[-2000:]}\nstderr: {proc.stderr[-2000:]}")
+        return None, None
+    if not check(manifest_path.exists(), "stream_loadgen wrote no manifest"):
+        return None, None
+    if not check(report_path.exists(),
+                 "stream_loadgen wrote no JSON report"):
+        return None, None
+    return (json.loads(manifest_path.read_text()),
+            json.loads(report_path.read_text()))
+
+
+def check_stream_bands(metrics, baselines):
+    bands = baselines.get("stream", {})
+    if not check(bands, "baselines.json declares no stream bands"):
+        return
+    for metric, band in sorted(bands.items()):
+        if not check(metric in metrics,
+                     f"stream manifest is missing baseline metric {metric}"):
+            continue
+        value = metrics[metric]
+        lo, hi = band["min"], band["max"]
+        check(lo <= value <= hi,
+              f"{metric} = {value} outside committed band [{lo}, {hi}]")
+
+
+def check_stream_invariants(report):
+    mixed = report.get("mixed", {})
+    check(mixed.get("events", 0) > 0, "stream report recorded no events")
+    check(mixed.get("events_per_sec", 0) > 0, "stream ingest throughput is 0")
+    check(0 < mixed.get("score_p50_ms", -1) <= mixed.get("score_p99_ms", -1),
+          "stream score quantiles inverted or non-positive")
+    scaling = report.get("scaling", {})
+    points = scaling.get("points", [])
+    if not check(len(points) == 2, "stream scaling probe needs 2 points"):
+        return
+    small, large = points
+    check(large["nodes"] == 4 * small["nodes"],
+          f"scaling points are not 1x/4x: {small['nodes']}/{large['nodes']}")
+    # Edge toggles touch exactly their two endpoints, independent of n.
+    for point in points:
+        check(abs(point.get("touched_per_event", 0) - 2.0) < 1e-9,
+              f"edge toggle touched {point.get('touched_per_event')} nodes "
+              f"at n={point['nodes']}, want exactly 2")
+
+
 def check_kernel_bands(metrics, baselines):
     bands = baselines.get("kernels", {})
     if not check(bands, "baselines.json declares no kernel bands"):
@@ -177,6 +246,11 @@ def main():
     parser.add_argument("--kernels",
                         help="path to micro_kernels; also runs the --sweep "
                              "kernel grid against the 'kernels' bands")
+    parser.add_argument("--stream-loadgen",
+                        help="path to stream_loadgen; also gates ingest "
+                             "throughput, touched-nodes-per-event, and the "
+                             "O(deg) scaling ratio against the 'stream' "
+                             "bands")
     args = parser.parse_args()
 
     baselines = json.loads(Path(args.baselines).read_text())
@@ -185,12 +259,20 @@ def main():
                                        Path(tmp))
         kernel_manifest = (run_kernel_sweep(Path(args.kernels), Path(tmp))
                            if args.kernels else None)
+        stream_manifest, stream_report = (
+            run_stream_loadgen(Path(args.stream_loadgen), baselines,
+                               Path(tmp))
+            if args.stream_loadgen else (None, None))
     if manifest is not None:
         check_bands(manifest_metrics(manifest), baselines)
     if report is not None:
         check_invariants(report)
     if kernel_manifest is not None:
         check_kernel_bands(kernel_metrics(kernel_manifest), baselines)
+    if stream_manifest is not None:
+        check_stream_bands(manifest_metrics(stream_manifest), baselines)
+    if stream_report is not None:
+        check_stream_invariants(stream_report)
 
     if ERRORS:
         print(f"\ncheck_bench: {len(ERRORS)} failure(s)", file=sys.stderr)

@@ -80,7 +80,9 @@ int Usage() {
       "  serve         --bundle=PATH --graph=PATH [--port=N] "
       "[--threads=N] [--num_threads=N]\n"
       "                [--max-batch=N] [--max-delay-us=N] "
-      "[--max-queue=N]\n");
+      "[--max-queue=N] [--streaming]\n"
+      "                [--compact-every=N] [--watchlist-k=N] "
+      "[--max-events=N]\n");
   return 2;
 }
 
@@ -382,7 +384,8 @@ void HandleServeSignal(int) {
 int RunServe(const ArgParser& args) {
   Status valid = args.Validate({"bundle", "graph", "port", "threads",
                                 "num_threads", "max-batch", "max-delay-us",
-                                "max-queue"});
+                                "max-queue", "streaming", "compact-every",
+                                "watchlist-k", "max-events"});
   if (!valid.ok()) return Fail(valid);
   serve::ServerOptions options;
   options.bundle_path = args.GetString("bundle", "");
@@ -399,6 +402,13 @@ int RunServe(const ArgParser& args) {
       static_cast<int>(args.GetInt("max-delay-us", 1000));
   options.engine.max_queue =
       static_cast<int>(args.GetInt("max-queue", 1024));
+  options.streaming = args.GetBool("streaming");
+  options.stream.compact_every =
+      static_cast<int>(args.GetInt("compact-every", 4096));
+  options.stream.watchlist_k =
+      static_cast<int>(args.GetInt("watchlist-k", 10));
+  options.stream.max_events_per_batch =
+      static_cast<int>(args.GetInt("max-events", 4096));
   std::signal(SIGINT, HandleServeSignal);
   std::signal(SIGTERM, HandleServeSignal);
   return serve::RunServer(options, &g_serve_stop);

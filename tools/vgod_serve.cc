@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
   Status valid = args.value().Validate({"bundle", "graph", "port", "threads",
                                         "num_threads", "max-batch",
                                         "max-delay-us", "max-queue",
-                                        "slow-ring"});
+                                        "slow-ring", "streaming",
+                                        "compact-every", "watchlist-k",
+                                        "max-events"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
     return 2;
@@ -52,6 +54,8 @@ int main(int argc, char** argv) {
                  "                  [--threads=N] [--num_threads=N]\n"
                  "                  [--max-batch=N] [--max-delay-us=N]\n"
                  "                  [--max-queue=N] [--slow-ring=N]\n"
+                 "                  [--streaming] [--compact-every=N]\n"
+                 "                  [--watchlist-k=N] [--max-events=N]\n"
                  "env:   VGOD_ACCESS_LOG=PATH|-  JSON access log\n");
     return 2;
   }
@@ -70,6 +74,15 @@ int main(int argc, char** argv) {
       static_cast<int>(args.value().GetInt("max-queue", 1024));
   options.slow_ring =
       static_cast<int>(args.value().GetInt("slow-ring", 16));
+  // Streaming ingest (docs/STREAMING.md): POST /ingest mutates the
+  // resident graph, /debug/watchlist serves the online top-k.
+  options.streaming = args.value().GetBool("streaming");
+  options.stream.compact_every =
+      static_cast<int>(args.value().GetInt("compact-every", 4096));
+  options.stream.watchlist_k =
+      static_cast<int>(args.value().GetInt("watchlist-k", 10));
+  options.stream.max_events_per_batch =
+      static_cast<int>(args.value().GetInt("max-events", 4096));
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
