@@ -4,46 +4,43 @@
 // paper's narrative (§II-B, citing [9]) is that deep methods dominate the
 // non-deep ones on injected benchmarks; this bench regenerates that
 // comparison on the simulated datasets.
+//
+// Thin wrapper over the benchmark matrix (eval/matrix.h): it builds the
+// equivalent one-regime MatrixSpec and prints the leaderboard, so the
+// summary logic lives in exactly one place. For custom detector/dataset
+// subsets use matrix_runner with a spec file.
 #include <cstdio>
 
 #include "bench_common.h"
-#include "eval/metrics.h"
-#include "eval/table.h"
+#include "eval/matrix.h"
 
 namespace vgod {
 namespace {
-
-const std::vector<std::string> kModels = {"Radar", "ANOMALOUS", "DegNorm",
-                                          "Dominant", "VGOD"};
 
 void Run() {
   bench::PrintBanner("Extension: non-deep baselines",
                      "Radar / ANOMALOUS vs deep methods under UNOD");
 
-  std::vector<bench::UnodCase> cases;
-  std::vector<std::string> header = {"Model"};
-  for (const std::string& name : datasets::InjectionDatasetNames()) {
-    cases.push_back(bench::MakeUnodCase(name, bench::EnvSeed()));
-    header.push_back(name);
-  }
-  eval::Table table(header);
+  eval::MatrixSpec spec;
+  spec.detectors = {"Radar", "ANOMALOUS", "DegNorm", "Dominant", "VGOD"};
+  spec.datasets = datasets::InjectionDatasetNames();
+  spec.regimes = {"standard"};
+  spec.seeds = {bench::EnvSeed()};
+  spec.scale = bench::EnvScale();
+  spec.epoch_scale = bench::EnvEpochScale();
 
-  for (const std::string& model : kModels) {
-    table.AddRow().AddCell(model);
-    for (const bench::UnodCase& unod : cases) {
-      Result<std::unique_ptr<detectors::OutlierDetector>> detector =
-          detectors::MakeDetector(model,
-                                  bench::OptionsFor(unod, bench::EnvSeed()));
-      VGOD_CHECK(detector.ok());
-      VGOD_CHECK(detector.value()->Fit(unod.graph).ok());
-      table.AddCell(
-          eval::Auc(detector.value()->Score(unod.graph).score, unod.combined),
-          4);
-      std::fprintf(stderr, "  [done] %s on %s\n", model.c_str(),
-                   unod.name.c_str());
+  eval::Leaderboard board = eval::RunMatrix(
+      spec, [](const eval::CellResult& cell, int64_t, int64_t) {
+        std::fprintf(stderr, "  [%s] %s on %s\n", cell.status.c_str(),
+                     cell.detector.c_str(), cell.dataset.c_str());
+      });
+  std::fputs(board.ToMarkdown().c_str(), stdout);
+  for (const eval::CellResult& cell : board.cells) {
+    if (cell.status == "ok") {
+      bench::RecordManifestResult(cell.dataset, cell.detector, "auc",
+                                  cell.auc);
     }
   }
-  table.Print();
   std::printf(
       "\nExpected shape (paper §II-B / BOND benchmark): the shallow\n"
       "residual models detect the L2-norm-leaking contextual outliers but\n"

@@ -1,0 +1,662 @@
+#include "eval/matrix.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/stopwatch.h"
+#include "datasets/registry.h"
+#include "detectors/registry.h"
+#include "eval/metrics.h"
+#include "injection/injection.h"
+#include "obs/json.h"
+#include "obs/memory.h"
+
+namespace vgod::eval {
+namespace {
+
+/// Structural-outlier fraction implied by paper Table I (half the total
+/// outlier budget; the other half is contextual). The per-dataset
+/// variations in bench_common::StandardParams stay within a few tenths of
+/// a percent of this, so the matrix uses one fraction and lets a spec pin
+/// num_cliques explicitly when the distinction matters.
+constexpr double kStructuralFraction = 0.0275;
+
+int AutoNumCliques(int num_nodes, int clique_size) {
+  return std::max(
+      1, static_cast<int>(num_nodes * kStructuralFraction / clique_size +
+                          0.5));
+}
+
+/// One (dataset, regime, seed) case: the injected graph plus ground truth,
+/// built once and shared by every detector cell that scores it. A non-OK
+/// status fails all of the case's cells with the same message.
+struct PreparedCase {
+  Status status = Status::Ok();
+  AttributedGraph graph;
+  std::vector<uint8_t> labels;
+  bool self_loop = false;
+  bool row_normalize = false;
+};
+
+PreparedCase BuildCase(const MatrixSpec& spec, const std::string& dataset_name,
+                       const std::string& regime, int regime_index,
+                       uint64_t seed) {
+  PreparedCase prepared;
+  Result<datasets::Dataset> dataset =
+      datasets::MakeDataset(dataset_name, spec.scale, seed);
+  if (!dataset.ok()) {
+    prepared.status = dataset.status();
+    return prepared;
+  }
+  // Paper §VI-B2 per-dataset model settings (mirrors bench_common's
+  // MakeUnodCase policy: self loops everywhere but flickr, row
+  // normalization on weibo).
+  prepared.self_loop = dataset_name != "flickr";
+  prepared.row_normalize = dataset_name == "weibo";
+
+  if (regime == "none") {
+    if (!dataset.value().has_labeled_outliers) {
+      prepared.status = Status::FailedPrecondition(
+          "regime \"none\" needs a dataset with its own outlier labels; " +
+          dataset_name + " has none");
+      return prepared;
+    }
+    prepared.graph = std::move(dataset.value().graph);
+    prepared.labels = prepared.graph.outlier_labels();
+    return prepared;
+  }
+
+  const AttributedGraph& base = dataset.value().graph;
+  const int q = spec.clique_size;
+  const int p = spec.num_cliques > 0 ? spec.num_cliques
+                                     : AutoNumCliques(base.num_nodes(), q);
+  const int m = spec.joint_degree > 0 ? spec.joint_degree : q;
+  // Decorrelate regimes without decoupling them from the cell seed: the
+  // 0x1217 tweak matches bench_common, the regime index picks the stream.
+  Rng rng(seed ^ 0x1217 ^
+          (static_cast<uint64_t>(regime_index + 1) * 0x9e3779b97f4a7c15ULL));
+
+  Result<injection::InjectionResult> injected =
+      Status::Internal("unhandled regime " + regime);
+  if (regime == "structural") {
+    injected = injection::InjectStructuralOutliers(base, p, q, &rng);
+  } else if (regime == "contextual") {
+    injected = injection::InjectContextualOutliers(
+        base, p * q, spec.candidate_set, injection::DistanceKind::kEuclidean,
+        &rng);
+  } else if (regime == "joint-structural") {
+    injected = injection::InjectJointStructuralOutliers(base, p * q, m, &rng);
+  } else if (regime == "standard") {
+    injected =
+        injection::InjectStandard(base, p, q, spec.candidate_set, &rng);
+  }
+  if (!injected.ok()) {
+    prepared.status = injected.status();
+    return prepared;
+  }
+  prepared.graph = std::move(injected.value().graph);
+  prepared.labels = std::move(injected.value().combined);
+  return prepared;
+}
+
+/// Executes one cell against its prepared case. Never aborts on detector
+/// failure: every fallible step folds into status "failed".
+CellResult RunCell(const MatrixSpec& spec, const PreparedCase& prepared,
+                   CellResult cell) {
+  if (!prepared.status.ok()) {
+    cell.status = "failed";
+    cell.error = prepared.status.ToString();
+    return cell;
+  }
+  Stopwatch watch;
+  obs::BeginThreadMemoryWindow();
+
+  detectors::DetectorOptions options;
+  options.seed = cell.seed;
+  options.self_loop = prepared.self_loop;
+  options.row_normalize_attributes = prepared.row_normalize;
+  options.epoch_scale = spec.epoch_scale;
+  Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+      detectors::MakeDetector(cell.detector, options);
+  if (!detector.ok()) {
+    cell.status = "failed";
+    cell.error = detector.status().ToString();
+    return cell;
+  }
+
+  const Status fit = detector.value()->Fit(prepared.graph);
+  cell.train_seconds = detector.value()->train_stats().train_seconds;
+  if (!fit.ok()) {
+    cell.status = "failed";
+    cell.error = fit.ToString();
+    cell.wall_seconds = watch.ElapsedSeconds();
+    return cell;
+  }
+  if (spec.cell_timeout_seconds > 0.0 &&
+      watch.ElapsedSeconds() > spec.cell_timeout_seconds) {
+    cell.status = "timeout";
+    cell.error = "cell exceeded " + std::to_string(spec.cell_timeout_seconds) +
+                 "s budget after Fit";
+    cell.wall_seconds = watch.ElapsedSeconds();
+    return cell;
+  }
+
+  const detectors::DetectorOutput out = detector.value()->Score(prepared.graph);
+  cell.wall_seconds = watch.ElapsedSeconds();
+  cell.peak_tensor_bytes = obs::ThreadMemoryWindowPeak();
+  if (spec.cell_timeout_seconds > 0.0 &&
+      cell.wall_seconds > spec.cell_timeout_seconds) {
+    cell.status = "timeout";
+    cell.error = "cell exceeded " + std::to_string(spec.cell_timeout_seconds) +
+                 "s budget after Score";
+    return cell;
+  }
+
+  const Result<double> auc = TryAuc(out.score, prepared.labels);
+  if (!auc.ok()) {
+    cell.status = "failed";
+    cell.error = auc.status().ToString();
+    return cell;
+  }
+  const Result<double> ap = TryAveragePrecision(out.score, prepared.labels);
+  if (!ap.ok()) {
+    cell.status = "failed";
+    cell.error = ap.status().ToString();
+    return cell;
+  }
+  cell.auc = auc.value();
+  cell.ap = ap.value();
+  return cell;
+}
+
+void AppendCellJson(std::string* out, const CellResult& cell,
+                    bool include_timing) {
+  *out += "{\"detector\":";
+  obs::AppendJsonString(out, cell.detector);
+  *out += ",\"dataset\":";
+  obs::AppendJsonString(out, cell.dataset);
+  *out += ",\"regime\":";
+  obs::AppendJsonString(out, cell.regime);
+  *out += ",\"seed\":";
+  obs::AppendJsonNumber(out, static_cast<double>(cell.seed));
+  *out += ",\"status\":";
+  obs::AppendJsonString(out, cell.status);
+  if (cell.status == "ok") {
+    *out += ",\"auc\":";
+    obs::AppendJsonNumber(out, cell.auc);
+    *out += ",\"ap\":";
+    obs::AppendJsonNumber(out, cell.ap);
+  } else {
+    *out += ",\"error\":";
+    obs::AppendJsonString(out, cell.error);
+  }
+  if (include_timing) {
+    *out += ",\"wall_seconds\":";
+    obs::AppendJsonNumber(out, cell.wall_seconds);
+    *out += ",\"train_seconds\":";
+    obs::AppendJsonNumber(out, cell.train_seconds);
+    *out += ",\"peak_tensor_bytes\":";
+    obs::AppendJsonNumber(out, static_cast<double>(cell.peak_tensor_bytes));
+  }
+  *out += "}";
+}
+
+void AppendStringArray(std::string* out, const std::vector<std::string>& v) {
+  *out += "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) *out += ",";
+    obs::AppendJsonString(out, v[i]);
+  }
+  *out += "]";
+}
+
+/// mean±std over `values`; population std to match MeanStdNormalize.
+std::pair<double, double> MeanStd(const std::vector<double>& values) {
+  if (values.empty()) return {0.0, 0.0};
+  const double mean =
+      std::accumulate(values.begin(), values.end(), 0.0) / values.size();
+  double variance = 0.0;
+  for (double v : values) variance += (v - mean) * (v - mean);
+  return {mean, std::sqrt(variance / values.size())};
+}
+
+Result<std::vector<std::string>> ParseStringArray(const obs::JsonValue& value,
+                                                  const std::string& key) {
+  if (!value.is_array()) {
+    return Status::InvalidArgument("spec." + key + " must be an array");
+  }
+  std::vector<std::string> out;
+  for (const obs::JsonValue& item : value.array()) {
+    if (!item.is_string()) {
+      return Status::InvalidArgument("spec." + key +
+                                     " must hold only strings");
+    }
+    out.push_back(item.string_value());
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownRegimes() {
+  static const std::vector<std::string>* regimes = new std::vector<std::string>{
+      "contextual", "structural", "joint-structural", "standard", "none"};
+  return *regimes;
+}
+
+Status MatrixSpec::Validate() const {
+  if (detectors.empty()) {
+    return Status::InvalidArgument("spec.detectors is empty");
+  }
+  if (datasets.empty()) {
+    return Status::InvalidArgument("spec.datasets is empty");
+  }
+  if (regimes.empty()) return Status::InvalidArgument("spec.regimes is empty");
+  if (seeds.empty()) return Status::InvalidArgument("spec.seeds is empty");
+  const std::vector<std::string>& known = KnownRegimes();
+  for (const std::string& regime : regimes) {
+    if (std::find(known.begin(), known.end(), regime) == known.end()) {
+      return Status::InvalidArgument("unknown regime: " + regime);
+    }
+  }
+  if (!(scale > 0.0)) {
+    return Status::InvalidArgument("spec.scale must be > 0");
+  }
+  if (!(epoch_scale > 0.0)) {
+    return Status::InvalidArgument("spec.epoch_scale must be > 0");
+  }
+  if (cell_timeout_seconds < 0.0 || !std::isfinite(cell_timeout_seconds)) {
+    return Status::InvalidArgument(
+        "spec.cell_timeout_seconds must be finite and >= 0");
+  }
+  if (clique_size < 2) {
+    return Status::InvalidArgument("spec.injection.clique_size must be >= 2");
+  }
+  if (num_cliques < 0 || candidate_set <= 0 || joint_degree < 0) {
+    return Status::InvalidArgument(
+        "spec.injection counts must be non-negative (candidate_set > 0)");
+  }
+  return Status::Ok();
+}
+
+Result<MatrixSpec> MatrixSpec::FromJson(const std::string& text) {
+  Result<obs::JsonValue> doc = obs::ParseJson(text);
+  if (!doc.ok()) return doc.status();
+  if (!doc.value().is_object()) {
+    return Status::InvalidArgument("matrix spec must be a JSON object");
+  }
+  MatrixSpec spec;
+  for (const auto& [key, value] : doc.value().object()) {
+    if (key == "detectors" || key == "datasets" || key == "regimes") {
+      Result<std::vector<std::string>> parsed = ParseStringArray(value, key);
+      if (!parsed.ok()) return parsed.status();
+      if (key == "detectors") spec.detectors = std::move(parsed).value();
+      if (key == "datasets") spec.datasets = std::move(parsed).value();
+      if (key == "regimes") spec.regimes = std::move(parsed).value();
+    } else if (key == "seeds") {
+      if (!value.is_array()) {
+        return Status::InvalidArgument("spec.seeds must be an array");
+      }
+      for (const obs::JsonValue& item : value.array()) {
+        if (!item.is_number() || item.number() < 0) {
+          return Status::InvalidArgument(
+              "spec.seeds must hold non-negative numbers");
+        }
+        spec.seeds.push_back(static_cast<uint64_t>(item.number()));
+      }
+    } else if (key == "scale") {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("spec.scale must be a number");
+      }
+      spec.scale = value.number();
+    } else if (key == "epoch_scale") {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("spec.epoch_scale must be a number");
+      }
+      spec.epoch_scale = value.number();
+    } else if (key == "cell_timeout_seconds") {
+      if (!value.is_number()) {
+        return Status::InvalidArgument(
+            "spec.cell_timeout_seconds must be a number");
+      }
+      spec.cell_timeout_seconds = value.number();
+    } else if (key == "injection") {
+      if (!value.is_object()) {
+        return Status::InvalidArgument("spec.injection must be an object");
+      }
+      for (const auto& [ikey, ivalue] : value.object()) {
+        if (!ivalue.is_number()) {
+          return Status::InvalidArgument("spec.injection." + ikey +
+                                         " must be a number");
+        }
+        const int number = static_cast<int>(ivalue.number());
+        if (ikey == "clique_size") {
+          spec.clique_size = number;
+        } else if (ikey == "num_cliques") {
+          spec.num_cliques = number;
+        } else if (ikey == "candidate_set") {
+          spec.candidate_set = number;
+        } else if (ikey == "joint_degree") {
+          spec.joint_degree = number;
+        } else {
+          return Status::InvalidArgument("unknown spec key: injection." +
+                                         ikey);
+        }
+      }
+    } else {
+      return Status::InvalidArgument("unknown spec key: " + key);
+    }
+  }
+  VGOD_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+std::string MatrixSpec::ToJson() const {
+  std::string out = "{\"detectors\":";
+  AppendStringArray(&out, detectors);
+  out += ",\"datasets\":";
+  AppendStringArray(&out, datasets);
+  out += ",\"regimes\":";
+  AppendStringArray(&out, regimes);
+  out += ",\"seeds\":[";
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    if (i > 0) out += ",";
+    obs::AppendJsonNumber(&out, static_cast<double>(seeds[i]));
+  }
+  out += "],\"scale\":";
+  obs::AppendJsonNumber(&out, scale);
+  out += ",\"epoch_scale\":";
+  obs::AppendJsonNumber(&out, epoch_scale);
+  out += ",\"cell_timeout_seconds\":";
+  obs::AppendJsonNumber(&out, cell_timeout_seconds);
+  out += ",\"injection\":{\"clique_size\":";
+  obs::AppendJsonNumber(&out, clique_size);
+  out += ",\"num_cliques\":";
+  obs::AppendJsonNumber(&out, num_cliques);
+  out += ",\"candidate_set\":";
+  obs::AppendJsonNumber(&out, candidate_set);
+  out += ",\"joint_degree\":";
+  obs::AppendJsonNumber(&out, joint_degree);
+  out += "}}";
+  return out;
+}
+
+Leaderboard RunMatrix(const MatrixSpec& spec, const CellObserver& observer) {
+  const Status valid = spec.Validate();
+  VGOD_CHECK(valid.ok()) << valid.ToString();
+
+  // Cells in (dataset, regime, detector, seed) spec order — the canonical
+  // leaderboard order. Each (dataset, regime, seed) case is shared by the
+  // detector cells that score it and freed when the last one finishes.
+  struct CaseSlot {
+    std::once_flag once;
+    std::shared_ptr<const PreparedCase> prepared;
+    std::atomic<int64_t> remaining{0};
+  };
+  struct CellPlan {
+    int64_t case_index;
+    int regime_index;
+    CellResult cell;
+  };
+  const int64_t num_cases = static_cast<int64_t>(spec.datasets.size()) *
+                            spec.regimes.size() * spec.seeds.size();
+  std::vector<CaseSlot> slots(num_cases);
+  std::vector<CellPlan> plan;
+  plan.reserve(spec.NumCells());
+  for (size_t d = 0; d < spec.datasets.size(); ++d) {
+    for (size_t r = 0; r < spec.regimes.size(); ++r) {
+      for (const std::string& detector : spec.detectors) {
+        for (size_t s = 0; s < spec.seeds.size(); ++s) {
+          CellPlan entry;
+          entry.case_index =
+              (static_cast<int64_t>(d) * spec.regimes.size() + r) *
+                  spec.seeds.size() +
+              s;
+          entry.regime_index = static_cast<int>(r);
+          entry.cell.detector = detector;
+          entry.cell.dataset = spec.datasets[d];
+          entry.cell.regime = spec.regimes[r];
+          entry.cell.seed = spec.seeds[s];
+          plan.push_back(std::move(entry));
+          slots[plan.back().case_index].remaining.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  Leaderboard board;
+  board.spec = spec;
+  board.cells.resize(plan.size());
+  std::mutex observer_mutex;
+  int64_t done = 0;
+  par::ParallelFor(0, static_cast<int64_t>(plan.size()), 1,
+                   [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      CellPlan& entry = plan[i];
+      CaseSlot& slot = slots[entry.case_index];
+      std::call_once(slot.once, [&] {
+        slot.prepared = std::make_shared<const PreparedCase>(
+            BuildCase(spec, entry.cell.dataset, entry.cell.regime,
+                      entry.regime_index, entry.cell.seed));
+      });
+      // Keep the case alive for the duration of this cell; the last cell
+      // of a case drops the slot's reference so the graph is freed before
+      // the whole matrix finishes.
+      std::shared_ptr<const PreparedCase> prepared = slot.prepared;
+      board.cells[i] = RunCell(spec, *prepared, std::move(entry.cell));
+      if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        slot.prepared.reset();
+      }
+      if (observer) {
+        std::lock_guard<std::mutex> lock(observer_mutex);
+        observer(board.cells[i], ++done, static_cast<int64_t>(plan.size()));
+      }
+    }
+  });
+  return board;
+}
+
+std::vector<CellSummary> Leaderboard::Summaries() const {
+  // Aggregate seeds per (dataset, regime, detector) in cell order, which
+  // is already grouped that way.
+  std::vector<CellSummary> summaries;
+  for (size_t d = 0; d < spec.datasets.size(); ++d) {
+    for (size_t r = 0; r < spec.regimes.size(); ++r) {
+      const size_t block_start = summaries.size();
+      for (size_t m = 0; m < spec.detectors.size(); ++m) {
+        CellSummary summary;
+        summary.detector = spec.detectors[m];
+        summary.dataset = spec.datasets[d];
+        summary.regime = spec.regimes[r];
+        std::vector<double> aucs, aps;
+        for (size_t s = 0; s < spec.seeds.size(); ++s) {
+          const size_t index =
+              ((d * spec.regimes.size() + r) * spec.detectors.size() + m) *
+                  spec.seeds.size() +
+              s;
+          const CellResult& cell = cells[index];
+          if (cell.status == "ok") {
+            aucs.push_back(cell.auc);
+            aps.push_back(cell.ap);
+          } else {
+            ++summary.seeds_failed;
+          }
+        }
+        summary.seeds_ok = static_cast<int>(aucs.size());
+        std::tie(summary.auc_mean, summary.auc_std) = MeanStd(aucs);
+        std::tie(summary.ap_mean, summary.ap_std) = MeanStd(aps);
+        summaries.push_back(std::move(summary));
+      }
+      // Rank the (dataset, regime) block: best mean AUC first, name as the
+      // deterministic tie break, fully-failed detectors unranked (0).
+      std::vector<CellSummary*> block;
+      for (size_t i = block_start; i < summaries.size(); ++i) {
+        if (summaries[i].seeds_ok > 0) block.push_back(&summaries[i]);
+      }
+      std::sort(block.begin(), block.end(),
+                [](const CellSummary* a, const CellSummary* b) {
+        if (a->auc_mean != b->auc_mean) return a->auc_mean > b->auc_mean;
+        return a->detector < b->detector;
+      });
+      for (size_t i = 0; i < block.size(); ++i) {
+        block[i]->rank = static_cast<int>(i) + 1;
+      }
+    }
+  }
+  return summaries;
+}
+
+std::vector<std::pair<std::string, std::vector<RegimeRank>>>
+Leaderboard::RegimeRanks() const {
+  std::vector<std::pair<std::string, std::vector<RegimeRank>>> out;
+  for (size_t r = 0; r < spec.regimes.size(); ++r) {
+    std::vector<RegimeRank> ranks;
+    for (size_t m = 0; m < spec.detectors.size(); ++m) {
+      RegimeRank rank;
+      rank.detector = spec.detectors[m];
+      double total = 0.0;
+      for (size_t d = 0; d < spec.datasets.size(); ++d) {
+        for (size_t s = 0; s < spec.seeds.size(); ++s) {
+          const size_t index =
+              ((d * spec.regimes.size() + r) * spec.detectors.size() + m) *
+                  spec.seeds.size() +
+              s;
+          if (cells[index].status == "ok") {
+            total += cells[index].auc;
+            ++rank.cells_ok;
+          }
+        }
+      }
+      if (rank.cells_ok > 0) rank.auc_mean = total / rank.cells_ok;
+      ranks.push_back(std::move(rank));
+    }
+    std::vector<RegimeRank*> ranked;
+    for (RegimeRank& rank : ranks) {
+      if (rank.cells_ok > 0) ranked.push_back(&rank);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RegimeRank* a, const RegimeRank* b) {
+      if (a->auc_mean != b->auc_mean) return a->auc_mean > b->auc_mean;
+      return a->detector < b->detector;
+    });
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      ranked[i]->rank = static_cast<int>(i) + 1;
+    }
+    out.emplace_back(spec.regimes[r], std::move(ranks));
+  }
+  return out;
+}
+
+std::string Leaderboard::ToJson(bool include_timing) const {
+  std::string out = "{\"schema_version\":1,\"timing_included\":";
+  out += include_timing ? "true" : "false";
+  out += ",\"spec\":";
+  out += spec.ToJson();
+  out += ",\"cells\":[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendCellJson(&out, cells[i], include_timing);
+  }
+  out += "],\"summary\":[";
+  const std::vector<CellSummary> summaries = Summaries();
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    const CellSummary& summary = summaries[i];
+    if (i > 0) out += ",";
+    out += "{\"detector\":";
+    obs::AppendJsonString(&out, summary.detector);
+    out += ",\"dataset\":";
+    obs::AppendJsonString(&out, summary.dataset);
+    out += ",\"regime\":";
+    obs::AppendJsonString(&out, summary.regime);
+    out += ",\"seeds_ok\":";
+    obs::AppendJsonNumber(&out, summary.seeds_ok);
+    out += ",\"seeds_failed\":";
+    obs::AppendJsonNumber(&out, summary.seeds_failed);
+    out += ",\"auc_mean\":";
+    obs::AppendJsonNumber(&out, summary.auc_mean);
+    out += ",\"auc_std\":";
+    obs::AppendJsonNumber(&out, summary.auc_std);
+    out += ",\"ap_mean\":";
+    obs::AppendJsonNumber(&out, summary.ap_mean);
+    out += ",\"ap_std\":";
+    obs::AppendJsonNumber(&out, summary.ap_std);
+    out += ",\"rank\":";
+    obs::AppendJsonNumber(&out, summary.rank);
+    out += "}";
+  }
+  out += "],\"ranks\":{";
+  const auto regime_ranks = RegimeRanks();
+  for (size_t r = 0; r < regime_ranks.size(); ++r) {
+    if (r > 0) out += ",";
+    obs::AppendJsonString(&out, regime_ranks[r].first);
+    out += ":[";
+    for (size_t i = 0; i < regime_ranks[r].second.size(); ++i) {
+      const RegimeRank& rank = regime_ranks[r].second[i];
+      if (i > 0) out += ",";
+      out += "{\"detector\":";
+      obs::AppendJsonString(&out, rank.detector);
+      out += ",\"cells_ok\":";
+      obs::AppendJsonNumber(&out, rank.cells_ok);
+      out += ",\"auc_mean\":";
+      obs::AppendJsonNumber(&out, rank.auc_mean);
+      out += ",\"rank\":";
+      obs::AppendJsonNumber(&out, rank.rank);
+      out += "}";
+    }
+    out += "]";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Leaderboard::ToMarkdown() const {
+  char buffer[64];
+  const std::vector<CellSummary> summaries = Summaries();
+  const auto regime_ranks = RegimeRanks();
+  std::string out = "# Benchmark matrix leaderboard\n";
+  for (size_t r = 0; r < spec.regimes.size(); ++r) {
+    out += "\n## Regime: " + spec.regimes[r] + "\n\n| Detector |";
+    for (const std::string& dataset : spec.datasets) {
+      out += " " + dataset + " |";
+    }
+    out += " Regime AUC | Rank |\n|---|";
+    for (size_t d = 0; d < spec.datasets.size(); ++d) out += "---|";
+    out += "---|---|\n";
+    for (size_t m = 0; m < spec.detectors.size(); ++m) {
+      out += "| " + spec.detectors[m] + " |";
+      for (size_t d = 0; d < spec.datasets.size(); ++d) {
+        // summaries are ordered (dataset, regime, detector).
+        const CellSummary& summary =
+            summaries[(d * spec.regimes.size() + r) * spec.detectors.size() +
+                      m];
+        if (summary.seeds_ok == 0) {
+          out += " failed |";
+        } else {
+          std::snprintf(buffer, sizeof(buffer), " %.4f±%.4f (%d) |",
+                        summary.auc_mean, summary.auc_std, summary.rank);
+          out += buffer;
+        }
+      }
+      const RegimeRank& rank = regime_ranks[r].second[m];
+      if (rank.cells_ok == 0) {
+        out += " failed | - |\n";
+      } else {
+        std::snprintf(buffer, sizeof(buffer), " %.4f | %d |\n", rank.auc_mean,
+                      rank.rank);
+        out += buffer;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vgod::eval

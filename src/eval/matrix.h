@@ -1,0 +1,164 @@
+#ifndef VGOD_EVAL_MATRIX_H_
+#define VGOD_EVAL_MATRIX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vgod::eval {
+
+// BOND-style benchmark matrix (docs/BENCHMARKS.md): one declarative spec
+// enumerates (detector x dataset x injection regime x seed) cells, the
+// runner executes every cell with per-cell failure isolation, and the
+// result is a single deterministic leaderboard artifact that the
+// check_matrix ctest gate (label `matrix`) validates against committed
+// rank/AUC bands. Every new detector or dataset registered via
+// detectors::RegisterDetector / datasets::RegisterDataset can ride the
+// matrix by name with no new harness code.
+
+/// Injection regimes accepted in MatrixSpec::regimes, in canonical order:
+/// "contextual" (attribute replacement, paper §IV-B1), "structural"
+/// (clique injection, §IV-A1), "joint-structural" (FAGAD scattered-hub
+/// wiring, injection.h), "standard" (the paper's combined UNOD protocol),
+/// and "none" (score the dataset's own outlier labels; the dataset must
+/// carry them).
+const std::vector<std::string>& KnownRegimes();
+
+/// Declarative description of one benchmark matrix. Parsed from JSON:
+///   {"detectors": ["VGOD", ...], "datasets": ["cora", ...],
+///    "regimes": ["contextual", "structural", "joint-structural"],
+///    "seeds": [7, 8, 9], "scale": 0.05, "epoch_scale": 0.05,
+///    "cell_timeout_seconds": 0,
+///    "injection": {"clique_size": 5, "num_cliques": 0,
+///                  "candidate_set": 20, "joint_degree": 0}}
+/// Unknown keys are rejected so a typoed spec fails loudly.
+struct MatrixSpec {
+  std::vector<std::string> detectors;
+  std::vector<std::string> datasets;
+  std::vector<std::string> regimes;
+  std::vector<uint64_t> seeds;
+  /// Dataset node-count multiplier and detector epoch multiplier, exactly
+  /// the VGOD_BENCH_SCALE / VGOD_BENCH_EPOCH_SCALE semantics.
+  double scale = 1.0;
+  double epoch_scale = 1.0;
+  /// Cooperative per-cell wall-clock budget. Checked between the Fit and
+  /// Score phases (training cannot be preempted mid-epoch); a cell over
+  /// budget records status "timeout" and no metrics. 0 disables.
+  double cell_timeout_seconds = 0.0;
+  /// Injection sizing. num_cliques == 0 derives p from the paper's Table I
+  /// structural-outlier fraction (~2.75% of nodes / clique_size);
+  /// joint_degree == 0 defaults to clique_size. The contextual and
+  /// joint-structural regimes inject num_cliques * clique_size victims so
+  /// every regime carries a comparable outlier budget.
+  int clique_size = 15;
+  int num_cliques = 0;
+  int candidate_set = 50;
+  int joint_degree = 0;
+
+  /// Parses and validates a spec document. Errors on malformed JSON,
+  /// unknown keys, unknown regimes, empty detector/dataset/regime/seed
+  /// lists, and out-of-range numeric fields.
+  static Result<MatrixSpec> FromJson(const std::string& text);
+
+  /// Deterministic re-serialization (embedded in the leaderboard so an
+  /// artifact is self-describing).
+  std::string ToJson() const;
+
+  /// The validation half of FromJson, callable on a hand-built spec.
+  Status Validate() const;
+
+  int64_t NumCells() const {
+    return static_cast<int64_t>(detectors.size()) * datasets.size() *
+           regimes.size() * seeds.size();
+  }
+};
+
+/// Outcome of one (detector, dataset, regime, seed) cell. `status` is
+/// "ok", "failed" (MakeDetector/Fit/metric error — message in `error`), or
+/// "timeout"; metrics are only meaningful when "ok". Wall/peak-memory come
+/// from the cell's thread allocation window (obs/memory.h).
+struct CellResult {
+  std::string detector;
+  std::string dataset;
+  std::string regime;
+  uint64_t seed = 0;
+  std::string status = "ok";
+  std::string error;
+  double auc = 0.0;
+  double ap = 0.0;
+  double wall_seconds = 0.0;
+  double train_seconds = 0.0;
+  int64_t peak_tensor_bytes = 0;
+};
+
+/// Per-(detector, dataset, regime) aggregate over seeds. `rank` orders
+/// detectors within the (dataset, regime) block by auc_mean descending
+/// (1 = best, ties broken by detector name); 0 when every seed failed.
+struct CellSummary {
+  std::string detector;
+  std::string dataset;
+  std::string regime;
+  int seeds_ok = 0;
+  int seeds_failed = 0;
+  double auc_mean = 0.0;
+  double auc_std = 0.0;
+  double ap_mean = 0.0;
+  double ap_std = 0.0;
+  int rank = 0;
+};
+
+/// Per-regime detector ranking: auc averaged over every ok cell of the
+/// regime (all datasets, all seeds), rank 1 = best.
+struct RegimeRank {
+  std::string detector;
+  int cells_ok = 0;
+  double auc_mean = 0.0;
+  int rank = 0;
+};
+
+/// The complete result artifact. Cells are sorted by (dataset, regime,
+/// detector, seed) and all derived tables use that order, so two runs of
+/// the same spec produce byte-identical ToJson(false) output at any
+/// thread count (docs/PARALLELISM.md determinism contract). Timing and
+/// memory fields are machine-dependent; ToJson(true) includes them and
+/// consumers schema-validate rather than byte-compare.
+struct Leaderboard {
+  MatrixSpec spec;
+  std::vector<CellResult> cells;
+
+  std::vector<CellSummary> Summaries() const;
+  std::vector<std::pair<std::string, std::vector<RegimeRank>>> RegimeRanks()
+      const;
+
+  /// {"schema_version":1,"spec":{...},"timing_included":bool,
+  ///  "cells":[...],"summary":[...],"ranks":{regime:[...]}}
+  std::string ToJson(bool include_timing = true) const;
+
+  /// One markdown table per regime (detectors x datasets, "mean±std (rank)"
+  /// cells plus a regime-rank column) — the human-facing leaderboard.
+  std::string ToMarkdown() const;
+};
+
+/// Progress callback: invoked once per finished cell with (result, number
+/// of cells finished so far, total cells). Called under a lock; keep it
+/// cheap. May be null.
+using CellObserver =
+    std::function<void(const CellResult&, int64_t done, int64_t total)>;
+
+/// Executes every cell of `spec` on the vgod::par pool (cells are
+/// independent; grain 1). Each (dataset, regime, seed) case graph is built
+/// once, shared by the detectors that score it, and released as soon as
+/// its last cell finishes. A cell whose detector construction, Fit, or
+/// metric computation fails records status "failed" with the Status
+/// message instead of aborting the run; a dataset/injection failure fails
+/// all cells of that case the same way. The spec must Validate() — the
+/// runner aborts on an invalid spec (parse via FromJson to get a Status).
+Leaderboard RunMatrix(const MatrixSpec& spec,
+                      const CellObserver& observer = nullptr);
+
+}  // namespace vgod::eval
+
+#endif  // VGOD_EVAL_MATRIX_H_

@@ -71,6 +71,43 @@ double Auc(const std::vector<double>& scores,
   return auc.value();
 }
 
+Result<double> TryAveragePrecision(const std::vector<double>& scores,
+                                   const std::vector<uint8_t>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument(
+        "AP needs one label per score: " + std::to_string(scores.size()) +
+        " scores vs " + std::to_string(labels.size()) + " labels");
+  }
+  VGOD_RETURN_IF_ERROR(NonFiniteCheck(scores, "AP"));
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Descending by score, ties broken by index: deterministic ranking.
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  double sum_precision = 0.0;
+  int64_t positives_seen = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[order[k]]) {
+      ++positives_seen;
+      sum_precision += static_cast<double>(positives_seen) / (k + 1);
+    }
+  }
+  if (positives_seen == 0) {
+    return Status::InvalidArgument("AP needs at least one positive");
+  }
+  return sum_precision / positives_seen;
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<uint8_t>& labels) {
+  Result<double> ap = TryAveragePrecision(scores, labels);
+  VGOD_CHECK(ap.ok()) << ap.status().message();
+  return ap.value();
+}
+
 double AucSubset(const std::vector<double>& scores,
                  const std::vector<uint8_t>& all_outliers,
                  const std::vector<uint8_t>& subset) {

@@ -31,6 +31,20 @@ double Auc(const std::vector<double>& scores,
 Result<double> TryAuc(const std::vector<double>& scores,
                       const std::vector<uint8_t>& labels);
 
+/// Average precision (area under the precision-recall curve by the
+/// step-function convention): mean of precision@k over the ranks k of the
+/// positives, scores sorted descending. Tied scores are ordered by node
+/// index so the value is deterministic, matching the benchmark-matrix
+/// reproducibility contract (docs/BENCHMARKS.md). Aborts on bad input —
+/// trusted-input convenience over TryAveragePrecision.
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<uint8_t>& labels);
+
+/// AveragePrecision for untrusted inputs: InvalidArgument on size
+/// mismatch, non-finite scores, or labels without a positive.
+Result<double> TryAveragePrecision(const std::vector<double>& scores,
+                                   const std::vector<uint8_t>& labels);
+
 /// The paper's AUC(V_L, O) (§VI-A3): AUC with positives = nodes marked in
 /// `subset`, negatives = nodes that are normal under `all_outliers`
 /// (outliers outside the subset are excluded from both sides).

@@ -172,6 +172,50 @@ Result<InjectionResult> InjectContextualOutliers(const AttributedGraph& graph,
   return result;
 }
 
+Result<InjectionResult> InjectJointStructuralOutliers(
+    const AttributedGraph& graph, int count, int neighbors_per_outlier,
+    Rng* rng) {
+  const int n = graph.num_nodes();
+  if (count <= 0 || neighbors_per_outlier <= 0) {
+    return Status::InvalidArgument(
+        "need count > 0 and neighbors_per_outlier > 0");
+  }
+  if (neighbors_per_outlier > n - 1) {
+    return Status::InvalidArgument(
+        "neighbors_per_outlier " + std::to_string(neighbors_per_outlier) +
+        " exceeds the " + std::to_string(std::max(0, n - 1)) +
+        " available non-self targets");
+  }
+  std::vector<uint8_t> taken = ExistingLabels(graph);
+  Result<std::vector<int>> victims = TakeVictims(n, count, &taken, rng);
+  if (!victims.ok()) return victims.status();
+
+  std::vector<std::pair<int, int>> edges = graph.UndirectedEdgeList();
+  std::vector<uint8_t> structural(n, 0);
+  for (int victim : victims.value()) {
+    structural[victim] = 1;
+    // m distinct targets drawn uniformly from every node but the victim;
+    // targets may be normal nodes or other victims (FAGAD semantics), and
+    // an already-existing edge is simply deduplicated at Build() time.
+    std::set<int> targets;
+    while (static_cast<int>(targets.size()) < neighbors_per_outlier) {
+      const int target = static_cast<int>(rng->UniformInt(n));
+      if (target == victim) continue;
+      if (targets.insert(target).second) edges.emplace_back(victim, target);
+    }
+  }
+
+  InjectionResult result;
+  result.structural = structural;
+  result.contextual.assign(n, 0);
+  result.combined = Or(structural, ExistingLabels(graph));
+  Result<AttributedGraph> rebuilt = Rebuild(
+      graph, edges, graph.attributes().Clone(), result.combined);
+  if (!rebuilt.ok()) return rebuilt.status();
+  result.graph = std::move(rebuilt).value();
+  return result;
+}
+
 Result<InjectionResult> InjectStandard(const AttributedGraph& graph,
                                        int num_cliques, int clique_size,
                                        int candidate_set_size, Rng* rng) {

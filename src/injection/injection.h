@@ -44,6 +44,20 @@ Result<InjectionResult> InjectContextualOutliers(const AttributedGraph& graph,
                                                  DistanceKind distance,
                                                  Rng* rng);
 
+/// Joint-structural outlier injection (FAGAD's gen_joint_structural_outliers,
+/// the third regime of the benchmark matrix next to contextual/structural):
+/// `count` victims are sampled from the non-outlier nodes and each is wired
+/// to `neighbors_per_outlier` (m) distinct other nodes sampled uniformly
+/// from the whole graph. Unlike the clique injection, the victims do not
+/// form a dense block among themselves — each one *joins* m scattered,
+/// otherwise-unrelated regions, so community-aware detectors see a node
+/// whose neighborhood is structurally incoherent while pure degree probes
+/// see a much weaker signal than a q-clique. Only the victims are labeled.
+/// Requires 0 < neighbors_per_outlier <= |V| - 1.
+Result<InjectionResult> InjectJointStructuralOutliers(
+    const AttributedGraph& graph, int count, int neighbors_per_outlier,
+    Rng* rng);
+
 /// The standard combined protocol used by the paper's UNOD experiment
 /// (§VI-B1): p*q structural outliers, then an equal number of contextual
 /// outliers on disjoint victims, with k=candidate_set_size and Euclidean

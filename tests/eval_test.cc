@@ -132,6 +132,58 @@ TEST(AucDeathTest, NonFiniteScoresAbortWithContext) {
   EXPECT_DEATH(ev::Auc({std::nan(""), 1.0}, {1, 0}), "non-finite");
 }
 
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(ev::AveragePrecision({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}),
+                   1.0);
+}
+
+TEST(AveragePrecisionTest, KnownHandComputedValue) {
+  // Ranking desc: 0.9(+), 0.7(-), 0.5(+), 0.1(-).
+  // Precisions at the positives: 1/1 and 2/3 -> AP = (1 + 2/3) / 2.
+  EXPECT_DOUBLE_EQ(ev::AveragePrecision({0.9, 0.5, 0.7, 0.1}, {1, 1, 0, 0}),
+                   (1.0 + 2.0 / 3.0) / 2.0);
+}
+
+TEST(AveragePrecisionTest, WorstRankingIsPositiveRate) {
+  // All positives ranked last: AP collapses toward the base rate but the
+  // final positive still contributes k_pos/n.
+  // desc: 0.9(-), 0.8(-), 0.2(+), 0.1(+): AP = (1/3 + 2/4) / 2.
+  EXPECT_DOUBLE_EQ(ev::AveragePrecision({0.2, 0.1, 0.9, 0.8}, {1, 1, 0, 0}),
+                   (1.0 / 3.0 + 2.0 / 4.0) / 2.0);
+}
+
+TEST(AveragePrecisionTest, TiesBrokenByIndexDeterministically) {
+  // Equal scores: earlier index ranks first, so the value is exactly
+  // reproducible across platforms (matters for the matrix golden files).
+  EXPECT_DOUBLE_EQ(ev::AveragePrecision({0.5, 0.5, 0.5}, {0, 1, 0}),
+                   1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(ev::AveragePrecision({0.5, 0.5, 0.5}, {1, 0, 0}), 1.0);
+}
+
+TEST(AveragePrecisionTest, RandomScoresNearPositiveRate) {
+  // With random scores AP concentrates around the positive base rate.
+  Rng rng(3);
+  const int n = 5000;
+  std::vector<double> scores(n);
+  std::vector<uint8_t> labels(n);
+  for (int i = 0; i < n; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = i % 10 == 0;  // 10% positives.
+  }
+  const double ap = ev::AveragePrecision(scores, labels);
+  EXPECT_NEAR(ap, 0.1, 0.03);
+}
+
+TEST(TryAveragePrecisionTest, ErrorsInsteadOfAborting) {
+  EXPECT_FALSE(ev::TryAveragePrecision({std::nan(""), 1.0}, {1, 0}).ok());
+  EXPECT_FALSE(ev::TryAveragePrecision({1.0, 2.0, 3.0}, {1, 0}).ok());
+  EXPECT_FALSE(ev::TryAveragePrecision({1.0, 2.0}, {0, 0}).ok());
+  // All-positive labels are legal for AP (it is 1 by construction).
+  Result<double> all_positive = ev::TryAveragePrecision({1.0, 2.0}, {1, 1});
+  ASSERT_TRUE(all_positive.ok());
+  EXPECT_DOUBLE_EQ(all_positive.value(), 1.0);
+}
+
 TEST(MeanStdNormalizeTest, ZeroMeanUnitStd) {
   std::vector<double> normalized =
       ev::MeanStdNormalize({1.0, 2.0, 3.0, 4.0, 5.0});

@@ -15,6 +15,7 @@ using ::vgod::injection::GroupedInjectionResult;
 using ::vgod::injection::InjectCliqueSizeGroups;
 using ::vgod::injection::InjectContextualOutliers;
 using ::vgod::injection::InjectionResult;
+using ::vgod::injection::InjectJointStructuralOutliers;
 using ::vgod::injection::InjectStandard;
 using ::vgod::injection::InjectStructuralByEdgeReplacement;
 using ::vgod::injection::InjectStructuralOutliers;
@@ -281,6 +282,142 @@ TEST(CliqueGroupsTest, GroupDegreeScalesWithCliqueSize) {
     return total / group.size();
   };
   EXPECT_GT(mean_degree(result.groups[1]), mean_degree(result.groups[0]) + 5);
+}
+
+// Validates a graph's CSR invariants directly: monotone row_ptr covering
+// col_idx, neighbor lists sorted and unique, no self loops, and symmetric
+// adjacency (every stored edge mirrored).
+void ExpectValidCsr(const AttributedGraph& g) {
+  const auto& row_ptr = g.row_ptr();
+  const auto& col_idx = g.col_idx();
+  ASSERT_EQ(static_cast<int>(row_ptr.size()), g.num_nodes() + 1);
+  ASSERT_EQ(row_ptr.front(), 0);
+  ASSERT_EQ(static_cast<size_t>(row_ptr.back()), col_idx.size());
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    ASSERT_LE(row_ptr[i], row_ptr[i + 1]) << "row " << i;
+    for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      const int32_t j = col_idx[e];
+      ASSERT_GE(j, 0);
+      ASSERT_LT(j, g.num_nodes());
+      EXPECT_NE(j, i) << "self loop at " << i;
+      if (e > row_ptr[i]) {
+        EXPECT_LT(col_idx[e - 1], j) << "unsorted/dup neighbor of " << i;
+      }
+      // Mirrored edge present (undirected storage).
+      const auto nbrs = g.Neighbors(j);
+      EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), i) != nbrs.end())
+          << "edge " << i << "->" << j << " not mirrored";
+    }
+  }
+}
+
+TEST(JointStructuralInjectionTest, CountsAndLabels) {
+  AttributedGraph g = BaseGraph();
+  Rng rng(30);
+  InjectionResult result =
+      std::move(InjectJointStructuralOutliers(g, 12, 6, &rng)).value();
+  EXPECT_EQ(CountLabels(result.structural), 12);
+  EXPECT_EQ(CountLabels(result.contextual), 0);
+  EXPECT_EQ(result.combined, result.structural);
+  EXPECT_EQ(result.graph.outlier_labels(), result.combined);
+}
+
+TEST(JointStructuralInjectionTest, VictimsGainDegreeOthersAlmostDont) {
+  AttributedGraph g = BaseGraph();
+  Rng rng(31);
+  const int m = 8;
+  const int count = 10;
+  InjectionResult result =
+      std::move(InjectJointStructuralOutliers(g, count, m, &rng)).value();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (result.structural[i]) {
+      // A victim gains at most its own m edges plus one from each other
+      // victim that sampled it as a target (gain below m is possible when
+      // sampled targets were already neighbors).
+      EXPECT_GT(result.graph.Degree(i), g.Degree(i)) << "victim " << i;
+      EXPECT_LE(result.graph.Degree(i), g.Degree(i) + m + count - 1)
+          << "victim " << i;
+    } else {
+      // A non-victim's degree only grows if a victim wired onto it.
+      EXPECT_GE(result.graph.Degree(i), g.Degree(i)) << "node " << i;
+    }
+  }
+}
+
+TEST(JointStructuralInjectionTest, NoDenseBlockAmongVictims) {
+  // The distinguishing property vs clique injection: victims scatter their
+  // edges across the whole graph instead of wiring to each other, so the
+  // victim-victim edge count stays far below the q-clique's q*(q-1)/2.
+  AttributedGraph g = BaseGraph(600, 32);
+  Rng rng(33);
+  const int count = 15;
+  InjectionResult result =
+      std::move(InjectJointStructuralOutliers(g, count, 5, &rng)).value();
+  int victim_victim_edges = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (!result.structural[i]) continue;
+    for (int32_t j : result.graph.Neighbors(i)) {
+      if (result.structural[j]) ++victim_victim_edges;
+    }
+  }
+  EXPECT_LT(victim_victim_edges / 2, count * (count - 1) / 4)
+      << "victims form a near-clique";
+}
+
+TEST(JointStructuralInjectionTest, AttributesUntouched) {
+  AttributedGraph g = BaseGraph();
+  Rng rng(34);
+  InjectionResult result =
+      std::move(InjectJointStructuralOutliers(g, 10, 5, &rng)).value();
+  EXPECT_EQ(kernels::MaxAbsDiff(result.graph.attributes(), g.attributes()),
+            0.0f);
+}
+
+TEST(JointStructuralInjectionTest, AdversarialCorners) {
+  AttributedGraph g = BaseGraph(60);
+  Rng rng(35);
+  // m = 0, negative, or >= n; count = 0 or more victims than nodes.
+  EXPECT_FALSE(InjectJointStructuralOutliers(g, 5, 0, &rng).ok());
+  EXPECT_FALSE(InjectJointStructuralOutliers(g, 5, -3, &rng).ok());
+  EXPECT_FALSE(InjectJointStructuralOutliers(g, 5, 60, &rng).ok());
+  EXPECT_FALSE(InjectJointStructuralOutliers(g, 5, 1000, &rng).ok());
+  EXPECT_FALSE(InjectJointStructuralOutliers(g, 0, 5, &rng).ok());
+  EXPECT_FALSE(InjectJointStructuralOutliers(g, 61, 5, &rng).ok());
+  // Extreme-but-legal corners succeed: every node a victim, and m = n-1
+  // (wire to everyone).
+  EXPECT_TRUE(InjectJointStructuralOutliers(g, 60, 2, &rng).ok());
+  EXPECT_TRUE(InjectJointStructuralOutliers(g, 2, 59, &rng).ok());
+}
+
+TEST(JointStructuralInjectionTest, FuzzCsrInvariantsHold) {
+  // Randomized sweep: whatever (n, count, m, seed) combination we draw,
+  // the injected graph must keep a valid deduplicated self-loop-free
+  // symmetric CSR and exactly `count` labeled victims.
+  Rng fuzz(0xfa6ad);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 50 + static_cast<int>(fuzz.UniformInt(150));
+    AttributedGraph g = BaseGraph(n, 1000 + trial);
+    const int count = 1 + static_cast<int>(fuzz.UniformInt(n));
+    const int m = 1 + static_cast<int>(fuzz.UniformInt(n - 1));
+    Rng rng(2000 + trial);
+    Result<InjectionResult> result =
+        InjectJointStructuralOutliers(g, count, m, &rng);
+    ASSERT_TRUE(result.ok()) << "n=" << n << " count=" << count << " m=" << m
+                             << ": " << result.status().ToString();
+    EXPECT_EQ(CountLabels(result.value().structural), count);
+    ExpectValidCsr(result.value().graph);
+  }
+}
+
+TEST(JointStructuralInjectionTest, Deterministic) {
+  AttributedGraph g = BaseGraph(300, 36);
+  Rng rng_a(77), rng_b(77);
+  InjectionResult a =
+      std::move(InjectJointStructuralOutliers(g, 9, 4, &rng_a)).value();
+  InjectionResult b =
+      std::move(InjectJointStructuralOutliers(g, 9, 4, &rng_b)).value();
+  EXPECT_EQ(a.combined, b.combined);
+  EXPECT_EQ(a.graph.col_idx(), b.graph.col_idx());
 }
 
 TEST(InjectionDeterminismTest, SameSeedSameResult) {

@@ -1,0 +1,272 @@
+// Benchmark-matrix tests (eval/matrix.h): spec parsing/validation, the
+// golden determinism contract (byte-identical ToJson(false) at any thread
+// count), schema shape of the timed artifact, per-cell failure isolation
+// (a failing or timing-out cell is data, not a crash), and the Markdown
+// rendering. Runs under the `threads` label so the TSan build exercises
+// the case-sharing (once_flag + atomic countdown) machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/parallel.h"
+#include "detectors/registry.h"
+#include "eval/matrix.h"
+#include "obs/json.h"
+
+namespace vgod {
+namespace {
+
+using eval::CellResult;
+using eval::CellSummary;
+using eval::Leaderboard;
+using eval::MatrixSpec;
+using eval::RunMatrix;
+
+/// A registry detector whose Fit always errors — the stand-in for a
+/// diverging model when testing the isolation contract.
+class AlwaysFailsDetector : public detectors::OutlierDetector {
+ public:
+  std::string name() const override { return "AlwaysFails"; }
+  Status Fit(const AttributedGraph&) override {
+    return Status::Internal("synthetic divergence (AlwaysFails)");
+  }
+  detectors::DetectorOutput Score(const AttributedGraph& graph) const override {
+    detectors::DetectorOutput out;
+    out.score.assign(graph.num_nodes(), 0.0);
+    return out;
+  }
+};
+
+void RegisterAlwaysFails() {
+  static const bool once = [] {
+    detectors::RegisterDetector(
+        "AlwaysFails", [](const detectors::DetectorOptions&) {
+          return Result<std::unique_ptr<detectors::OutlierDetector>>(
+              std::make_unique<AlwaysFailsDetector>());
+        });
+    return true;
+  }();
+  (void)once;
+}
+
+MatrixSpec MiniSpec() {
+  MatrixSpec spec;
+  spec.detectors = {"Deg", "L2Norm"};
+  spec.datasets = {"cora", "citeseer"};
+  spec.regimes = {"contextual", "structural"};
+  spec.seeds = {7, 8};
+  spec.scale = 0.04;
+  spec.epoch_scale = 0.05;
+  spec.clique_size = 4;
+  spec.candidate_set = 10;
+  return spec;
+}
+
+TEST(MatrixSpecTest, FromJsonParsesEveryField) {
+  const std::string text = R"({
+    "detectors": ["VGOD"], "datasets": ["cora"],
+    "regimes": ["joint-structural"], "seeds": [1, 2],
+    "scale": 0.5, "epoch_scale": 0.25, "cell_timeout_seconds": 30,
+    "injection": {"clique_size": 7, "num_cliques": 2,
+                  "candidate_set": 9, "joint_degree": 3}})";
+  Result<MatrixSpec> spec = MatrixSpec::FromJson(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().detectors, std::vector<std::string>{"VGOD"});
+  EXPECT_EQ(spec.value().seeds, (std::vector<uint64_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(spec.value().scale, 0.5);
+  EXPECT_DOUBLE_EQ(spec.value().cell_timeout_seconds, 30.0);
+  EXPECT_EQ(spec.value().clique_size, 7);
+  EXPECT_EQ(spec.value().num_cliques, 2);
+  EXPECT_EQ(spec.value().candidate_set, 9);
+  EXPECT_EQ(spec.value().joint_degree, 3);
+  EXPECT_EQ(spec.value().NumCells(), 2);
+}
+
+TEST(MatrixSpecTest, RoundTripsThroughToJson) {
+  const MatrixSpec spec = MiniSpec();
+  Result<MatrixSpec> reparsed = MatrixSpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().ToJson(), spec.ToJson());
+}
+
+TEST(MatrixSpecTest, RejectsHostileSpecs) {
+  // Malformed JSON, wrong root, typoed/unknown keys, unknown regimes,
+  // empty axes, and out-of-range numerics all come back as Status.
+  EXPECT_FALSE(MatrixSpec::FromJson("{not json").ok());
+  EXPECT_FALSE(MatrixSpec::FromJson("[1,2]").ok());
+  EXPECT_FALSE(MatrixSpec::FromJson(
+                   R"({"detectors":["Deg"],"datasets":["cora"],
+                       "regimes":["structural"],"seeds":[1],"typo":1})")
+                   .ok());
+  EXPECT_FALSE(MatrixSpec::FromJson(
+                   R"({"detectors":["Deg"],"datasets":["cora"],
+                       "regimes":["no-such-regime"],"seeds":[1]})")
+                   .ok());
+  EXPECT_FALSE(MatrixSpec::FromJson(
+                   R"({"detectors":[],"datasets":["cora"],
+                       "regimes":["structural"],"seeds":[1]})")
+                   .ok());
+  EXPECT_FALSE(MatrixSpec::FromJson(
+                   R"({"detectors":["Deg"],"datasets":["cora"],
+                       "regimes":["structural"],"seeds":[1],"scale":0})")
+                   .ok());
+  EXPECT_FALSE(MatrixSpec::FromJson(
+                   R"({"detectors":["Deg"],"datasets":["cora"],
+                       "regimes":["structural"],"seeds":[1],
+                       "injection":{"clique_size":1}})")
+                   .ok());
+  MatrixSpec empty;
+  EXPECT_FALSE(empty.Validate().ok());
+}
+
+TEST(MatrixRunTest, GoldenLeaderboardIsByteIdenticalAcrossThreadCounts) {
+  const MatrixSpec spec = MiniSpec();
+  par::SetNumThreads(1);
+  const Leaderboard serial = RunMatrix(spec);
+  par::SetNumThreads(8);
+  const Leaderboard threaded = RunMatrix(spec);
+  par::SetNumThreads(1);
+  EXPECT_EQ(serial.ToJson(/*include_timing=*/false),
+            threaded.ToJson(/*include_timing=*/false));
+  EXPECT_EQ(serial.ToMarkdown(), threaded.ToMarkdown());
+}
+
+TEST(MatrixRunTest, TimedArtifactMatchesSchema) {
+  const MatrixSpec spec = MiniSpec();
+  const Leaderboard board = RunMatrix(spec);
+  Result<obs::JsonValue> doc = obs::ParseJson(board.ToJson(true));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue& root = doc.value();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.at("schema_version").number(), 1);
+  EXPECT_TRUE(root.at("timing_included").boolean());
+  ASSERT_TRUE(root.at("cells").is_array());
+  EXPECT_EQ(static_cast<int64_t>(root.at("cells").array().size()),
+            spec.NumCells());
+  for (const obs::JsonValue& cell : root.at("cells").array()) {
+    ASSERT_TRUE(cell.at("status").is_string());
+    if (cell.at("status").string_value() == "ok") {
+      const double auc = cell.at("auc").number();
+      const double ap = cell.at("ap").number();
+      EXPECT_GE(auc, 0.0);
+      EXPECT_LE(auc, 1.0);
+      EXPECT_GE(ap, 0.0);
+      EXPECT_LE(ap, 1.0);
+      EXPECT_GE(cell.at("wall_seconds").number(), 0.0);
+      EXPECT_GE(cell.at("peak_tensor_bytes").number(), 0.0);
+    } else {
+      EXPECT_TRUE(cell.Has("error"));
+    }
+  }
+  ASSERT_TRUE(root.at("summary").is_array());
+  EXPECT_EQ(root.at("summary").array().size(),
+            spec.detectors.size() * spec.datasets.size() *
+                spec.regimes.size());
+  ASSERT_TRUE(root.at("ranks").is_object());
+  for (const std::string& regime : spec.regimes) {
+    EXPECT_TRUE(root.at("ranks").Has(regime)) << regime;
+  }
+}
+
+TEST(MatrixRunTest, FailingDetectorIsIsolatedToItsCells) {
+  RegisterAlwaysFails();
+  MatrixSpec spec = MiniSpec();
+  spec.detectors = {"AlwaysFails", "Deg"};
+  const Leaderboard board = RunMatrix(spec);
+  int failed = 0, ok = 0;
+  for (const CellResult& cell : board.cells) {
+    if (cell.detector == "AlwaysFails") {
+      EXPECT_EQ(cell.status, "failed");
+      EXPECT_NE(cell.error.find("synthetic divergence"), std::string::npos);
+      ++failed;
+    } else {
+      EXPECT_EQ(cell.status, "ok") << cell.error;
+      ++ok;
+    }
+  }
+  EXPECT_EQ(failed, 8);
+  EXPECT_EQ(ok, 8);
+  // The failed detector is unranked; the healthy one keeps rank 1.
+  for (const CellSummary& summary : board.Summaries()) {
+    if (summary.detector == "AlwaysFails") {
+      EXPECT_EQ(summary.rank, 0);
+      EXPECT_EQ(summary.seeds_ok, 0);
+      EXPECT_EQ(summary.seeds_failed, 2);
+    } else {
+      EXPECT_EQ(summary.rank, 1);
+    }
+  }
+}
+
+TEST(MatrixRunTest, BrokenCaseFailsAllItsCellsButNotTheRun) {
+  // "none" needs stored labels; cora has none, weibo does. The cora cells
+  // must fail with the precondition message while weibo cells run.
+  MatrixSpec spec;
+  spec.detectors = {"Deg", "DegNorm"};
+  spec.datasets = {"cora", "weibo"};
+  spec.regimes = {"none"};
+  spec.seeds = {7};
+  spec.scale = 0.05;
+  spec.epoch_scale = 0.05;
+  const Leaderboard board = RunMatrix(spec);
+  for (const CellResult& cell : board.cells) {
+    if (cell.dataset == "cora") {
+      EXPECT_EQ(cell.status, "failed");
+      EXPECT_NE(cell.error.find("labels"), std::string::npos);
+    } else {
+      EXPECT_EQ(cell.status, "ok") << cell.error;
+    }
+  }
+}
+
+TEST(MatrixRunTest, UnknownDetectorNameFailsItsCellsOnly) {
+  MatrixSpec spec = MiniSpec();
+  spec.detectors = {"NoSuchDetector", "Deg"};
+  const Leaderboard board = RunMatrix(spec);
+  for (const CellResult& cell : board.cells) {
+    EXPECT_EQ(cell.status,
+              cell.detector == "NoSuchDetector" ? "failed" : "ok");
+  }
+}
+
+TEST(MatrixRunTest, TimeoutRecordsTimeoutStatus) {
+  MatrixSpec spec = MiniSpec();
+  spec.detectors = {"Deg"};
+  spec.cell_timeout_seconds = 1e-12;  // Everything is over budget.
+  const Leaderboard board = RunMatrix(spec);
+  for (const CellResult& cell : board.cells) {
+    EXPECT_EQ(cell.status, "timeout");
+    EXPECT_NE(cell.error.find("budget"), std::string::npos);
+  }
+}
+
+TEST(MatrixRunTest, MarkdownRendersOneTablePerRegime) {
+  const MatrixSpec spec = MiniSpec();
+  const std::string markdown = RunMatrix(spec).ToMarkdown();
+  for (const std::string& regime : spec.regimes) {
+    EXPECT_NE(markdown.find("## Regime: " + regime), std::string::npos);
+  }
+  for (const std::string& detector : spec.detectors) {
+    EXPECT_NE(markdown.find("| " + detector + " |"), std::string::npos);
+  }
+  for (const std::string& dataset : spec.datasets) {
+    EXPECT_NE(markdown.find(dataset), std::string::npos);
+  }
+}
+
+TEST(MatrixRunTest, ObserverSeesEveryCellExactlyOnce) {
+  const MatrixSpec spec = MiniSpec();
+  int64_t calls = 0, last_done = 0;
+  RunMatrix(spec, [&](const CellResult&, int64_t done, int64_t total) {
+    ++calls;
+    EXPECT_EQ(total, spec.NumCells());
+    EXPECT_EQ(done, calls);  // done is monotone under the observer lock.
+    last_done = done;
+  });
+  EXPECT_EQ(calls, spec.NumCells());
+  EXPECT_EQ(last_done, spec.NumCells());
+}
+
+}  // namespace
+}  // namespace vgod

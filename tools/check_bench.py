@@ -149,18 +149,38 @@ def run_stream_loadgen(stream_loadgen, baselines, workdir):
             json.loads(report_path.read_text()))
 
 
-def check_stream_bands(metrics, baselines):
-    bands = baselines.get("stream", {})
-    if not check(bands, "baselines.json declares no stream bands"):
-        return
+def check_band_map(metrics, bands, section):
+    """Generic tolerance-band gate: every banded metric must be present and
+    inside [min, max]. Shared by the kernel/stream/matrix sections here and
+    by tools/check_matrix.py."""
     for metric, band in sorted(bands.items()):
         if not check(metric in metrics,
-                     f"stream manifest is missing baseline metric {metric}"):
+                     f"{section}: missing baseline metric {metric}"):
             continue
         value = metrics[metric]
         lo, hi = band["min"], band["max"]
         check(lo <= value <= hi,
-              f"{metric} = {value} outside committed band [{lo}, {hi}]")
+              f"{section}: {metric} = {value} outside committed band "
+              f"[{lo}, {hi}]")
+
+
+def matrix_metrics(leaderboard):
+    """Flattens a matrix_runner leaderboard to band-checkable metrics:
+    {"dataset.regime.detector.auc_mean": value, ...} plus ".seeds_ok"."""
+    out = {}
+    for row in leaderboard.get("summary", []):
+        key = f'{row["dataset"]}.{row["regime"]}.{row["detector"]}'
+        out[f"{key}.auc_mean"] = row["auc_mean"]
+        out[f"{key}.ap_mean"] = row["ap_mean"]
+        out[f"{key}.seeds_ok"] = row["seeds_ok"]
+    return out
+
+
+def check_stream_bands(metrics, baselines):
+    bands = baselines.get("stream", {})
+    if not check(bands, "baselines.json declares no stream bands"):
+        return
+    check_band_map(metrics, bands, "stream")
 
 
 def check_stream_invariants(report):
@@ -187,14 +207,19 @@ def check_kernel_bands(metrics, baselines):
     bands = baselines.get("kernels", {})
     if not check(bands, "baselines.json declares no kernel bands"):
         return
-    for metric, band in sorted(bands.items()):
-        if not check(metric in metrics,
-                     f"kernel manifest is missing baseline metric {metric}"):
-            continue
-        value = metrics[metric]
-        lo, hi = band["min"], band["max"]
-        check(lo <= value <= hi,
-              f"{metric} = {value} outside committed band [{lo}, {hi}]")
+    check_band_map(metrics, bands, "kernels")
+
+
+def check_matrix_bands(leaderboard, baselines):
+    """Gates a matrix_runner leaderboard artifact against the "matrix" band
+    section ({"dataset.regime.detector.auc_mean": {min,max}, ...}). The
+    richer rank-based gate (plus schema validation and the perturbation
+    self-test) lives in tools/check_matrix.py; this mode lets an existing
+    leaderboard artifact ride the same check_bench band machinery."""
+    bands = baselines.get("matrix", {})
+    if not check(bands, "baselines.json declares no matrix bands"):
+        return
+    check_band_map(matrix_metrics(leaderboard), bands, "matrix")
 
 
 def check_bands(metrics, baselines):
@@ -239,8 +264,9 @@ def check_invariants(report):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--loadgen", required=True,
-                        help="path to serve_loadgen")
+    parser.add_argument("--loadgen",
+                        help="path to serve_loadgen (optional when only "
+                             "--matrix gating is wanted)")
     parser.add_argument("--baselines", required=True,
                         help="path to bench/baselines.json")
     parser.add_argument("--kernels",
@@ -251,12 +277,22 @@ def main():
                              "throughput, touched-nodes-per-event, and the "
                              "O(deg) scaling ratio against the 'stream' "
                              "bands")
+    parser.add_argument("--matrix",
+                        help="path to a matrix_runner leaderboard JSON; "
+                             "gates its summary against the 'matrix' bands "
+                             "in --baselines")
     args = parser.parse_args()
 
     baselines = json.loads(Path(args.baselines).read_text())
+    if args.matrix:
+        check_matrix_bands(json.loads(Path(args.matrix).read_text()),
+                           baselines)
+    if not args.loadgen and not args.matrix:
+        parser.error("nothing to do: pass --loadgen and/or --matrix")
     with tempfile.TemporaryDirectory(prefix="vgod_check_bench_") as tmp:
-        manifest, report = run_loadgen(Path(args.loadgen), baselines,
-                                       Path(tmp))
+        manifest, report = (run_loadgen(Path(args.loadgen), baselines,
+                                        Path(tmp))
+                            if args.loadgen else (None, None))
         kernel_manifest = (run_kernel_sweep(Path(args.kernels), Path(tmp))
                            if args.kernels else None)
         stream_manifest, stream_report = (
