@@ -22,8 +22,10 @@
 // _EPOCH_SCALE); tools/check_serve.py runs this at a reduced scale and
 // validates the --json output.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -232,10 +234,157 @@ HttpModeResult RunHttpMode(int port, int num_nodes, bool keep_alive,
   return out;
 }
 
+/// This process's live thread count ("Threads:" in /proc/self/status) —
+/// how the fanout phase proves the transport is not thread-per-connection.
+int CurrentThreadCount() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return -1;
+}
+
+double OpenConnectionsGauge() {
+  return obs::MetricsRegistry::Global()
+      .GetGauge("serve.transport.open_connections")
+      ->Value();
+}
+
+/// Waits for the server's open-connection gauge to drain to `target`
+/// (closed keep-alive connections are reaped by the event thread, not
+/// synchronously with the client's close). Returns the final reading.
+double DrainOpenConnections(double target, int deadline_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  double open = OpenConnectionsGauge();
+  while (open > target && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    open = OpenConnectionsGauge();
+  }
+  return open;
+}
+
+struct FanoutResult {
+  int connections = 0;
+  /// Threads the *server* added while holding all connections open
+  /// (measured thread delta minus the client threads themselves).
+  /// Thread-per-connection would put this near `connections`; the
+  /// reactor keeps it at ~0.
+  int server_threads_delta = 0;
+  double open_connections = 0.0;  // Gauge while all clients were parked.
+  int64_t requests = 0;
+  int64_t errors = 0;
+  double p99_ms = 0.0;
+  double throughput_rps = 0.0;
+};
+
+/// High-fanout phase: `connections` keep-alive clients connect, all park
+/// holding their connections open (where thread-per-connection transports
+/// bleed), then issue a short request burst each.
+FanoutResult RunFanoutPhase(int port, int num_nodes, int connections,
+                            int requests_per_client) {
+  FanoutResult out;
+  out.connections = connections;
+
+  const int threads_before = CurrentThreadCount();
+  std::atomic<int> parked{0};
+  std::atomic<bool> release{false};
+  std::atomic<int64_t> errors{0};
+  std::vector<std::vector<double>> latencies_ms(connections);
+
+  std::vector<std::thread> pool;
+  pool.reserve(connections);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int c = 0; c < connections; ++c) {
+    pool.emplace_back([&, c]() {
+      serve::HttpClient client(port, /*keep_alive=*/true);
+      // Establish the persistent connection with one real request.
+      Result<serve::HttpResponse> first = client.Get("/healthz/live");
+      if (!first.ok() || first.value().status != 200) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      parked.fetch_add(1, std::memory_order_release);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      std::vector<double>& mine = latencies_ms[c];
+      mine.reserve(requests_per_client);
+      for (int r = 0; r < requests_per_client; ++r) {
+        std::string body = "{\"nodes\":[" +
+                           std::to_string((c * 131 + r * 17) % num_nodes) +
+                           "]}";
+        const auto t0 = std::chrono::steady_clock::now();
+        Result<serve::HttpResponse> response = client.Post("/score", body);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!response.ok() || response.value().status != 200) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  while (parked.load(std::memory_order_acquire) < connections) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Every connection is established and idle: this is the steady-state
+  // cost snapshot. The client threads themselves are part of the delta,
+  // so subtract them; what's left is what the server added.
+  out.server_threads_delta =
+      CurrentThreadCount() - threads_before - connections;
+  out.open_connections = OpenConnectionsGauge();
+  release.store(true, std::memory_order_release);
+  for (std::thread& t : pool) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  std::vector<double> merged;
+  for (const std::vector<double>& per_client : latencies_ms) {
+    merged.insert(merged.end(), per_client.begin(), per_client.end());
+  }
+  out.requests = static_cast<int64_t>(merged.size());
+  out.errors = errors.load(std::memory_order_relaxed);
+  out.p99_ms = PercentileMs(&merged, 0.99);
+  out.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(merged.size()) / wall_s : 0.0;
+  return out;
+}
+
+struct ChurnResult {
+  int connections = 0;
+  int64_t errors = 0;
+  double open_connections_final = 0.0;  // Gauge after the drain.
+  int threads_delta = 0;  // Process thread delta across the whole phase.
+};
+
+/// Connection-churn phase: many short-lived connections in sequence. The
+/// old transport leaked one joinable std::thread per connection here;
+/// the reactor must return both the thread count and the open-connection
+/// gauge to baseline.
+ChurnResult RunChurnPhase(int port, int connections) {
+  ChurnResult out;
+  out.connections = connections;
+  const int threads_before = CurrentThreadCount();
+  for (int i = 0; i < connections; ++i) {
+    serve::HttpClient client(port, /*keep_alive=*/false);
+    Result<serve::HttpResponse> response = client.Get("/healthz/live");
+    if (!response.ok() || response.value().status != 200) ++out.errors;
+  }
+  out.open_connections_final = DrainOpenConnections(0.0, /*deadline_ms=*/5000);
+  out.threads_delta = CurrentThreadCount() - threads_before;
+  return out;
+}
+
 std::string ResultsJson(const UnodCase& unod_case, int clients,
                         int requests_per_client,
                         const std::vector<ConfigResult>& results,
-                        const std::vector<HttpModeResult>& http_results) {
+                        const std::vector<HttpModeResult>& http_results,
+                        const FanoutResult* fanout, const ChurnResult* churn) {
   std::string out = "{\"benchmark\":\"serve_loadgen\",\"dataset\":";
   obs::AppendJsonString(&out, unod_case.name);
   out.append(",\"detector\":\"VBM\",\"nodes\":");
@@ -310,6 +459,34 @@ std::string ResultsJson(const UnodCase& unod_case, int clients,
       out.append("}");
     }
     out.append("]");
+  }
+  if (fanout != nullptr) {
+    out.append(",\"fanout\":{\"connections\":");
+    obs::AppendJsonNumber(&out, fanout->connections);
+    out.append(",\"server_threads_delta\":");
+    obs::AppendJsonNumber(&out, fanout->server_threads_delta);
+    out.append(",\"open_connections\":");
+    obs::AppendJsonNumber(&out, fanout->open_connections);
+    out.append(",\"requests\":");
+    obs::AppendJsonNumber(&out, static_cast<double>(fanout->requests));
+    out.append(",\"errors\":");
+    obs::AppendJsonNumber(&out, static_cast<double>(fanout->errors));
+    out.append(",\"p99_ms\":");
+    obs::AppendJsonNumber(&out, fanout->p99_ms);
+    out.append(",\"throughput_rps\":");
+    obs::AppendJsonNumber(&out, fanout->throughput_rps);
+    out.append("}");
+  }
+  if (churn != nullptr) {
+    out.append(",\"churn\":{\"connections\":");
+    obs::AppendJsonNumber(&out, churn->connections);
+    out.append(",\"errors\":");
+    obs::AppendJsonNumber(&out, static_cast<double>(churn->errors));
+    out.append(",\"open_connections_final\":");
+    obs::AppendJsonNumber(&out, churn->open_connections_final);
+    out.append(",\"threads_delta\":");
+    obs::AppendJsonNumber(&out, churn->threads_delta);
+    out.append("}");
   }
   out.append("}");
   return out;
@@ -422,7 +599,72 @@ int Main(int argc, char** argv) {
                            static_cast<double>(h.connections));
       http_results.push_back(h);
     }
+
+    // High-fanout phase: the acceptance bar for the reactor transport.
+    // 256 persistent connections parked simultaneously must cost epoll
+    // registrations, not server threads.
+    constexpr int kFanoutConnections = 256;
+    constexpr int kFanoutRequests = 4;
+    DrainOpenConnections(0.0, /*deadline_ms=*/5000);  // Clean baseline.
+    FanoutResult fanout = RunFanoutPhase(port, num_nodes, kFanoutConnections,
+                                         kFanoutRequests);
+    std::printf("\nfanout: %d keep-alive connections parked, "
+                "server_threads_delta=%d open_connections=%.0f "
+                "p99=%.3fms rps=%.1f\n",
+                fanout.connections, fanout.server_threads_delta,
+                fanout.open_connections, fanout.p99_ms,
+                fanout.throughput_rps);
+    VGOD_CHECK(fanout.errors == 0)
+        << "fanout phase saw " << fanout.errors << " failed requests";
+    RecordManifestResult(unod_case.name, "VBM",
+                         "transport.fanout.connections",
+                         static_cast<double>(fanout.connections));
+    RecordManifestResult(unod_case.name, "VBM",
+                         "transport.fanout.server_threads_delta",
+                         static_cast<double>(fanout.server_threads_delta));
+    RecordManifestResult(unod_case.name, "VBM",
+                         "transport.fanout.open_connections",
+                         fanout.open_connections);
+    RecordManifestResult(unod_case.name, "VBM", "transport.fanout.p99_ms",
+                         fanout.p99_ms);
+    RecordManifestResult(unod_case.name, "VBM",
+                         "transport.fanout.throughput_rps",
+                         fanout.throughput_rps);
+
+    // Connection-churn phase: the old transport leaked one joinable
+    // thread per connection here; both gauges must return to baseline.
+    constexpr int kChurnConnections = 300;
+    DrainOpenConnections(0.0, /*deadline_ms=*/5000);
+    ChurnResult churn = RunChurnPhase(port, kChurnConnections);
+    std::printf("churn: %d short-lived connections, "
+                "open_connections_final=%.0f threads_delta=%d\n",
+                churn.connections, churn.open_connections_final,
+                churn.threads_delta);
+    VGOD_CHECK(churn.errors == 0)
+        << "churn phase saw " << churn.errors << " failed requests";
+    RecordManifestResult(unod_case.name, "VBM", "transport.churn.connections",
+                         static_cast<double>(churn.connections));
+    RecordManifestResult(unod_case.name, "VBM",
+                         "transport.churn.open_connections_final",
+                         churn.open_connections_final);
+    RecordManifestResult(unod_case.name, "VBM",
+                         "transport.churn.threads_delta",
+                         static_cast<double>(churn.threads_delta));
+
     server.Stop();
+
+    if (!json_path.empty()) {
+      std::ofstream file(json_path);
+      if (!file) {
+        std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      file << ResultsJson(unod_case, clients, requests_per_client, results,
+                          http_results, &fanout, &churn)
+           << "\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
   }
 
   if (!json_path.empty()) {
@@ -432,7 +674,7 @@ int Main(int argc, char** argv) {
       return 1;
     }
     file << ResultsJson(unod_case, clients, requests_per_client, results,
-                        http_results)
+                        http_results, nullptr, nullptr)
          << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -378,11 +378,10 @@ EngineStats ScoringEngine::stats() const {
   return stats;
 }
 
-std::future<Result<ScoreResult>> ScoringEngine::Submit(Pending pending) {
-  pending.enqueued = std::chrono::steady_clock::now();
-  if (pending.request_id == 0) pending.request_id = NextRequestId();
-  const uint64_t request_id = pending.request_id;
-  std::future<Result<ScoreResult>> future = pending.promise.get_future();
+Status ScoringEngine::Enqueue(Pending* pending) {
+  pending->enqueued = std::chrono::steady_clock::now();
+  if (pending->request_id == 0) pending->request_id = NextRequestId();
+  const uint64_t request_id = pending->request_id;
   VGOD_COUNTER_INC("serve.requests.total");
 
   Status rejected = Status::Ok();
@@ -395,7 +394,7 @@ std::future<Result<ScoreResult>> ScoringEngine::Submit(Pending pending) {
       rejected = Status::OutOfRange("scoring queue is full");
       shed = true;
     } else {
-      queue_.push_back(std::move(pending));
+      queue_.push_back(std::move(*pending));
       obs::MetricsRegistry::Global()
           .GetGauge("serve.queue.depth")
           ->Set(static_cast<double>(queue_.size()));
@@ -407,21 +406,27 @@ std::future<Result<ScoreResult>> ScoringEngine::Submit(Pending pending) {
       shed_count_.fetch_add(1, std::memory_order_relaxed);
       PublishEngineStats(stats());
     }
-    // `pending` still owns the promise only in the rejection path.
-    pending.promise.set_value(rejected);
-    return future;
+    return rejected;
   }
   // Flow start on the submitting (accept) thread; the batch worker that
   // executes the request records the matching finish, tying the two
   // threads' spans together in the trace viewer.
   obs::RecordFlowEvent("serve/request", request_id, /*finish=*/false);
   cv_.notify_one();
+  return Status::Ok();
+}
+
+std::future<Result<ScoreResult>> ScoringEngine::Submit(Pending pending) {
+  std::future<Result<ScoreResult>> future = pending.promise.get_future();
+  const Status queued = Enqueue(&pending);
+  if (!queued.ok()) {
+    // `pending` still owns the promise only in the rejection path.
+    pending.promise.set_value(queued);
+  }
   return future;
 }
 
-std::future<Result<ScoreResult>> ScoringEngine::SubmitNodes(
-    std::vector<int> nodes, uint64_t request_id) {
-  Pending pending;
+Status ScoringEngine::ValidateNodes(const std::vector<int>& nodes) const {
   // Validate ids up front so a bad request cannot poison a whole batch.
   // Under streaming the bound is the latest published snapshot's node
   // count, which only ever grows — a node valid here stays valid for
@@ -429,15 +434,40 @@ std::future<Result<ScoreResult>> ScoringEngine::SubmitNodes(
   const int resident = resident_nodes_.load(std::memory_order_acquire);
   for (int node : nodes) {
     if (node < 0 || node >= resident) {
-      std::promise<Result<ScoreResult>> broken;
-      broken.set_value(Status::OutOfRange(
-          "node " + std::to_string(node) + " outside resident graph (0.." +
-          std::to_string(resident - 1) + ")"));
       VGOD_COUNTER_INC("serve.requests.total");
       VGOD_COUNTER_INC("serve.requests.rejected");
-      return broken.get_future();
+      return Status::OutOfRange(
+          "node " + std::to_string(node) + " outside resident graph (0.." +
+          std::to_string(resident - 1) + ")");
     }
   }
+  return Status::Ok();
+}
+
+Status ScoringEngine::ValidateSubgraph(const AttributedGraph& graph) const {
+  // The detector's weights are bound to the training attribute schema; a
+  // mismatched subgraph would abort deep inside a kernel VGOD_CHECK, so
+  // reject it here instead (inductive scoring requires the same schema).
+  if (graph.attribute_dim() != boot_graph_->attribute_dim()) {
+    VGOD_COUNTER_INC("serve.requests.total");
+    VGOD_COUNTER_INC("serve.requests.rejected");
+    return Status::InvalidArgument(
+        "subgraph attribute dim " + std::to_string(graph.attribute_dim()) +
+        " does not match the served model's " +
+        std::to_string(boot_graph_->attribute_dim()));
+  }
+  return Status::Ok();
+}
+
+std::future<Result<ScoreResult>> ScoringEngine::SubmitNodes(
+    std::vector<int> nodes, uint64_t request_id) {
+  const Status valid = ValidateNodes(nodes);
+  if (!valid.ok()) {
+    std::promise<Result<ScoreResult>> broken;
+    broken.set_value(valid);
+    return broken.get_future();
+  }
+  Pending pending;
   pending.nodes = std::move(nodes);
   pending.request_id = request_id;
   return Submit(std::move(pending));
@@ -445,17 +475,10 @@ std::future<Result<ScoreResult>> ScoringEngine::SubmitNodes(
 
 std::future<Result<ScoreResult>> ScoringEngine::SubmitGraph(
     AttributedGraph graph, uint64_t request_id) {
-  // The detector's weights are bound to the training attribute schema; a
-  // mismatched subgraph would abort deep inside a kernel VGOD_CHECK, so
-  // reject it here instead (inductive scoring requires the same schema).
-  if (graph.attribute_dim() != boot_graph_->attribute_dim()) {
+  const Status valid = ValidateSubgraph(graph);
+  if (!valid.ok()) {
     std::promise<Result<ScoreResult>> broken;
-    broken.set_value(Status::InvalidArgument(
-        "subgraph attribute dim " + std::to_string(graph.attribute_dim()) +
-        " does not match the served model's " +
-        std::to_string(boot_graph_->attribute_dim())));
-    VGOD_COUNTER_INC("serve.requests.total");
-    VGOD_COUNTER_INC("serve.requests.rejected");
+    broken.set_value(valid);
     return broken.get_future();
   }
   Pending pending;
@@ -463,6 +486,38 @@ std::future<Result<ScoreResult>> ScoringEngine::SubmitGraph(
       std::make_shared<const AttributedGraph>(std::move(graph));
   pending.request_id = request_id;
   return Submit(std::move(pending));
+}
+
+void ScoringEngine::SubmitNodesAsync(std::vector<int> nodes,
+                                     uint64_t request_id, ScoreCallback done) {
+  const Status valid = ValidateNodes(nodes);
+  if (!valid.ok()) {
+    done(valid);
+    return;
+  }
+  Pending pending;
+  pending.nodes = std::move(nodes);
+  pending.request_id = request_id;
+  pending.callback = std::move(done);
+  const Status queued = Enqueue(&pending);
+  // On rejection Enqueue leaves `pending` (and so the callback) with us.
+  if (!queued.ok()) pending.callback(queued);
+}
+
+void ScoringEngine::SubmitGraphAsync(AttributedGraph graph,
+                                     uint64_t request_id, ScoreCallback done) {
+  const Status valid = ValidateSubgraph(graph);
+  if (!valid.ok()) {
+    done(valid);
+    return;
+  }
+  Pending pending;
+  pending.subgraph =
+      std::make_shared<const AttributedGraph>(std::move(graph));
+  pending.request_id = request_id;
+  pending.callback = std::move(done);
+  const Status queued = Enqueue(&pending);
+  if (!queued.ok()) pending.callback(queued);
 }
 
 Result<ScoreResult> ScoringEngine::ScoreNodes(std::vector<int> nodes,
@@ -536,7 +591,11 @@ void ScoringEngine::FinishRequest(Pending* pending,
   VGOD_HISTOGRAM_OBSERVE("serve.request.latency.seconds",
                          SecondsSince(pending->enqueued));
   VGOD_COUNTER_INC("serve.requests.completed");
-  pending->promise.set_value(std::move(result));
+  if (pending->callback) {
+    pending->callback(std::move(result));
+  } else {
+    pending->promise.set_value(std::move(result));
+  }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   PublishEngineStats(stats());
 }

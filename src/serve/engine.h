@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -136,6 +137,14 @@ struct EngineStats {
 /// served values are bit-identical to in-process scoring.
 class ScoringEngine {
  public:
+  /// Completion hook of the *Async submission shape. Invoked exactly once
+  /// — inline on the submitting thread for fast-fail rejections
+  /// (validation, full queue, stopped engine), otherwise on the batch
+  /// worker that executed the request. The epoll transport rides this:
+  /// its dispatch worker returns immediately and the HTTP Responder fires
+  /// from inside the callback.
+  using ScoreCallback = std::function<void(Result<ScoreResult>)>;
+
   /// Takes ownership of a fitted (or bundle-restored) detector and the
   /// resident graph it serves.
   ScoringEngine(std::unique_ptr<detectors::OutlierDetector> detector,
@@ -197,6 +206,15 @@ class ScoringEngine {
   std::future<Result<ScoreResult>> SubmitGraph(AttributedGraph graph,
                                                uint64_t request_id = 0);
 
+  /// Callback-shaped submissions: same validation, batching, and error
+  /// taxonomy as the future-returning forms, but completion is delivered
+  /// by invoking `done` instead of resolving a future — no thread ever
+  /// blocks on a result.
+  void SubmitNodesAsync(std::vector<int> nodes, uint64_t request_id,
+                        ScoreCallback done);
+  void SubmitGraphAsync(AttributedGraph graph, uint64_t request_id,
+                        ScoreCallback done);
+
   /// Blocking conveniences over the Submit calls.
   Result<ScoreResult> ScoreNodes(std::vector<int> nodes,
                                  uint64_t request_id = 0);
@@ -226,12 +244,23 @@ class ScoringEngine {
     std::vector<int> nodes;                             // Node request.
     std::shared_ptr<const AttributedGraph> subgraph;    // Subgraph request.
     std::promise<Result<ScoreResult>> promise;
+    /// Non-null for *Async submissions; completion then goes through the
+    /// callback and the promise is never touched.
+    ScoreCallback callback;
     uint64_t request_id = 0;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point dequeued;
   };
 
   std::future<Result<ScoreResult>> Submit(Pending pending);
+  /// Enqueue path shared by the future and callback shapes. Returns Ok
+  /// when the request was queued; otherwise the caller delivers the
+  /// status itself (the rejection was already counted).
+  Status Enqueue(Pending* pending);
+  /// Fast-fail validation shared by both submission shapes; a failure is
+  /// counted as a rejected request.
+  Status ValidateNodes(const std::vector<int>& nodes) const;
+  Status ValidateSubgraph(const AttributedGraph& graph) const;
   static StageTiming TimingFor(
       const Pending& pending,
       std::chrono::steady_clock::time_point score_start, double score_seconds,

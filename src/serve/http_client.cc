@@ -117,10 +117,12 @@ Result<HttpResponse> HttpClient::Attempt(const std::string& request,
     if (!connected.ok()) return connected;
   }
   if (!SendAll(fd_, request)) {
+    // Capture errno before Close(): ::close would otherwise overwrite it
+    // and the Status would describe the close, not the failed send.
+    const std::string detail = std::strerror(errno);
     Close();
     *stale = reused;
-    return Status::IoError("send(): " +
-                               std::string(std::strerror(errno)));
+    return Status::IoError("send(): " + detail);
   }
 
   std::string buffer;

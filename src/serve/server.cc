@@ -242,9 +242,10 @@ Result<std::unique_ptr<ScoringEngine>> BuildEngine(
 }
 
 ScoringServer::ScoringServer(std::unique_ptr<ScoringEngine> engine, int port,
-                             int slow_ring)
+                             int slow_ring, TransportOptions transport)
     : engine_(std::move(engine)),
       requested_port_(port),
+      transport_(transport),
       slow_(slow_ring < 1 ? 1 : static_cast<size_t>(slow_ring)) {}
 
 ScoringServer::~ScoringServer() { Stop(); }
@@ -252,17 +253,24 @@ ScoringServer::~ScoringServer() { Stop(); }
 Status ScoringServer::Start() {
   VGOD_RETURN_IF_ERROR(engine_->Start());
   http_ = std::make_unique<HttpServer>(
-      [this](const HttpRequest& request) { return Handle(request); });
+      [this](const HttpRequest& request, HttpServer::Responder respond) {
+        Handle(request, std::move(respond));
+      },
+      transport_);
   return http_->Start(requested_port_);
 }
 
 void ScoringServer::Stop() {
   // Transport first so no new requests arrive while the engine drains.
+  // HttpServer::Stop makes the Responders of still-inflight requests
+  // safe no-ops, so the engine draining after it cannot touch a dead
+  // connection.
   if (http_ != nullptr) http_->Stop();
   engine_->Shutdown();
 }
 
-HttpResponse ScoringServer::Handle(const HttpRequest& request) {
+void ScoringServer::Handle(const HttpRequest& request,
+                           HttpServer::Responder respond) {
   VGOD_TRACE_SPAN("serve/http");
   const auto start = std::chrono::steady_clock::now();
 
@@ -270,37 +278,47 @@ HttpResponse ScoringServer::Handle(const HttpRequest& request) {
   std::string query;
   SplitTarget(request.target, &path, &query);
 
-  AccessRecord record;
-  record.request_id = NextRequestId();
-  record.path = path;
+  auto record = std::make_shared<AccessRecord>();
+  record->request_id = NextRequestId();
+  record->path = path;
 
-  HttpResponse response = Dispatch(request, path, query, &record);
-
-  record.status = response.status;
-  if (response.status < 200 || response.status >= 300) {
-    record.error_class = HttpErrorClass(response.status);
-  }
-  record.total_us = MicrosSince(start);
-  if (AccessLog* log = AccessLog::FromEnv()) log->Record(record);
-  slow_.Record(record);
-  return response;
+  // Finalization (status class, total latency, access log, slow ring) is
+  // bound into the completion so it runs on whichever thread answers —
+  // inline for the debug/health endpoints, an engine batch worker for
+  // /score.
+  Done done = [this, start, record,
+               respond = std::move(respond)](HttpResponse response) {
+    record->status = response.status;
+    if (response.status < 200 || response.status >= 300) {
+      record->error_class = HttpErrorClass(response.status);
+    }
+    record->total_us = MicrosSince(start);
+    if (AccessLog* log = AccessLog::FromEnv()) log->Record(*record);
+    slow_.Record(*record);
+    respond(std::move(response));
+  };
+  Dispatch(request, path, query, record, std::move(done));
 }
 
-HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
-                                     const std::string& path,
-                                     const std::string& query,
-                                     AccessRecord* record) {
+void ScoringServer::Dispatch(const HttpRequest& request,
+                             const std::string& path,
+                             const std::string& query,
+                             const std::shared_ptr<AccessRecord>& record,
+                             Done done) {
   if (path == "/healthz/live") {
     if (request.method != "GET") {
-      return ErrorResponse(405, "use GET " + path);
+      done(ErrorResponse(405, "use GET " + path));
+      return;
     }
     // Liveness: the process is up and serving HTTP. Never 503s — a
     // draining or compacting server is alive, just not ready.
-    return HttpResponse::Json(200, "{\"status\":\"live\"}");
+    done(HttpResponse::Json(200, "{\"status\":\"live\"}"));
+    return;
   }
   if (path == "/healthz/ready" || path == "/healthz") {
     if (request.method != "GET") {
-      return ErrorResponse(405, "use GET " + path);
+      done(ErrorResponse(405, "use GET " + path));
+      return;
     }
     std::string reason;
     if (!engine_->Ready(&reason)) {
@@ -308,10 +326,12 @@ HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
       obs::AppendJsonString(&body, reason);
       body.push_back('}');
       CountHttpError(503);
-      return HttpResponse::Json(503, std::move(body));
+      done(HttpResponse::Json(503, std::move(body)));
+      return;
     }
     if (path == "/healthz/ready") {
-      return HttpResponse::Json(200, "{\"status\":\"ready\"}");
+      done(HttpResponse::Json(200, "{\"status\":\"ready\"}"));
+      return;
     }
     std::string body = "{\"status\":\"ok\",\"detector\":";
     obs::AppendJsonString(&body, engine_->detector().name());
@@ -323,32 +343,43 @@ HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
             std::to_string(engine_->config().num_threads) +
             ",\"streaming\":" +
             (engine_->streaming_enabled() ? "true" : "false") + "}";
-    return HttpResponse::Json(200, std::move(body));
+    done(HttpResponse::Json(200, std::move(body)));
+    return;
   }
   if (path == "/metrics") {
     if (request.method != "GET") {
-      return ErrorResponse(405, "use GET " + path);
+      done(ErrorResponse(405, "use GET " + path));
+      return;
     }
-    const std::string format = QueryParam(query, "format");
-    if (format == "prometheus") {
-      return HttpResponse::Prometheus(
-          obs::MetricsRegistry::Global().ToPrometheus());
+    Result<std::string> format = QueryParam(query, "format");
+    if (!format.ok()) {
+      done(ErrorResponse(400, format.status().message()));
+      return;
     }
-    if (!format.empty() && format != "json") {
-      return ErrorResponse(400, "unknown metrics format '" + format +
-                                    "' (want json or prometheus)");
+    if (format.value() == "prometheus") {
+      done(HttpResponse::Prometheus(
+          obs::MetricsRegistry::Global().ToPrometheus()));
+      return;
     }
-    return HttpResponse::Json(200, obs::MetricsRegistry::Global().ToJson());
+    if (!format.value().empty() && format.value() != "json") {
+      done(ErrorResponse(400, "unknown metrics format '" + format.value() +
+                                  "' (want json or prometheus)"));
+      return;
+    }
+    done(HttpResponse::Json(200, obs::MetricsRegistry::Global().ToJson()));
+    return;
   }
   if (path == "/ingest") {
     if (request.method != "POST") {
-      return ErrorResponse(405, "use POST " + path);
+      done(ErrorResponse(405, "use POST " + path));
+      return;
     }
     const auto parse_start = std::chrono::steady_clock::now();
     Result<obs::JsonValue> body = obs::ParseJson(request.body);
     if (!body.ok()) {
       record->parse_us = MicrosSince(parse_start);
-      return ErrorResponse(400, "invalid JSON: " + body.status().message());
+      done(ErrorResponse(400, "invalid JSON: " + body.status().message()));
+      return;
     }
     Result<stream::EventBatch> batch = stream::ParseEventBatch(
         body.value(),
@@ -356,7 +387,8 @@ HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
             engine_->streaming_options().max_events_per_batch));
     record->parse_us = MicrosSince(parse_start);
     if (!batch.ok()) {
-      return ErrorResponse(400, batch.status().message());
+      done(ErrorResponse(400, batch.status().message()));
+      return;
     }
     record->num_nodes = static_cast<int>(batch.value().events.size());
     VGOD_HISTOGRAM_OBSERVE("serve.stage.parse.seconds",
@@ -364,108 +396,148 @@ HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
     Result<IngestResult> result =
         engine_->Ingest(batch.value(), record->request_id);
     if (!result.ok()) {
-      return ErrorResponse(StatusToHttp(result.status()),
-                           result.status().message());
+      done(ErrorResponse(StatusToHttp(result.status()),
+                         result.status().message()));
+      return;
     }
-    return HttpResponse::Json(200, IngestResultJson(result.value()));
+    done(HttpResponse::Json(200, IngestResultJson(result.value())));
+    return;
   }
   if (path == "/debug/watchlist") {
     if (request.method != "GET") {
-      return ErrorResponse(405, "use GET " + path);
+      done(ErrorResponse(405, "use GET " + path));
+      return;
     }
     int k = 0;
-    const std::string k_param = QueryParam(query, "k");
-    if (!k_param.empty()) {
+    Result<std::string> k_param = QueryParam(query, "k");
+    if (!k_param.ok()) {
+      done(ErrorResponse(400, k_param.status().message()));
+      return;
+    }
+    if (!k_param.value().empty()) {
       char* end = nullptr;
-      const long parsed = std::strtol(k_param.c_str(), &end, 10);
-      if (end == k_param.c_str() || *end != '\0' || parsed < 1 ||
+      const long parsed = std::strtol(k_param.value().c_str(), &end, 10);
+      if (end == k_param.value().c_str() || *end != '\0' || parsed < 1 ||
           parsed > 100000) {
-        return ErrorResponse(
-            400, "'k' must be an integer in [1, 100000], got '" + k_param +
-                     "'");
+        done(ErrorResponse(
+            400, "'k' must be an integer in [1, 100000], got '" +
+                     k_param.value() + "'"));
+        return;
       }
       k = static_cast<int>(parsed);
     }
     Result<std::vector<WatchlistEntry>> entries = engine_->Watchlist(k);
     if (!entries.ok()) {
-      return ErrorResponse(StatusToHttp(entries.status()),
-                           entries.status().message());
+      done(ErrorResponse(StatusToHttp(entries.status()),
+                         entries.status().message()));
+      return;
     }
-    return HttpResponse::Json(200, WatchlistJson(entries.value()));
+    done(HttpResponse::Json(200, WatchlistJson(entries.value())));
+    return;
   }
   if (path == "/debug/slow") {
     if (request.method != "GET") {
-      return ErrorResponse(405, "use GET " + path);
+      done(ErrorResponse(405, "use GET " + path));
+      return;
     }
-    return HttpResponse::Json(200, slow_.ToJson());
+    done(HttpResponse::Json(200, slow_.ToJson()));
+    return;
   }
   if (path == "/debug/profile") {
     if (request.method != "GET") {
-      return ErrorResponse(405, "use GET " + path);
+      done(ErrorResponse(405, "use GET " + path));
+      return;
     }
     double seconds = 1.0;
-    const std::string seconds_param = QueryParam(query, "seconds");
-    if (!seconds_param.empty()) {
+    Result<std::string> seconds_param = QueryParam(query, "seconds");
+    if (!seconds_param.ok()) {
+      done(ErrorResponse(400, seconds_param.status().message()));
+      return;
+    }
+    if (!seconds_param.value().empty()) {
       char* end = nullptr;
-      seconds = std::strtod(seconds_param.c_str(), &end);
-      if (end == seconds_param.c_str() || *end != '\0' || seconds <= 0.0 ||
-          seconds > 60.0) {
-        return ErrorResponse(
+      seconds = std::strtod(seconds_param.value().c_str(), &end);
+      if (end == seconds_param.value().c_str() || *end != '\0' ||
+          seconds <= 0.0 || seconds > 60.0) {
+        done(ErrorResponse(
             400, "'seconds' must be a number in (0, 60], got '" +
-                     seconds_param + "'");
+                     seconds_param.value() + "'"));
+        return;
       }
     }
-    const std::string format = QueryParam(query, "format");
-    if (!format.empty() && format != "json" && format != "folded") {
-      return ErrorResponse(400, "unknown profile format '" + format +
-                                    "' (want json or folded)");
+    Result<std::string> format = QueryParam(query, "format");
+    if (!format.ok()) {
+      done(ErrorResponse(400, format.status().message()));
+      return;
+    }
+    if (!format.value().empty() && format.value() != "json" &&
+        format.value() != "folded") {
+      done(ErrorResponse(400, "unknown profile format '" + format.value() +
+                                  "' (want json or folded)"));
+      return;
     }
     // Windowed capture: clear the aggregate tree, enable collection for
-    // the requested wall-clock window (sleeping on this connection
-    // thread; scoring proceeds on the engine threads), then restore the
-    // previous enablement. Concurrent /debug/profile windows overlap
-    // benignly — they just observe each other's capture.
+    // the requested wall-clock window (sleeping on this transport
+    // dispatch worker; scoring proceeds on the engine threads), then
+    // restore the previous enablement. Concurrent /debug/profile windows
+    // overlap benignly — they just observe each other's capture.
     const bool was_enabled = obs::ProfileEnabled();
     obs::ClearProfile();
     obs::SetProfileEnabled(true);
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
     obs::SetProfileEnabled(was_enabled);
     const obs::ProfileNode tree = obs::SnapshotProfile();
-    if (format == "folded") {
+    if (format.value() == "folded") {
       HttpResponse response;
       response.status = 200;
       response.content_type = "text/plain; charset=utf-8";
       response.body = obs::ProfileToFolded(tree);
-      return response;
+      done(std::move(response));
+      return;
     }
     std::string body = "{\"seconds\":";
     obs::AppendJsonNumber(&body, seconds);
     body.append(",\"profile\":");
     body.append(obs::ProfileToJson(tree));
     body.push_back('}');
-    return HttpResponse::Json(200, std::move(body));
+    done(HttpResponse::Json(200, std::move(body)));
+    return;
   }
   if (path == "/score") {
     if (request.method != "POST") {
-      return ErrorResponse(405, "use POST " + path);
+      done(ErrorResponse(405, "use POST " + path));
+      return;
     }
     const auto parse_start = std::chrono::steady_clock::now();
     Result<obs::JsonValue> body = obs::ParseJson(request.body);
     if (!body.ok()) {
       record->parse_us = MicrosSince(parse_start);
-      return ErrorResponse(400,
-                           "invalid JSON: " + body.status().message());
+      done(ErrorResponse(400,
+                         "invalid JSON: " + body.status().message()));
+      return;
     }
+    // Shared completion for both /score shapes: runs on the engine
+    // worker that answered (or inline on fast-fail rejection).
+    auto finish = [record, done](Result<ScoreResult> result) {
+      if (!result.ok()) {
+        done(ScoreError(result.status(), record.get()));
+        return;
+      }
+      RecordEngineTiming(result.value().timing, record.get());
+      done(SerializeResult(result.value(), record.get()));
+    };
     if (body.value().Has("nodes")) {
       const obs::JsonValue& nodes_spec = body.value().at("nodes");
       if (!nodes_spec.is_array()) {
-        return ErrorResponse(400, "'nodes' must be an array");
+        done(ErrorResponse(400, "'nodes' must be an array"));
+        return;
       }
       std::vector<int> nodes;
       nodes.reserve(nodes_spec.array().size());
       for (const obs::JsonValue& node : nodes_spec.array()) {
         if (!node.is_number()) {
-          return ErrorResponse(400, "'nodes' entries must be integers");
+          done(ErrorResponse(400, "'nodes' entries must be integers"));
+          return;
         }
         nodes.push_back(static_cast<int>(node.number()));
       }
@@ -473,35 +545,29 @@ HttpResponse ScoringServer::Dispatch(const HttpRequest& request,
       record->parse_us = MicrosSince(parse_start);
       VGOD_HISTOGRAM_OBSERVE("serve.stage.parse.seconds",
                              record->parse_us * 1e-6);
-      Result<ScoreResult> result =
-          engine_->ScoreNodes(std::move(nodes), record->request_id);
-      if (!result.ok()) {
-        return ScoreError(result.status(), record);
-      }
-      RecordEngineTiming(result.value().timing, record);
-      return SerializeResult(result.value(), record);
+      engine_->SubmitNodesAsync(std::move(nodes), record->request_id,
+                                std::move(finish));
+      return;
     }
     if (body.value().Has("graph")) {
       Result<AttributedGraph> graph =
           ParseInlineGraph(body.value().at("graph"));
       if (!graph.ok()) {
-        return ErrorResponse(400, graph.status().message());
+        done(ErrorResponse(400, graph.status().message()));
+        return;
       }
       record->num_nodes = graph.value().num_nodes();
       record->parse_us = MicrosSince(parse_start);
       VGOD_HISTOGRAM_OBSERVE("serve.stage.parse.seconds",
                              record->parse_us * 1e-6);
-      Result<ScoreResult> result =
-          engine_->ScoreGraph(std::move(graph).value(), record->request_id);
-      if (!result.ok()) {
-        return ScoreError(result.status(), record);
-      }
-      RecordEngineTiming(result.value().timing, record);
-      return SerializeResult(result.value(), record);
+      engine_->SubmitGraphAsync(std::move(graph).value(),
+                                record->request_id, std::move(finish));
+      return;
     }
-    return ErrorResponse(400, "body needs 'nodes' or 'graph'");
+    done(ErrorResponse(400, "body needs 'nodes' or 'graph'"));
+    return;
   }
-  return ErrorResponse(404, "no such endpoint: " + path);
+  done(ErrorResponse(404, "no such endpoint: " + path));
 }
 
 int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
@@ -530,7 +596,7 @@ int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
     }
   }
   ScoringServer server(std::move(engine).value(), options.port,
-                       options.slow_ring);
+                       options.slow_ring, options.transport);
   if (AccessLog::FromEnv() != nullptr) {
     VGOD_LOG(Info) << "access log enabled (VGOD_ACCESS_LOG)";
   }

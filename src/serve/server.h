@@ -2,6 +2,7 @@
 #define VGOD_SERVE_SERVER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -30,6 +31,9 @@ struct ServerOptions {
   /// (docs/STREAMING.md).
   bool streaming = false;
   StreamingOptions stream;
+  /// Reactor transport knobs: connection cap, idle timeout, dispatch pool
+  /// width (docs/SERVING.md "Transport").
+  TransportOptions transport;
 };
 
 /// Builds a ScoringEngine from a bundle + graph file (the batch side of
@@ -58,7 +62,7 @@ Result<std::unique_ptr<ScoringEngine>> BuildEngine(
 class ScoringServer {
  public:
   ScoringServer(std::unique_ptr<ScoringEngine> engine, int port,
-                int slow_ring = 16);
+                int slow_ring = 16, TransportOptions transport = {});
   ~ScoringServer();
 
   /// Starts the engine's worker pool and the HTTP listener.
@@ -72,13 +76,20 @@ class ScoringServer {
   const SlowRequestTracker& slow_requests() const { return slow_; }
 
  private:
-  HttpResponse Handle(const HttpRequest& request);
-  HttpResponse Dispatch(const HttpRequest& request, const std::string& path,
-                        const std::string& query, AccessRecord* record);
+  /// One response delivery, invoked exactly once, from whichever thread
+  /// completes the request (a transport dispatch worker for inline
+  /// endpoints, an engine batch worker for /score).
+  using Done = std::function<void(HttpResponse)>;
+
+  void Handle(const HttpRequest& request, HttpServer::Responder respond);
+  void Dispatch(const HttpRequest& request, const std::string& path,
+                const std::string& query,
+                const std::shared_ptr<AccessRecord>& record, Done done);
 
   std::unique_ptr<ScoringEngine> engine_;
   std::unique_ptr<HttpServer> http_;
   int requested_port_;
+  TransportOptions transport_;
   SlowRequestTracker slow_;
 };
 

@@ -639,6 +639,187 @@ TEST(ScoringServerTest, MalformedContentLengthGetsCleanHttpErrors) {
   server.Stop();
 }
 
+// Sends `request` verbatim and returns every byte the server wrote until
+// it closed the connection — for asserting on multi-response exchanges
+// (pipelining) and response headers.
+Result<std::string> RawHttpExchange(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect() failed");
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IoError("send() failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ScoringServerTest, PipelinedRequestsAnswerInOrder) {
+  AttributedGraph graph = TestGraph();
+  auto engine = MakeDegNormEngine(graph, {});
+  serve::ScoringServer server(std::move(engine), /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Two requests with distinguishable bodies in ONE TCP segment; the
+  // second asks for close so EOF delimits the exchange. The transport
+  // must answer both, in order, on the one connection.
+  const std::string pipelined =
+      "GET /healthz/ready HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Content-Length: 0\r\n\r\n"
+      "GET /healthz/live HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Content-Length: 0\r\nConnection: close\r\n\r\n";
+  Result<std::string> exchange = RawHttpExchange(server.port(), pipelined);
+  ASSERT_TRUE(exchange.ok()) << exchange.status().ToString();
+  const std::string& wire = exchange.value();
+
+  const size_t first = wire.find("HTTP/1.1 200");
+  ASSERT_NE(first, std::string::npos) << wire;
+  const size_t second = wire.find("HTTP/1.1 200", first + 1);
+  ASSERT_NE(second, std::string::npos) << wire;
+  const size_t ready = wire.find("\"status\":\"ready\"");
+  const size_t live = wire.find("\"status\":\"live\"");
+  ASSERT_NE(ready, std::string::npos) << wire;
+  ASSERT_NE(live, std::string::npos) << wire;
+  EXPECT_LT(ready, live) << "pipelined responses out of order:\n" << wire;
+  // First response keeps the connection, the close-flagged one ends it.
+  EXPECT_NE(wire.find("connection: keep-alive"), std::string::npos) << wire;
+  EXPECT_NE(wire.find("connection: close"), std::string::npos) << wire;
+
+  server.Stop();
+}
+
+TEST(ScoringServerTest, Http10DefaultsToConnectionClose) {
+  AttributedGraph graph = TestGraph();
+  auto engine = MakeDegNormEngine(graph, {});
+  serve::ScoringServer server(std::move(engine), /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+
+  // No connection header at all: an HTTP/1.0 client must get close (and
+  // EOF — RawHttpExchange returning at all proves the server closed).
+  Result<std::string> exchange = RawHttpExchange(
+      server.port(),
+      "GET /healthz/live HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n");
+  ASSERT_TRUE(exchange.ok()) << exchange.status().ToString();
+  EXPECT_NE(exchange.value().find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(exchange.value().find("connection: close"), std::string::npos)
+      << exchange.value();
+
+  // An unknown protocol version is rejected outright.
+  Result<int> bad_version = RawHttpStatus(
+      server.port(), "GET /healthz HTTP/2.0\r\nHost: 127.0.0.1\r\n\r\n");
+  ASSERT_TRUE(bad_version.ok());
+  EXPECT_EQ(bad_version.value(), 400);
+
+  server.Stop();
+}
+
+TEST(ScoringServerTest, DuplicateContentLengthRejected) {
+  AttributedGraph graph = TestGraph();
+  auto engine = MakeDegNormEngine(graph, {});
+  serve::ScoringServer server(std::move(engine), /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Two Content-Length headers — even agreeing ones — are a smuggling
+  // vector under pipelining (parsers that disagree on which wins
+  // disagree on where the next request starts) and must be rejected.
+  Result<int> conflicting = RawHttpStatus(
+      server.port(),
+      "POST /score HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Content-Length: 2\r\nContent-Length: 7\r\n\r\n{}");
+  ASSERT_TRUE(conflicting.ok());
+  EXPECT_EQ(conflicting.value(), 400);
+
+  Result<int> duplicate = RawHttpStatus(
+      server.port(),
+      "POST /score HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Content-Length: 2\r\nContent-Length: 2\r\n\r\n{}");
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_EQ(duplicate.value(), 400);
+
+  server.Stop();
+}
+
+TEST(ScoringServerTest, OversizedHeadersGet431) {
+  AttributedGraph graph = TestGraph();
+  auto engine = MakeDegNormEngine(graph, {});
+  serve::ScoringServer server(std::move(engine), /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A 100KB header block blows the 64KB cap: 431 (RFC 6585), not 413 —
+  // the oversized thing is the header section, not a payload.
+  std::string request = "GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  request += "X-Padding: " + std::string(100 * 1024, 'a') + "\r\n\r\n";
+  Result<int> status = RawHttpStatus(server.port(), request);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(status.value(), 431);
+
+  server.Stop();
+}
+
+TEST(QueryParamTest, PercentDecodesValues) {
+  Result<std::string> plain = serve::QueryParam("format=json", "format");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value(), "json");
+
+  Result<std::string> encoded =
+      serve::QueryParam("format=%6a%73%6F%6e", "format");
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value(), "json");
+
+  Result<std::string> plus = serve::QueryParam("q=a+b", "q");
+  ASSERT_TRUE(plus.ok());
+  EXPECT_EQ(plus.value(), "a b");
+
+  Result<std::string> absent = serve::QueryParam("a=1&b=2", "c");
+  ASSERT_TRUE(absent.ok());
+  EXPECT_TRUE(absent.value().empty());
+
+  // Malformed escapes are errors, not passed through raw.
+  EXPECT_FALSE(serve::QueryParam("q=%zz", "q").ok());
+  EXPECT_FALSE(serve::QueryParam("q=%a", "q").ok());
+  EXPECT_FALSE(serve::QueryParam("q=%", "q").ok());
+}
+
+TEST(ScoringServerTest, PercentEncodedQueryParamsReachEndpoints) {
+  AttributedGraph graph = TestGraph();
+  auto engine = MakeDegNormEngine(graph, {});
+  serve::ScoringServer server(std::move(engine), /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+
+  // "%6a%73%6f%6e" decodes to "json".
+  Result<std::pair<int, std::string>> decoded =
+      HttpRoundTrip(server.port(), "GET", "/metrics?format=%6a%73%6f%6e", "");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().first, 200);
+
+  Result<std::pair<int, std::string>> malformed =
+      HttpRoundTrip(server.port(), "GET", "/metrics?format=%zz", "");
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_EQ(malformed.value().first, 400);
+
+  server.Stop();
+}
+
 // Like HttpRoundTrip but returns the raw response (status line + headers
 // + body) so tests can assert on headers like content-type.
 Result<std::string> HttpRoundTripRaw(int port, const std::string& method,

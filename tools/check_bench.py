@@ -63,7 +63,7 @@ def run_loadgen(loadgen, baselines, workdir):
     env = dict(os.environ)
     env.update(baselines.get("env", {}))
     env["VGOD_BENCH_MANIFEST"] = str(manifest_path)
-    cmd = [str(loadgen), "--clients=4", "--requests=8",
+    cmd = [str(loadgen), "--clients=4", "--requests=8", "--http",
            f"--json={report_path}"]
     print("+", " ".join(cmd))
     proc = subprocess.run(cmd, capture_output=True, text=True, env=env,
@@ -222,6 +222,17 @@ def check_matrix_bands(leaderboard, baselines):
     check_band_map(matrix_metrics(leaderboard), bands, "matrix")
 
 
+def check_transport_bands(metrics, baselines):
+    """Gates the reactor-transport manifest metrics from the loadgen --http
+    phase: the high-fanout thread-boundedness proof (256 parked keep-alive
+    connections must not add server threads) and the connection-churn
+    leak check (open connections and thread count return to baseline)."""
+    bands = baselines.get("transport", {})
+    if not check(bands, "baselines.json declares no transport bands"):
+        return
+    check_band_map(metrics, bands, "transport")
+
+
 def check_bands(metrics, baselines):
     bands = baselines.get("metrics", {})
     if not check(bands, "baselines.json declares no metric bands"):
@@ -301,6 +312,7 @@ def main():
             if args.stream_loadgen else (None, None))
     if manifest is not None:
         check_bands(manifest_metrics(manifest), baselines)
+        check_transport_bands(manifest_metrics(manifest), baselines)
     if report is not None:
         check_invariants(report)
     if kernel_manifest is not None:

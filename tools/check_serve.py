@@ -19,8 +19,12 @@ Drives the full deployment loop documented in docs/SERVING.md:
      GET /metrics?format=prometheus must pass exposition-format rules
      and agree with the JSON export, and GET /debug/slow must return
      stage breakdowns for the slowest requests.
-  6. SIGTERM must drain and exit 0.
-  7. `serve_loadgen --json` runs two-plus thread x batch configurations;
+  6. Connection-churn sweep: hundreds of short-lived connections must
+     leave the server's thread count and fd table at baseline, and the
+     serve.transport.open_connections gauge must drain back to zero
+     (the epoll reactor never spawns per-connection threads).
+  7. SIGTERM must drain and exit 0.
+  8. `serve_loadgen --json` runs two-plus thread x batch configurations;
      the JSON report must carry sane p50/p99/throughput numbers plus
      per-stage quantiles.
 
@@ -34,6 +38,7 @@ import json
 import os
 import re
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -205,6 +210,69 @@ def check_prometheus(port, json_metrics):
             prom = f"serve_stage_{stage}_seconds_count"
             check(samples.get(prom, 0) >= 4,
                   f"{prom} missing or empty in prometheus export")
+
+
+def proc_threads(pid):
+    for line in Path(f"/proc/{pid}/status").read_text().splitlines():
+        if line.startswith("Threads:"):
+            return int(line.split()[1])
+    return -1
+
+
+def proc_fds(pid):
+    return len(os.listdir(f"/proc/{pid}/fd"))
+
+
+def check_connection_churn(proc, port, connections=200):
+    """Transport leak gate: hundreds of short-lived connections must leave
+    the server's thread count and fd table at baseline, and the
+    serve.transport.open_connections gauge must drain back to zero. A
+    thread-per-connection transport would show the thread count spiking
+    with the sweep; the epoll reactor keeps it flat. (The /metrics poll
+    holds a connection of its own while it runs, so the fd and gauge
+    checks tolerate a single straggler.)"""
+    pid = proc.pid
+    threads_before = proc_threads(pid)
+    fds_before = proc_fds(pid)
+    errors = 0
+    for _ in range(connections):
+        try:
+            with socket.create_connection(
+                    ("127.0.0.1", port), timeout=10) as conn:
+                conn.sendall(b"GET /healthz/live HTTP/1.1\r\n"
+                             b"host: localhost\r\nconnection: close\r\n\r\n")
+                reply = b""
+                while True:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    reply += chunk
+                if not reply.startswith(b"HTTP/1.1 200"):
+                    errors += 1
+        except OSError:
+            errors += 1
+    check(errors == 0, f"churn sweep: {errors}/{connections} short-lived "
+                       f"connections failed")
+    deadline = time.monotonic() + 10
+    gauge = threads_after = fds_after = None
+    while time.monotonic() < deadline:
+        threads_after = proc_threads(pid)
+        fds_after = proc_fds(pid)
+        _, metrics = http(port, "GET", "/metrics")
+        gauge = (metrics or {}).get("gauges", {}).get(
+            "serve.transport.open_connections")
+        if (threads_after == threads_before and
+                fds_after <= fds_before + 1 and
+                gauge is not None and gauge <= 1):
+            break
+        time.sleep(0.05)
+    check(threads_after == threads_before,
+          f"churn sweep leaked threads: {threads_before} -> {threads_after}")
+    check(fds_after is not None and fds_after <= fds_before + 1,
+          f"churn sweep leaked fds: {fds_before} -> {fds_after}")
+    check(gauge is not None and gauge <= 1,
+          f"serve.transport.open_connections did not drain after the churn "
+          f"sweep: {gauge}")
 
 
 def check_access_log(access_log, seen_request_ids):
@@ -389,6 +457,8 @@ def check_serving(cli, serve_bin, workdir):
                           ("parse_us", "queue_wait_us", "batch_assembly_us",
                            "score_us", "serialize_us", "total_us")),
                       f"/debug/slow entry lacks stage fields: {entry}")
+
+        check_connection_churn(proc, port)
     finally:
         proc.send_signal(signal.SIGTERM)
         try:

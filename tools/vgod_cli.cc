@@ -385,7 +385,9 @@ int RunServe(const ArgParser& args) {
   Status valid = args.Validate({"bundle", "graph", "port", "threads",
                                 "num_threads", "max-batch", "max-delay-us",
                                 "max-queue", "streaming", "compact-every",
-                                "watchlist-k", "max-events"});
+                                "watchlist-k", "max-events",
+                                "max-connections", "idle-timeout-ms",
+                                "dispatch-threads"});
   if (!valid.ok()) return Fail(valid);
   serve::ServerOptions options;
   options.bundle_path = args.GetString("bundle", "");
@@ -409,6 +411,12 @@ int RunServe(const ArgParser& args) {
       static_cast<int>(args.GetInt("watchlist-k", 10));
   options.stream.max_events_per_batch =
       static_cast<int>(args.GetInt("max-events", 4096));
+  options.transport.max_connections =
+      static_cast<int>(args.GetInt("max-connections", 1024));
+  options.transport.idle_timeout_ms =
+      static_cast<int>(args.GetInt("idle-timeout-ms", 30000));
+  options.transport.dispatch_threads =
+      static_cast<int>(args.GetInt("dispatch-threads", 4));
   std::signal(SIGINT, HandleServeSignal);
   std::signal(SIGTERM, HandleServeSignal);
   return serve::RunServer(options, &g_serve_stop);

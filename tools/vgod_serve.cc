@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
                                         "max-delay-us", "max-queue",
                                         "slow-ring", "streaming",
                                         "compact-every", "watchlist-k",
-                                        "max-events"});
+                                        "max-events", "max-connections",
+                                        "idle-timeout-ms",
+                                        "dispatch-threads"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
     return 2;
@@ -56,6 +58,9 @@ int main(int argc, char** argv) {
                  "                  [--max-queue=N] [--slow-ring=N]\n"
                  "                  [--streaming] [--compact-every=N]\n"
                  "                  [--watchlist-k=N] [--max-events=N]\n"
+                 "                  [--max-connections=N]\n"
+                 "                  [--idle-timeout-ms=N]\n"
+                 "                  [--dispatch-threads=N]\n"
                  "env:   VGOD_ACCESS_LOG=PATH|-  JSON access log\n");
     return 2;
   }
@@ -83,6 +88,13 @@ int main(int argc, char** argv) {
       static_cast<int>(args.value().GetInt("watchlist-k", 10));
   options.stream.max_events_per_batch =
       static_cast<int>(args.value().GetInt("max-events", 4096));
+  // Reactor transport knobs (docs/SERVING.md "Transport").
+  options.transport.max_connections =
+      static_cast<int>(args.value().GetInt("max-connections", 1024));
+  options.transport.idle_timeout_ms =
+      static_cast<int>(args.value().GetInt("idle-timeout-ms", 30000));
+  options.transport.dispatch_threads =
+      static_cast<int>(args.value().GetInt("dispatch-threads", 4));
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
