@@ -1,6 +1,6 @@
 // stream_loadgen — load benchmark for the streaming graph subsystem.
 //
-// Two phases:
+// Phases:
 //
 //  1. Mixed traffic: trains a VBM on the standard cora UNOD case, enables
 //     streaming on a ScoringEngine, then runs concurrent ingest clients
@@ -18,9 +18,18 @@
 //     the per-event microseconds stay flat as the graph quadruples;
 //     the reported ratio is the acceptance signal.
 //
+//  3. (--drift) Model-drift probe (docs/OBSERVABILITY.md): fingerprints
+//     the trained model, fills a DriftMonitor window from served scores
+//     (stable PSI must stay ~0), then replays an attribute-shifted event
+//     mix through /ingest and rescoring (shifted PSI must cross the
+//     0.25 alert threshold). Reports the per-score sketch-record cost
+//     and the per-evaluation PSI/KS cost — the monitoring overhead the
+//     serving path pays.
+//
 //   stream_loadgen [--ingest-threads=2] [--score-threads=4]
 //                  [--batches=30] [--batch-size=32] [--requests=200]
 //                  [--scale-nodes=2000] [--scale-events=4000]
+//                  [--drift] [--drift-batches=8]
 //                  [--json=PATH]
 //
 // Honors the usual bench env knobs (VGOD_BENCH_SCALE / _SEED /
@@ -41,6 +50,8 @@
 #include "core/args.h"
 #include "core/rng.h"
 #include "datasets/synthetic.h"
+#include "obs/drift.h"
+#include "obs/fingerprint.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
@@ -279,9 +290,141 @@ ScalePoint RunScalePoint(const AttributedGraph& graph, int num_events,
   return out;
 }
 
+struct DriftResult {
+  int64_t scores_recorded = 0;
+  double record_ns_per_score = 0.0;
+  int64_t evaluations = 0;
+  double evaluate_ms = 0.0;
+  double stable_psi = 0.0;
+  double shifted_psi = 0.0;
+  double shifted_ks = 0.0;
+};
+
+/// The model-drift probe: fingerprint the trained model, fill the
+/// monitor window with served scores (baseline agreement), replay an
+/// attribute-shifted event mix through the streaming engine, rescore,
+/// and measure both the detection signal (PSI before/after) and the
+/// monitoring overhead (sketch-record ns, evaluation ms).
+DriftResult RunDriftPhase(const UnodCase& unod_case, int batches) {
+  DriftResult out;
+
+  detectors::DetectorOptions options = OptionsFor(unod_case, EnvSeed());
+  Result<std::unique_ptr<detectors::OutlierDetector>> detector =
+      detectors::MakeDetector("VBM", options);
+  VGOD_CHECK(detector.ok()) << detector.status().ToString();
+  Status fitted = detector.value()->Fit(unod_case.graph);
+  VGOD_CHECK(fitted.ok()) << fitted.ToString();
+
+  // The bundle-export fingerprint, built the same way vgod_cli does it.
+  const detectors::DetectorOutput trained =
+      detector.value()->Score(unod_case.graph);
+  std::vector<float> training_scores(trained.score.begin(),
+                                     trained.score.end());
+  std::vector<int64_t> degrees;
+  degrees.reserve(static_cast<size_t>(unod_case.graph.num_nodes()));
+  for (int node = 0; node < unod_case.graph.num_nodes(); ++node) {
+    degrees.push_back(unod_case.graph.Degree(node));
+  }
+  obs::ModelFingerprint fingerprint = obs::BuildFingerprint(
+      training_scores,
+      unod_case.graph.has_attributes() ? unod_case.graph.attributes().data()
+                                       : nullptr,
+      unod_case.graph.num_nodes(),
+      unod_case.graph.has_attributes() ? unod_case.graph.attribute_dim() : 0,
+      degrees);
+
+  serve::EngineConfig config;
+  config.num_threads = 2;
+  config.max_batch = 8;
+  config.max_delay_us = 500;
+  serve::ScoringEngine engine(std::move(detector.value()), unod_case.graph,
+                              config);
+  VGOD_CHECK(engine.EnableStreaming(serve::StreamingOptions()).ok());
+  VGOD_CHECK(engine.Start().ok());
+
+  obs::DriftConfig drift_config;
+  drift_config.window_buckets = 2;
+  drift_config.min_window_count = 16;
+  obs::DriftMonitor monitor(drift_config);
+  monitor.SetBaseline(std::move(fingerprint));
+
+  const int num_nodes = unod_case.graph.num_nodes();
+  const int dim = unod_case.graph.attribute_dim();
+  std::chrono::nanoseconds record_spent{0};
+
+  const auto score_and_record = [&]() {
+    for (int start = 0; start < num_nodes; start += 64) {
+      std::vector<int> nodes;
+      nodes.reserve(64);
+      for (int i = start; i < std::min(start + 64, num_nodes); ++i) {
+        nodes.push_back(i);
+      }
+      Result<serve::ScoreResult> result = engine.ScoreNodes(std::move(nodes));
+      VGOD_CHECK(result.ok()) << result.status().ToString();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (double s : result.value().score) monitor.RecordScore(s);
+      record_spent += std::chrono::steady_clock::now() - t0;
+      out.scores_recorded +=
+          static_cast<int64_t>(result.value().score.size());
+    }
+  };
+
+  // Stable window: served scores reproduce the training fingerprint.
+  score_and_record();
+  out.stable_psi = monitor.Evaluate().score_psi;
+
+  // Attribute-shifted event mix: every event rewrites a node's row with
+  // an extreme random sign pattern. Per-node random directions scatter
+  // the learned embeddings, inflating neighbor variance everywhere
+  // (identical constant rows would collapse it instead).
+  Rng rng(EnvSeed() + 41);
+  const int batch_size = std::max(1, num_nodes / std::max(1, batches));
+  for (int b = 0; b < batches; ++b) {
+    stream::EventBatch batch;
+    batch.events.reserve(static_cast<size_t>(batch_size));
+    for (int e = 0; e < batch_size; ++e) {
+      const int node = static_cast<int>(rng.Next() % num_nodes);
+      std::vector<float> row(dim);
+      for (float& x : row) x = rng.Uniform() < 0.5 ? -20.0f : 20.0f;
+      batch.events.push_back(stream::GraphEvent::UpdateAttributes(node, row));
+    }
+    Result<serve::IngestResult> applied = engine.Ingest(batch);
+    VGOD_CHECK(applied.ok()) << applied.status().ToString();
+  }
+
+  // Retire the stable window (2 buckets), then refill from the shifted
+  // graph and time the evaluation path.
+  monitor.Rotate();
+  monitor.Rotate();
+  score_and_record();
+  out.record_ns_per_score =
+      out.scores_recorded > 0
+          ? std::chrono::duration<double, std::nano>(record_spent).count() /
+                static_cast<double>(out.scores_recorded)
+          : 0.0;
+
+  constexpr int kEvaluations = 20;
+  std::chrono::nanoseconds evaluate_spent{0};
+  obs::DriftReport report;
+  for (int i = 0; i < kEvaluations; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    report = monitor.Evaluate();
+    evaluate_spent += std::chrono::steady_clock::now() - t0;
+  }
+  out.evaluations = kEvaluations;
+  out.evaluate_ms =
+      std::chrono::duration<double, std::milli>(evaluate_spent).count() /
+      kEvaluations;
+  out.shifted_psi = report.score_psi;
+  out.shifted_ks = report.score_ks;
+
+  engine.Shutdown();
+  return out;
+}
+
 std::string ResultsJson(const UnodCase& unod_case, const MixedResult& mixed,
                         const ScalePoint& small, const ScalePoint& large,
-                        double ratio) {
+                        double ratio, const DriftResult* drift) {
   std::string out = "{\"benchmark\":\"stream_loadgen\",\"dataset\":";
   obs::AppendJsonString(&out, unod_case.name);
   out.append(",\"mixed\":{\"events\":");
@@ -317,7 +460,23 @@ std::string ResultsJson(const UnodCase& unod_case, const MixedResult& mixed,
   }
   out.append("],\"per_event_us_ratio\":");
   obs::AppendJsonNumber(&out, ratio);
-  out.append("}}");
+  out.append("}");
+  if (drift != nullptr) {
+    out.append(",\"drift\":{\"scores_recorded\":");
+    obs::AppendJsonNumber(&out, static_cast<double>(drift->scores_recorded));
+    out.append(",\"record_ns_per_score\":");
+    obs::AppendJsonNumber(&out, drift->record_ns_per_score);
+    out.append(",\"evaluate_ms\":");
+    obs::AppendJsonNumber(&out, drift->evaluate_ms);
+    out.append(",\"stable_psi\":");
+    obs::AppendJsonNumber(&out, drift->stable_psi);
+    out.append(",\"shifted_psi\":");
+    obs::AppendJsonNumber(&out, drift->shifted_psi);
+    out.append(",\"shifted_ks\":");
+    obs::AppendJsonNumber(&out, drift->shifted_ks);
+    out.append("}");
+  }
+  out.append("}");
   return out;
 }
 
@@ -330,7 +489,7 @@ int Main(int argc, char** argv) {
   Status valid = args.value().Validate({"ingest-threads", "score-threads",
                                         "batches", "batch-size", "requests",
                                         "scale-nodes", "scale-events",
-                                        "json"});
+                                        "drift", "drift-batches", "json"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
     return 2;
@@ -349,6 +508,9 @@ int Main(int argc, char** argv) {
       200, static_cast<int>(args.value().GetInt("scale-nodes", 2000)));
   const int scale_events = std::max<int>(
       100, static_cast<int>(args.value().GetInt("scale-events", 4000)));
+  const bool drift_phase = args.value().GetBool("drift");
+  const int drift_batches = std::max<int>(
+      1, static_cast<int>(args.value().GetInt("drift-batches", 8)));
   const std::string json_path = args.value().GetString("json", "");
 
   PrintBanner("stream_loadgen",
@@ -420,13 +582,40 @@ int Main(int argc, char** argv) {
   RecordManifestResult("synthetic", "stream", "scale.touched_per_event",
                        large.touched_per_event);
 
+  DriftResult drift;
+  if (drift_phase) {
+    drift = RunDriftPhase(unod_case, drift_batches);
+    std::printf("\ndrift probe (%d shift batches over %lld served "
+                "scores):\n",
+                drift_batches,
+                static_cast<long long>(drift.scores_recorded));
+    std::printf("  record cost       %12.1f ns/score\n",
+                drift.record_ns_per_score);
+    std::printf("  evaluate cost     %12.4f ms (PSI+KS+structural)\n",
+                drift.evaluate_ms);
+    std::printf("  PSI stable/shift  %9.4f / %.4f   (alert threshold "
+                "0.25)\n",
+                drift.stable_psi, drift.shifted_psi);
+    std::printf("  KS  shifted       %12.4f\n", drift.shifted_ks);
+    RecordManifestResult(unod_case.name, "VBM", "drift.record_ns_per_score",
+                         drift.record_ns_per_score);
+    RecordManifestResult(unod_case.name, "VBM", "drift.evaluate_ms",
+                         drift.evaluate_ms);
+    RecordManifestResult(unod_case.name, "VBM", "drift.stable_psi",
+                         drift.stable_psi);
+    RecordManifestResult(unod_case.name, "VBM", "drift.shifted_psi",
+                         drift.shifted_psi);
+  }
+
   if (!json_path.empty()) {
     std::ofstream file(json_path);
     if (!file) {
       std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
       return 1;
     }
-    file << ResultsJson(unod_case, mixed, small, large, ratio) << "\n";
+    file << ResultsJson(unod_case, mixed, small, large, ratio,
+                        drift_phase ? &drift : nullptr)
+         << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;

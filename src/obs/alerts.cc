@@ -1,0 +1,260 @@
+#include "obs/alerts.h"
+
+#include <cmath>
+#include <set>
+
+#include "obs/metrics.h"
+
+namespace vgod::obs {
+namespace {
+
+bool ValidRuleName(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<AlertRule::Comparator> ParseComparator(const std::string& text) {
+  if (text == ">") return AlertRule::Comparator::kGreater;
+  if (text == ">=") return AlertRule::Comparator::kGreaterEqual;
+  if (text == "<") return AlertRule::Comparator::kLess;
+  if (text == "<=") return AlertRule::Comparator::kLessEqual;
+  return Status::InvalidArgument("alert rule op must be one of > >= < <= (got '" +
+                                 text + "')");
+}
+
+}  // namespace
+
+bool AlertRule::Breached(double value) const {
+  switch (comparator) {
+    case Comparator::kGreater: return value > threshold;
+    case Comparator::kGreaterEqual: return value >= threshold;
+    case Comparator::kLess: return value < threshold;
+    case Comparator::kLessEqual: return value <= threshold;
+  }
+  return false;
+}
+
+const char* AlertRule::ComparatorText() const {
+  switch (comparator) {
+    case Comparator::kGreater: return ">";
+    case Comparator::kGreaterEqual: return ">=";
+    case Comparator::kLess: return "<";
+    case Comparator::kLessEqual: return "<=";
+  }
+  return "?";
+}
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive: return "inactive";
+    case AlertState::kPending: return "pending";
+    case AlertState::kFiring: return "firing";
+  }
+  return "?";
+}
+
+Result<std::vector<AlertRule>> ParseAlertRules(const std::string& json_text) {
+  Result<JsonValue> parsed = ParseJson(json_text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("alert rules are not valid JSON: " +
+                                   parsed.status().message());
+  }
+  const JsonValue& root = parsed.value();
+  if (!root.is_object() || !root.at("rules").is_array()) {
+    return Status::InvalidArgument(
+        "alert rules must be an object with a 'rules' array");
+  }
+  std::vector<AlertRule> rules;
+  std::set<std::string> names;
+  for (const JsonValue& node : root.at("rules").array()) {
+    if (!node.is_object()) {
+      return Status::InvalidArgument("alert rule entries must be objects");
+    }
+    AlertRule rule;
+    if (!node.at("name").is_string() ||
+        !ValidRuleName(node.at("name").string_value())) {
+      return Status::InvalidArgument(
+          "alert rule name must match [A-Za-z0-9_.-]{1,64}");
+    }
+    rule.name = node.at("name").string_value();
+    if (!names.insert(rule.name).second) {
+      return Status::InvalidArgument("duplicate alert rule name '" +
+                                     rule.name + "'");
+    }
+    if (!node.at("metric").is_string() ||
+        node.at("metric").string_value().empty() ||
+        node.at("metric").string_value().size() > 256) {
+      return Status::InvalidArgument("alert rule '" + rule.name +
+                                     "' needs a non-empty metric name");
+    }
+    rule.metric = node.at("metric").string_value();
+    if (!node.at("op").is_string()) {
+      return Status::InvalidArgument("alert rule '" + rule.name +
+                                     "' needs a comparator string 'op'");
+    }
+    Result<AlertRule::Comparator> comparator =
+        ParseComparator(node.at("op").string_value());
+    if (!comparator.ok()) return comparator.status();
+    rule.comparator = comparator.value();
+    if (!node.at("threshold").is_number() ||
+        !std::isfinite(node.at("threshold").number())) {
+      return Status::InvalidArgument("alert rule '" + rule.name +
+                                     "' needs a finite numeric threshold");
+    }
+    rule.threshold = node.at("threshold").number();
+    if (node.at("for_seconds").is_null()) {
+      rule.for_seconds = 0.0;
+    } else if (node.at("for_seconds").is_number() &&
+               std::isfinite(node.at("for_seconds").number()) &&
+               node.at("for_seconds").number() >= 0.0 &&
+               node.at("for_seconds").number() <= 86400.0) {
+      rule.for_seconds = node.at("for_seconds").number();
+    } else {
+      return Status::InvalidArgument(
+          "alert rule '" + rule.name +
+          "' for_seconds must be a number in [0, 86400]");
+    }
+    rules.push_back(std::move(rule));
+  }
+  if (rules.size() > 256) {
+    return Status::InvalidArgument("too many alert rules (max 256)");
+  }
+  return rules;
+}
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules)
+    : rules_(std::move(rules)), runtime_(rules_.size()) {}
+
+std::vector<AlertTransition> AlertEngine::Evaluate(
+    const std::function<double(const std::string&)>& value_of,
+    double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertTransition> transitions;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    RuleRuntime& rt = runtime_[i];
+    const double value = value_of(rule.metric);
+    const bool available = std::isfinite(value);
+    rt.has_value = available;
+    if (available) rt.last_value = value;
+    const bool breached = available && rule.Breached(value);
+
+    const auto emit = [&](const char* type) {
+      AlertTransition transition;
+      transition.rule = rule.name;
+      transition.metric = rule.metric;
+      transition.type = type;
+      transition.value = rt.last_value;
+      transition.threshold = rule.threshold;
+      transition.at_seconds = now_seconds;
+      transitions.push_back(std::move(transition));
+    };
+
+    switch (rt.state) {
+      case AlertState::kInactive:
+        if (breached) {
+          rt.pending_since = now_seconds;
+          rt.state = AlertState::kPending;
+          // Zero hold time fires immediately — fall through the pending
+          // check below on this same tick.
+        }
+        if (rt.state != AlertState::kPending) break;
+        [[fallthrough]];
+      case AlertState::kPending:
+        if (!breached) {
+          rt.state = AlertState::kInactive;
+          break;
+        }
+        if (now_seconds - rt.pending_since >= rule.for_seconds) {
+          rt.state = AlertState::kFiring;
+          rt.firing_since = now_seconds;
+          ++rt.fired_total;
+          ++transitions_firing_;
+          emit("firing");
+        }
+        break;
+      case AlertState::kFiring:
+        if (!breached) {
+          rt.state = AlertState::kInactive;
+          ++rt.resolved_total;
+          ++transitions_resolved_;
+          emit("resolved");
+        }
+        break;
+    }
+  }
+  return transitions;
+}
+
+void AlertEngine::PublishMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t firing = 0;
+  int64_t pending = 0;
+  for (const RuleRuntime& rt : runtime_) {
+    if (rt.state == AlertState::kFiring) ++firing;
+    if (rt.state == AlertState::kPending) ++pending;
+  }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("alerts.rules")
+      ->Set(static_cast<double>(rules_.size()));
+  registry.GetGauge("alerts.firing")->Set(static_cast<double>(firing));
+  registry.GetGauge("alerts.pending")->Set(static_cast<double>(pending));
+  registry.GetGauge("alerts.transitions.firing.total")
+      ->Set(static_cast<double>(transitions_firing_));
+  registry.GetGauge("alerts.transitions.resolved.total")
+      ->Set(static_cast<double>(transitions_resolved_));
+}
+
+JsonValue AlertTransition::ToJson() const {
+  JsonValue::Object out;
+  out["rule"] = JsonValue(rule);
+  out["metric"] = JsonValue(metric);
+  out["type"] = JsonValue(type);
+  out["value"] = JsonValue(value);
+  out["threshold"] = JsonValue(threshold);
+  out["at_seconds"] = JsonValue(at_seconds);
+  return JsonValue(std::move(out));
+}
+
+JsonValue AlertEngine::StateJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue::Array rules;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    const RuleRuntime& rt = runtime_[i];
+    JsonValue::Object entry;
+    entry["name"] = JsonValue(rule.name);
+    entry["metric"] = JsonValue(rule.metric);
+    entry["op"] = JsonValue(std::string(rule.ComparatorText()));
+    entry["threshold"] = JsonValue(rule.threshold);
+    entry["for_seconds"] = JsonValue(rule.for_seconds);
+    entry["state"] = JsonValue(std::string(AlertStateName(rt.state)));
+    entry["metric_available"] = JsonValue(rt.has_value);
+    entry["last_value"] = JsonValue(rt.last_value);
+    if (rt.state == AlertState::kPending) {
+      entry["pending_since_seconds"] = JsonValue(rt.pending_since);
+    }
+    if (rt.state == AlertState::kFiring) {
+      entry["firing_since_seconds"] = JsonValue(rt.firing_since);
+    }
+    entry["fired_total"] = JsonValue(static_cast<double>(rt.fired_total));
+    entry["resolved_total"] =
+        JsonValue(static_cast<double>(rt.resolved_total));
+    rules.push_back(JsonValue(std::move(entry)));
+  }
+  JsonValue::Object out;
+  out["rules"] = JsonValue(std::move(rules));
+  out["transitions_firing_total"] =
+      JsonValue(static_cast<double>(transitions_firing_));
+  out["transitions_resolved_total"] =
+      JsonValue(static_cast<double>(transitions_resolved_));
+  return JsonValue(std::move(out));
+}
+
+}  // namespace vgod::obs

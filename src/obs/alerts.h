@@ -1,0 +1,101 @@
+#ifndef VGOD_OBS_ALERTS_H_
+#define VGOD_OBS_ALERTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/json.h"
+
+namespace vgod::obs {
+
+/// One declarative alert rule: fire when `metric` compares true against
+/// `threshold` continuously for `for_seconds`.
+struct AlertRule {
+  enum class Comparator { kGreater, kGreaterEqual, kLess, kLessEqual };
+
+  std::string name;    ///< [A-Za-z0-9_.-]{1,64}; unique within a rule set.
+  std::string metric;  ///< Registry counter/gauge name, e.g. "drift.score.psi".
+  Comparator comparator = Comparator::kGreater;
+  double threshold = 0.0;
+  double for_seconds = 0.0;  ///< 0 = fire on first breach.
+
+  bool Breached(double value) const;
+  const char* ComparatorText() const;
+};
+
+/// Parses {"rules":[{"name":...,"metric":...,"op":">","threshold":0.25,
+/// "for_seconds":5},...]} with full validation: unknown comparators,
+/// non-finite thresholds, negative durations, duplicate or malformed
+/// names, and non-object rules all return InvalidArgument — hostile
+/// configs become a Status, never a crash.
+Result<std::vector<AlertRule>> ParseAlertRules(const std::string& json_text);
+
+/// Firing/resolved lifecycle of one rule.
+enum class AlertState { kInactive, kPending, kFiring };
+const char* AlertStateName(AlertState state);
+
+/// An observable state-machine edge: a rule started firing or resolved.
+/// Pending entry/exit is visible in /debug/alerts but does not notify.
+struct AlertTransition {
+  std::string rule;
+  std::string metric;
+  std::string type;  ///< "firing" | "resolved"
+  double value = 0.0;
+  double threshold = 0.0;
+  double at_seconds = 0.0;
+
+  JsonValue ToJson() const;
+};
+
+/// Evaluates a rule set against sampled metric values. Time is injected
+/// (`now_seconds`) so the `for`-duration logic is deterministic under
+/// test; the serving monitor loop passes wall-clock seconds. All state
+/// transitions happen inside Evaluate() under one mutex — safe to call
+/// from the monitor thread while /debug/alerts renders from dispatch
+/// threads.
+class AlertEngine {
+ public:
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  /// Samples every rule's metric through `value_of` (NaN = metric
+  /// unavailable → rule goes inactive), advances the state machines, and
+  /// returns the firing/resolved edges crossed at this instant.
+  std::vector<AlertTransition> Evaluate(
+      const std::function<double(const std::string&)>& value_of,
+      double now_seconds);
+
+  /// Publishes alerts.* gauges/counters for the current states.
+  void PublishMetrics() const;
+
+  /// /debug/alerts payload: per-rule state, last value, pending-since /
+  /// firing-since timestamps, and lifetime transition counts.
+  JsonValue StateJson() const;
+
+  size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct RuleRuntime {
+    AlertState state = AlertState::kInactive;
+    double pending_since = 0.0;
+    double firing_since = 0.0;
+    double last_value = 0.0;
+    bool has_value = false;
+    int64_t fired_total = 0;
+    int64_t resolved_total = 0;
+  };
+
+  std::vector<AlertRule> rules_;
+
+  mutable std::mutex mu_;
+  std::vector<RuleRuntime> runtime_;
+  int64_t transitions_firing_ = 0;
+  int64_t transitions_resolved_ = 0;
+};
+
+}  // namespace vgod::obs
+
+#endif  // VGOD_OBS_ALERTS_H_

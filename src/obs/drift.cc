@@ -1,0 +1,190 @@
+#include "obs/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace vgod::obs {
+namespace {
+
+std::vector<double> NormalizeCounts(const std::vector<int64_t>& counts) {
+  int64_t total = 0;
+  for (int64_t c : counts) total += std::max<int64_t>(0, c);
+  std::vector<double> mix(counts.size(), 0.0);
+  if (total <= 0) return mix;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    mix[i] = static_cast<double>(std::max<int64_t>(0, counts[i])) /
+             static_cast<double>(total);
+  }
+  return mix;
+}
+
+}  // namespace
+
+DriftMonitor::DriftMonitor(const DriftConfig& config) : config_(config) {
+  config_.window_buckets = std::max(1, config_.window_buckets);
+  config_.rotate_seconds = std::max(0.001, config_.rotate_seconds);
+  config_.min_window_count = std::max<int64_t>(1, config_.min_window_count);
+  window_.reserve(static_cast<size_t>(config_.window_buckets));
+  for (int i = 0; i < config_.window_buckets; ++i) {
+    window_.emplace_back(config_.sketch_alpha);
+  }
+}
+
+void DriftMonitor::SetBaseline(ModelFingerprint fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  baseline_ = std::move(fingerprint);
+  has_baseline_ = true;
+}
+
+bool DriftMonitor::has_baseline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_baseline_;
+}
+
+void DriftMonitor::RecordScore(double value) {
+  if (!std::isfinite(value)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  window_[current_bucket_].Insert(value);
+  ++total_scores_;
+}
+
+bool DriftMonitor::MaybeRotate(double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (last_rotation_seconds_ < 0.0) {
+    last_rotation_seconds_ = now_seconds;
+    return false;
+  }
+  if (now_seconds - last_rotation_seconds_ < config_.rotate_seconds) {
+    return false;
+  }
+  last_rotation_seconds_ = now_seconds;
+  current_bucket_ = (current_bucket_ + 1) % window_.size();
+  window_[current_bucket_].Clear();
+  window_start_events_ = lifetime_events_;
+  return true;
+}
+
+void DriftMonitor::Rotate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_bucket_ = (current_bucket_ + 1) % window_.size();
+  window_[current_bucket_].Clear();
+  window_start_events_ = lifetime_events_;
+}
+
+void DriftMonitor::SetLiveDegreeHistogram(std::vector<double> histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_degree_hist_ = std::move(histogram);
+}
+
+void DriftMonitor::RecordEventCounts(std::vector<int64_t> cumulative) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (window_start_events_.size() < cumulative.size()) {
+    window_start_events_.resize(cumulative.size(), 0);
+  }
+  lifetime_events_ = std::move(cumulative);
+}
+
+QuantileSketch DriftMonitor::MergedWindowLocked() const {
+  QuantileSketch merged(config_.sketch_alpha);
+  for (const QuantileSketch& bucket : window_) {
+    merged.Merge(bucket);  // Same alpha throughout: cannot fail.
+  }
+  return merged;
+}
+
+DriftReport DriftMonitor::EvaluateLocked() const {
+  DriftReport report;
+  report.baseline_present = has_baseline_;
+  report.total_scores = total_scores_;
+  const QuantileSketch merged = MergedWindowLocked();
+  report.window_count = merged.Count();
+  if (has_baseline_ && report.window_count >= config_.min_window_count &&
+      baseline_.scores.Count() > 0) {
+    report.score_psi = PopulationStabilityIndex(baseline_.scores, merged);
+    report.score_ks = KolmogorovSmirnovDistance(baseline_.scores, merged);
+  }
+  if (has_baseline_ && !baseline_.degree_hist.empty() &&
+      !live_degree_hist_.empty()) {
+    report.degree_distance =
+        HistogramDistance(baseline_.degree_hist, live_degree_hist_);
+  }
+  if (!lifetime_events_.empty()) {
+    int64_t lifetime_total = 0;
+    for (int64_t c : lifetime_events_) lifetime_total += std::max<int64_t>(0, c);
+    if (lifetime_total > 0) {
+      std::vector<int64_t> window_events(lifetime_events_.size(), 0);
+      for (size_t i = 0; i < lifetime_events_.size(); ++i) {
+        const int64_t start = i < window_start_events_.size()
+                                  ? window_start_events_[i]
+                                  : 0;
+        window_events[i] = lifetime_events_[i] - start;
+      }
+      int64_t window_total = 0;
+      for (int64_t c : window_events) window_total += std::max<int64_t>(0, c);
+      if (window_total > 0) {
+        report.event_mix_distance = HistogramDistance(
+            NormalizeCounts(lifetime_events_), NormalizeCounts(window_events));
+      }
+    }
+  }
+  return report;
+}
+
+DriftReport DriftMonitor::Evaluate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvaluateLocked();
+}
+
+DriftReport DriftMonitor::EvaluateAndPublish() const {
+  const DriftReport report = Evaluate();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("drift.baseline.present")
+      ->Set(report.baseline_present ? 1.0 : 0.0);
+  registry.GetGauge("drift.window.count")
+      ->Set(static_cast<double>(report.window_count));
+  registry.GetGauge("drift.score.psi")->Set(report.score_psi);
+  registry.GetGauge("drift.score.ks")->Set(report.score_ks);
+  registry.GetGauge("drift.degree.distance")
+      ->Set(std::max(0.0, report.degree_distance));
+  registry.GetGauge("drift.event_mix.distance")
+      ->Set(std::max(0.0, report.event_mix_distance));
+  registry.GetCounter("drift.evaluations.total")->Increment();
+  return report;
+}
+
+JsonValue DriftMonitor::ReportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const DriftReport report = EvaluateLocked();
+  JsonValue::Object out;
+  out["status"] = JsonValue(
+      std::string(report.baseline_present ? "ok" : "baseline_missing"));
+  out["baseline_present"] = JsonValue(report.baseline_present);
+  out["window_count"] = JsonValue(static_cast<double>(report.window_count));
+  out["total_scores"] = JsonValue(static_cast<double>(report.total_scores));
+  out["score_psi"] = JsonValue(report.score_psi);
+  out["score_ks"] = JsonValue(report.score_ks);
+  out["degree_distance"] = JsonValue(report.degree_distance);
+  out["event_mix_distance"] = JsonValue(report.event_mix_distance);
+  out["window_buckets"] =
+      JsonValue(static_cast<double>(config_.window_buckets));
+  out["rotate_seconds"] = JsonValue(config_.rotate_seconds);
+  out["min_window_count"] =
+      JsonValue(static_cast<double>(config_.min_window_count));
+  out["live"] = MergedWindowLocked().SummaryJson();
+  if (has_baseline_) {
+    JsonValue::Object baseline;
+    baseline["scores"] = baseline_.scores.SummaryJson();
+    baseline["num_nodes"] =
+        JsonValue(static_cast<double>(baseline_.num_nodes));
+    baseline["num_edges"] =
+        JsonValue(static_cast<double>(baseline_.num_edges));
+    baseline["attribute_dim"] =
+        JsonValue(static_cast<double>(baseline_.attr_mean.size()));
+    out["baseline"] = JsonValue(std::move(baseline));
+  }
+  return JsonValue(std::move(out));
+}
+
+}  // namespace vgod::obs

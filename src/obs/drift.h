@@ -1,0 +1,113 @@
+#ifndef VGOD_OBS_DRIFT_H_
+#define VGOD_OBS_DRIFT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/fingerprint.h"
+#include "obs/json.h"
+#include "obs/sketch.h"
+
+namespace vgod::obs {
+
+struct DriftConfig {
+  /// Relative accuracy of the live-score sketches. Must match the
+  /// fingerprint sketch alpha for Merge-free comparison (PSI/KS only use
+  /// quantile / CDF queries, so a mismatch degrades precision, not
+  /// correctness).
+  double sketch_alpha = 0.01;
+  /// The sliding window is a ring of sub-sketches; scores land in the
+  /// newest, evaluation merges all of them, rotation retires the oldest.
+  /// Window span = window_buckets * rotate_seconds.
+  int window_buckets = 6;
+  double rotate_seconds = 10.0;
+  /// PSI/KS are reported as 0 until the merged window holds at least
+  /// this many scores (tiny samples make both statistics pure noise).
+  int64_t min_window_count = 32;
+};
+
+/// One evaluation of the live stream against the training baseline.
+struct DriftReport {
+  bool baseline_present = false;
+  int64_t window_count = 0;
+  int64_t total_scores = 0;
+  double score_psi = 0.0;
+  double score_ks = 0.0;
+  /// Total-variation distance of the live degree histogram vs the
+  /// fingerprint's; negative when either side is unavailable.
+  double degree_distance = -1.0;
+  /// Total-variation distance of the window event mix vs the lifetime
+  /// event mix; negative until ingest traffic exists.
+  double event_mix_distance = -1.0;
+};
+
+/// Serving-side model drift tracker. Dispatch threads record served
+/// scores; the server's monitor loop drives rotation, structural inputs,
+/// and evaluation. All state is guarded by one mutex — every entry point
+/// is safe from any thread, and evaluation results depend only on the
+/// recorded data, never on thread interleaving of distinct scores.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(const DriftConfig& config = DriftConfig());
+
+  /// Installs the training fingerprint restored from the bundle. Without
+  /// it the monitor still tracks the live window but reports
+  /// baseline_missing.
+  void SetBaseline(ModelFingerprint fingerprint);
+  bool has_baseline() const;
+
+  /// Records one served score into the newest window bucket.
+  void RecordScore(double value);
+
+  /// Advances the ring when `now_seconds` has moved past the rotation
+  /// interval. Injected time keeps tests deterministic. Returns true
+  /// when a rotation happened.
+  bool MaybeRotate(double now_seconds);
+  /// Unconditional rotation (tests / forced window turnover).
+  void Rotate();
+
+  /// Latest degree histogram of the served graph (normalized,
+  /// kDegreeBuckets entries) — fed from the ingest path.
+  void SetLiveDegreeHistogram(std::vector<double> histogram);
+
+  /// Cumulative per-type ingest event counts (add_edge, remove_edge,
+  /// add_node, update_attributes). The monitor snapshots the counts at
+  /// each rotation; event-mix drift is the distance between the mix of
+  /// events inside the window and the lifetime mix.
+  void RecordEventCounts(std::vector<int64_t> cumulative);
+
+  DriftReport Evaluate() const;
+
+  /// Evaluate() + publish drift.* gauges into the global registry.
+  DriftReport EvaluateAndPublish() const;
+
+  /// Full /debug/drift payload: report fields, status
+  /// ("ok"|"baseline_missing"), live window summary, and the baseline
+  /// score summary when present.
+  JsonValue ReportJson() const;
+
+  const DriftConfig& config() const { return config_; }
+
+ private:
+  QuantileSketch MergedWindowLocked() const;
+  DriftReport EvaluateLocked() const;
+
+  DriftConfig config_;
+
+  mutable std::mutex mu_;
+  bool has_baseline_ = false;
+  ModelFingerprint baseline_;
+  std::vector<QuantileSketch> window_;
+  size_t current_bucket_ = 0;
+  double last_rotation_seconds_ = -1.0;
+  int64_t total_scores_ = 0;
+  std::vector<double> live_degree_hist_;
+  std::vector<int64_t> lifetime_events_;
+  std::vector<int64_t> window_start_events_;
+};
+
+}  // namespace vgod::obs
+
+#endif  // VGOD_OBS_DRIFT_H_

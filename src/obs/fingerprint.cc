@@ -1,0 +1,145 @@
+#include "obs/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vgod::obs {
+namespace {
+
+int DegreeBucket(int64_t degree) {
+  if (degree <= 0) return 0;
+  int bucket = 1;
+  while (degree > 1 && bucket < kDegreeBuckets - 1) {
+    degree >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+Status LoadDoubleArray(const JsonValue& node, const char* key,
+                       std::vector<double>* out) {
+  const JsonValue& arr = node.at(key);
+  if (arr.is_null()) return Status::Ok();
+  if (!arr.is_array()) {
+    return Status::InvalidArgument(std::string("fingerprint '") + key +
+                                   "' is not an array");
+  }
+  out->reserve(arr.array().size());
+  for (const JsonValue& item : arr.array()) {
+    if (!item.is_number() || !std::isfinite(item.number())) {
+      return Status::InvalidArgument(std::string("fingerprint '") + key +
+                                     "' holds a non-finite entry");
+    }
+    out->push_back(item.number());
+  }
+  return Status::Ok();
+}
+
+JsonValue DumpDoubleArray(const std::vector<double>& values) {
+  JsonValue::Array arr;
+  arr.reserve(values.size());
+  for (double v : values) arr.emplace_back(v);
+  return JsonValue(std::move(arr));
+}
+
+}  // namespace
+
+std::vector<double> DegreeHistogram(const std::vector<int64_t>& degrees) {
+  std::vector<double> hist(kDegreeBuckets, 0.0);
+  if (degrees.empty()) return hist;
+  for (int64_t degree : degrees) hist[DegreeBucket(degree)] += 1.0;
+  const double total = static_cast<double>(degrees.size());
+  for (double& mass : hist) mass /= total;
+  return hist;
+}
+
+double HistogramDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  const size_t shared = std::min(a.size(), b.size());
+  double distance = 0.0;
+  for (size_t i = 0; i < shared; ++i) distance += std::fabs(a[i] - b[i]);
+  for (size_t i = shared; i < a.size(); ++i) distance += std::fabs(a[i]);
+  for (size_t i = shared; i < b.size(); ++i) distance += std::fabs(b[i]);
+  return std::min(1.0, 0.5 * distance);
+}
+
+JsonValue ModelFingerprint::ToJson() const {
+  JsonValue::Object out;
+  out["version"] = JsonValue(static_cast<int64_t>(1));
+  out["scores"] = scores.ToJson();
+  out["attr_mean"] = DumpDoubleArray(attr_mean);
+  out["attr_std"] = DumpDoubleArray(attr_std);
+  out["degree_hist"] = DumpDoubleArray(degree_hist);
+  out["num_nodes"] = JsonValue(static_cast<double>(num_nodes));
+  out["num_edges"] = JsonValue(static_cast<double>(num_edges));
+  return JsonValue(std::move(out));
+}
+
+Result<ModelFingerprint> ModelFingerprint::FromJson(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("fingerprint is not an object");
+  }
+  ModelFingerprint fp;
+  Result<QuantileSketch> scores = QuantileSketch::FromJson(value.at("scores"));
+  if (!scores.ok()) {
+    return Status::InvalidArgument("fingerprint scores: " +
+                                   scores.status().message());
+  }
+  fp.scores = std::move(scores).value();
+  VGOD_RETURN_IF_ERROR(LoadDoubleArray(value, "attr_mean", &fp.attr_mean));
+  VGOD_RETURN_IF_ERROR(LoadDoubleArray(value, "attr_std", &fp.attr_std));
+  VGOD_RETURN_IF_ERROR(LoadDoubleArray(value, "degree_hist", &fp.degree_hist));
+  if (fp.attr_mean.size() != fp.attr_std.size()) {
+    return Status::InvalidArgument(
+        "fingerprint attr_mean/attr_std length mismatch");
+  }
+  if (value.at("num_nodes").is_number()) {
+    fp.num_nodes = static_cast<int64_t>(value.at("num_nodes").number());
+  }
+  if (value.at("num_edges").is_number()) {
+    fp.num_edges = static_cast<int64_t>(value.at("num_edges").number());
+  }
+  return fp;
+}
+
+ModelFingerprint BuildFingerprint(const std::vector<float>& scores,
+                                  const float* attributes, int64_t rows,
+                                  int64_t cols,
+                                  const std::vector<int64_t>& degrees) {
+  ModelFingerprint fp;
+  for (float score : scores) {
+    fp.scores.Insert(static_cast<double>(score));
+  }
+  if (attributes != nullptr && rows > 0 && cols > 0) {
+    fp.attr_mean.assign(static_cast<size_t>(cols), 0.0);
+    fp.attr_std.assign(static_cast<size_t>(cols), 0.0);
+    std::vector<int64_t> finite(static_cast<size_t>(cols), 0);
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* row = attributes + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        const double v = static_cast<double>(row[c]);
+        if (!std::isfinite(v)) continue;
+        fp.attr_mean[c] += v;
+        fp.attr_std[c] += v * v;
+        ++finite[c];
+      }
+    }
+    for (int64_t c = 0; c < cols; ++c) {
+      if (finite[c] == 0) continue;
+      const double n = static_cast<double>(finite[c]);
+      const double mean = fp.attr_mean[c] / n;
+      const double variance =
+          std::max(0.0, fp.attr_std[c] / n - mean * mean);
+      fp.attr_mean[c] = mean;
+      fp.attr_std[c] = std::sqrt(variance);
+    }
+  }
+  fp.degree_hist = DegreeHistogram(degrees);
+  fp.num_nodes = static_cast<int64_t>(degrees.size());
+  int64_t edge_total = 0;
+  for (int64_t degree : degrees) edge_total += degree;
+  fp.num_edges = edge_total;
+  return fp;
+}
+
+}  // namespace vgod::obs

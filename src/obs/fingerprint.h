@@ -1,0 +1,59 @@
+#ifndef VGOD_OBS_FINGERPRINT_H_
+#define VGOD_OBS_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/json.h"
+#include "obs/sketch.h"
+
+namespace vgod::obs {
+
+/// Number of log2 degree buckets in a fingerprint / drift histogram:
+/// bucket 0 holds degree 0, bucket j (1 <= j < 15) holds degrees in
+/// [2^(j-1), 2^j), and the last bucket holds everything >= 2^14.
+inline constexpr int kDegreeBuckets = 16;
+
+/// Normalized degree-distribution histogram (sums to 1; all zeros for an
+/// empty degree list).
+std::vector<double> DegreeHistogram(const std::vector<int64_t>& degrees);
+
+/// Total-variation distance between two normalized histograms of equal
+/// length: 0.5 * sum |a_i - b_i|, in [0, 1]. Mismatched lengths compare
+/// the shared prefix and count the excess as shifted mass.
+double HistogramDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Statistical snapshot of what a model was fitted on, captured when the
+/// bundle is exported and embedded in its config JSON (key
+/// "fingerprint"). At serve time the drift monitor compares the live
+/// stream against it; bundles from before this format simply lack the
+/// key and drift reports `baseline_missing` instead of failing.
+struct ModelFingerprint {
+  /// Quantile sketch of the training-time anomaly scores.
+  QuantileSketch scores;
+  /// Per-attribute-column mean / stddev over the training graph.
+  std::vector<double> attr_mean;
+  std::vector<double> attr_std;
+  /// Normalized log2 degree histogram (kDegreeBuckets entries).
+  std::vector<double> degree_hist;
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+
+  JsonValue ToJson() const;
+  static Result<ModelFingerprint> FromJson(const JsonValue& value);
+};
+
+/// Builds a fingerprint from the training artifacts. `attributes` is a
+/// row-major rows x cols float matrix (may be null when cols == 0);
+/// non-finite entries are skipped from the moment accumulation.
+ModelFingerprint BuildFingerprint(const std::vector<float>& scores,
+                                  const float* attributes, int64_t rows,
+                                  int64_t cols,
+                                  const std::vector<int64_t>& degrees);
+
+}  // namespace vgod::obs
+
+#endif  // VGOD_OBS_FINGERPRINT_H_

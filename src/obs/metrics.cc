@@ -164,6 +164,23 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+Result<double> MetricsRegistry::ReadValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto gauge = gauges_.find(name);
+  if (gauge != gauges_.end()) return gauge->second->Value();
+  auto counter = counters_.find(name);
+  if (counter != counters_.end()) {
+    return static_cast<double>(counter->second->Value());
+  }
+  return Status::NotFound("no gauge or counter named '" + name + "'");
+}
+
+void MetricsRegistry::SetInfo(const std::string& name,
+                              std::map<std::string, std::string> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  infos_[name] = std::move(labels);
+}
+
 std::string MetricsRegistry::ToJson() const {
   PublishPoolGauges();  // Before taking mu_: GetGauge locks it too.
   PublishProcessGauges();
@@ -212,6 +229,23 @@ std::string MetricsRegistry::ToJson() const {
       out.push_back('}');
     }
     out.append("]}");
+  }
+  out.append("},\"info\":{");
+  first = true;
+  for (const auto& [name, labels] : infos_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.append(":{");
+    bool first_label = true;
+    for (const auto& [key, label_value] : labels) {
+      if (!first_label) out.push_back(',');
+      first_label = false;
+      AppendJsonString(&out, key);
+      out.push_back(':');
+      AppendJsonString(&out, label_value);
+    }
+    out.push_back('}');
   }
   out.append("}}");
   return out;
@@ -285,6 +319,22 @@ std::string MetricsRegistry::ToPrometheus() const {
     out.append(sanitized);
     out.append("_count ");
     value(static_cast<double>(cumulative));
+  }
+  for (const auto& [name, labels] : infos_) {
+    const std::string sanitized = SanitizeMetricName(name);
+    header(name, "gauge", sanitized);
+    out.append(sanitized);
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, label_value] : labels) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append(SanitizeMetricName(key));
+      out.append("=\"");
+      out.append(EscapeLabelValue(label_value));
+      out.push_back('"');
+    }
+    out.append("} 1\n");
   }
   return out;
 }

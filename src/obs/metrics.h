@@ -94,6 +94,18 @@ class MetricsRegistry {
   /// return the existing histogram regardless of `bounds`.
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
 
+  /// Reads the current value of a gauge or counter by exact registry
+  /// name without creating it (gauges shadow counters on a name clash).
+  /// NotFound when no such metric exists — the alert engine maps that to
+  /// "metric unavailable" rather than a spurious zero.
+  Result<double> ReadValue(const std::string& name) const;
+
+  /// Info-style metric ("build.info"): a constant-1 gauge whose payload
+  /// is its label set. JSON renders the labels as an object under
+  /// "info"; Prometheus renders `name{k="v",...} 1`. Last write wins.
+  void SetInfo(const std::string& name,
+               std::map<std::string, std::string> labels);
+
   /// {"counters":{...},"gauges":{...},"histograms":{...}} with names in
   /// sorted order (deterministic output for golden tests).
   std::string ToJson() const;
@@ -118,6 +130,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::map<std::string, std::string>> infos_;
 };
 
 }  // namespace vgod::obs

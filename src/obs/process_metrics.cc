@@ -8,6 +8,18 @@
 
 #include "obs/metrics.h"
 
+// Populated by src/obs/CMakeLists.txt from the configure step; the
+// fallbacks keep non-CMake compiles (tooling, IDE) working.
+#ifndef VGOD_BUILD_VERSION
+#define VGOD_BUILD_VERSION "dev"
+#endif
+#ifndef VGOD_BUILD_GIT_DESCRIBE
+#define VGOD_BUILD_GIT_DESCRIBE "unknown"
+#endif
+#ifndef VGOD_BUILD_SANITIZE
+#define VGOD_BUILD_SANITIZE ""
+#endif
+
 namespace vgod::obs {
 namespace {
 
@@ -61,6 +73,57 @@ bool ReadResidentBytes(double* resident_bytes, double* virtual_bytes) {
   return true;
 }
 
+// Unix time at which this process started: /proc/self/stat field 22
+// (starttime, clock ticks since boot) on top of /proc/stat btime (boot
+// time, unix seconds). Returns a negative value when unavailable.
+double ReadStartTimeSeconds() {
+  std::FILE* file = std::fopen("/proc/self/stat", "r");
+  if (file == nullptr) return -1.0;
+  char buffer[1024];
+  const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  if (read == 0) return -1.0;
+  buffer[read] = '\0';
+  const char* after_comm = std::strrchr(buffer, ')');
+  if (after_comm == nullptr) return -1.0;
+  unsigned long long start_ticks = 0;
+  // Skip fields 3..21 after the comm field; field 22 is starttime.
+  const int matched = std::sscanf(
+      after_comm + 1,
+      " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %*u %*u %*d %*d %*d "
+      "%*d %*d %*d %llu",
+      &start_ticks);
+  if (matched != 1) return -1.0;
+  const long ticks_per_second = ::sysconf(_SC_CLK_TCK);
+  if (ticks_per_second <= 0) return -1.0;
+
+  double boot_seconds = -1.0;
+  std::FILE* stat = std::fopen("/proc/stat", "r");
+  if (stat == nullptr) return -1.0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), stat) != nullptr) {
+    unsigned long long btime = 0;
+    if (std::sscanf(line, "btime %llu", &btime) == 1) {
+      boot_seconds = static_cast<double>(btime);
+      break;
+    }
+  }
+  std::fclose(stat);
+  if (boot_seconds < 0.0) return -1.0;
+  return boot_seconds + static_cast<double>(start_ticks) /
+                            static_cast<double>(ticks_per_second);
+}
+
+const char* CompilerDescription() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 long CountOpenFds() {
   DIR* dir = ::opendir("/proc/self/fd");
   if (dir == nullptr) return -1;
@@ -96,6 +159,19 @@ void PublishProcessGauges() {
     registry.GetGauge("process_open_fds")
         ->Set(static_cast<double>(open_fds));
   }
+  // Constants: computed once, then re-published so a ResetAll() (bench
+  // manifests, tests) does not wipe them from later scrapes.
+  static const double start_time = ReadStartTimeSeconds();
+  if (start_time >= 0.0) {
+    registry.GetGauge("process.start_time_seconds")->Set(start_time);
+  }
+  registry.SetInfo("build.info",
+                   {{"version", VGOD_BUILD_VERSION},
+                    {"git", VGOD_BUILD_GIT_DESCRIBE},
+                    {"compiler", CompilerDescription()},
+                    {"sanitizer", VGOD_BUILD_SANITIZE[0] != '\0'
+                                      ? VGOD_BUILD_SANITIZE
+                                      : "none"}});
 }
 
 }  // namespace vgod::obs

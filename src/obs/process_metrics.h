@@ -5,11 +5,14 @@ namespace vgod::obs {
 
 /// Refreshes the standard process-level collector gauges from /proc —
 /// process_resident_memory_bytes, process_virtual_memory_bytes,
-/// process_cpu_seconds_total, process_threads, process_open_fds — so
-/// stock Grafana dashboards work against /metrics out of the box. Called
-/// by the registry exporters right before rendering; cheap (two small
-/// /proc reads and one directory scan). No-op on platforms without
-/// /proc/self.
+/// process_cpu_seconds_total, process_threads, process_open_fds, plus
+/// the constant process_start_time_seconds (unix time, from
+/// /proc/self/stat starttime + /proc/stat btime) and the `build.info`
+/// info gauge (version, git describe, compiler, sanitizer) — so stock
+/// Grafana dashboards work against /metrics out of the box. Called by
+/// the registry exporters right before rendering; cheap (two small
+/// /proc reads and one directory scan; the constants are computed
+/// once). No-op on platforms without /proc/self.
 void PublishProcessGauges();
 
 }  // namespace vgod::obs

@@ -1,0 +1,358 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace vgod::obs {
+namespace {
+
+constexpr double kEpsilonMass = 1e-6;
+
+// Shared evaluation grid for the two-sample statistics: the quantile
+// ladder of both sketches at 1/kGridSteps resolution. Deterministic,
+// bounded, and dense where either distribution has mass.
+constexpr int kGridSteps = 200;
+
+std::vector<double> EvaluationGrid(const QuantileSketch& a,
+                                   const QuantileSketch& b) {
+  std::vector<double> grid;
+  grid.reserve(2 * (kGridSteps + 1));
+  for (int i = 0; i <= kGridSteps; ++i) {
+    const double q = static_cast<double>(i) / kGridSteps;
+    grid.push_back(a.Quantile(q));
+    grid.push_back(b.Quantile(q));
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double alpha) {
+  if (!(alpha > 0.0 && alpha < 1.0)) alpha = 0.01;
+  alpha_ = alpha;
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  log_gamma_ = std::log(gamma_);
+}
+
+QuantileSketch::QuantileSketch(const QuantileSketch& other)
+    : QuantileSketch(other.alpha_) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  positive_ = other.positive_;
+  negative_ = other.negative_;
+  zero_count_ = other.zero_count_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+}
+
+QuantileSketch& QuantileSketch::operator=(const QuantileSketch& other) {
+  if (this == &other) return *this;
+  QuantileSketch copy(other);  // Snapshot first: avoids lock-order issues.
+  std::lock_guard<std::mutex> lock(mu_);
+  alpha_ = copy.alpha_;
+  gamma_ = copy.gamma_;
+  log_gamma_ = copy.log_gamma_;
+  positive_ = std::move(copy.positive_);
+  negative_ = std::move(copy.negative_);
+  zero_count_ = copy.zero_count_;
+  count_ = copy.count_;
+  sum_ = copy.sum_;
+  min_ = copy.min_;
+  max_ = copy.max_;
+  return *this;
+}
+
+int32_t QuantileSketch::BucketIndex(double magnitude) const {
+  // ceil(log_gamma(m)); magnitude >= kMinTrackable so the result is
+  // bounded below, and doubles cap it above (~3.5e4 for 1e308).
+  return static_cast<int32_t>(std::ceil(std::log(magnitude) / log_gamma_));
+}
+
+double QuantileSketch::BucketValue(int32_t index) const {
+  // Geometric midpoint of (gamma^(i-1), gamma^i].
+  return std::exp((static_cast<double>(index) - 0.5) * log_gamma_);
+}
+
+void QuantileSketch::Insert(double value) {
+  if (!std::isfinite(value)) return;  // Guarded scores never emit these.
+  std::lock_guard<std::mutex> lock(mu_);
+  const double magnitude = std::fabs(value);
+  if (magnitude < kMinTrackable) {
+    ++zero_count_;
+  } else if (value > 0.0) {
+    ++positive_[BucketIndex(magnitude)];
+  } else {
+    ++negative_[BucketIndex(magnitude)];
+  }
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+Status QuantileSketch::Merge(const QuantileSketch& other) {
+  QuantileSketch snapshot(other);  // Copy under other's lock, then fold in.
+  if (std::fabs(snapshot.alpha_ - alpha_) > 1e-12) {
+    return Status::InvalidArgument(
+        "cannot merge sketches with different accuracy (alpha " +
+        std::to_string(alpha_) + " vs " + std::to_string(snapshot.alpha_) +
+        ")");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [index, n] : snapshot.positive_) positive_[index] += n;
+  for (const auto& [index, n] : snapshot.negative_) negative_[index] += n;
+  zero_count_ += snapshot.zero_count_;
+  if (snapshot.count_ > 0) {
+    if (count_ == 0) {
+      min_ = snapshot.min_;
+      max_ = snapshot.max_;
+    } else {
+      min_ = std::min(min_, snapshot.min_);
+      max_ = std::max(max_, snapshot.max_);
+    }
+  }
+  count_ += snapshot.count_;
+  sum_ += snapshot.sum_;
+  return Status::Ok();
+}
+
+void QuantileSketch::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  positive_.clear();
+  negative_.clear();
+  zero_count_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double QuantileSketch::QuantileLocked(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  if (count_ == 0) return 0.0;
+  const int64_t rank =
+      std::min(count_ - 1,
+               static_cast<int64_t>(q * static_cast<double>(count_)));
+  int64_t seen = 0;
+  // Ascending value order: most-negative magnitude first (reverse index
+  // order over the negative table), then zero, then positives.
+  for (auto it = negative_.rbegin(); it != negative_.rend(); ++it) {
+    seen += it->second;
+    if (seen > rank) return -BucketValue(it->first);
+  }
+  seen += zero_count_;
+  if (seen > rank) return 0.0;
+  for (const auto& [index, n] : positive_) {
+    seen += n;
+    if (seen > rank) return BucketValue(index);
+  }
+  return max_;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileLocked(q);
+}
+
+int64_t QuantileSketch::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double QuantileSketch::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double QuantileSketch::Min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double QuantileSketch::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double QuantileSketch::MassBelow(double x) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  double below = 0.0;
+  // A bucket with index i covers magnitudes (gamma^(i-1), gamma^i]. Mass
+  // is attributed fractionally in log space when x lands inside it.
+  const auto fraction_below = [this](int32_t index, double magnitude) {
+    const double lo = static_cast<double>(index) - 1.0;
+    const double hi = static_cast<double>(index);
+    const double pos = std::log(magnitude) / log_gamma_;
+    return std::min(1.0, std::max(0.0, (pos - lo) / (hi - lo)));
+  };
+  for (const auto& [index, n] : negative_) {
+    // Bucket holds values in [-gamma^i, -gamma^(i-1)).
+    if (x >= 0.0) {
+      below += static_cast<double>(n);
+      continue;
+    }
+    const double mag = std::fabs(x);
+    if (mag < kMinTrackable) {
+      below += static_cast<double>(n);
+      continue;
+    }
+    // Values below x are those with magnitude above |x|.
+    below += static_cast<double>(n) * (1.0 - fraction_below(index, mag));
+  }
+  if (x > 0.0) below += static_cast<double>(zero_count_);
+  for (const auto& [index, n] : positive_) {
+    if (x <= 0.0) continue;
+    const double mag = x;
+    if (mag < kMinTrackable) continue;
+    below += static_cast<double>(n) * fraction_below(index, mag);
+  }
+  return below / static_cast<double>(count_);
+}
+
+JsonValue QuantileSketch::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue::Object out;
+  out["alpha"] = JsonValue(alpha_);
+  out["count"] = JsonValue(static_cast<double>(count_));
+  out["sum"] = JsonValue(sum_);
+  out["min"] = JsonValue(min_);
+  out["max"] = JsonValue(max_);
+  out["zero"] = JsonValue(static_cast<double>(zero_count_));
+  JsonValue::Object pos;
+  for (const auto& [index, n] : positive_) {
+    pos[std::to_string(index)] = JsonValue(static_cast<double>(n));
+  }
+  JsonValue::Object neg;
+  for (const auto& [index, n] : negative_) {
+    neg[std::to_string(index)] = JsonValue(static_cast<double>(n));
+  }
+  out["pos"] = JsonValue(std::move(pos));
+  out["neg"] = JsonValue(std::move(neg));
+  return JsonValue(std::move(out));
+}
+
+Result<QuantileSketch> QuantileSketch::FromJson(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("sketch payload is not an object");
+  }
+  const JsonValue& alpha = value.at("alpha");
+  if (!alpha.is_number() || !(alpha.number() > 0.0 && alpha.number() < 1.0)) {
+    return Status::InvalidArgument("sketch alpha must be in (0, 1)");
+  }
+  QuantileSketch sketch(alpha.number());
+  const auto load_table = [&value](const char* key,
+                                   std::map<int32_t, int64_t>* table,
+                                   int64_t* total) -> Status {
+    const JsonValue& node = value.at(key);
+    if (node.is_null()) return Status::Ok();
+    if (!node.is_object()) {
+      return Status::InvalidArgument(std::string("sketch '") + key +
+                                     "' is not an object");
+    }
+    for (const auto& [index_text, count_value] : node.object()) {
+      char* end = nullptr;
+      const long index = std::strtol(index_text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || index < INT32_MIN ||
+          index > INT32_MAX) {
+        return Status::InvalidArgument("sketch bucket index '" + index_text +
+                                       "' is not a 32-bit integer");
+      }
+      if (!count_value.is_number() || count_value.number() < 0.0 ||
+          !std::isfinite(count_value.number())) {
+        return Status::InvalidArgument("sketch bucket count for '" +
+                                       index_text + "' is invalid");
+      }
+      const int64_t n = static_cast<int64_t>(count_value.number());
+      if (n > 0) {
+        (*table)[static_cast<int32_t>(index)] += n;
+        *total += n;
+      }
+    }
+    return Status::Ok();
+  };
+  int64_t total = 0;
+  VGOD_RETURN_IF_ERROR(load_table("pos", &sketch.positive_, &total));
+  VGOD_RETURN_IF_ERROR(load_table("neg", &sketch.negative_, &total));
+  const JsonValue& zero = value.at("zero");
+  if (!zero.is_null()) {
+    if (!zero.is_number() || zero.number() < 0.0 ||
+        !std::isfinite(zero.number())) {
+      return Status::InvalidArgument("sketch zero-bucket count is invalid");
+    }
+    sketch.zero_count_ = static_cast<int64_t>(zero.number());
+    total += sketch.zero_count_;
+  }
+  sketch.count_ = total;
+  if (value.at("sum").is_number()) sketch.sum_ = value.at("sum").number();
+  if (value.at("min").is_number()) sketch.min_ = value.at("min").number();
+  if (value.at("max").is_number()) sketch.max_ = value.at("max").number();
+  return sketch;
+}
+
+JsonValue QuantileSketch::SummaryJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue::Object out;
+  out["count"] = JsonValue(static_cast<double>(count_));
+  out["min"] = JsonValue(min_);
+  out["max"] = JsonValue(max_);
+  static const std::pair<const char*, double> kLadder[] = {
+      {"p01", 0.01}, {"p05", 0.05}, {"p25", 0.25}, {"p50", 0.50},
+      {"p75", 0.75}, {"p95", 0.95}, {"p99", 0.99}};
+  for (const auto& [name, q] : kLadder) {
+    out[name] = JsonValue(QuantileLocked(q));
+  }
+  return JsonValue(std::move(out));
+}
+
+double PopulationStabilityIndex(const QuantileSketch& baseline,
+                                const QuantileSketch& live) {
+  if (baseline.Count() == 0 || live.Count() == 0) return 0.0;
+  // Decile edges of the baseline give ten ~equi-probable reference bins;
+  // live mass is measured against the same edges.
+  constexpr int kBins = 10;
+  std::vector<double> edges;
+  edges.reserve(kBins - 1);
+  for (int i = 1; i < kBins; ++i) {
+    edges.push_back(baseline.Quantile(static_cast<double>(i) / kBins));
+  }
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  double psi = 0.0;
+  double prev_base = 0.0;
+  double prev_live = 0.0;
+  const auto accumulate = [&psi](double pb, double pl) {
+    pb = std::max(pb, kEpsilonMass);
+    pl = std::max(pl, kEpsilonMass);
+    psi += (pl - pb) * std::log(pl / pb);
+  };
+  for (double edge : edges) {
+    const double cb = baseline.MassBelow(edge);
+    const double cl = live.MassBelow(edge);
+    accumulate(cb - prev_base, cl - prev_live);
+    prev_base = cb;
+    prev_live = cl;
+  }
+  accumulate(1.0 - prev_base, 1.0 - prev_live);
+  return psi;
+}
+
+double KolmogorovSmirnovDistance(const QuantileSketch& baseline,
+                                 const QuantileSketch& live) {
+  if (baseline.Count() == 0 || live.Count() == 0) return 0.0;
+  double max_gap = 0.0;
+  for (double x : EvaluationGrid(baseline, live)) {
+    max_gap = std::max(max_gap,
+                       std::fabs(baseline.MassBelow(x) - live.MassBelow(x)));
+  }
+  return std::min(1.0, max_gap);
+}
+
+}  // namespace vgod::obs

@@ -1,0 +1,121 @@
+#ifndef VGOD_OBS_SKETCH_H_
+#define VGOD_OBS_SKETCH_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/json.h"
+
+namespace vgod::obs {
+
+/// Mergeable streaming quantile sketch over log-spaced buckets (the
+/// DDSketch construction): a value x > 0 lands in bucket
+/// ceil(log(x) / log(gamma)) with gamma = (1 + alpha) / (1 - alpha),
+/// which bounds the *relative* error of any quantile estimate by alpha.
+/// Negative values mirror into a second bucket table and values with
+/// |x| < min_trackable collapse into a dedicated zero bucket, so the
+/// sketch covers the full served-score range (contextual / combined VGOD
+/// scores can be negative or tiny) without precision cliffs.
+///
+/// Properties the drift layer leans on:
+///  - Mergeable: Merge() of two sketches with the same alpha equals the
+///    sketch of the concatenated streams (bucket-wise addition), so
+///    per-thread or per-window sub-sketches combine exactly.
+///  - Deterministic: bucket contents depend only on the multiset of
+///    inserted values, never on insertion order or thread count, and
+///    export iterates the ordered bucket map.
+///  - TSan-clean: all mutation goes through one mutex; reads take the
+///    same mutex and copy out. Insert cost is one map lookup — cheap
+///    relative to a scored request, and the serving path records at most
+///    one value per scored node.
+class QuantileSketch {
+ public:
+  /// `alpha` is the relative-accuracy target in (0, 1); 0.01 gives 1%
+  /// relative error with ~1400 buckets over 60 decades (in practice a few
+  /// dozen materialized buckets for score-shaped data).
+  explicit QuantileSketch(double alpha = 0.01);
+
+  QuantileSketch(const QuantileSketch& other);
+  QuantileSketch& operator=(const QuantileSketch& other);
+
+  void Insert(double value);
+  /// Bucket-wise addition. Returns InvalidArgument when the accuracy
+  /// parameters differ (the bucket grids would not line up).
+  Status Merge(const QuantileSketch& other);
+  void Clear();
+
+  /// Estimate of the q-quantile (q in [0, 1], clamped). Returns 0 for an
+  /// empty sketch. The estimate is the geometric midpoint of the owning
+  /// bucket, so |estimate - exact| <= alpha * |exact| for values outside
+  /// the zero bucket.
+  double Quantile(double q) const;
+
+  int64_t Count() const;
+  double Sum() const;
+  double Min() const;  ///< 0 when empty.
+  double Max() const;  ///< 0 when empty.
+  double alpha() const { return alpha_; }
+
+  /// Probability mass in [lo, hi) estimated from bucket overlap —
+  /// the primitive PSI / KS comparisons are built on. Bucket mass is
+  /// attributed by geometric position, fractionally when a bucket
+  /// straddles an edge.
+  double MassBelow(double x) const;
+
+  /// Serializes to {"alpha":..,"count":..,"sum":..,"min":..,"max":..,
+  /// "zero":..,"pos":{"idx":count,...},"neg":{...}} — the payload a
+  /// fingerprint embeds in a bundle. FromJson validates shape and bucket
+  /// indices and rejects non-finite or negative counts.
+  JsonValue ToJson() const;
+  static Result<QuantileSketch> FromJson(const JsonValue& value);
+
+  /// Compact summary used by /debug/drift: count plus a fixed quantile
+  /// ladder (p1/p5/p25/p50/p75/p95/p99).
+  JsonValue SummaryJson() const;
+
+ private:
+  // Log-bucket index for magnitude m >= min_trackable.
+  int32_t BucketIndex(double magnitude) const;
+  // Geometric midpoint of bucket i: gamma^(i - 1/2).
+  double BucketValue(int32_t index) const;
+  double QuantileLocked(double q) const;
+
+  double alpha_;
+  double gamma_;
+  double log_gamma_;
+  // Magnitudes below this fall into the zero bucket; bounds the bucket
+  // index range so hostile inputs cannot allocate unbounded buckets.
+  static constexpr double kMinTrackable = 1e-12;
+
+  mutable std::mutex mu_;
+  std::map<int32_t, int64_t> positive_;  // value = +gamma^(i-1/2)
+  std::map<int32_t, int64_t> negative_;  // value = -gamma^(i-1/2)
+  int64_t zero_count_ = 0;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Population Stability Index between two sketches over a shared edge
+/// grid derived from the union of their supports: sum over bins of
+/// (p_live - p_base) * ln(p_live / p_base), with epsilon smoothing so
+/// empty bins do not produce infinities. Conventional reading: < 0.1
+/// stable, 0.1–0.25 moderate shift, > 0.25 major shift. Returns 0 when
+/// either sketch is empty.
+double PopulationStabilityIndex(const QuantileSketch& baseline,
+                                const QuantileSketch& live);
+
+/// Kolmogorov–Smirnov distance: max over the shared edge grid of
+/// |CDF_base(x) - CDF_live(x)|, in [0, 1]. Returns 0 when either sketch
+/// is empty.
+double KolmogorovSmirnovDistance(const QuantileSketch& baseline,
+                                 const QuantileSketch& live);
+
+}  // namespace vgod::obs
+
+#endif  // VGOD_OBS_SKETCH_H_

@@ -270,7 +270,7 @@ Result<IngestResult> ScoringEngine::Ingest(const stream::EventBatch& batch,
   IngestResult result;
   result.request_id = request_id != 0 ? request_id : NextRequestId();
 
-  std::lock_guard<std::mutex> stream_lock(stream_mu_);
+  std::unique_lock<std::mutex> stream_lock(stream_mu_);
   Status valid = store_->ValidateBatch(batch.events);
   if (!valid.ok()) {
     VGOD_COUNTER_INC("stream.ingest.rejected");
@@ -329,6 +329,30 @@ Result<IngestResult> ScoringEngine::Ingest(const stream::EventBatch& batch,
   VGOD_HISTOGRAM_OBSERVE("stream.ingest.latency.seconds",
                          result.apply_seconds);
   PublishStreamGauges(result);
+
+  // Watchlist change detection: membership/order of node ids, not
+  // scores (scores move on every batch). The callback runs after
+  // stream_mu_ is released so it can fan out to the SSE hub without
+  // holding an engine lock.
+  std::vector<WatchlistEntry> changed_watchlist;
+  if (watchlist_callback_) {
+    std::vector<WatchlistEntry> top;
+    std::vector<int> top_nodes;
+    for (const auto& [node, score] :
+         scorer_->TopK(stream_options_.watchlist_k)) {
+      top.push_back({node, score});
+      top_nodes.push_back(node);
+    }
+    if (top_nodes != last_watchlist_nodes_) {
+      last_watchlist_nodes_ = std::move(top_nodes);
+      changed_watchlist = std::move(top);
+      VGOD_COUNTER_INC("stream.watchlist.changes");
+    }
+  }
+  stream_lock.unlock();
+  if (!changed_watchlist.empty()) {
+    watchlist_callback_(changed_watchlist);
+  }
   return result;
 }
 

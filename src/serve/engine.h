@@ -18,6 +18,7 @@
 #include "core/status.h"
 #include "detectors/detector.h"
 #include "graph/graph.h"
+#include "obs/fingerprint.h"
 #include "stream/delta_graph.h"
 #include "stream/events.h"
 #include "stream/online_scorer.h"
@@ -180,6 +181,28 @@ class ScoringEngine {
   /// the configured watchlist_k. Fails when streaming is off.
   Result<std::vector<WatchlistEntry>> Watchlist(int k = 0);
 
+  /// Hook fired from Ingest() when a batch changed the watchlist's
+  /// membership or ordering (node ids, not scores — scores move every
+  /// batch). Invoked on the ingesting thread with no engine lock held,
+  /// so the callback may call back into the server (SSE publish) but
+  /// must not re-enter the engine's streaming API. Set before Start().
+  using WatchlistChangeCallback =
+      std::function<void(const std::vector<WatchlistEntry>&)>;
+  void SetWatchlistChangeCallback(WatchlistChangeCallback callback) {
+    watchlist_callback_ = std::move(callback);
+  }
+
+  /// Baseline model fingerprint restored from the bundle (training-score
+  /// sketch + attribute moments + degree histogram), or null when the
+  /// bundle predates fingerprints. Set once by BuildEngine before
+  /// Start(); the drift monitor seeds its baseline from this.
+  void SetFingerprint(std::shared_ptr<const obs::ModelFingerprint> fp) {
+    fingerprint_ = std::move(fp);
+  }
+  const std::shared_ptr<const obs::ModelFingerprint>& fingerprint() const {
+    return fingerprint_;
+  }
+
   /// Readiness (distinct from liveness): false while not yet started,
   /// draining, or a compaction snapshot swap is in flight, with a
   /// human-readable reason. GET /healthz/ready maps false to 503.
@@ -281,6 +304,11 @@ class ScoringEngine {
   std::mutex stream_mu_;  // Serializes store_/scorer_ access.
   std::unique_ptr<stream::DeltaGraphStore> store_;
   std::optional<stream::OnlineScorer> scorer_;
+  /// Watchlist node ids as of the last ingest batch (stream_mu_), the
+  /// change-detection baseline for watchlist_callback_.
+  std::vector<int> last_watchlist_nodes_;
+  WatchlistChangeCallback watchlist_callback_;  // Set before Start().
+  std::shared_ptr<const obs::ModelFingerprint> fingerprint_;
   mutable std::mutex graph_mu_;  // Guards current_graph_ only.
   std::shared_ptr<const AttributedGraph> current_graph_;
   /// True while a compaction snapshot swap is in flight (readiness gate).

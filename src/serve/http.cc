@@ -58,6 +58,20 @@ std::string SerializeResponse(const HttpResponse& response, bool close) {
   return wire;
 }
 
+/// Header block for an open-ended streaming response: no content-length,
+/// explicit close semantics (the stream is the connection's last
+/// exchange), and cache-busting per the SSE spec.
+std::string SerializeStreamHeader(const HttpResponse& response) {
+  std::string wire = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     HttpStatusReason(response.status) + "\r\n";
+  wire += "content-type: " + response.content_type + "\r\n";
+  wire += "cache-control: no-cache\r\n";
+  wire += "connection: close\r\n";
+  wire += "\r\n";
+  wire += response.body;
+  return wire;
+}
+
 /// Bodyless error response for requests the transport rejects before the
 /// handler can see them (and for admission-control 503s).
 std::string EarlyErrorWire(int status) {
@@ -135,6 +149,15 @@ HttpResponse HttpResponse::Prometheus(std::string body) {
   // format 0.0.4 rather than protobuf.
   response.content_type = "text/plain; version=0.0.4";
   response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::EventStream(std::string initial_payload) {
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "text/event-stream";
+  response.body = std::move(initial_payload);
+  response.stream = true;
   return response;
 }
 
@@ -326,6 +349,8 @@ void HttpServer::Stop() {
     retired_ = true;
     completions_.clear();
     dispatch_queue_.clear();
+    stream_chunks_.clear();
+    live_streams_.clear();
   }
   if (wake_fd_ >= 0) {
     ::close(wake_fd_);
@@ -388,6 +413,12 @@ void HttpServer::EventLoop() {
         CloseConnection(fd);
         continue;
       }
+      if ((ev & EPOLLRDHUP) && conn.streaming) {
+        // Subscriber sent FIN; a stream has nothing more to read from
+        // the peer, so a half-close is an unsubscribe.
+        CloseConnection(fd);
+        continue;
+      }
       if (ev & EPOLLIN) {
         if (!ReadReady(conn)) continue;
       }
@@ -405,6 +436,10 @@ void HttpServer::EventLoop() {
   for (auto& [fd, conn] : conns_) ::close(fd);
   conns_.clear();
   conn_fd_by_id_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_streams_.clear();
+  }
   SetOpenConnectionsGauge(0);
 }
 
@@ -628,9 +663,11 @@ void HttpServer::PumpDispatch(Connection& conn) {
 
 void HttpServer::HandleCompletions() {
   std::vector<Completion> done;
+  std::vector<StreamChunk> chunks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     done.swap(completions_);
+    chunks.swap(stream_chunks_);
   }
   for (Completion& completion : done) {
     const auto id_it = conn_fd_by_id_.find(completion.conn_id);
@@ -640,9 +677,42 @@ void HttpServer::HandleCompletions() {
     Connection& conn = it->second;
     conn.busy = false;
     conn.last_active = std::chrono::steady_clock::now();
+    if (completion.response.stream) {
+      // Install an open-ended stream: the response header goes out
+      // without a content-length, the parser retires (this is the
+      // connection's last exchange — pipelined stragglers are dropped),
+      // and the id joins the PushStream liveness list before the
+      // subscription hook runs.
+      conn.out += SerializeStreamHeader(completion.response);
+      conn.streaming = true;
+      conn.parse = Connection::Parse::kDead;
+      conn.ready.clear();
+      conn.deferred_error = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        live_streams_.push_back(conn.id);
+      }
+      VGOD_COUNTER_INC("serve.transport.streams_opened");
+      if (completion.response.on_stream_open) {
+        completion.response.on_stream_open(conn.id);
+      }
+      Settle(conn);
+      continue;
+    }
     const bool close = conn.inflight_close;
     conn.out += SerializeResponse(completion.response, close);
     if (close) conn.close_after_flush = true;
+    Settle(conn);
+  }
+  for (StreamChunk& chunk : chunks) {
+    const auto id_it = conn_fd_by_id_.find(chunk.conn_id);
+    if (id_it == conn_fd_by_id_.end()) continue;  // Already pruned.
+    const auto it = conns_.find(id_it->second);
+    if (it == conns_.end()) continue;
+    Connection& conn = it->second;
+    if (!conn.streaming) continue;  // Stream header not installed yet.
+    conn.out += std::move(chunk.data);
+    conn.last_active = std::chrono::steady_clock::now();
     Settle(conn);
   }
 }
@@ -693,6 +763,9 @@ void HttpServer::UpdateInterest(Connection& conn) {
       conn.parse != Connection::Parse::kDead) {
     want |= EPOLLIN;
   }
+  // A streaming connection never reads again; EPOLLRDHUP is how the
+  // event thread learns the subscriber hung up.
+  if (conn.streaming) want |= EPOLLRDHUP;
   if (!conn.out.empty()) want |= EPOLLOUT;
   if (want == conn.interest) return;
   epoll_event ev{};
@@ -705,6 +778,13 @@ void HttpServer::UpdateInterest(Connection& conn) {
 void HttpServer::CloseConnection(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  if (it->second.streaming) {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_streams_.erase(
+        std::remove(live_streams_.begin(), live_streams_.end(),
+                    it->second.id),
+        live_streams_.end());
+  }
   conn_fd_by_id_.erase(it->second.id);
   conns_.erase(it);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
@@ -717,8 +797,10 @@ void HttpServer::CloseIdleConnections() {
   const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
   std::vector<int> idle;
   for (const auto& [fd, conn] : conns_) {
-    if (!conn.busy && conn.out.empty() && conn.ready.empty() &&
-        now - conn.last_active > limit) {
+    // Streaming connections are intentionally long-lived: their liveness
+    // check is the periodic SSE keepalive comment, not the idle sweep.
+    if (!conn.streaming && !conn.busy && conn.out.empty() &&
+        conn.ready.empty() && now - conn.last_active > limit) {
       idle.push_back(fd);
     }
   }
@@ -746,6 +828,29 @@ void HttpServer::DispatchLoop() {
     });
     lock.lock();
   }
+}
+
+bool HttpServer::PushStream(uint64_t conn_id, std::string data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (retired_ || stop_requested_) return false;
+  if (std::find(live_streams_.begin(), live_streams_.end(), conn_id) ==
+      live_streams_.end()) {
+    return false;
+  }
+  StreamChunk chunk;
+  chunk.conn_id = conn_id;
+  chunk.data = std::move(data);
+  stream_chunks_.push_back(std::move(chunk));
+  // Same wake-under-lock pattern as CompleteRequest: Stop() sets
+  // retired_ under mu_ before closing wake_fd_.
+  uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  return true;
+}
+
+size_t HttpServer::StreamCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_streams_.size();
 }
 
 void HttpServer::CompleteRequest(uint64_t conn_id, HttpResponse response) {

@@ -35,12 +35,24 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Streaming response (SSE): headers go out without a content-length,
+  /// `body` is the initial payload, and the connection stays open for
+  /// HttpServer::PushStream() until either side closes. The connection's
+  /// request parser retires — a streaming response is the last exchange
+  /// on its connection.
+  bool stream = false;
+  /// Invoked on the event thread once the stream is installed, with the
+  /// connection id PushStream() takes — the subscription hook.
+  std::function<void(uint64_t)> on_stream_open;
 
   /// The one place response content types are chosen: every JSON
   /// endpoint builds through Json(), the Prometheus exposition through
-  /// Prometheus() (text/plain; version=0.0.4 per the exposition spec).
+  /// Prometheus() (text/plain; version=0.0.4 per the exposition spec),
+  /// and SSE subscriptions through EventStream() (text/event-stream,
+  /// stream=true).
   static HttpResponse Json(int status, std::string body);
   static HttpResponse Prometheus(std::string body);
+  static HttpResponse EventStream(std::string initial_payload);
 };
 
 /// Splits a request target at the first '?' into path and query
@@ -129,6 +141,17 @@ class HttpServer {
   /// held by an engine still draining) become safe no-ops. Idempotent.
   void Stop();
 
+  /// Appends `data` to a live streaming connection (installed by a
+  /// stream=true response). Safe from any thread; the event thread does
+  /// the write. Returns false when the connection is gone or the server
+  /// stopped — the caller's cue to drop the subscriber. Streaming
+  /// connections are exempt from the idle sweep; pushing a periodic SSE
+  /// comment doubles as dead-peer detection.
+  bool PushStream(uint64_t conn_id, std::string data);
+
+  /// Live streaming connections right now.
+  size_t StreamCount() const;
+
  private:
   /// Per-connection reactor state, owned exclusively by the event thread.
   struct Connection {
@@ -147,6 +170,7 @@ class HttpServer {
     bool close_after_flush = false;
     bool peer_eof = false;
     bool reading_paused = false; // Backpressure: ready queue is full.
+    bool streaming = false;      // SSE: open-ended response in progress.
     uint32_t interest = 0;       // Current epoll event mask.
     /// A parse-level error (400/413/431) waiting for earlier pipelined
     /// responses to flush first, so rejects never jump the queue.
@@ -171,6 +195,12 @@ class HttpServer {
   struct Completion {
     uint64_t conn_id = 0;
     HttpResponse response;
+  };
+
+  /// A PushStream payload en route to the event thread.
+  struct StreamChunk {
+    uint64_t conn_id = 0;
+    std::string data;
   };
 
   void EventLoop();
@@ -204,10 +234,14 @@ class HttpServer {
   std::unordered_map<uint64_t, int> conn_fd_by_id_;
 
   // --- Cross-thread state, guarded by mu_ ---
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;
   std::deque<DispatchItem> dispatch_queue_;
   std::vector<Completion> completions_;
+  std::vector<StreamChunk> stream_chunks_;
+  /// Connection ids with a live stream — the PushStream liveness check.
+  /// Maintained by the event thread (install / close), read anywhere.
+  std::vector<uint64_t> live_streams_;
   bool started_ = false;
   bool stop_requested_ = false;
   bool stopped_ = false;   // Stop() ran (idempotence guard).

@@ -1,0 +1,228 @@
+#include "serve/notify.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "core/logging.h"
+#include "obs/metrics.h"
+#include "serve/http_client.h"
+
+namespace vgod::serve {
+
+void SseHub::Subscribe(uint64_t conn_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    subscribers_.push_back(conn_id);
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.sse.subscribers")
+      ->Set(static_cast<double>(SubscriberCount()));
+  VGOD_COUNTER_INC("serve.sse.subscribed");
+}
+
+size_t SseHub::Publish(const std::string& type,
+                       const std::string& json_payload) {
+  std::vector<uint64_t> targets;
+  int64_t event_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    targets = subscribers_;
+    event_id = next_event_id_++;
+  }
+  std::string frame = "id: " + std::to_string(event_id) + "\n";
+  frame += "event: " + type + "\n";
+  frame += "data: " + json_payload + "\n\n";
+  std::vector<uint64_t> dead;
+  size_t delivered = 0;
+  for (uint64_t conn_id : targets) {
+    if (server_ != nullptr && server_->PushStream(conn_id, frame)) {
+      ++delivered;
+    } else {
+      dead.push_back(conn_id);
+    }
+  }
+  if (!dead.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t conn_id : dead) {
+      subscribers_.erase(
+          std::remove(subscribers_.begin(), subscribers_.end(), conn_id),
+          subscribers_.end());
+    }
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.sse.subscribers")
+      ->Set(static_cast<double>(SubscriberCount()));
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve.sse.events")
+      ->Add(static_cast<int64_t>(delivered));
+  return delivered;
+}
+
+void SseHub::Keepalive() {
+  std::vector<uint64_t> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    targets = subscribers_;
+  }
+  if (targets.empty()) return;
+  std::vector<uint64_t> dead;
+  for (uint64_t conn_id : targets) {
+    if (server_ == nullptr || !server_->PushStream(conn_id, ": keepalive\n\n")) {
+      dead.push_back(conn_id);
+    }
+  }
+  if (!dead.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t conn_id : dead) {
+      subscribers_.erase(
+          std::remove(subscribers_.begin(), subscribers_.end(), conn_id),
+          subscribers_.end());
+    }
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.sse.subscribers")
+        ->Set(static_cast<double>(SubscriberCount()));
+  }
+}
+
+size_t SseHub::SubscriberCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscribers_.size();
+}
+
+Status ParseWebhookUrl(const std::string& url, int* port, std::string* path) {
+  const std::string scheme = "http://";
+  if (url.compare(0, scheme.size(), scheme) != 0) {
+    return Status::InvalidArgument(
+        "webhook url must start with http:// (got '" + url + "')");
+  }
+  const size_t host_begin = scheme.size();
+  const size_t path_begin = url.find('/', host_begin);
+  const std::string host_port =
+      url.substr(host_begin, path_begin == std::string::npos
+                                 ? std::string::npos
+                                 : path_begin - host_begin);
+  const size_t colon = host_port.find(':');
+  const std::string host =
+      colon == std::string::npos ? host_port : host_port.substr(0, colon);
+  if (host != "127.0.0.1" && host != "localhost") {
+    return Status::InvalidArgument(
+        "webhook url host must be loopback (127.0.0.1 or localhost), got '" +
+        host + "'");
+  }
+  int parsed_port = 80;
+  if (colon != std::string::npos) {
+    const std::string port_text = host_port.substr(colon + 1);
+    if (port_text.empty() ||
+        port_text.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("webhook url port '" + port_text +
+                                     "' is not a number");
+    }
+    parsed_port = std::atoi(port_text.c_str());
+    if (parsed_port < 1 || parsed_port > 65535) {
+      return Status::InvalidArgument("webhook url port out of range: " +
+                                     port_text);
+    }
+  }
+  *port = parsed_port;
+  *path = path_begin == std::string::npos ? "/" : url.substr(path_begin);
+  return Status::Ok();
+}
+
+WebhookNotifier::WebhookNotifier(const WebhookOptions& options)
+    : options_(options) {
+  options_.max_retries = std::max(0, options_.max_retries);
+  options_.backoff_seconds = std::max(0.0, options_.backoff_seconds);
+  options_.max_queue = std::max<size_t>(1, options_.max_queue);
+}
+
+WebhookNotifier::~WebhookNotifier() { Stop(); }
+
+Status WebhookNotifier::Start() {
+  if (options_.url.empty()) return Status::Ok();
+  VGOD_RETURN_IF_ERROR(ParseWebhookUrl(options_.url, &port_, &path_));
+  enabled_ = true;
+  started_ = true;
+  thread_ = std::thread([this] { DeliveryLoop(); });
+  return Status::Ok();
+}
+
+void WebhookNotifier::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_) {
+      stop_ = true;
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void WebhookNotifier::Notify(std::string json_payload) {
+  if (!enabled_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    if (queue_.size() >= options_.max_queue) {
+      queue_.pop_front();
+      VGOD_COUNTER_INC("alerts.webhook.dropped");
+    }
+    queue_.push_back(std::move(json_payload));
+  }
+  cv_.notify_one();
+}
+
+void WebhookNotifier::DeliveryLoop() {
+  // The HttpClient is not thread-safe; this thread is its sole owner.
+  // Keep-alive mode reuses one connection across notifications and
+  // transparently reconnects when the receiver restarted.
+  HttpClient client(port_, /*keep_alive=*/true);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    std::string payload = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+
+    bool delivered = false;
+    double delay = options_.backoff_seconds;
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      if (attempt > 0) {
+        // Exponential backoff between attempts, abandoned early when the
+        // notifier is asked to stop.
+        std::unique_lock<std::mutex> wait_lock(mu_);
+        const bool stopping = cv_.wait_for(
+            wait_lock, std::chrono::duration<double>(delay),
+            [this] { return stop_; });
+        if (stopping) return;
+        delay *= 2.0;
+      }
+      VGOD_COUNTER_INC("alerts.webhook.attempts");
+      Result<HttpResponse> response = client.Post(path_, payload);
+      if (response.ok() && response.value().status >= 200 &&
+          response.value().status < 300) {
+        delivered = true;
+        break;
+      }
+      if (response.ok() && response.value().status >= 400 &&
+          response.value().status < 500) {
+        // The receiver rejected the payload; retrying cannot help.
+        break;
+      }
+    }
+    if (delivered) {
+      VGOD_COUNTER_INC("alerts.webhook.delivered");
+    } else {
+      VGOD_COUNTER_INC("alerts.webhook.failed");
+      VGOD_LOG(Warning) << "webhook delivery to " << options_.url
+                        << " failed after "
+                        << (options_.max_retries + 1) << " attempt(s)";
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace vgod::serve

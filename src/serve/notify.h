@@ -1,0 +1,107 @@
+#ifndef VGOD_SERVE_NOTIFY_H_
+#define VGOD_SERVE_NOTIFY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "serve/http.h"
+
+namespace vgod::serve {
+
+/// Fan-out hub for the `GET /events` SSE stream. Subscribers are
+/// HttpServer streaming connections; Publish() formats one SSE event
+/// (`id:` + `event:` + `data:` lines) and pushes it to every subscriber,
+/// pruning the ones whose connection is gone. Thread-safe; publishers
+/// are the server's monitor loop (alert transitions, keepalives) and the
+/// ingest path (watchlist changes).
+class SseHub {
+ public:
+  explicit SseHub(HttpServer* server) : server_(server) {}
+
+  /// Called from the stream's on_stream_open hook (event thread).
+  void Subscribe(uint64_t conn_id);
+
+  /// Broadcasts `event: <type>` with `data: <json_payload>` (payload
+  /// must be a single line — compact JSON). Returns the number of
+  /// subscribers that received it.
+  size_t Publish(const std::string& type, const std::string& json_payload);
+
+  /// SSE comment ping; doubles as dead-subscriber detection since a
+  /// failed push prunes the connection.
+  void Keepalive();
+
+  size_t SubscriberCount() const;
+
+ private:
+  HttpServer* server_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> subscribers_;
+  int64_t next_event_id_ = 1;
+};
+
+struct WebhookOptions {
+  /// Loopback target, e.g. "http://127.0.0.1:9009/hook". Empty disables
+  /// the notifier.
+  std::string url;
+  int max_retries = 3;          ///< Attempts per notification beyond the first.
+  double backoff_seconds = 0.2; ///< Initial retry delay; doubles per retry.
+  size_t max_queue = 256;       ///< Oldest notifications drop beyond this.
+};
+
+/// Parses a webhook URL into port + target path. Only loopback hosts
+/// (127.0.0.1, localhost) are accepted — the notifier rides the
+/// loopback-only HttpClient, and an arbitrary-host webhook would make
+/// the scoring server an SSRF proxy.
+Status ParseWebhookUrl(const std::string& url, int* port, std::string* path);
+
+/// Outbound alert-notification channel: a single background thread owns
+/// a bounded queue and an HttpClient (which is not thread-safe), POSTs
+/// each JSON payload to the configured URL, and retries with exponential
+/// backoff on connection errors or 5xx responses. Queue overflow drops
+/// the oldest payload (alerts.webhook.dropped) rather than blocking the
+/// monitor loop.
+class WebhookNotifier {
+ public:
+  explicit WebhookNotifier(const WebhookOptions& options);
+  ~WebhookNotifier();
+
+  WebhookNotifier(const WebhookNotifier&) = delete;
+  WebhookNotifier& operator=(const WebhookNotifier&) = delete;
+
+  /// Validates + parses the URL and starts the delivery thread. No-op
+  /// success when the URL is empty (notifier disabled).
+  Status Start();
+  /// Drains nothing: pending notifications are dropped at stop (the
+  /// process is going away). Idempotent.
+  void Stop();
+
+  bool enabled() const { return enabled_; }
+
+  /// Enqueues one JSON payload for delivery.
+  void Notify(std::string json_payload);
+
+ private:
+  void DeliveryLoop();
+
+  WebhookOptions options_;
+  int port_ = 0;
+  std::string path_;
+  bool enabled_ = false;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace vgod::serve
+
+#endif  // VGOD_SERVE_NOTIFY_H_

@@ -1,8 +1,12 @@
 #include "serve/server.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <thread>
 
 #include "core/faultinject.h"
@@ -10,6 +14,7 @@
 #include "datasets/io.h"
 #include "detectors/bundle.h"
 #include "detectors/registry.h"
+#include "obs/fingerprint.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -209,6 +214,40 @@ Result<AttributedGraph> ParseInlineGraph(const obs::JsonValue& spec) {
                                        make_undirected);
 }
 
+/// Monotonic seconds since the first call — the injected "now" shared by
+/// the drift window and the alert state machines.
+double MonotonicSeconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Normalized log2 degree histogram of the served graph snapshot — the
+/// structural-drift input the monitor loop refreshes each tick.
+std::vector<double> SnapshotDegreeHistogram(const AttributedGraph& graph) {
+  std::vector<int64_t> degrees(static_cast<size_t>(graph.num_nodes()));
+  for (int node = 0; node < graph.num_nodes(); ++node) {
+    degrees[static_cast<size_t>(node)] = graph.Degree(node);
+  }
+  return obs::DegreeHistogram(degrees);
+}
+
+/// Cumulative per-type ingest event counts, read from the stream.events.*
+/// counters the ingest path already maintains. Order matches
+/// DriftMonitor::RecordEventCounts documentation.
+std::vector<int64_t> CumulativeEventCounts() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  std::vector<int64_t> counts;
+  for (const char* name :
+       {"stream.events.add_edge", "stream.events.remove_edge",
+        "stream.events.add_node", "stream.events.update_attributes"}) {
+    Result<double> value = registry.ReadValue(name);
+    counts.push_back(value.ok() ? static_cast<int64_t>(value.value()) : 0);
+  }
+  return counts;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ScoringEngine>> BuildEngine(
@@ -237,8 +276,22 @@ Result<std::unique_ptr<ScoringEngine>> BuildEngine(
         std::to_string(graph.value().attribute_dim()));
   }
 
-  return std::make_unique<ScoringEngine>(std::move(detector).value(),
-                                         std::move(graph).value(), config);
+  auto engine = std::make_unique<ScoringEngine>(
+      std::move(detector).value(), std::move(graph).value(), config);
+  // Bundles exported since fingerprints carry the training baseline in
+  // their config JSON; older bundles simply lack the key and serve with
+  // drift reporting baseline_missing.
+  if (bundle.value().config.Has("fingerprint")) {
+    Result<obs::ModelFingerprint> fingerprint =
+        obs::ModelFingerprint::FromJson(bundle.value().config.at("fingerprint"));
+    if (!fingerprint.ok()) {
+      return Status::InvalidArgument("bundle fingerprint is malformed: " +
+                                     fingerprint.status().message());
+    }
+    engine->SetFingerprint(std::make_shared<const obs::ModelFingerprint>(
+        std::move(fingerprint).value()));
+  }
+  return engine;
 }
 
 ScoringServer::ScoringServer(std::unique_ptr<ScoringEngine> engine, int port,
@@ -250,23 +303,105 @@ ScoringServer::ScoringServer(std::unique_ptr<ScoringEngine> engine, int port,
 
 ScoringServer::~ScoringServer() { Stop(); }
 
+void ScoringServer::ConfigureMonitor(MonitorOptions options) {
+  monitor_options_ = std::move(options);
+}
+
 Status ScoringServer::Start() {
+  drift_ = std::make_unique<obs::DriftMonitor>(monitor_options_.drift);
+  if (engine_->fingerprint() != nullptr) {
+    drift_->SetBaseline(*engine_->fingerprint());
+  }
+  alerts_ = std::make_unique<obs::AlertEngine>(monitor_options_.alert_rules);
+  webhook_ = std::make_unique<WebhookNotifier>(
+      WebhookOptions{monitor_options_.webhook_url});
+  VGOD_RETURN_IF_ERROR(webhook_->Start());
+
+  // The watchlist hook fires on ingest threads with no engine lock held;
+  // it must be installed before the engine starts accepting work.
+  engine_->SetWatchlistChangeCallback(
+      [this](const std::vector<WatchlistEntry>& entries) {
+        if (sse_ != nullptr) sse_->Publish("watchlist", WatchlistJson(entries));
+      });
   VGOD_RETURN_IF_ERROR(engine_->Start());
   http_ = std::make_unique<HttpServer>(
       [this](const HttpRequest& request, HttpServer::Responder respond) {
         Handle(request, std::move(respond));
       },
       transport_);
-  return http_->Start(requested_port_);
+  sse_ = std::make_unique<SseHub>(http_.get());
+  VGOD_RETURN_IF_ERROR(http_->Start(requested_port_));
+  {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    monitor_stop_ = false;
+  }
+  monitor_thread_ = std::thread([this] { MonitorLoop(); });
+  return Status::Ok();
 }
 
 void ScoringServer::Stop() {
-  // Transport first so no new requests arrive while the engine drains.
+  // Monitor first: its tick publishes to SSE and samples the engine's
+  // graph, both about to go away.
+  {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    monitor_stop_ = true;
+  }
+  monitor_cv_.notify_all();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  if (webhook_ != nullptr) webhook_->Stop();
+  // Transport next so no new requests arrive while the engine drains.
   // HttpServer::Stop makes the Responders of still-inflight requests
   // safe no-ops, so the engine draining after it cannot touch a dead
   // connection.
   if (http_ != nullptr) http_->Stop();
   engine_->Shutdown();
+}
+
+void ScoringServer::MonitorLoop() {
+  const double interval =
+      monitor_options_.interval_seconds > 0.01
+          ? monitor_options_.interval_seconds
+          : 0.01;
+  std::unique_lock<std::mutex> lock(monitor_mu_);
+  while (!monitor_stop_) {
+    lock.unlock();
+    MonitorTick(MonotonicSeconds());
+    lock.lock();
+    monitor_cv_.wait_for(lock, std::chrono::duration<double>(interval),
+                         [this] { return monitor_stop_; });
+  }
+}
+
+void ScoringServer::MonitorTick(double now_seconds) {
+  VGOD_TRACE_SPAN("serve/monitor");
+  // Structural inputs first: the event counts recorded before a rotation
+  // belong to the window that rotation closes.
+  if (engine_->streaming_enabled()) {
+    drift_->RecordEventCounts(CumulativeEventCounts());
+  }
+  drift_->SetLiveDegreeHistogram(
+      SnapshotDegreeHistogram(*engine_->CurrentGraph()));
+  drift_->MaybeRotate(now_seconds);
+  drift_->EvaluateAndPublish();
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  std::vector<obs::AlertTransition> transitions = alerts_->Evaluate(
+      [&registry](const std::string& metric) {
+        Result<double> value = registry.ReadValue(metric);
+        return value.ok() ? value.value()
+                          : std::numeric_limits<double>::quiet_NaN();
+      },
+      now_seconds);
+  alerts_->PublishMetrics();
+  for (const obs::AlertTransition& transition : transitions) {
+    const std::string payload = transition.ToJson().Dump();
+    VGOD_LOG(Info) << "alert " << transition.type << ": " << transition.rule
+                   << " (" << transition.metric << "="
+                   << transition.value << ")";
+    webhook_->Notify(payload);
+    sse_->Publish("alert", payload);
+  }
+  sse_->Keepalive();
 }
 
 void ScoringServer::Handle(const HttpRequest& request,
@@ -443,6 +578,42 @@ void ScoringServer::Dispatch(const HttpRequest& request,
     done(HttpResponse::Json(200, slow_.ToJson()));
     return;
   }
+  if (path == "/debug/drift") {
+    if (request.method != "GET") {
+      done(ErrorResponse(405, "use GET " + path));
+      return;
+    }
+    done(HttpResponse::Json(200, drift_->ReportJson().Dump()));
+    return;
+  }
+  if (path == "/debug/alerts") {
+    if (request.method != "GET") {
+      done(ErrorResponse(405, "use GET " + path));
+      return;
+    }
+    done(HttpResponse::Json(200, alerts_->StateJson().Dump()));
+    return;
+  }
+  if (path == "/events") {
+    if (request.method != "GET") {
+      done(ErrorResponse(405, "use GET " + path));
+      return;
+    }
+    // SSE subscription: the hello event carries the model identity so a
+    // client can verify it attached to the right server; alert and
+    // watchlist events follow as they happen.
+    std::string hello = "retry: 5000\nevent: hello\ndata: {\"detector\":";
+    obs::AppendJsonString(&hello, engine_->detector().name());
+    hello += ",\"streaming\":";
+    hello += engine_->streaming_enabled() ? "true" : "false";
+    hello += "}\n\n";
+    HttpResponse response = HttpResponse::EventStream(std::move(hello));
+    response.on_stream_open = [this](uint64_t conn_id) {
+      sse_->Subscribe(conn_id);
+    };
+    done(std::move(response));
+    return;
+  }
   if (path == "/debug/profile") {
     if (request.method != "GET") {
       done(ErrorResponse(405, "use GET " + path));
@@ -518,10 +689,16 @@ void ScoringServer::Dispatch(const HttpRequest& request,
     }
     // Shared completion for both /score shapes: runs on the engine
     // worker that answered (or inline on fast-fail rejection).
-    auto finish = [record, done](Result<ScoreResult> result) {
+    auto finish = [this, record, done](Result<ScoreResult> result) {
       if (!result.ok()) {
         done(ScoreError(result.status(), record.get()));
         return;
+      }
+      // Every served score feeds the drift window (resident-graph and
+      // inline-subgraph requests alike — both come from the same fitted
+      // model the baseline fingerprints).
+      for (double score : result.value().score) {
+        drift_->RecordScore(score);
       }
       RecordEngineTiming(result.value().timing, record.get());
       done(SerializeResult(result.value(), record.get()));
@@ -595,8 +772,35 @@ int RunServer(const ServerOptions& options, const std::atomic<bool>* stop) {
       return 1;
     }
   }
+  MonitorOptions monitor = options.monitor;
+  if (!options.alert_rules_path.empty()) {
+    std::ifstream rules_file(options.alert_rules_path);
+    if (!rules_file) {
+      std::fprintf(stderr, "error: cannot read alert rules file %s\n",
+                   options.alert_rules_path.c_str());
+      return 1;
+    }
+    std::ostringstream rules_text;
+    rules_text << rules_file.rdbuf();
+    Result<std::vector<obs::AlertRule>> rules =
+        obs::ParseAlertRules(rules_text.str());
+    if (!rules.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n",
+                   options.alert_rules_path.c_str(),
+                   rules.status().ToString().c_str());
+      return 1;
+    }
+    monitor.alert_rules = std::move(rules).value();
+  }
+  if (!monitor.alert_rules.empty() || !monitor.webhook_url.empty()) {
+    VGOD_LOG(Info) << "model-quality monitor: " << monitor.alert_rules.size()
+                   << " alert rule(s), webhook "
+                   << (monitor.webhook_url.empty() ? "off"
+                                                   : monitor.webhook_url);
+  }
   ScoringServer server(std::move(engine).value(), options.port,
                        options.slow_ring, options.transport);
+  server.ConfigureMonitor(std::move(monitor));
   if (AccessLog::FromEnv() != nullptr) {
     VGOD_LOG(Info) << "access log enabled (VGOD_ACCESS_LOG)";
   }

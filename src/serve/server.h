@@ -2,16 +2,37 @@
 #define VGOD_SERVE_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/status.h"
+#include "obs/alerts.h"
+#include "obs/drift.h"
 #include "serve/engine.h"
 #include "serve/forensics.h"
 #include "serve/http.h"
+#include "serve/notify.h"
 
 namespace vgod::serve {
+
+/// Model-quality monitoring knobs (docs/OBSERVABILITY.md "Model-quality
+/// observability"): the drift window, the parsed alert rules, where
+/// alert transitions POST to, and how often the monitor loop ticks.
+struct MonitorOptions {
+  obs::DriftConfig drift;
+  std::vector<obs::AlertRule> alert_rules;
+  /// Loopback webhook URL notified on every firing/resolved transition.
+  /// Empty disables the webhook.
+  std::string webhook_url;
+  /// Seconds between monitor ticks (drift rotation + evaluation, alert
+  /// sampling, SSE keepalive).
+  double interval_seconds = 2.0;
+};
 
 /// Everything vgod_serve (and `vgod_cli serve`) needs to stand up a
 /// scoring server.
@@ -34,6 +55,12 @@ struct ServerOptions {
   /// Reactor transport knobs: connection cap, idle timeout, dispatch pool
   /// width (docs/SERVING.md "Transport").
   TransportOptions transport;
+  /// Path to a JSON alert-rule file (obs::ParseAlertRules format). A
+  /// malformed file is a startup error, never a crash. Empty = no rules.
+  std::string alert_rules_path;
+  /// Drift/alert/webhook knobs; RunServer fills alert_rules from
+  /// alert_rules_path.
+  MonitorOptions monitor;
 };
 
 /// Builds a ScoringEngine from a bundle + graph file (the batch side of
@@ -54,6 +81,9 @@ Result<std::unique_ptr<ScoringEngine>> BuildEngine(
 ///                     (?format=prometheus for text exposition 0.0.4)
 ///   GET  /debug/slow  the K slowest requests with stage breakdowns
 ///   GET  /debug/watchlist  current top-k online outliers (streaming)
+///   GET  /debug/drift   live-vs-baseline drift report (PSI/KS/structural)
+///   GET  /debug/alerts  alert-rule states and transition counts
+///   GET  /events        SSE stream of alert transitions + watchlist changes
 ///
 /// Every request gets a monotonic request id at dispatch; the id threads
 /// through the engine's StageTiming, the /score response body, the
@@ -65,7 +95,13 @@ class ScoringServer {
                 int slow_ring = 16, TransportOptions transport = {});
   ~ScoringServer();
 
-  /// Starts the engine's worker pool and the HTTP listener.
+  /// Installs the model-quality monitor configuration (drift window,
+  /// alert rules, webhook target, tick interval). Must run before
+  /// Start(); defaults apply otherwise.
+  void ConfigureMonitor(MonitorOptions options);
+
+  /// Starts the engine's worker pool, the HTTP listener, the webhook
+  /// notifier, and the model-quality monitor loop.
   Status Start();
 
   /// Graceful shutdown: stops the listener, drains the engine. Idempotent.
@@ -74,6 +110,7 @@ class ScoringServer {
   int port() const { return http_ == nullptr ? 0 : http_->port(); }
   ScoringEngine& engine() { return *engine_; }
   const SlowRequestTracker& slow_requests() const { return slow_; }
+  obs::DriftMonitor& drift() { return *drift_; }
 
  private:
   /// One response delivery, invoked exactly once, from whichever thread
@@ -85,12 +122,27 @@ class ScoringServer {
   void Dispatch(const HttpRequest& request, const std::string& path,
                 const std::string& query,
                 const std::shared_ptr<AccessRecord>& record, Done done);
+  /// One monitor tick: drift window rotation + structural inputs +
+  /// evaluation, alert sampling, and notification fan-out.
+  void MonitorTick(double now_seconds);
+  void MonitorLoop();
 
   std::unique_ptr<ScoringEngine> engine_;
   std::unique_ptr<HttpServer> http_;
   int requested_port_;
   TransportOptions transport_;
   SlowRequestTracker slow_;
+
+  // --- Model-quality monitoring (docs/OBSERVABILITY.md) ---
+  MonitorOptions monitor_options_;
+  std::unique_ptr<obs::DriftMonitor> drift_;
+  std::unique_ptr<obs::AlertEngine> alerts_;
+  std::unique_ptr<SseHub> sse_;
+  std::unique_ptr<WebhookNotifier> webhook_;
+  std::thread monitor_thread_;
+  std::mutex monitor_mu_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
 };
 
 /// CLI entry point shared by vgod_serve and `vgod_cli serve`: builds the

@@ -132,7 +132,7 @@ def run_stream_loadgen(stream_loadgen, baselines, workdir):
     env["VGOD_BENCH_MANIFEST"] = str(manifest_path)
     cmd = [str(stream_loadgen), "--batches=8", "--batch-size=16",
            "--requests=30", "--scale-nodes=1000", "--scale-events=2000",
-           f"--json={report_path}"]
+           "--drift", f"--json={report_path}"]
     print("+", " ".join(cmd))
     proc = subprocess.run(cmd, capture_output=True, text=True, env=env,
                           timeout=480)
@@ -201,6 +201,16 @@ def check_stream_invariants(report):
         check(abs(point.get("touched_per_event", 0) - 2.0) < 1e-9,
               f"edge toggle touched {point.get('touched_per_event')} nodes "
               f"at n={point['nodes']}, want exactly 2")
+    # Drift probe (--drift): the detection signal must separate — the
+    # shifted window strictly beyond the stable one, on real samples.
+    drift = report.get("drift", {})
+    if check(drift, "stream report has no drift section (--drift phase)"):
+        check(drift.get("scores_recorded", 0) > 0,
+              "drift probe recorded no scores")
+        check(drift.get("shifted_psi", 0) > drift.get("stable_psi", 0),
+              f"drift probe PSI did not separate: stable "
+              f"{drift.get('stable_psi')} vs shifted "
+              f"{drift.get('shifted_psi')}")
 
 
 def check_kernel_bands(metrics, baselines):

@@ -136,7 +136,8 @@ def start_server(serve_bin, bundle, graph, access_log=None):
 
 
 PROM_SAMPLE_RE = re.compile(
-    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{le="([^"]*)"\})? (\S+)$')
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$')
+PROM_LE_RE = re.compile(r'^\{le="([^"]*)"\}$')
 
 
 def check_prometheus(port, json_metrics):
@@ -170,10 +171,13 @@ def check_prometheus(port, json_metrics):
         match = PROM_SAMPLE_RE.match(line)
         if not check(match, f"unparsable exposition line: {line!r}"):
             continue
-        name, le, value = match.groups()
+        name, labels, value = match.groups()
+        le = PROM_LE_RE.match(labels) if labels else None
         if le is not None:
-            buckets.setdefault(name, []).append((le, float(value)))
+            buckets.setdefault(name, []).append((le.group(1), float(value)))
         else:
+            # Labeled non-histogram samples (the build_info info gauge)
+            # are keyed by bare name like everything else.
             samples[name] = float(value)
 
     # Every sample belongs to a declared metric family.
@@ -210,6 +214,15 @@ def check_prometheus(port, json_metrics):
             prom = f"serve_stage_{stage}_seconds_count"
             check(samples.get(prom, 0) >= 4,
                   f"{prom} missing or empty in prometheus export")
+
+    # Provenance satellites (docs/OBSERVABILITY.md): the build_info
+    # info-gauge is a constant 1 with labels, and the process start time
+    # is a plausible unix timestamp (after 2020-01-01, not in the future).
+    check(samples.get("build_info") == 1.0,
+          f"build_info gauge is {samples.get('build_info')}, want 1")
+    start = samples.get("process_start_time_seconds")
+    check(start is not None and 1577836800 < start <= time.time() + 1,
+          f"process_start_time_seconds implausible: {start}")
 
 
 def proc_threads(pid):

@@ -44,6 +44,7 @@
 #include "detectors/vgod.h"
 #include "eval/metrics.h"
 #include "injection/injection.h"
+#include "obs/fingerprint.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/profile.h"
@@ -82,7 +83,11 @@ int Usage() {
       "                [--max-batch=N] [--max-delay-us=N] "
       "[--max-queue=N] [--streaming]\n"
       "                [--compact-every=N] [--watchlist-k=N] "
-      "[--max-events=N]\n");
+      "[--max-events=N]\n"
+      "                [--alert-rules=PATH] [--webhook-url=URL] "
+      "[--monitor-interval=S]\n"
+      "                [--drift-rotate-seconds=S] "
+      "[--drift-window-buckets=N] [--drift-min-count=N]\n");
   return 2;
 }
 
@@ -274,9 +279,30 @@ int RunDetect(const ArgParser& args) {
     Result<detectors::ModelBundle> bundle =
         detector.value()->ExportBundle();
     if (!bundle.ok()) return Fail(bundle.status());
+    // Attach the training fingerprint (score-distribution sketch,
+    // attribute moments, degree histogram) to the bundle config; the
+    // serving drift monitor compares live traffic against it
+    // (docs/OBSERVABILITY.md "Model-quality observability").
+    {
+      const AttributedGraph& fitted = graph.value();
+      std::vector<float> scores(out.score.begin(), out.score.end());
+      std::vector<int64_t> degrees(
+          static_cast<size_t>(fitted.num_nodes()));
+      for (int node = 0; node < fitted.num_nodes(); ++node) {
+        degrees[static_cast<size_t>(node)] = fitted.Degree(node);
+      }
+      obs::ModelFingerprint fingerprint = obs::BuildFingerprint(
+          scores,
+          fitted.has_attributes() ? fitted.attributes().data() : nullptr,
+          fitted.num_nodes(),
+          fitted.has_attributes() ? fitted.attribute_dim() : 0, degrees);
+      obs::JsonValue::Object config = bundle.value().config.object();
+      config["fingerprint"] = fingerprint.ToJson();
+      bundle.value().config = obs::JsonValue(std::move(config));
+    }
     Status saved = detectors::SaveBundle(bundle.value(), bundle_path);
     if (!saved.ok()) return Fail(saved);
-    std::printf("saved bundle to %s (%zu parameter tensors)\n",
+    std::printf("saved bundle to %s (%zu parameter tensors, fingerprinted)\n",
                 bundle_path.c_str(), bundle.value().params.size());
   }
 
@@ -387,7 +413,10 @@ int RunServe(const ArgParser& args) {
                                 "max-queue", "streaming", "compact-every",
                                 "watchlist-k", "max-events",
                                 "max-connections", "idle-timeout-ms",
-                                "dispatch-threads"});
+                                "dispatch-threads", "alert-rules",
+                                "webhook-url", "monitor-interval",
+                                "drift-rotate-seconds",
+                                "drift-window-buckets", "drift-min-count"});
   if (!valid.ok()) return Fail(valid);
   serve::ServerOptions options;
   options.bundle_path = args.GetString("bundle", "");
@@ -417,6 +446,14 @@ int RunServe(const ArgParser& args) {
       static_cast<int>(args.GetInt("idle-timeout-ms", 30000));
   options.transport.dispatch_threads =
       static_cast<int>(args.GetInt("dispatch-threads", 4));
+  options.alert_rules_path = args.GetString("alert-rules", "");
+  options.monitor.webhook_url = args.GetString("webhook-url", "");
+  options.monitor.interval_seconds = args.GetDouble("monitor-interval", 2.0);
+  options.monitor.drift.rotate_seconds =
+      args.GetDouble("drift-rotate-seconds", 10.0);
+  options.monitor.drift.window_buckets =
+      static_cast<int>(args.GetInt("drift-window-buckets", 6));
+  options.monitor.drift.min_window_count = args.GetInt("drift-min-count", 32);
   std::signal(SIGINT, HandleServeSignal);
   std::signal(SIGTERM, HandleServeSignal);
   return serve::RunServer(options, &g_serve_stop);

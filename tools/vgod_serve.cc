@@ -7,7 +7,8 @@
 // Loads a model bundle (exported by `vgod_cli detect --save-bundle` or
 // `vgod_cli export-bundle`) and the resident graph, then serves
 // POST /score, GET /healthz, GET /metrics (?format=prometheus for text
-// exposition), and GET /debug/slow over HTTP/1.1 on loopback until
+// exposition), GET /debug/slow, GET /debug/drift, GET /debug/alerts, and
+// the GET /events SSE stream over HTTP/1.1 on loopback until
 // SIGINT/SIGTERM, draining in-flight work before exiting. Set
 // VGOD_ACCESS_LOG=PATH (or "-" for stderr) for a structured JSON access
 // log, one line per request. See docs/SERVING.md.
@@ -41,7 +42,11 @@ int main(int argc, char** argv) {
                                         "compact-every", "watchlist-k",
                                         "max-events", "max-connections",
                                         "idle-timeout-ms",
-                                        "dispatch-threads"});
+                                        "dispatch-threads", "alert-rules",
+                                        "webhook-url", "monitor-interval",
+                                        "drift-rotate-seconds",
+                                        "drift-window-buckets",
+                                        "drift-min-count"});
   if (!valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
     return 2;
@@ -61,6 +66,11 @@ int main(int argc, char** argv) {
                  "                  [--max-connections=N]\n"
                  "                  [--idle-timeout-ms=N]\n"
                  "                  [--dispatch-threads=N]\n"
+                 "                  [--alert-rules=PATH] [--webhook-url=URL]\n"
+                 "                  [--monitor-interval=SECONDS]\n"
+                 "                  [--drift-rotate-seconds=SECONDS]\n"
+                 "                  [--drift-window-buckets=N]\n"
+                 "                  [--drift-min-count=N]\n"
                  "env:   VGOD_ACCESS_LOG=PATH|-  JSON access log\n");
     return 2;
   }
@@ -95,6 +105,20 @@ int main(int argc, char** argv) {
       static_cast<int>(args.value().GetInt("idle-timeout-ms", 30000));
   options.transport.dispatch_threads =
       static_cast<int>(args.value().GetInt("dispatch-threads", 4));
+  // Model-quality monitoring (docs/OBSERVABILITY.md): declarative alert
+  // rules, a loopback webhook for firing/resolved transitions, and the
+  // drift window shape. The small knobs exist so the e2e drift gate can
+  // induce and observe a firing alert in seconds, not minutes.
+  options.alert_rules_path = args.value().GetString("alert-rules", "");
+  options.monitor.webhook_url = args.value().GetString("webhook-url", "");
+  options.monitor.interval_seconds =
+      args.value().GetDouble("monitor-interval", 2.0);
+  options.monitor.drift.rotate_seconds =
+      args.value().GetDouble("drift-rotate-seconds", 10.0);
+  options.monitor.drift.window_buckets =
+      static_cast<int>(args.value().GetInt("drift-window-buckets", 6));
+  options.monitor.drift.min_window_count =
+      args.value().GetInt("drift-min-count", 32);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
